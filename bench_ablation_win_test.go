@@ -1,0 +1,108 @@
+package bestjoin_test
+
+// The WIN representation ablation promised in DESIGN.md: Algorithm 1
+// must remember a best partial matchset per query-term subset. The
+// shipped implementation extends persistent chains in O(1); the
+// obvious alternative copies the partial matchset on every update,
+// costing O(|Q|) per update and pushing the per-match work from
+// O(2^|Q|) to O(|Q|·2^|Q|).
+
+import (
+	"math"
+	"testing"
+
+	"bestjoin"
+	"bestjoin/internal/experiments"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// winCopyBased is Algorithm 1 with slice-copied partial matchsets.
+func winCopyBased(fn scorefn.WIN, lists match.Lists) (match.Set, float64, bool) {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	full := 1<<q - 1
+	type state struct {
+		set  match.Set // nil means ⊥
+		gsum float64
+		lmin int
+	}
+	states := make([]state, 1<<q)
+	var best match.Set
+	bestScore := math.Inf(-1)
+	found := false
+	match.Merge(lists, func(ev match.Event) bool {
+		j, m := ev.Term, ev.M
+		g := fn.G(j, m.Score)
+		l := m.Loc
+		bit := 1 << j
+		rest := full &^ bit
+		for s := rest; ; s = (s - 1) & rest {
+			st := &states[s|bit]
+			if s == 0 {
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(g, 0) {
+					set := make(match.Set, q)
+					set[j] = m
+					st.set, st.gsum, st.lmin = set, g, l
+				}
+			} else if sub := &states[s]; sub.set != nil {
+				cand := sub.gsum + g
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(cand, float64(l-sub.lmin)) {
+					set := sub.set.Clone() // the O(|Q|) copy the chains avoid
+					set[j] = m
+					st.set, st.gsum, st.lmin = set, cand, sub.lmin
+				}
+			}
+			if s == 0 {
+				break
+			}
+		}
+		if fs := &states[full]; fs.set != nil {
+			if sc := fn.F(fs.gsum, float64(l-fs.lmin)); !found || sc > bestScore {
+				best, bestScore, found = fs.set, sc, true
+			}
+		}
+		return true
+	})
+	if !found {
+		return nil, 0, false
+	}
+	return best.Clone(), bestScore, true
+}
+
+// The copy-based variant must agree with the shipped one before its
+// timing means anything.
+func TestWINCopyBasedAgrees(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	for _, doc := range experiments.SynthWorkload(experiments.Quick(), 5, 30, 0, 0)[:20] {
+		want := bestjoin.BestWIN(fn, doc)
+		_, score, ok := winCopyBased(fn, doc)
+		if ok != want.OK || (ok && math.Abs(score-want.Score) > 1e-9) {
+			t.Fatalf("copy-based WIN %v/%v != chain-based %v/%v", score, ok, want.Score, want.OK)
+		}
+	}
+}
+
+// BenchmarkAblationWINChains compares the persistent-chain partial
+// matchsets against copy-based ones, at a term count where the 2^|Q|
+// factor makes the per-update copy visible.
+func BenchmarkAblationWINChains(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 6, 40, 0, 0)
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	b.Run("chains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestWIN(fn, doc)
+			}
+		}
+	})
+	b.Run("copies", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				winCopyBased(fn, doc)
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package bestjoin_test
+
+// Ablation and extension benchmarks beyond the paper's figures: the
+// duplicate-avoidance search optimizations, the streaming MED variant,
+// the type-anchored model, posting-list compression, and the parallel
+// batch API.
+
+import (
+	"fmt"
+	"testing"
+
+	"bestjoin"
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/experiments"
+	"bestjoin/internal/index"
+	"bestjoin/internal/join"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// BenchmarkAblationDedupSearch isolates the two optimizations layered
+// onto the paper's Section VI method: the subtree bound and instance
+// memoization. Run on a duplicate-heavy workload (λ=1.5), where the
+// search tree is deep. The reported invocations/doc metric shows how
+// many solver reruns each configuration needs.
+func BenchmarkAblationDedupSearch(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 0, 0, 1.5, 0)
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	alg := func(ls match.Lists) (match.Set, float64, bool) { return join.MED(fn, ls) }
+	configs := []struct {
+		name string
+		opts dedup.Options
+	}{
+		{"plain", dedup.Options{}},
+		{"prune", dedup.Options{Prune: true}},
+		{"prune+memo", dedup.Options{Prune: true, Memoize: true}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			invocations := 0
+			for i := 0; i < b.N; i++ {
+				for _, doc := range docs {
+					invocations += dedup.BestWithOptions(alg, doc, cfg.opts).Invocations
+				}
+			}
+			b.ReportMetric(float64(invocations)/float64(b.N*len(docs)), "invocations/doc")
+		})
+	}
+}
+
+// BenchmarkStreamMED compares the two-pass batch by-location MED with
+// the score-bounded single-pass streaming variant.
+func BenchmarkStreamMED(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.ByLocationMED(fn, doc)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.StreamMED(fn, 1.0, doc, func(bestjoin.Anchored) {})
+			}
+		}
+	})
+}
+
+// BenchmarkTypeAnchored compares the Chakrabarti-style fixed-anchor
+// model against the full maximize-over-location join.
+func BenchmarkTypeAnchored(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)
+	fn := bestjoin.SumMAX{Alpha: 0.1}
+	b.Run("type-anchored", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestTypeAnchored(fn, 0, doc)
+			}
+		}
+	})
+	b.Run("full-max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestMAX(fn, doc)
+			}
+		}
+	})
+}
+
+// BenchmarkValidByLocation measures the Section VI + VII combination
+// on duplicate-bearing documents.
+func BenchmarkValidByLocation(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 4, 30, 1.5, 0)
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	b.Run("unaware", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.ByLocationMED(fn, doc)
+			}
+		}
+	})
+	b.Run("valid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.ValidByLocationMED(fn, doc)
+			}
+		}
+	})
+}
+
+// BenchmarkConceptList compares deriving a concept match list from raw
+// postings against decoding it from the compressed representation —
+// the storage/CPU trade a production index makes.
+func BenchmarkConceptList(b *testing.B) {
+	ix := index.New()
+	g := lexicon.Builtin()
+	body := "the conference will be held in turin with workshops and a symposium on data"
+	for d := 0; d < 500; d++ {
+		ix.AddText(d, body)
+	}
+	concept := index.ConceptFromGraph(g.Neighborhood("conference", 2), lexicon.ScorePerEdge)
+	compact := ix.Compact()
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.ConceptList(250, concept)
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			compact.ConceptList(250, concept)
+		}
+	})
+	b.Run("raw-bytes", func(b *testing.B) {
+		// Whole-index raw footprint: two machine words per posting,
+		// summed over every distinct stem of the corpus.
+		raw := 0
+		seen := map[string]bool{}
+		for _, w := range []string{"the", "conference", "will", "be", "held", "in", "turin",
+			"with", "workshops", "and", "a", "symposium", "on", "data"} {
+			s := bestjoin.Stem(w)
+			if !seen[s] {
+				seen[s] = true
+				raw += len(ix.Postings(w)) * 16
+			}
+		}
+		b.ReportMetric(float64(raw), "bytes")
+	})
+	b.Run("compressed-bytes", func(b *testing.B) {
+		b.ReportMetric(float64(compact.Bytes()), "bytes")
+	})
+}
+
+// BenchmarkBatch measures the parallel speedup of the batch API over
+// the default synthetic workload.
+func BenchmarkBatch(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	solve := func(ls bestjoin.MatchLists) bestjoin.Result { return bestjoin.BestMED(fn, ls) }
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bestjoin.Batch(docs, workers, solve)
+			}
+		})
+	}
+}
+
+// BenchmarkCodec measures the match-list binary codec.
+func BenchmarkCodec(b *testing.B) {
+	doc := experiments.SynthWorkload(benchOptions(), 4, 40, 0, 0)[0]
+	encoded := bestjoin.EncodeLists(doc)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bestjoin.EncodeLists(doc)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bestjoin.DecodeLists(encoded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("size", func(b *testing.B) {
+		b.ReportMetric(float64(len(encoded)), "bytes")
+		b.ReportMetric(float64(doc.TotalSize()*16), "raw-bytes")
+	})
+}
+
+// BenchmarkKBestWIN measures the k-best WIN join's cost growth with k.
+func BenchmarkKBestWIN(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	for _, k := range []int{1, 5, 20} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, doc := range docs {
+					bestjoin.KBestWIN(fn, doc, k)
+				}
+			}
+		})
+	}
+}

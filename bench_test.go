@@ -1,0 +1,359 @@
+package bestjoin_test
+
+// One testing.B benchmark per table and figure of the paper's
+// Section VIII evaluation, plus ablation benchmarks for the design
+// choices DESIGN.md calls out. Workloads are materialized outside the
+// timed loops (the paper excludes match-list generation from its
+// timings); each iteration processes the full document set of one data
+// point, so ns/op is directly proportional to the paper's
+// total-execution-time axis.
+//
+// Run everything:   go test -bench=. -benchmem
+// One figure:       go test -bench=BenchmarkFig6
+//
+// cmd/proxbench prints the same numbers as tables at paper scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"bestjoin"
+	"bestjoin/internal/experiments"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// benchOptions keeps per-iteration work small enough for `go test
+// -bench=.` while preserving every trend; cmd/proxbench runs the
+// paper-scale version.
+func benchOptions() experiments.Options {
+	return experiments.Options{SynthDocs: 50, TRECDocs: 50, DBWorldMsgs: 25, Seed: 1}
+}
+
+var synthAlgorithms = []string{"WIN", "MED", "MAX", "NWIN", "NMED", "NMAX"}
+
+// BenchmarkFig6 regenerates Figure 6: execution time as the number of
+// query terms grows from 2 to 7, for all six algorithms.
+func BenchmarkFig6(b *testing.B) {
+	for terms := 2; terms <= 7; terms++ {
+		docs := experiments.SynthWorkload(benchOptions(), terms, 0, 0, 0)
+		for _, alg := range synthAlgorithms {
+			b.Run(fmt.Sprintf("terms=%d/%s", terms, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunSynth(alg, docs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: execution time as the total
+// match-list size per document grows from 10 to 40.
+func BenchmarkFig7(b *testing.B) {
+	for _, matches := range []int{10, 20, 30, 40} {
+		docs := experiments.SynthWorkload(benchOptions(), 0, matches, 0, 0)
+		for _, alg := range synthAlgorithms {
+			b.Run(fmt.Sprintf("matches=%d/%s", matches, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunSynth(alg, docs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: the number of duplicate-unaware
+// solver invocations per document as λ varies, reported as the
+// "invocations/doc" metric alongside the timing.
+func BenchmarkFig8(b *testing.B) {
+	for _, lambda := range []float64{1.0, 1.5, 2.0, 2.5, 3.0} {
+		docs := experiments.SynthWorkload(benchOptions(), 0, 0, lambda, 0)
+		for _, alg := range []string{"WIN", "MED", "MAX"} {
+			b.Run(fmt.Sprintf("lambda=%.1f/%s", lambda, alg), func(b *testing.B) {
+				invocations := 0
+				for i := 0; i < b.N; i++ {
+					invocations += experiments.RunSynth(alg, docs)
+				}
+				b.ReportMetric(float64(invocations)/float64(b.N*len(docs)), "invocations/doc")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: execution time as the duplicate
+// frequency decreases (λ from 1.0 to 3.0).
+func BenchmarkFig9(b *testing.B) {
+	for _, lambda := range []float64{1.0, 2.0, 3.0} {
+		docs := experiments.SynthWorkload(benchOptions(), 0, 0, lambda, 0)
+		for _, alg := range synthAlgorithms {
+			b.Run(fmt.Sprintf("lambda=%.1f/%s", lambda, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunSynth(alg, docs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: execution time as the Zipf
+// skew of term popularity increases; the naive algorithms catch up
+// only at s=4.
+func BenchmarkFig10(b *testing.B) {
+	for _, s := range []float64{1.1, 2.0, 3.0, 4.0} {
+		docs := experiments.SynthWorkload(benchOptions(), 0, 0, 0, s)
+		for _, alg := range synthAlgorithms {
+			b.Run(fmt.Sprintf("s=%.1f/%s", s, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunSynth(alg, docs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: per-query execution times over
+// the simulated TREC topics. WIN is benchmarked only for the four-term
+// queries (Q1, Q2) — for three terms or fewer the paper invokes MED in
+// its place.
+func BenchmarkFig11(b *testing.B) {
+	workloads := experiments.TRECWorkloads(benchOptions())
+	for _, w := range workloads {
+		algs := []string{"MED", "MAX", "NWIN", "NMED", "NMAX"}
+		if w.Terms >= 4 {
+			algs = append(algs, "WIN")
+		}
+		for _, alg := range algs {
+			b.Run(fmt.Sprintf("%s/%s", w.ID, alg), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunTREC(alg, w.Docs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates the document-ranking work behind the
+// Figure 12 answer-rank columns: scoring every document of a topic by
+// its best valid matchset.
+func BenchmarkFig12(b *testing.B) {
+	workloads := experiments.TRECWorkloads(benchOptions())
+	for _, w := range workloads {
+		b.Run(w.ID+"/MED", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunTREC("MED", w.Docs)
+			}
+		})
+	}
+}
+
+// BenchmarkDBWorld regenerates the DBWorld table timings: the
+// three-term CFP query over 25 messages with huge place lists.
+func BenchmarkDBWorld(b *testing.B) {
+	docs := experiments.DBWorldWorkload(benchOptions())
+	for _, alg := range []string{"WIN", "MAX", "NWIN", "NMED", "NMAX"} {
+		b.Run(alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunDBWorld(alg, docs)
+			}
+		})
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------
+
+// BenchmarkAblationMEDPrecompute isolates the value of Algorithm 2's
+// stack precomputation: "with" uses the linear-time dominating-match
+// lists; "without" finds each dominating match by scanning the full
+// list at every location — the quadratic behaviour the paper's
+// precomputation step exists to avoid.
+func BenchmarkAblationMEDPrecompute(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 0, 40, 0, 0)
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	b.Run("with-precompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestMED(fn, doc)
+			}
+		}
+	})
+	b.Run("without-precompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				medNoPrecompute(fn, doc)
+			}
+		}
+	})
+}
+
+// medNoPrecompute is the quadratic MED variant: per match, per term, a
+// full scan for the dominating match at that location.
+func medNoPrecompute(fn scorefn.MED, lists match.Lists) (match.Set, float64, bool) {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	var best match.Set
+	bestScore := 0.0
+	found := false
+	cand := make(match.Set, q)
+	medianRank := match.MedianRank(q)
+	match.Merge(lists, func(ev match.Event) bool {
+		cand[ev.Term] = ev.M
+		following := 0
+		for j := range lists {
+			if j == ev.Term {
+				continue
+			}
+			// Full scan: the work the precomputation avoids.
+			bestC := scorefn.MEDContribution(fn, j, lists[j][0], ev.M.Loc)
+			bestM := lists[j][0]
+			bestPos := 0
+			for pos, m := range lists[j][1:] {
+				if c := scorefn.MEDContribution(fn, j, m, ev.M.Loc); c >= bestC {
+					bestC, bestM, bestPos = c, m, pos+1
+				}
+			}
+			cand[j] = bestM
+			if bestM.Loc > ev.M.Loc || (bestM.Loc == ev.M.Loc && (j > ev.Term || (j == ev.Term && bestPos > ev.Pos))) {
+				following++
+			}
+		}
+		if following+1 == medianRank {
+			if sc := scorefn.ScoreMED(fn, cand); !found || sc > bestScore {
+				best, bestScore, found = cand.Clone(), sc, true
+			}
+		}
+		return true
+	})
+	return best, bestScore, found
+}
+
+// BenchmarkAblationMAXGeneral compares the specialized MAX algorithm
+// (Section V) against the general envelope approach (Lemma 2), whose
+// cost grows with the location domain rather than the list sizes.
+func BenchmarkAblationMAXGeneral(b *testing.B) {
+	docs := experiments.SynthWorkload(benchOptions(), 0, 30, 0, 0)
+	fn := bestjoin.SumMAX{Alpha: 0.1}
+	b.Run("specialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestMAX(fn, doc)
+			}
+		}
+	})
+	b.Run("general", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				bestjoin.BestMAXGeneral(fn, doc)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSkewSwitch evaluates the paper's Section VIII fix
+// for extreme skew: "if all match lists but one contain no more than
+// one match each, we switch to a naive algorithm". At s=4 the switch
+// matches the naive advantage; at s=1.1 it must not trigger.
+func BenchmarkAblationSkewSwitch(b *testing.B) {
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	for _, s := range []float64{1.1, 4.0} {
+		docs := experiments.SynthWorkload(benchOptions(), 0, 0, 0, s)
+		b.Run(fmt.Sprintf("s=%.1f/always-fast", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, doc := range docs {
+					bestjoin.BestMED(fn, doc)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("s=%.1f/with-switch", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, doc := range docs {
+					if skewed(doc) {
+						bestjoin.NaiveMED(fn, doc)
+					} else {
+						bestjoin.BestMED(fn, doc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// skewed reports whether all match lists but one contain at most one
+// match.
+func skewed(lists match.Lists) bool {
+	big := 0
+	for _, l := range lists {
+		if len(l) > 1 {
+			big++
+		}
+	}
+	return big <= 1
+}
+
+// BenchmarkJoinSingleDocument measures the three fast algorithms and
+// their baselines on one document at the paper's default shape (4
+// terms, 30 matches) — the per-document cost behind every figure.
+func BenchmarkJoinSingleDocument(b *testing.B) {
+	doc := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)[0]
+	b.Run("WIN", func(b *testing.B) {
+		fn := bestjoin.ExpWIN{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.BestWIN(fn, doc)
+		}
+	})
+	b.Run("MED", func(b *testing.B) {
+		fn := bestjoin.ExpMED{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.BestMED(fn, doc)
+		}
+	})
+	b.Run("MAX", func(b *testing.B) {
+		fn := bestjoin.SumMAX{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.BestMAX(fn, doc)
+		}
+	})
+	b.Run("NWIN", func(b *testing.B) {
+		fn := bestjoin.ExpWIN{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.NaiveWIN(fn, doc)
+		}
+	})
+	b.Run("NMED", func(b *testing.B) {
+		fn := bestjoin.ExpMED{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.NaiveMED(fn, doc)
+		}
+	})
+	b.Run("NMAX", func(b *testing.B) {
+		fn := bestjoin.SumMAX{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.NaiveMAX(fn, doc)
+		}
+	})
+}
+
+// BenchmarkByLocation measures the Section VII by-location solvers on
+// the default document shape.
+func BenchmarkByLocation(b *testing.B) {
+	doc := experiments.SynthWorkload(benchOptions(), 4, 30, 0, 0)[0]
+	b.Run("WIN", func(b *testing.B) {
+		fn := bestjoin.ExpWIN{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.ByLocationWIN(fn, doc)
+		}
+	})
+	b.Run("MED", func(b *testing.B) {
+		fn := bestjoin.ExpMED{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.ByLocationMED(fn, doc)
+		}
+	})
+	b.Run("MAX", func(b *testing.B) {
+		fn := bestjoin.SumMAX{Alpha: 0.1}
+		for i := 0; i < b.N; i++ {
+			bestjoin.ByLocationMAX(fn, doc)
+		}
+	})
+}

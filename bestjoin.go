@@ -1,0 +1,187 @@
+package bestjoin
+
+import (
+	"bestjoin/internal/bylocation"
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/scorefn"
+)
+
+// Match is one occurrence of a query term: a token location within the
+// document and a score measuring match quality (higher is better).
+type Match = match.Match
+
+// MatchList holds all matches of one query term, sorted by location.
+type MatchList = match.List
+
+// MatchLists is a full join instance: one list per query term.
+type MatchLists = match.Lists
+
+// Matchset is one match per query term; Matchset[j] answers term j.
+type Matchset = match.Set
+
+// Anchored is a locally-best matchset for one anchor location, as
+// returned by the ByLocation functions.
+type Anchored = bylocation.Anchored
+
+// Result is the outcome of a best-join: the best matchset and its
+// score. OK is false when no matchset exists (some term has no
+// matches, or — for the BestValid variants — every matchset reuses a
+// token).
+type Result struct {
+	Set   Matchset
+	Score float64
+	OK    bool
+}
+
+// WIN is a window-length scoring function (paper Definition 3); see
+// ExpWIN and LinearWIN for ready-made instances, and CheckWIN for
+// validating custom ones.
+type WIN = scorefn.WIN
+
+// MED is a distance-from-median scoring function (Definition 5).
+type MED = scorefn.MED
+
+// MAX is a maximize-over-location scoring function (Definition 7).
+type MAX = scorefn.MAX
+
+// EfficientMAX marks MAX functions with the at-most-one-crossing and
+// maximized-at-match properties (Definition 8) required by BestMAX.
+type EfficientMAX = scorefn.EfficientMAX
+
+// ExpWIN is (Π scores)·e^(−α·window) — the paper's equation (1).
+type ExpWIN = scorefn.ExpWIN
+
+// LinearWIN is Σ(score/Scale) − window — the paper's TREC setting.
+type LinearWIN = scorefn.LinearWIN
+
+// ExpMED is Π(score·e^(−α·|loc−median|)) — the paper's equation (3).
+type ExpMED = scorefn.ExpMED
+
+// LinearMED is Σ(score/Scale − |loc−median|) — the paper's TREC
+// setting.
+type LinearMED = scorefn.LinearMED
+
+// ProdMAX is max over l of Π(score·e^(−α·|loc−l|)) — equation (4).
+type ProdMAX = scorefn.ProdMAX
+
+// SumMAX is max over l of Σ(score·e^(−α·|loc−l|)) — equation (5), the
+// MAX function of the paper's experiments.
+type SumMAX = scorefn.SumMAX
+
+// BestWIN returns an overall best matchset under a WIN scoring
+// function, in O(2^|Q|·Σ|Lj|) time (the paper's Algorithm 1). Lists
+// must be sorted by location. It panics if the query has more than 24
+// terms.
+func BestWIN(fn WIN, lists MatchLists) Result {
+	s, sc, ok := join.WIN(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// BestMED returns an overall best matchset under a MED scoring
+// function, in O(|Q|·Σ|Lj|) time (the paper's Algorithm 2).
+func BestMED(fn MED, lists MatchLists) Result {
+	s, sc, ok := join.MED(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// BestMAX returns an overall best matchset under an efficient MAX
+// scoring function, in O(|Q|·Σ|Lj|) time (the paper's specialized
+// Section V algorithm).
+func BestMAX(fn EfficientMAX, lists MatchLists) Result {
+	s, sc, ok := join.MAX(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// BestMAXGeneral returns an overall best matchset under any MAX
+// scoring function via the general envelope approach (Lemma 2). Its
+// cost grows with the location range, not just the list sizes; prefer
+// BestMAX whenever the scoring function qualifies.
+func BestMAXGeneral(fn MAX, lists MatchLists) Result {
+	s, sc, ok := join.MAXGeneral(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// Score evaluates a matchset under each family's definition, for
+// callers that need to re-score or compare sets.
+func ScoreWIN(fn WIN, s Matchset) float64 { return scorefn.ScoreWIN(fn, s) }
+
+// ScoreMED evaluates a matchset under a MED scoring function.
+func ScoreMED(fn MED, s Matchset) float64 { return scorefn.ScoreMED(fn, s) }
+
+// ScoreMAX evaluates a matchset under a maximized-at-match MAX scoring
+// function, returning the score and the maximizing anchor location.
+func ScoreMAX(fn MAX, s Matchset) (score float64, anchor int) {
+	return scorefn.ScoreMAX(fn, s)
+}
+
+// BestValidWIN is BestWIN restricted to valid matchsets — no single
+// token (location) may match two query terms at once (the paper's
+// Section VI). invocations reports how many times the underlying
+// duplicate-unaware algorithm ran.
+func BestValidWIN(fn WIN, lists MatchLists) (res Result, invocations int) {
+	r := dedup.Best(func(ls MatchLists) (Matchset, float64, bool) { return join.WIN(fn, ls) }, lists)
+	return Result{Set: r.Set, Score: r.Score, OK: r.OK}, r.Invocations
+}
+
+// BestValidMED is BestMED restricted to valid matchsets.
+func BestValidMED(fn MED, lists MatchLists) (res Result, invocations int) {
+	r := dedup.Best(func(ls MatchLists) (Matchset, float64, bool) { return join.MED(fn, ls) }, lists)
+	return Result{Set: r.Set, Score: r.Score, OK: r.OK}, r.Invocations
+}
+
+// BestValidMAX is BestMAX restricted to valid matchsets.
+func BestValidMAX(fn EfficientMAX, lists MatchLists) (res Result, invocations int) {
+	r := dedup.Best(func(ls MatchLists) (Matchset, float64, bool) { return join.MAX(fn, ls) }, lists)
+	return Result{Set: r.Set, Score: r.Score, OK: r.OK}, r.Invocations
+}
+
+// ByLocationWIN returns, in increasing anchor order, a best matchset
+// per anchor location, where a WIN matchset anchors at its largest
+// match location (the paper's Section VII). Use it to extract all
+// locally-good matchsets from a document rather than a single winner.
+func ByLocationWIN(fn WIN, lists MatchLists) []Anchored {
+	return bylocation.WIN(fn, lists)
+}
+
+// StreamWIN is ByLocationWIN in streaming form: emit is called for
+// each anchor as soon as all matches at that location have been
+// processed, using state independent of the input size.
+func StreamWIN(fn WIN, lists MatchLists, emit func(Anchored)) {
+	bylocation.WINStream(fn, lists, emit)
+}
+
+// ByLocationMED returns a best matchset per anchor (median) location,
+// in O(|Q|²·Σ|Lj|) time.
+func ByLocationMED(fn MED, lists MatchLists) []Anchored {
+	return bylocation.MED(fn, lists)
+}
+
+// ByLocationMAX returns, for every match location l, the matchset of
+// per-term dominating matches at l with its score at l — the local
+// evidence profile of the document under a MAX scoring function.
+func ByLocationMAX(fn EfficientMAX, lists MatchLists) []Anchored {
+	return bylocation.MAX(fn, lists)
+}
+
+// NaiveWIN, NaiveMED and NaiveMAX are the exhaustive cross-product
+// baselines (Θ(|Q|·Π|Lj|)). They exist for benchmarking and testing;
+// production code should use the Best functions.
+func NaiveWIN(fn WIN, lists MatchLists) Result {
+	s, sc, ok := naive.WIN(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// NaiveMED is the exhaustive MED baseline.
+func NaiveMED(fn MED, lists MatchLists) Result {
+	s, sc, ok := naive.MED(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// NaiveMAX is the exhaustive MAX baseline.
+func NaiveMAX(fn MAX, lists MatchLists) Result {
+	s, sc, ok := naive.MAX(fn, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}

@@ -1,0 +1,57 @@
+// Command proxbench regenerates the paper's evaluation artifacts: each
+// figure (6–11), the Figure 12 table, and the DBWorld table. Run a
+// single experiment with -exp, or everything:
+//
+//	proxbench -exp fig6
+//	proxbench -exp all -format csv
+//	proxbench -exp fig11 -trecdocs 1000
+//
+// Scale flags default to the paper's settings (500 synthetic documents
+// per data point, 1000 TREC documents per query, 25 DBWorld messages).
+// Match-list generation is excluded from all reported times, as in the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bestjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id: fig6..fig12, dbworld, ablations, or all")
+		docs     = flag.Int("docs", 500, "synthetic documents per data point")
+		trecDocs = flag.Int("trecdocs", 1000, "documents per TREC query")
+		msgs     = flag.Int("msgs", 25, "DBWorld messages")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	o := experiments.Options{SynthDocs: *docs, TRECDocs: *trecDocs, DBWorldMsgs: *msgs, Seed: *seed}
+	var tables []experiments.Table
+	if *exp == "all" {
+		tables = experiments.All(o)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			t, ok := experiments.ByID(strings.TrimSpace(id), o)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "proxbench: unknown experiment %q (want fig6..fig12, dbworld, ablations, all)\n", id)
+				os.Exit(2)
+			}
+			tables = append(tables, t)
+		}
+	}
+	for _, t := range tables {
+		switch *format {
+		case "csv":
+			fmt.Print(t.CSV())
+		default:
+			fmt.Println(t.Text())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command proxgen generates the repository's workloads as JSON on
+// stdout, for inspection or for feeding external tools:
+//
+//	proxgen -kind synth -docs 100 -terms 4 -matches 30 -lambda 2 -zipf 1.1
+//	proxgen -kind trec -query Q2 -docs 50
+//	proxgen -kind dbworld -msgs 25
+//
+// Synthetic output is the per-document match lists; corpus output is
+// the raw document text plus ground-truth annotations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bestjoin/internal/corpus"
+	"bestjoin/internal/synth"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "synth", "workload kind: synth, trec, or dbworld")
+		docs    = flag.Int("docs", 100, "documents to generate (synth, trec)")
+		terms   = flag.Int("terms", 4, "query terms (synth)")
+		matches = flag.Int("matches", 30, "total matches per document (synth)")
+		lambda  = flag.Float64("lambda", 2.0, "duplicate-frequency knob (synth)")
+		zipf    = flag.Float64("zipf", 1.1, "term-popularity skew (synth)")
+		query   = flag.String("query", "Q1", "TREC query id Q1..Q7 (trec)")
+		msgs    = flag.Int("msgs", 25, "messages to generate (dbworld)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	switch *kind {
+	case "synth":
+		cfg := synth.DefaultConfig()
+		cfg.Docs, cfg.Terms, cfg.Matches = *docs, *terms, *matches
+		cfg.Lambda, cfg.ZipfS, cfg.Seed = *lambda, *zipf, *seed
+		must(enc.Encode(synth.Generate(cfg)))
+	case "trec":
+		for _, q := range corpus.TRECQueries() {
+			if q.ID == *query {
+				must(enc.Encode(corpus.GenerateTREC(q, *docs, *seed)))
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "proxgen: unknown TREC query %q (want Q1..Q7)\n", *query)
+		os.Exit(2)
+	case "dbworld":
+		must(enc.Encode(corpus.GenerateDBWorld(*msgs, *msgs*7/25, *seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "proxgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxgen: %v\n", err)
+		os.Exit(1)
+	}
+}

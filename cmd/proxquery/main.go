@@ -1,0 +1,130 @@
+// Command proxquery runs a weighted proximity best-join query against
+// a text document, printing the best matchset (and optionally all
+// locally-best matchsets by anchor location).
+//
+//	proxquery -terms "pc maker,sports,partnership" article.txt
+//	proxquery -terms "conference,date,place" -date 1 -place 2 -fn max cfp.txt
+//	echo "..." | proxquery -terms "a,b" -all
+//
+// Query terms are matched against the document through the embedded
+// lexical graph (exact stem = 1.0, one edge = 0.7, …, three edges =
+// 0.1, the paper's WordNet rule). -date and -place replace the matcher
+// at the given term index with the paper's DBWorld date and place
+// matchers. Scoring defaults to the distance-from-median function;
+// pick a family with -fn win|med|max.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bestjoin"
+)
+
+func main() {
+	var (
+		terms = flag.String("terms", "", "comma-separated query terms (required)")
+		fn    = flag.String("fn", "med", "scoring family: win, med, or max")
+		alpha = flag.Float64("alpha", 0.1, "distance-decay rate for exp scoring functions")
+		all   = flag.Bool("all", false, "print all locally-best matchsets by anchor location")
+		min   = flag.Float64("min", 0, "with -all, only print anchors scoring at least this")
+		date  = flag.Int("date", -1, "term index to match with the date matcher")
+		place = flag.Int("place", -1, "term index to match with the place matcher")
+	)
+	flag.Parse()
+	if *terms == "" {
+		fmt.Fprintln(os.Stderr, "proxquery: -terms is required")
+		os.Exit(2)
+	}
+	body, err := readInput(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	doc := bestjoin.NewDocument(body)
+	lex := bestjoin.BuiltinLexicon()
+	gz := bestjoin.BuiltinGazetteer()
+	termList := strings.Split(*terms, ",")
+	matchers := make([]bestjoin.Matcher, len(termList))
+	for j, t := range termList {
+		t = strings.TrimSpace(t)
+		switch {
+		case j == *date:
+			matchers[j] = bestjoin.NewDateMatcher()
+		case j == *place:
+			matchers[j] = bestjoin.NewPlaceMatcher(gz, lex)
+		default:
+			matchers[j] = bestjoin.NewLexicalMatcher(t, lex)
+		}
+	}
+	lists := doc.MatchQuery(matchers...)
+	for j, l := range lists {
+		fmt.Printf("term %q: %d matches\n", strings.TrimSpace(termList[j]), len(l))
+	}
+
+	if *all {
+		printByLocation(doc, termList, lists, *fn, *alpha, *min)
+		return
+	}
+	res, invocations := best(lists, *fn, *alpha)
+	if !res.OK {
+		fmt.Println("no valid matchset (some term has no usable match)")
+		os.Exit(1)
+	}
+	fmt.Printf("best matchset (score %.4f, %d solver runs):\n", res.Score, invocations)
+	printSet(doc, termList, res.Set)
+}
+
+func best(lists bestjoin.MatchLists, fn string, alpha float64) (bestjoin.Result, int) {
+	switch fn {
+	case "win":
+		return bestjoin.BestValidWIN(bestjoin.ExpWIN{Alpha: alpha}, lists)
+	case "max":
+		return bestjoin.BestValidMAX(bestjoin.SumMAX{Alpha: alpha}, lists)
+	default:
+		return bestjoin.BestValidMED(bestjoin.ExpMED{Alpha: alpha}, lists)
+	}
+}
+
+func printByLocation(doc bestjoin.Document, terms []string, lists bestjoin.MatchLists, fn string, alpha, min float64) {
+	var anchored []bestjoin.Anchored
+	switch fn {
+	case "win":
+		anchored = bestjoin.ByLocationWIN(bestjoin.ExpWIN{Alpha: alpha}, lists)
+	case "max":
+		anchored = bestjoin.ByLocationMAX(bestjoin.SumMAX{Alpha: alpha}, lists)
+	default:
+		anchored = bestjoin.ByLocationMED(bestjoin.ExpMED{Alpha: alpha}, lists)
+	}
+	for _, a := range anchored {
+		if a.Score < min {
+			continue
+		}
+		fmt.Printf("anchor %d (score %.4f):\n", a.Anchor, a.Score)
+		printSet(doc, terms, a.Set)
+	}
+}
+
+func printSet(doc bestjoin.Document, terms []string, set bestjoin.Matchset) {
+	for j, m := range set {
+		word := "?"
+		if m.Loc >= 0 && m.Loc < len(doc.Tokens) {
+			word = doc.Tokens[m.Loc].Word
+		}
+		fmt.Printf("  %-24s -> %q at token %d (score %.2f)\n",
+			strings.TrimSpace(terms[j]), word, m.Loc, m.Score)
+	}
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}

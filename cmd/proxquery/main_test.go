@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bestjoin"
+)
+
+func sampleLists() bestjoin.MatchLists {
+	return bestjoin.MatchLists{
+		{{Loc: 1, Score: 0.9}},
+		{{Loc: 3, Score: 0.8}},
+	}
+}
+
+func TestBestDispatchesOnFamily(t *testing.T) {
+	lists := sampleLists()
+	for _, fam := range []string{"win", "med", "max", "anything-else-defaults-to-med"} {
+		res, invocations := best(lists, fam, 0.1)
+		if !res.OK {
+			t.Errorf("family %q found no matchset", fam)
+		}
+		if invocations < 1 {
+			t.Errorf("family %q reported %d invocations", fam, invocations)
+		}
+	}
+	// Families must actually differ where the definitions differ: MAX
+	// scores this instance differently from WIN.
+	w, _ := best(lists, "win", 0.1)
+	x, _ := best(lists, "max", 0.1)
+	if w.Score == x.Score {
+		t.Error("win and max produced identical scores on an asymmetric instance")
+	}
+}
+
+func TestReadInputFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.txt")
+	if err := os.WriteFile(path, []byte("hello world"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readInput([]string{path})
+	if err != nil || got != "hello world" {
+		t.Fatalf("readInput = %q, %v", got, err)
+	}
+	if _, err := readInput([]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("readInput on missing file did not error")
+	}
+}

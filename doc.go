@@ -1,0 +1,65 @@
+// Package bestjoin computes weighted proximity best-joins over match
+// lists, implementing Thonangi, He, Doan, Wang and Yang, "Weighted
+// Proximity Best-Joins for Information Retrieval" (ICDE 2009).
+//
+// # Problem
+//
+// Given a multi-term query and, for each term, a list of its matches
+// in a document — each match carrying a location and a quality score —
+// a weighted proximity best-join finds the matchset (one match per
+// term) that maximizes a scoring function combining the individual
+// match scores with the proximity of the match locations. This is the
+// core primitive of entity search, question answering, and information
+// extraction systems that rank answers rather than documents.
+//
+// # Scoring functions
+//
+// Three families are supported, each with the efficient algorithm the
+// paper develops for it:
+//
+//   - WIN (window-length): penalizes the smallest window enclosing the
+//     matchset. BestWIN runs in O(2^|Q|·Σ|Lj|).
+//   - MED (distance-from-median): penalizes each match by its distance
+//     to the matchset's median location, distinguishing clustered
+//     matchsets from merely narrow ones. BestMED runs in O(|Q|·Σ|Lj|).
+//   - MAX (maximize-over-location): scores the matchset at the best
+//     possible reference location, anchoring answers near
+//     high-confidence matches. BestMAX runs in O(|Q|·Σ|Lj|).
+//
+// Ready-made instances (ExpWIN, ExpMED, SumMAX, ProdMAX, LinearWIN,
+// LinearMED) cover the paper's equations (1)–(5) and its experimental
+// settings; any type satisfying the WIN/MED/MAX interfaces works.
+//
+// # Quick start
+//
+//	lists := bestjoin.MatchLists{
+//	    {{Loc: 3, Score: 0.9}, {Loc: 40, Score: 1.0}}, // matches for term 0
+//	    {{Loc: 5, Score: 0.8}},                        // matches for term 1
+//	}
+//	res := bestjoin.BestWIN(bestjoin.ExpWIN{Alpha: 0.1}, lists)
+//	if res.OK {
+//	    fmt.Println(res.Set, res.Score)
+//	}
+//
+// BestValid* variants additionally guarantee the returned matchset
+// uses no token for two query terms at once (Section VI of the paper);
+// ByLocation* variants return one locally-best matchset per anchor
+// location for information-extraction workloads (Section VII).
+//
+// # Beyond the paper
+//
+// KBestWIN returns the k best distinct matchsets; TopKWIN/MED/MAX the
+// k best per-anchor results; StreamMED emits by-location results in a
+// single pass given a score bound; BestTypeAnchored fixes the
+// reference at a type term's match (the model MAX generalizes); Batch
+// and RankDocuments process document collections in parallel;
+// EncodeLists/DecodeLists give match lists a compact binary form.
+//
+// # From text to match lists
+//
+// The Document type and the matcher constructors (NewLexicalMatcher,
+// NewDateMatcher, NewPlaceMatcher, …) turn raw text into match lists
+// using a tokenizer, a Porter stemmer, an embedded lexical graph and a
+// gazetteer — the same pipeline the paper's TREC and DBWorld
+// experiments use. See the examples directory for complete programs.
+package bestjoin

@@ -1,0 +1,69 @@
+// Extracting all good matchsets from one document with the
+// best-matchset-by-location problem (the paper's Section VII). The
+// Figure 1 article mentions two PC-maker/sports partnerships —
+// Lenovo↔NBA and Lenovo↔Olympics; a single overall best-join returns
+// only one of them, while the by-location join surfaces both as
+// locally-best anchors that a score threshold keeps.
+//
+//	go run ./examples/extraction
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"bestjoin"
+)
+
+const article = `As part of the new deal, Lenovo will become the official PC
+partner of the NBA, and it will be marketing its NBA affiliation in the US
+and in China. The laptop maker has a similar marketing and technology
+partnership with the Olympic Games. It provided all the computers for the
+Winter Olympics in Turin, Italy, and will also provide equipment for the
+Summer Olympics in Beijing in 2008. Lenovo competes in a tough market against
+players such as Dell and Hewlett-Packard. The Chinese PC maker, which bought
+the PC division of IBM, continues to expand.`
+
+func main() {
+	doc := bestjoin.NewDocument(article)
+	lex := bestjoin.BuiltinLexicon()
+
+	// "PC maker" as an entity concept (footnote 1 of the paper) plus
+	// the "laptop maker" paraphrase; "sports" and "partnership" go
+	// through the lexical graph.
+	lists := doc.MatchQuery(
+		bestjoin.NewUnionMatcher("PC maker",
+			bestjoin.NewExactMatcher("lenovo"),
+			bestjoin.NewExactMatcher("dell"),
+			bestjoin.NewExactMatcher("hewlett"),
+			bestjoin.NewPhraseMatcher("laptop maker", []string{"laptop", "maker"}, "", 0)),
+		bestjoin.NewLexicalMatcher("sports", lex),
+		bestjoin.NewLexicalMatcher("partnership", lex),
+	)
+
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+
+	// One overall winner…
+	best := bestjoin.BestMED(fn, lists)
+	fmt.Println("overall best matchset:")
+	fmt.Printf("  %s (score %.4f)\n\n", render(doc, best.Set), best.Score)
+
+	// …but the document holds more than one good answer. Keep every
+	// anchor scoring at least 40% of the best.
+	fmt.Println("all locally-best matchsets above threshold:")
+	threshold := 0.4 * best.Score
+	for _, a := range bestjoin.ByLocationMED(fn, lists) {
+		if a.Score < threshold {
+			continue
+		}
+		fmt.Printf("  anchor %3d (score %.4f): %s\n", a.Anchor, a.Score, render(doc, a.Set))
+	}
+}
+
+func render(doc bestjoin.Document, set bestjoin.Matchset) string {
+	words := make([]string, len(set))
+	for j, m := range set {
+		words[j] = fmt.Sprintf("%q@%d", doc.Tokens[m.Loc].Word, m.Loc)
+	}
+	return strings.Join(words, " + ")
+}

@@ -1,0 +1,107 @@
+// Question answering over a simulated TREC topic (the paper's
+// Section VIII TREC experiment, end to end): synthesize 200 documents
+// for "Leaning Tower of Pisa began to be built in what year?", build
+// match lists with the lexical matchers, rank the documents by their
+// best matchset score, and print the top-ranked answers in context.
+//
+//	go run ./examples/qa [-query Q1..Q7] [-docs 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bestjoin"
+	"bestjoin/internal/corpus"
+)
+
+func main() {
+	var (
+		queryID = flag.String("query", "Q1", "TREC query id (Q1..Q7)")
+		docs    = flag.Int("docs", 200, "documents to synthesize")
+	)
+	flag.Parse()
+
+	var query corpus.TRECQuery
+	found := false
+	for _, q := range corpus.TRECQueries() {
+		if q.ID == *queryID {
+			query, found = q, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "qa: unknown query %q\n", *queryID)
+		os.Exit(2)
+	}
+	fmt.Printf("question: %s\n", query.Question)
+	fmt.Printf("query terms: %s\n\n", strings.Join(query.Terms, ", "))
+
+	// Synthesize the topic and match every document. The lexicon
+	// plays WordNet's role: matches score 1 − 0.3·(graph distance).
+	ds := corpus.GenerateTREC(query, *docs, 42)
+	lex := bestjoin.BuiltinLexicon()
+	gz := bestjoin.BuiltinGazetteer()
+	matchers := query.Matchers(lex, gz)
+
+	type ranked struct {
+		doc   int
+		score float64
+		set   bestjoin.Matchset
+		toks  []bestjoin.Token
+	}
+	var results []ranked
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	for i, d := range ds.Docs {
+		doc := bestjoin.NewDocument(d.Text)
+		lists := doc.MatchQuery(matchers...)
+		if res, _ := bestjoin.BestValidMED(fn, lists); res.OK {
+			results = append(results, ranked{doc: i, score: res.Score, set: res.Set, toks: doc.Tokens})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].score > results[j].score })
+
+	fmt.Printf("%d of %d documents have a full matchset; top 3:\n\n", len(results), *docs)
+	for rank, r := range results {
+		if rank == 3 {
+			break
+		}
+		marker := ""
+		if r.doc == ds.AnswerDoc {
+			marker = "  <-- planted answer document"
+		}
+		fmt.Printf("#%d doc %d  score %.4f%s\n", rank+1, r.doc, r.score, marker)
+		fmt.Printf("   matches: %s\n", describe(r.set, r.toks, query.Terms))
+		fmt.Printf("   context: …%s…\n\n", context(r.set, r.toks))
+	}
+}
+
+func describe(set bestjoin.Matchset, toks []bestjoin.Token, terms []string) string {
+	parts := make([]string, len(set))
+	for j, m := range set {
+		parts[j] = fmt.Sprintf("%s=%q@%d", terms[j], toks[m.Loc].Word, m.Loc)
+	}
+	return strings.Join(parts, "  ")
+}
+
+// context prints the token window spanned by the matchset, padded by
+// two tokens on each side.
+func context(set bestjoin.Matchset, toks []bestjoin.Token) string {
+	lo, hi := set.MinLoc()-2, set.MaxLoc()+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(toks) {
+		hi = len(toks) - 1
+	}
+	if hi-lo > 40 {
+		hi = lo + 40
+	}
+	words := make([]string, 0, hi-lo+1)
+	for _, t := range toks[lo : hi+1] {
+		words = append(words, t.Word)
+	}
+	return strings.Join(words, " ")
+}

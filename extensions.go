@@ -1,0 +1,157 @@
+package bestjoin
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"bestjoin/internal/bylocation"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+)
+
+// This file holds the library's extensions beyond the paper's core:
+// the type-anchored scoring model the paper's equation (5)
+// generalizes, the score-bounded streaming MED the paper sketches as
+// future work, top-k extraction, match-list serialization, and
+// parallel batch processing.
+
+// BestTypeAnchored computes the best matchset under the
+// Chakrabarti-style model that MAX generalizes: the query has one
+// designated type term, and the matchset is scored with the reference
+// location fixed at the type term's match (rather than maximized over
+// all locations). Time O(|Q|·Σ|Lj|). It panics if typeTerm is out of
+// range.
+func BestTypeAnchored(fn EfficientMAX, typeTerm int, lists MatchLists) Result {
+	s, sc, ok := join.TypeAnchored(fn, typeTerm, lists)
+	return Result{Set: s, Score: sc, OK: ok}
+}
+
+// StreamMED is the score-bounded single-pass variant of ByLocationMED
+// (the "less blocking algorithms" direction of the paper's
+// Section VII): given the promise that every individual match score is
+// at most maxScore, each anchor's result is emitted as soon as no
+// future match could change it, instead of after a second pass.
+// Results are identical to ByLocationMED; only emission latency and
+// held-back state differ.
+func StreamMED(fn MED, maxScore float64, lists MatchLists, emit func(Anchored)) {
+	bylocation.StreamMED(fn, maxScore, lists, emit)
+}
+
+// KBestWIN returns the k highest-scoring distinct matchsets under a
+// WIN scoring function, best first — the k-best generalization of the
+// paper's Algorithm 1, in O(k·2^|Q|·Σ|Lj|) time. Unlike TopKWIN (one
+// result per anchor location), KBestWIN ranks over all matchsets of
+// the document.
+func KBestWIN(fn WIN, lists MatchLists, k int) []Result {
+	inner := join.KBestWIN(fn, lists, k)
+	out := make([]Result, len(inner))
+	for i, r := range inner {
+		out[i] = Result{Set: r.Set, Score: r.Score, OK: r.OK}
+	}
+	return out
+}
+
+// ValidByLocationWIN combines Sections VI and VII: per anchor, the
+// best matchset that uses no token for two query terms at once.
+// Anchors with no valid matchset are dropped.
+func ValidByLocationWIN(fn WIN, lists MatchLists) []Anchored {
+	return bylocation.Valid(func(ls MatchLists) []Anchored { return bylocation.WIN(fn, ls) }, lists)
+}
+
+// ValidByLocationMED is the valid-only variant of ByLocationMED.
+func ValidByLocationMED(fn MED, lists MatchLists) []Anchored {
+	return bylocation.Valid(func(ls MatchLists) []Anchored { return bylocation.MED(fn, ls) }, lists)
+}
+
+// ValidByLocationMAX is the valid-only variant of ByLocationMAX.
+func ValidByLocationMAX(fn EfficientMAX, lists MatchLists) []Anchored {
+	return bylocation.Valid(func(ls MatchLists) []Anchored { return bylocation.MAX(fn, ls) }, lists)
+}
+
+// TopKWIN returns the k highest-scoring locally-best matchsets under
+// WIN, best first — the "k best distinct answers in this document"
+// primitive for extraction pipelines. Fewer than k are returned when
+// the document has fewer anchors.
+func TopKWIN(fn WIN, lists MatchLists, k int) []Anchored {
+	return topK(bylocation.WIN(fn, lists), k)
+}
+
+// TopKMED returns the k highest-scoring locally-best matchsets under
+// MED, best first.
+func TopKMED(fn MED, lists MatchLists, k int) []Anchored {
+	return topK(bylocation.MED(fn, lists), k)
+}
+
+// TopKMAX returns the k highest-scoring per-location matchsets under
+// MAX, best first.
+func TopKMAX(fn EfficientMAX, lists MatchLists, k int) []Anchored {
+	return topK(bylocation.MAX(fn, lists), k)
+}
+
+func topK(anchored []Anchored, k int) []Anchored {
+	sort.SliceStable(anchored, func(i, j int) bool { return anchored[i].Score > anchored[j].Score })
+	if k < len(anchored) {
+		anchored = anchored[:k]
+	}
+	return anchored
+}
+
+// EncodeLists packs a join instance into the library's compact binary
+// format (delta-encoded varint locations, raw float64 scores), for
+// caching precomputed match lists.
+func EncodeLists(lists MatchLists) []byte { return match.Encode(lists) }
+
+// DecodeLists unpacks an EncodeLists buffer.
+func DecodeLists(b []byte) (MatchLists, error) { return match.Decode(b) }
+
+// Batch applies solve to every document's match lists concurrently and
+// returns the results in input order. workers ≤ 0 uses GOMAXPROCS.
+// solve must be safe for concurrent use (all the Best*/ByLocation*
+// functions and scoring instances in this package are: they share no
+// mutable state).
+func Batch[T any](docs []MatchLists, workers int, solve func(MatchLists) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]T, len(docs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = solve(docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// RankedDocument is one entry of RankDocuments' output.
+type RankedDocument struct {
+	Doc    int // index into the input slice
+	Result Result
+}
+
+// RankDocuments scores every document by its best matchset under solve
+// and returns the documents that have one, ordered best first (ties in
+// input order) — the document-ranking step of the paper's TREC
+// experiment as a library primitive. Documents are solved in parallel.
+func RankDocuments(docs []MatchLists, solve func(MatchLists) Result) []RankedDocument {
+	results := Batch(docs, 0, solve)
+	ranked := make([]RankedDocument, 0, len(results))
+	for i, r := range results {
+		if r.OK {
+			ranked = append(ranked, RankedDocument{Doc: i, Result: r})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Result.Score > ranked[j].Result.Score })
+	return ranked
+}

@@ -1,0 +1,204 @@
+package bestjoin_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bestjoin"
+)
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	lists := figure1Lists()
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	all := bestjoin.ByLocationMED(fn, lists)
+	top2 := bestjoin.TopKMED(fn, lists, 2)
+	if len(top2) != 2 {
+		t.Fatalf("TopKMED returned %d, want 2", len(top2))
+	}
+	if top2[0].Score < top2[1].Score {
+		t.Error("TopK not sorted best-first")
+	}
+	// The first entry must be the global optimum.
+	best := bestjoin.BestMED(fn, lists)
+	if math.Abs(top2[0].Score-best.Score) > 1e-9 {
+		t.Errorf("TopK[0] score %v != overall best %v", top2[0].Score, best.Score)
+	}
+	// Asking for more than exists returns everything.
+	if got := bestjoin.TopKMED(fn, lists, 1000); len(got) != len(all) {
+		t.Errorf("TopK(1000) returned %d, want %d", len(got), len(all))
+	}
+	if got := bestjoin.TopKWIN(bestjoin.ExpWIN{Alpha: 0.1}, lists, 1); len(got) != 1 {
+		t.Errorf("TopKWIN(1) returned %d", len(got))
+	}
+	if got := bestjoin.TopKMAX(bestjoin.SumMAX{Alpha: 0.1}, lists, 3); len(got) != 3 {
+		t.Errorf("TopKMAX(3) returned %d", len(got))
+	}
+}
+
+func TestStreamMEDFacadeMatchesByLocation(t *testing.T) {
+	lists := figure1Lists()
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	want := bestjoin.ByLocationMED(fn, lists)
+	var got []bestjoin.Anchored
+	bestjoin.StreamMED(fn, 1.0, lists, func(a bestjoin.Anchored) { got = append(got, a) })
+	if len(got) != len(want) {
+		t.Fatalf("stream %d anchors, batch %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Anchor != want[i].Anchor || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("anchor %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBestTypeAnchored(t *testing.T) {
+	lists := figure1Lists()
+	fn := bestjoin.SumMAX{Alpha: 0.1}
+	res := bestjoin.BestTypeAnchored(fn, 0, lists)
+	if !res.OK {
+		t.Fatal("no matchset")
+	}
+	// Never better than the unconstrained MAX.
+	unconstrained := bestjoin.BestMAX(fn, lists)
+	if res.Score > unconstrained.Score+1e-9 {
+		t.Errorf("type-anchored %v exceeds MAX %v", res.Score, unconstrained.Score)
+	}
+}
+
+func TestEncodeDecodeListsRoundTrip(t *testing.T) {
+	lists := figure1Lists()
+	got, err := bestjoin.DecodeLists(bestjoin.EncodeLists(lists))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lists) {
+		t.Fatalf("decoded %d lists", len(got))
+	}
+	for j := range lists {
+		for i := range lists[j] {
+			if got[j][i] != lists[j][i] {
+				t.Fatalf("list %d differs after round trip", j)
+			}
+		}
+	}
+	// And the decoded instance joins identically.
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	a, b := bestjoin.BestWIN(fn, lists), bestjoin.BestWIN(fn, got)
+	if a.Score != b.Score {
+		t.Errorf("round-tripped instance scores %v, original %v", b.Score, a.Score)
+	}
+}
+
+func TestBatchPreservesOrderAndMatchesSequential(t *testing.T) {
+	docs := make([]bestjoin.MatchLists, 40)
+	for i := range docs {
+		// Shifted copies of the Figure 1 instance, so every document
+		// has a distinct best score region.
+		base := figure1Lists()
+		for j := range base {
+			for k := range base[j] {
+				base[j][k].Loc += i * 7
+			}
+		}
+		docs[i] = base
+	}
+	fn := bestjoin.ExpMED{Alpha: 0.1}
+	solve := func(ls bestjoin.MatchLists) bestjoin.Result { return bestjoin.BestMED(fn, ls) }
+	par := bestjoin.Batch(docs, 4, solve)
+	if len(par) != len(docs) {
+		t.Fatalf("Batch returned %d results", len(par))
+	}
+	for i, doc := range docs {
+		seq := solve(doc)
+		if math.Abs(par[i].Score-seq.Score) > 1e-12 || par[i].OK != seq.OK {
+			t.Fatalf("doc %d: parallel %v, sequential %v", i, par[i], seq)
+		}
+	}
+	// Degenerate worker counts must still work.
+	if got := bestjoin.Batch(docs[:3], -1, solve); len(got) != 3 {
+		t.Errorf("Batch with workers=-1 returned %d", len(got))
+	}
+	if got := bestjoin.Batch(nil, 2, solve); len(got) != 0 {
+		t.Errorf("Batch(nil) returned %d", len(got))
+	}
+}
+
+func TestRankDocuments(t *testing.T) {
+	weak := bestjoin.MatchLists{
+		{{Loc: 0, Score: 0.3}}, {{Loc: 50, Score: 0.3}},
+	}
+	strong := bestjoin.MatchLists{
+		{{Loc: 0, Score: 0.9}}, {{Loc: 1, Score: 0.9}},
+	}
+	empty := bestjoin.MatchLists{{}, {{Loc: 3, Score: 1}}}
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	ranked := bestjoin.RankDocuments([]bestjoin.MatchLists{weak, strong, empty},
+		func(ls bestjoin.MatchLists) bestjoin.Result { return bestjoin.BestWIN(fn, ls) })
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d documents, want 2 (one has no matchset)", len(ranked))
+	}
+	if ranked[0].Doc != 1 || ranked[1].Doc != 0 {
+		t.Errorf("ranking order = %v, want strong first", ranked)
+	}
+}
+
+func ExampleStreamMED() {
+	lists := bestjoin.MatchLists{
+		{{Loc: 10, Score: 0.9}, {Loc: 500, Score: 0.9}},
+		{{Loc: 12, Score: 0.8}, {Loc: 503, Score: 0.8}},
+	}
+	// Scores are promised to be at most 1, so each anchor is emitted as
+	// soon as no future match can change it.
+	bestjoin.StreamMED(bestjoin.ExpMED{Alpha: 0.1}, 1.0, lists, func(a bestjoin.Anchored) {
+		fmt.Println(a.Anchor)
+	})
+	// Output:
+	// 12
+	// 500
+	// 503
+}
+
+func ExampleTopKMED() {
+	lists := bestjoin.MatchLists{
+		{{Loc: 10, Score: 0.9}, {Loc: 100, Score: 0.6}},
+		{{Loc: 12, Score: 0.8}, {Loc: 101, Score: 0.5}},
+	}
+	for _, a := range bestjoin.TopKMED(bestjoin.ExpMED{Alpha: 0.1}, lists, 2) {
+		fmt.Printf("anchor %d score %.3f\n", a.Anchor, a.Score)
+	}
+	// Output:
+	// anchor 12 score 0.589
+	// anchor 101 score 0.271
+}
+
+func ExampleBatch() {
+	docs := []bestjoin.MatchLists{
+		{{{Loc: 1, Score: 0.9}}, {{Loc: 3, Score: 0.8}}},
+		{{{Loc: 5, Score: 0.4}}, {{Loc: 50, Score: 0.4}}},
+	}
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	results := bestjoin.Batch(docs, 2, func(ls bestjoin.MatchLists) bestjoin.Result {
+		return bestjoin.BestWIN(fn, ls)
+	})
+	fmt.Printf("%.3f %.3f\n", results[0].Score, results[1].Score)
+	// Output: 0.589 0.002
+}
+
+func TestKBestWINFacade(t *testing.T) {
+	lists := figure1Lists()
+	fn := bestjoin.ExpWIN{Alpha: 0.1}
+	top := bestjoin.KBestWIN(fn, lists, 5)
+	if len(top) != 5 {
+		t.Fatalf("KBestWIN(5) returned %d", len(top))
+	}
+	best := bestjoin.BestWIN(fn, lists)
+	if math.Abs(top[0].Score-best.Score) > 1e-9 {
+		t.Errorf("KBest[0] = %v, overall best %v", top[0].Score, best.Score)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("KBestWIN not sorted best first")
+		}
+	}
+}

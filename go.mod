@@ -1,0 +1,3 @@
+module bestjoin
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package bylocation implements the paper's best-matchset-by-location
+// problem (Section VII, Definition 10): instead of one overall best
+// matchset per document, return for every possible anchor location a
+// best matchset anchored there. Information extraction applications
+// filter the per-anchor results by a score threshold to extract all
+// good matchsets.
+//
+// The anchor of a matchset (Definition 9) is its largest match
+// location under WIN, its median match location under MED, and the
+// score-maximizing reference location under MAX.
+//
+// Complexities: WIN O(2^|Q|·Σ|Lj|) and streaming (results emitted as
+// soon as their anchor location is fully processed); MED
+// O(|Q|²·Σ|Lj|) via a per-anchor side-assignment dynamic program; MAX
+// O(|Q|·Σ|Lj|) over all match locations. The paper notes MED and MAX
+// are fundamentally not streamable (a far-future match can join a
+// matchset anchored now), and indeed both make two passes here.
+package bylocation
+
+import "bestjoin/internal/match"
+
+// Anchored is a best matchset for one anchor location.
+type Anchored struct {
+	Anchor int
+	Set    match.Set
+	Score  float64
+}

@@ -1,0 +1,212 @@
+package bylocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+const tol = 1e-9
+
+// checkAgainstNaive verifies that a by-location result agrees with the
+// exhaustive per-anchor optimum: the same anchor set, and the optimal
+// score at every anchor.
+func checkAgainstNaive(t *testing.T, name string, lists match.Lists, got []Anchored, want map[int]naive.Anchored) {
+	t.Helper()
+	if len(got) != len(want) {
+		anchors := make([]int, 0, len(got))
+		for _, a := range got {
+			anchors = append(anchors, a.Anchor)
+		}
+		t.Fatalf("%s: %d anchors %v, exhaustive has %d %v\nlists %v", name, len(got), anchors, len(want), want, lists)
+	}
+	prev := math.MinInt
+	for _, a := range got {
+		if a.Anchor <= prev {
+			t.Fatalf("%s: anchors not strictly increasing at %d", name, a.Anchor)
+		}
+		prev = a.Anchor
+		w, seen := want[a.Anchor]
+		if !seen {
+			t.Fatalf("%s: anchor %d not in exhaustive result; lists %v", name, a.Anchor, lists)
+		}
+		if math.Abs(a.Score-w.Score) > tol {
+			t.Fatalf("%s: anchor %d score %v != exhaustive %v\ngot %v want %v\nlists %v",
+				name, a.Anchor, a.Score, w.Score, a.Set, w.Set, lists)
+		}
+	}
+}
+
+func configs() []randinst.Config {
+	return []randinst.Config{
+		{Terms: 1, MaxPerList: 5, MaxLoc: 30},
+		{Terms: 2, MaxPerList: 5, MaxLoc: 40},
+		{Terms: 3, MaxPerList: 4, MaxLoc: 60},
+		{Terms: 4, MaxPerList: 3, MaxLoc: 60},
+		{Terms: 5, MaxPerList: 3, MaxLoc: 80},
+		{Terms: 3, MaxPerList: 4, MaxLoc: 10, AllowTies: true},
+		{Terms: 4, MaxPerList: 3, MaxLoc: 8, AllowTies: true},
+	}
+}
+
+func TestWINByLocationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	for _, cfg := range configs() {
+		for trial := 0; trial < 120; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := WIN(fn, lists)
+			want := naive.ByAnchorWIN(fn, lists)
+			checkAgainstNaive(t, "WIN", lists, got, want)
+			// Every returned set must actually anchor at its anchor.
+			for _, a := range got {
+				if a.Set.MaxLoc() != a.Anchor {
+					t.Fatalf("WIN: set %v anchored at %d but MaxLoc=%d", a.Set, a.Anchor, a.Set.MaxLoc())
+				}
+				if sc := scorefn.ScoreWIN(fn, a.Set); math.Abs(sc-a.Score) > tol {
+					t.Fatalf("WIN: reported %v but set scores %v", a.Score, sc)
+				}
+			}
+		}
+	}
+}
+
+func TestMEDByLocationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	for _, cfg := range configs() {
+		for trial := 0; trial < 120; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := MED(fn, lists)
+			want := naive.ByAnchorMED(fn, lists)
+			checkAgainstNaive(t, "MED", lists, got, want)
+			for _, a := range got {
+				if a.Set.Median() != a.Anchor {
+					t.Fatalf("MED: set %v anchored at %d but Median=%d", a.Set, a.Anchor, a.Set.Median())
+				}
+				if sc := scorefn.ScoreMED(fn, a.Set); math.Abs(sc-a.Score) > tol {
+					t.Fatalf("MED: reported %v but set scores %v", a.Score, sc)
+				}
+			}
+		}
+	}
+}
+
+func TestMAXByLocationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	for _, cfg := range configs() {
+		for trial := 0; trial < 120; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := MAX(fn, lists)
+			want := naive.ByAnchorMAX(fn, lists)
+			checkAgainstNaive(t, "MAX", lists, got, want)
+			for _, a := range got {
+				if sc := scorefn.ScoreMAXAt(fn, a.Set, a.Anchor); math.Abs(sc-a.Score) > tol {
+					t.Fatalf("MAX: reported %v but set scores %v at anchor", a.Score, sc)
+				}
+			}
+		}
+	}
+}
+
+func TestByLocationBestEqualsOverallBest(t *testing.T) {
+	// The max over anchors must equal the overall-best-matchset score.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 200; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 4, MaxLoc: 50, AllowTies: trial%2 == 0})
+
+		wfn := scorefn.ExpWIN{Alpha: 0.1}
+		_, wScore, wOK := join.WIN(wfn, lists)
+		checkBestAnchor(t, "WIN", WIN(wfn, lists), wScore, wOK)
+
+		mfn := scorefn.ExpMED{Alpha: 0.1}
+		_, mScore, mOK := join.MED(mfn, lists)
+		checkBestAnchor(t, "MED", MED(mfn, lists), mScore, mOK)
+
+		xfn := scorefn.SumMAX{Alpha: 0.1}
+		_, xScore, xOK := join.MAX(xfn, lists)
+		checkBestAnchor(t, "MAX", MAX(xfn, lists), xScore, xOK)
+	}
+}
+
+func checkBestAnchor(t *testing.T, name string, got []Anchored, overall float64, ok bool) {
+	t.Helper()
+	if !ok {
+		if len(got) != 0 {
+			t.Fatalf("%s: results despite no matchset", name)
+		}
+		return
+	}
+	best := math.Inf(-1)
+	for _, a := range got {
+		best = math.Max(best, a.Score)
+	}
+	if math.Abs(best-overall) > tol {
+		t.Fatalf("%s: best by-location score %v != overall best %v", name, best, overall)
+	}
+}
+
+func TestWINStreamEmitsInAnchorOrderImmediately(t *testing.T) {
+	// The streaming WIN must emit an anchor's result before processing
+	// any match at a later location; verify emission order equals
+	// anchor order and that each anchor is emitted exactly once.
+	lists := match.Lists{
+		{{Loc: 1, Score: 0.9}, {Loc: 7, Score: 0.4}},
+		{{Loc: 3, Score: 0.8}, {Loc: 7, Score: 0.9}},
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	var anchors []int
+	WINStream(fn, lists, func(a Anchored) { anchors = append(anchors, a.Anchor) })
+	want := []int{3, 7}
+	if len(anchors) != len(want) {
+		t.Fatalf("anchors = %v, want %v", anchors, want)
+	}
+	for i := range want {
+		if anchors[i] != want[i] {
+			t.Fatalf("anchors = %v, want %v", anchors, want)
+		}
+	}
+}
+
+func TestEmptyListYieldsNothing(t *testing.T) {
+	lists := match.Lists{{{Loc: 1, Score: 1}}, {}}
+	if got := WIN(scorefn.ExpWIN{Alpha: 0.1}, lists); len(got) != 0 {
+		t.Errorf("WIN = %v, want none", got)
+	}
+	if got := MED(scorefn.ExpMED{Alpha: 0.1}, lists); len(got) != 0 {
+		t.Errorf("MED = %v, want none", got)
+	}
+	if got := MAX(scorefn.SumMAX{Alpha: 0.1}, lists); len(got) != 0 {
+		t.Errorf("MAX = %v, want none", got)
+	}
+}
+
+func TestExtractionThresholdScenario(t *testing.T) {
+	// The information-extraction use case: two well-separated good
+	// clusters in one document must surface as two high-scoring
+	// anchors (e.g. {Lenovo, NBA, partner} and {Lenovo, Olympics,
+	// partnership} in the paper's Figure 1).
+	lists := match.Lists{
+		{{Loc: 10, Score: 0.9}, {Loc: 100, Score: 0.9}},
+		{{Loc: 12, Score: 0.8}, {Loc: 103, Score: 0.8}},
+		{{Loc: 14, Score: 0.9}, {Loc: 106, Score: 0.7}},
+	}
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	res := MED(fn, lists)
+	good := 0
+	for _, a := range res {
+		if a.Score > 0.2 {
+			good++
+		}
+	}
+	if good != 2 {
+		t.Errorf("found %d good anchors, want 2 clusters: %+v", good, res)
+	}
+}

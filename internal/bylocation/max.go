@@ -1,0 +1,60 @@
+package bylocation
+
+import (
+	"math"
+
+	"bestjoin/internal/envelope"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// MAX solves best-matchset-by-location for an efficient MAX scoring
+// function, returning for every match location l the best matchset
+// anchored at l — which consists of the per-term dominating matches at
+// l (any non-dominating member could be swapped for a dominating one
+// without lowering the score at l). Results come back in increasing
+// anchor order.
+//
+// As Section VII prescribes, the algorithm reuses the precomputed
+// dominating-match lists V_j but walks all match locations of the
+// original lists rather than only the dominating matches' locations.
+// Complexity O(|Q|·Σ|Lj|).
+func MAX(fn scorefn.EfficientMAX, lists match.Lists) []Anchored {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil
+	}
+	cs := make([]envelope.Contribution, q)
+	cursors := make([]*envelope.Cursor, q)
+	for j := range lists {
+		j := j
+		cs[j] = func(m match.Match, l int) float64 {
+			d := m.Loc - l
+			if d < 0 {
+				d = -d
+			}
+			return fn.Contribution(j, m.Score, float64(d))
+		}
+		cursors[j] = envelope.NewCursor(j, envelope.Precompute(lists[j], cs[j]), cs[j])
+	}
+
+	var out []Anchored
+	curLoc := math.MinInt
+	match.Merge(lists, func(ev match.Event) bool {
+		l := ev.M.Loc
+		if l == curLoc {
+			return true // one result per distinct location
+		}
+		curLoc = l
+		set := make(match.Set, q)
+		sum := 0.0
+		for j := range lists {
+			dm, _ := cursors[j].At(l)
+			set[j] = dm
+			sum += cs[j](dm, l)
+		}
+		out = append(out, Anchored{Anchor: l, Set: set, Score: fn.F(sum)})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,118 @@
+package bylocation
+
+import (
+	"math"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// MED solves best-matchset-by-location for a MED scoring function,
+// returning one best matchset per anchor (median) location in
+// increasing anchor order — the O(|Q|²·Σ|Lj|) dynamic-programming
+// extension sketched in Section VII.
+//
+// Lemma 1 does not carry over to locally best matchsets: a best
+// matchset for a specific anchor may contain non-dominating matches.
+// What does hold is that every match in it must dominate, at the
+// anchor, all same-term matches on the same side of the anchor. The
+// algorithm therefore walks all matches in processing order and, for
+// each match m treated as the median element of a candidate matchset,
+// picks per other term either the best match preceding m or the best
+// match succeeding m (in processing order, so same-location ties split
+// consistently), with a small DP (solveSides) enforcing that exactly
+// ⌊(|Q|+1)/2⌋−1 picks succeed m — which pins the matchset's median at
+// loc(m).
+func MED(fn scorefn.MED, lists match.Lists) []Anchored {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil
+	}
+	// rights is how many matches must rank above the median element.
+	rights := match.MedianRank(q) - 1
+
+	// Per-term side bests. preKey[j] is max of g_j(score)+loc over
+	// processed matches of list j (contribution at l is preKey − l);
+	// suffix arrays give max of g_j(score)−loc over unprocessed
+	// matches (contribution at l is sufKey + l).
+	preKey := make([]float64, q)
+	preMatch := make([]match.Match, q)
+	preSet := make([]bool, q)
+	sufKey := make([][]float64, q)
+	sufMatch := make([][]match.Match, q)
+	pos := make([]int, q) // number of processed matches per list
+	for j, l := range lists {
+		sufKey[j] = make([]float64, len(l)+1)
+		sufMatch[j] = make([]match.Match, len(l)+1)
+		sufKey[j][len(l)] = math.Inf(-1)
+		for i := len(l) - 1; i >= 0; i-- {
+			k := fn.G(j, l[i].Score) - float64(l[i].Loc)
+			// ≥ keeps the earlier match on ties; either choice is a
+			// valid side-dominating match with equal contribution.
+			if k >= sufKey[j][i+1] {
+				sufKey[j][i], sufMatch[j][i] = k, l[i]
+			} else {
+				sufKey[j][i], sufMatch[j][i] = sufKey[j][i+1], sufMatch[j][i+1]
+			}
+		}
+	}
+
+	// Best candidate per anchor location, emitted in location order.
+	var out []Anchored
+	curLoc := math.MinInt
+	var curBest match.Set
+	var curScore float64
+	flush := func() {
+		if curBest != nil {
+			out = append(out, Anchored{Anchor: curLoc, Set: curBest, Score: curScore})
+			curBest = nil
+		}
+	}
+
+	cL := make([]float64, q)
+	cR := make([]float64, q)
+	hasL := make([]bool, q)
+	hasR := make([]bool, q)
+	match.Merge(lists, func(ev match.Event) bool {
+		t, m, l := ev.Term, ev.M, ev.M.Loc
+		if l != curLoc {
+			flush()
+			curLoc = l
+		}
+		for j := 0; j < q; j++ {
+			hasL[j] = preSet[j]
+			if hasL[j] {
+				cL[j] = preKey[j] - float64(l)
+			}
+			hasR[j] = pos[j] < len(lists[j])
+			if hasR[j] {
+				cR[j] = sufKey[j][pos[j]] + float64(l)
+			}
+		}
+		if total, useRight, ok := solveSides(t, rights, cL, cR, hasL, hasR); ok {
+			if sc := fn.F(fn.G(t, m.Score) + total); curBest == nil || sc > curScore {
+				set := make(match.Set, q)
+				set[t] = m
+				for j := 0; j < q; j++ {
+					if j == t {
+						continue
+					}
+					if useRight[j] {
+						set[j] = sufMatch[j][pos[j]]
+					} else {
+						set[j] = preMatch[j]
+					}
+				}
+				curBest, curScore = set, sc
+			}
+		}
+		// m is now processed: fold it into term t's preceding side.
+		if k := fn.G(t, m.Score) + float64(l); !preSet[t] || k >= preKey[t] {
+			preKey[t], preMatch[t], preSet[t] = k, m, true
+		}
+		pos[t]++
+		return true
+	})
+	flush()
+	return out
+}

@@ -1,0 +1,65 @@
+package bylocation
+
+import "math"
+
+// solveSides is the side-assignment dynamic program shared by the
+// batch and streaming MED by-location solvers: for each query term
+// other than the anchor's, pick either its best preceding-side
+// candidate (contribution cL) or its best succeeding-side candidate
+// (cR), maximizing the total contribution subject to exactly `rights`
+// succeeding picks — which pins the matchset's median at the anchor.
+//
+// useRight[j] reports the winning side per term (false for the anchor
+// term itself). ok is false when no assignment meets the constraint
+// (e.g. a term has matches on only one side and the counts cannot
+// work out). Cost O(|Q|·rights).
+func solveSides(anchorTerm, rights int, cL, cR []float64, hasL, hasR []bool) (total float64, useRight []bool, ok bool) {
+	q := len(cL)
+	dp := make([]float64, rights+1)
+	ndp := make([]float64, rights+1)
+	choice := make([][]bool, q)
+	for j := range choice {
+		choice[j] = make([]bool, rights+1)
+	}
+	for r := range dp {
+		dp[r] = math.Inf(-1)
+	}
+	dp[0] = 0
+	for j := 0; j < q; j++ {
+		if j == anchorTerm {
+			continue
+		}
+		for r := range ndp {
+			ndp[r] = math.Inf(-1)
+		}
+		for r, v := range dp {
+			if math.IsInf(v, -1) {
+				continue
+			}
+			if hasL[j] && v+cL[j] > ndp[r] {
+				ndp[r] = v + cL[j]
+				choice[j][r] = false
+			}
+			if hasR[j] && r+1 <= rights && v+cR[j] > ndp[r+1] {
+				ndp[r+1] = v + cR[j]
+				choice[j][r+1] = true
+			}
+		}
+		dp, ndp = ndp, dp
+	}
+	if math.IsInf(dp[rights], -1) {
+		return 0, nil, false
+	}
+	useRight = make([]bool, q)
+	r := rights
+	for j := q - 1; j >= 0; j-- {
+		if j == anchorTerm {
+			continue
+		}
+		if choice[j][r] {
+			useRight[j] = true
+			r--
+		}
+	}
+	return dp[rights], useRight, true
+}

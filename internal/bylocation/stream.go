@@ -1,0 +1,177 @@
+package bylocation
+
+import (
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// StreamMED solves best-matchset-by-location for MED in a single
+// forward pass, emitting each anchor's result as soon as no future
+// match can change it. Section VII of the paper proves MED is not
+// streamable in general — an arbitrarily distant future match might
+// join the matchset anchored now — but suggests, as future work, that
+// an upper bound on individual match scores enables algorithms that
+// "prune their state more aggressively and return result matchsets
+// earlier". This is that algorithm.
+//
+// maxScore is the promised upper bound on every individual match score
+// (the paper's setting is scores in (0,1], i.e. maxScore=1). With it,
+// a future match for term j at location L contributes at most
+// g_j(maxScore) − (L − a) to an anchor at a, so once the scan's
+// location has advanced far enough past a that the bound cannot beat
+// a's current succeeding-side candidates, a is finalized and emitted.
+// Results are identical to MED (same anchors, same scores); only the
+// emission latency differs. Matches scored above maxScore void the
+// guarantee.
+//
+// The held-back state is bounded by the emission horizon
+// g_j(maxScore) − cR rather than by the input length, so long
+// documents stream with near-constant memory as long as good
+// succeeding candidates keep appearing.
+func StreamMED(fn scorefn.MED, maxScore float64, lists match.Lists, emit func(Anchored)) {
+	q := len(lists)
+	if !lists.Complete() {
+		return
+	}
+	rights := match.MedianRank(q) - 1
+	gMax := make([]float64, q)
+	for j := 0; j < q; j++ {
+		gMax[j] = fn.G(j, maxScore)
+	}
+
+	// Forward prefix state: best (g+loc) per term over processed
+	// matches.
+	preKey := make([]float64, q)
+	preMatch := make([]match.Match, q)
+	preSet := make([]bool, q)
+
+	// pending holds anchors awaiting finalization, in location order.
+	type pending struct {
+		anchor   int
+		term     int
+		g        float64 // g of the anchor match
+		m        match.Match
+		preKey   []float64 // left candidates frozen at creation
+		preM     []match.Match
+		preSet   []bool
+		rightKey []float64 // max (g−loc) among matches after the anchor
+		rightM   []match.Match
+		rightSet []bool
+	}
+	var queue []pending
+
+	// finalize runs the side DP for one pending anchor with its frozen
+	// left and accumulated right candidates.
+	finalize := func(p pending) (Anchored, bool) {
+		cL := make([]float64, q)
+		cR := make([]float64, q)
+		for j := 0; j < q; j++ {
+			if p.preSet[j] {
+				cL[j] = p.preKey[j] - float64(p.anchor)
+			}
+			if p.rightSet[j] {
+				cR[j] = p.rightKey[j] + float64(p.anchor)
+			}
+		}
+		total, useRight, ok := solveSides(p.term, rights, cL, cR, p.preSet, p.rightSet)
+		if !ok {
+			return Anchored{}, false
+		}
+		set := make(match.Set, q)
+		set[p.term] = p.m
+		for j := 0; j < q; j++ {
+			if j == p.term {
+				continue
+			}
+			if useRight[j] {
+				set[j] = p.rightM[j]
+			} else {
+				set[j] = p.preM[j]
+			}
+		}
+		return Anchored{Anchor: p.anchor, Set: set, Score: fn.F(p.g + total)}, true
+	}
+
+	// settled reports whether no match at location ≥ L can improve any
+	// of p's succeeding-side candidates: the score-bound contribution
+	// g_j(maxScore) − (L − anchor) must not exceed the candidate
+	// already held. A term with no succeeding candidate yet can always
+	// be improved, so it blocks settlement.
+	settled := func(p pending, L int) bool {
+		for j := 0; j < q; j++ {
+			if j == p.term {
+				continue
+			}
+			if !p.rightSet[j] {
+				return false
+			}
+			if gMax[j]-float64(L-p.anchor) > p.rightKey[j]+float64(p.anchor) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// emitReady finalizes and emits all leading pending location
+	// groups whose every member is settled at scan location L,
+	// keeping the per-location best (as MED does).
+	emitReady := func(L int, drain bool) {
+		for len(queue) > 0 {
+			// The group of pending anchors sharing the front location.
+			loc := queue[0].anchor
+			end := 0
+			groupSettled := true
+			for end < len(queue) && queue[end].anchor == loc {
+				if !drain && !settled(queue[end], L) {
+					groupSettled = false
+				}
+				end++
+			}
+			if !groupSettled || (!drain && end == len(queue) && L <= loc) {
+				return
+			}
+			var best Anchored
+			found := false
+			for _, p := range queue[:end] {
+				if a, ok := finalize(p); ok && (!found || a.Score > best.Score) {
+					best, found = a, true
+				}
+			}
+			if found {
+				emit(best)
+			}
+			queue = queue[end:]
+		}
+	}
+
+	match.Merge(lists, func(ev match.Event) bool {
+		t, m, l := ev.Term, ev.M, ev.M.Loc
+		// This match succeeds every pending anchor: offer it as a
+		// succeeding-side candidate.
+		key := fn.G(t, m.Score) - float64(l)
+		for i := range queue {
+			p := &queue[i]
+			if !p.rightSet[t] || key > p.rightKey[t] {
+				p.rightKey[t], p.rightM[t], p.rightSet[t] = key, m, true
+			}
+		}
+		// Open a pending anchor for this match, freezing the left
+		// candidates (matches preceding it in processing order).
+		p := pending{
+			anchor: l, term: t, g: fn.G(t, m.Score), m: m,
+			preKey:   append([]float64(nil), preKey...),
+			preM:     append([]match.Match(nil), preMatch...),
+			preSet:   append([]bool(nil), preSet...),
+			rightKey: make([]float64, q), rightM: make([]match.Match, q),
+			rightSet: make([]bool, q),
+		}
+		queue = append(queue, p)
+		// Fold the match into the prefix state.
+		if k := fn.G(t, m.Score) + float64(l); !preSet[t] || k >= preKey[t] {
+			preKey[t], preMatch[t], preSet[t] = k, m, true
+		}
+		emitReady(l, false)
+		return true
+	})
+	emitReady(0, true)
+}

@@ -1,0 +1,80 @@
+package bylocation
+
+import (
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/match"
+)
+
+// Solver is any best-matchset-by-location solver (WIN, MED or MAX
+// curried with a scoring function).
+type Solver func(match.Lists) []Anchored
+
+// Valid combines Sections VI and VII: for every anchor location, the
+// best matchset anchored there that contains no duplicate matches
+// (no token answering two query terms at once). The paper notes the
+// by-location problem "can be similarly modified" for validity; this
+// is that modification, built the same way as the overall-best
+// wrapper: run the duplicate-unaware solver; for each anchor whose
+// best matchset reuses tokens, rerun the solver on the Section VI
+// modified instances and recurse until a valid matchset for that
+// anchor emerges (or none exists).
+//
+// Anchors whose every matchset is invalid are dropped from the output.
+// The cost is the solver's cost times the number of reruns, which —
+// as in the overall-best case — is small when duplicates are rare in
+// best matchsets.
+func Valid(solve Solver, lists match.Lists) []Anchored {
+	base := solve(lists)
+	out := make([]Anchored, 0, len(base))
+	for _, a := range base {
+		budget := maxReruns
+		if r, ok := validAt(solve, lists, a, &budget); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// maxReruns caps per-anchor solver reruns, mirroring
+// dedup.MaxInvocations.
+const maxReruns = 10000
+
+func validAt(solve Solver, lists match.Lists, entry Anchored, budget *int) (Anchored, bool) {
+	if entry.Set.Valid() {
+		return entry, true
+	}
+	var best Anchored
+	found := false
+	for _, modified := range dedup.Split(lists, entry.Set) {
+		if *budget <= 0 {
+			break
+		}
+		*budget--
+		sub, ok := anchorEntry(solve(modified), entry.Anchor)
+		if !ok {
+			continue
+		}
+		if r, ok := validAt(solve, modified, sub, budget); ok && (!found || r.Score > best.Score) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// anchorEntry finds the entry for one anchor in an anchor-ordered
+// result slice.
+func anchorEntry(results []Anchored, anchor int) (Anchored, bool) {
+	lo, hi := 0, len(results)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if results[mid].Anchor < anchor {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(results) && results[lo].Anchor == anchor {
+		return results[lo], true
+	}
+	return Anchored{}, false
+}

@@ -1,0 +1,117 @@
+package bylocation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// checkValidAgainstNaive compares a duplicate-avoiding by-location
+// result against the exhaustive valid-only per-anchor optimum.
+func checkValidAgainstNaive(t *testing.T, name string, lists match.Lists, got []Anchored, want map[int]naive.Anchored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d anchors, exhaustive %d\ngot %v\nwant %v\nlists %v", name, len(got), len(want), got, want, lists)
+	}
+	for _, a := range got {
+		if !a.Set.Valid() {
+			t.Fatalf("%s: anchor %d returned invalid set %v", name, a.Anchor, a.Set)
+		}
+		w, seen := want[a.Anchor]
+		if !seen {
+			t.Fatalf("%s: anchor %d not in exhaustive result", name, a.Anchor)
+		}
+		if math.Abs(a.Score-w.Score) > 1e-9 {
+			t.Fatalf("%s: anchor %d score %v != exhaustive valid optimum %v\ngot %v want %v\nlists %v",
+				name, a.Anchor, a.Score, w.Score, a.Set, w.Set, lists)
+		}
+	}
+}
+
+func dupConfigs() []randinst.Config {
+	return []randinst.Config{
+		{Terms: 2, MaxPerList: 4, MaxLoc: 7, AllowTies: true},
+		{Terms: 3, MaxPerList: 3, MaxLoc: 8, AllowTies: true},
+		{Terms: 4, MaxPerList: 3, MaxLoc: 6, AllowTies: true},
+		{Terms: 3, MaxPerList: 4, MaxLoc: 40},
+	}
+}
+
+func TestValidWINMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	solve := func(ls match.Lists) []Anchored { return WIN(fn, ls) }
+	for _, cfg := range dupConfigs() {
+		for trial := 0; trial < 80; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := Valid(solve, lists)
+			want := naive.ValidByAnchorWIN(fn, lists)
+			checkValidAgainstNaive(t, "WIN", lists, got, want)
+		}
+	}
+}
+
+func TestValidMEDMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	solve := func(ls match.Lists) []Anchored { return MED(fn, ls) }
+	for _, cfg := range dupConfigs() {
+		for trial := 0; trial < 80; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := Valid(solve, lists)
+			want := naive.ValidByAnchorMED(fn, lists)
+			checkValidAgainstNaive(t, "MED", lists, got, want)
+		}
+	}
+}
+
+func TestValidMAXMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	solve := func(ls match.Lists) []Anchored { return MAX(fn, ls) }
+	for _, cfg := range dupConfigs() {
+		for trial := 0; trial < 80; trial++ {
+			lists := randinst.Lists(rng, cfg)
+			got := Valid(solve, lists)
+			want := naive.ValidByAnchorMAX(fn, lists)
+			checkValidAgainstNaive(t, "MAX", lists, got, want)
+		}
+	}
+}
+
+func TestValidDropsAllInvalidAnchors(t *testing.T) {
+	// Both terms share their only token: no anchor has a valid set.
+	lists := match.Lists{
+		{{Loc: 5, Score: 1}},
+		{{Loc: 5, Score: 1}},
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	got := Valid(func(ls match.Lists) []Anchored { return WIN(fn, ls) }, lists)
+	if len(got) != 0 {
+		t.Errorf("Valid = %v, want none", got)
+	}
+}
+
+func TestValidNoDuplicatesIsIdentity(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 1, Score: 0.5}, {Loc: 9, Score: 0.9}},
+		{{Loc: 4, Score: 0.8}},
+	}
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	solve := func(ls match.Lists) []Anchored { return MED(fn, ls) }
+	base := solve(lists)
+	got := Valid(solve, lists)
+	if len(got) != len(base) {
+		t.Fatalf("Valid dropped anchors on a duplicate-free instance: %v vs %v", got, base)
+	}
+	for i := range base {
+		if got[i].Anchor != base[i].Anchor || got[i].Score != base[i].Score {
+			t.Errorf("anchor %d changed: %v vs %v", i, got[i], base[i])
+		}
+	}
+}

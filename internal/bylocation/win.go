@@ -1,0 +1,118 @@
+package bylocation
+
+import (
+	"fmt"
+	"math"
+
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// WIN solves best-matchset-by-location for a WIN scoring function,
+// returning one best matchset per anchor (largest-match) location, in
+// increasing anchor order. It is the minor modification of Algorithm 1
+// described in Section VII; complexity stays O(2^|Q|·Σ|Lj|).
+func WIN(fn scorefn.WIN, lists match.Lists) []Anchored {
+	var out []Anchored
+	WINStream(fn, lists, func(a Anchored) { out = append(out, a) })
+	return out
+}
+
+// WINStream is the streaming form of WIN: emit is called with the best
+// matchset anchored at each location as soon as all matches at that
+// location have been processed, in increasing anchor order. The
+// algorithm makes a single pass over the match lists and its state is
+// independent of their size — the streaming property Section VII
+// establishes for WIN (and shows is unattainable for MED and MAX).
+func WINStream(fn scorefn.WIN, lists match.Lists, emit func(Anchored)) {
+	q := len(lists)
+	if q > join.MaxWINTerms {
+		panic(fmt.Sprintf("bylocation: WIN supports at most %d query terms, got %d", join.MaxWINTerms, q))
+	}
+	if !lists.Complete() {
+		return
+	}
+	full := 1<<q - 1
+	type state struct {
+		set  *chain
+		gsum float64
+		lmin int
+	}
+	states := make([]state, 1<<q)
+
+	// Best candidate anchored at the location currently being
+	// processed.
+	curLoc := math.MinInt
+	var curBest *chain
+	var curScore float64
+	flush := func() {
+		if curBest != nil {
+			emit(Anchored{Anchor: curLoc, Set: curBest.toSet(q), Score: curScore})
+			curBest = nil
+		}
+	}
+
+	match.Merge(lists, func(ev match.Event) bool {
+		j, m := ev.Term, ev.M
+		g := fn.G(j, m.Score)
+		l := m.Loc
+		if l != curLoc {
+			flush()
+			curLoc = l
+		}
+		bit := 1 << j
+		rest := full &^ bit
+		// Update best partial matchsets exactly as Algorithm 1 does.
+		for s := rest; ; s = (s - 1) & rest {
+			st := &states[s|bit]
+			if s == 0 {
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(g, 0) {
+					st.set = &chain{term: j, m: m}
+					st.gsum, st.lmin = g, l
+				}
+			} else if sub := &states[s]; sub.set != nil {
+				cand := sub.gsum + g
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(cand, float64(l-sub.lmin)) {
+					st.set = &chain{term: j, m: m, prev: sub.set}
+					st.gsum, st.lmin = cand, sub.lmin
+				}
+			}
+			if s == 0 {
+				break
+			}
+		}
+		// Candidate anchored at l: m joined with the best
+		// (Q∖{qj})-matchset seen so far. Its largest location is l by
+		// construction.
+		if sub := &states[rest]; sub.set != nil {
+			sc := fn.F(sub.gsum+g, float64(l-min(sub.lmin, l)))
+			if curBest == nil || sc > curScore {
+				curBest = &chain{term: j, m: m, prev: sub.set}
+				curScore = sc
+			}
+		} else if q == 1 {
+			if sc := fn.F(g, 0); curBest == nil || sc > curScore {
+				curBest = &chain{term: j, m: m}
+				curScore = sc
+			}
+		}
+		return true
+	})
+	flush()
+}
+
+// chain is a persistent partial-matchset list (see join.WIN).
+type chain struct {
+	term int
+	m    match.Match
+	prev *chain
+}
+
+func (c *chain) toSet(q int) match.Set {
+	s := make(match.Set, q)
+	for ; c != nil; c = c.prev {
+		s[c.term] = c.m
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+// Package corpus synthesizes the two real-world datasets of the
+// paper's Section VIII that cannot be redistributed here:
+//
+//   - the TREC 2006 QA collection (1000 short documents per query,
+//     averaging 450–500 words), simulated per query with planted
+//     answer sentences and distractor matches calibrated so that the
+//     average match-list sizes approximate the paper's Figure 12
+//     columns;
+//   - the DBWorld call-for-papers messages (25 emails), simulated with
+//     the structural hallmark the paper calls out: huge place lists
+//     from PC-member affiliations and many dates from submission
+//     deadlines, including deadline-extension announcements where the
+//     first date in the message is not the meeting date.
+//
+// Documents are real token streams; the matcher and lexicon substrates
+// process them exactly as they would process the original data, so the
+// join algorithms see match lists of the same shape the paper reports.
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// filler is the pool of background words. None of them may match any
+// experiment matcher (the corpus tests verify this invariant), so they
+// only dilute the documents.
+var filler = []string{
+	"the", "a", "an", "of", "and", "or", "but", "that", "this", "those",
+	"quantum", "pixel", "purple", "velvet", "anchor", "bridge", "candle",
+	"drum", "engine", "feather", "garden", "hammer", "island", "jungle",
+	"kettle", "ladder", "mirror", "needle", "ocean", "pepper", "quartz",
+	"ribbon", "saddle", "timber", "umbrella", "violet", "walnut", "xylem",
+	"yarn", "zeppelin", "apple", "bottle", "curtain", "dolphin", "ember",
+	"flute", "glacier", "helmet", "ivory", "jacket", "kernel", "lantern",
+	"marble", "nectar", "orbit", "parcel", "quiver", "rocket", "shadow",
+	"tunnel", "vessel", "willow", "yonder", "zephyr", "basket", "cactus",
+	"dagger", "eagle", "fossil", "goblet", "hollow", "icicle", "jigsaw",
+	"keel", "lumber", "mantle", "nugget", "onyx", "pebble", "quill",
+	"rudder", "sleet", "turret", "vortex", "wander", "waffle", "yodel",
+	"amber", "bellow", "cinder", "dapple", "elbow", "fathom", "grotto",
+	"harrow", "inkwell", "jostle", "kiln", "lagoon", "meadow", "nimbus",
+}
+
+// Doc is one synthesized document.
+type Doc struct {
+	ID   int
+	Text string
+	// AnswerStart/AnswerEnd delimit (in token positions, inclusive)
+	// the planted answer sentence; both are -1 when the document
+	// carries no answer.
+	AnswerStart, AnswerEnd int
+}
+
+// builder assembles a document as a token slice.
+type builder struct {
+	rng    *rand.Rand
+	tokens []string
+}
+
+func newBuilder(rng *rand.Rand, words int) *builder {
+	b := &builder{rng: rng, tokens: make([]string, words)}
+	for i := range b.tokens {
+		b.tokens[i] = filler[rng.Intn(len(filler))]
+	}
+	return b
+}
+
+// plantAt writes a phrase over positions starting at pos, returning
+// the position after the phrase.
+func (b *builder) plantAt(pos int, words ...string) int {
+	for _, w := range words {
+		if pos >= len(b.tokens) {
+			break
+		}
+		b.tokens[pos] = w
+		pos++
+	}
+	return pos
+}
+
+// scatter overwrites n random positions outside [avoidLo, avoidHi]
+// with words drawn uniformly from the pool.
+func (b *builder) scatter(pool []string, n, avoidLo, avoidHi int) {
+	for k := 0; k < n; k++ {
+		for tries := 0; tries < 50; tries++ {
+			p := b.rng.Intn(len(b.tokens))
+			if p >= avoidLo && p <= avoidHi {
+				continue
+			}
+			b.tokens[p] = pool[b.rng.Intn(len(pool))]
+			break
+		}
+	}
+}
+
+func (b *builder) text() string { return strings.Join(b.tokens, " ") }
+
+// poissonish draws a count with the given mean: the integer part plus
+// a Bernoulli trial on the fraction, a cheap stand-in for Poisson that
+// preserves the mean exactly.
+func poissonish(rng *rand.Rand, mean float64) int {
+	n := int(mean)
+	if rng.Float64() < mean-float64(n) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package corpus
+
+import (
+	"testing"
+
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/matcher"
+	"bestjoin/internal/text"
+)
+
+func TestFillerMatchesNothing(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	toks := make([]text.Token, len(filler))
+	for i, w := range filler {
+		toks[i] = text.Token{Word: w, Pos: i}
+	}
+	for _, q := range TRECQueries() {
+		for j, m := range q.Matchers(g, gz) {
+			if got := m.Match(toks); len(got) != 0 {
+				t.Errorf("%s term %d (%s): filler produced matches %v", q.ID, j, q.Terms[j], got)
+			}
+		}
+	}
+	for j, m := range DBWorldQuery(g, gz) {
+		if got := m.Match(toks); len(got) != 0 {
+			t.Errorf("dbworld term %d: filler produced matches %v", j, got)
+		}
+	}
+}
+
+func TestTRECGenerationShape(t *testing.T) {
+	for _, q := range TRECQueries() {
+		ds := GenerateTREC(q, 40, 7)
+		if len(ds.Docs) != 40 {
+			t.Fatalf("%s: %d docs", q.ID, len(ds.Docs))
+		}
+		if ds.AnswerDoc < 0 || ds.AnswerDoc >= 40 {
+			t.Fatalf("%s: AnswerDoc %d out of range", q.ID, ds.AnswerDoc)
+		}
+		for i, d := range ds.Docs {
+			n := len(text.Tokenize(d.Text))
+			if n < 440 || n > 520 {
+				t.Errorf("%s doc %d has %d tokens, want ~450-500", q.ID, i, n)
+			}
+			hasAnswer := d.AnswerStart >= 0
+			if hasAnswer != (i == ds.AnswerDoc) {
+				t.Errorf("%s doc %d answer flag wrong", q.ID, i)
+			}
+		}
+	}
+}
+
+func TestTRECAnswerDocHasFullTightMatchset(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	for _, q := range TRECQueries() {
+		ds := GenerateTREC(q, 20, 11)
+		doc := ds.Docs[ds.AnswerDoc]
+		toks := text.Tokenize(doc.Text)
+		lists := matcher.Compile(toks, q.Matchers(g, gz))
+		for j, l := range lists {
+			found := false
+			for _, m := range l {
+				if m.Loc >= doc.AnswerStart && m.Loc <= doc.AnswerEnd {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: term %d (%s) has no match inside the answer window [%d,%d]",
+					q.ID, j, q.Terms[j], doc.AnswerStart, doc.AnswerEnd)
+			}
+		}
+	}
+}
+
+func TestTRECListSizesApproximateProfile(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	for _, q := range TRECQueries() {
+		ds := GenerateTREC(q, 150, 13)
+		ms := q.Matchers(g, gz)
+		sums := make([]float64, len(ms))
+		for _, d := range ds.Docs {
+			toks := text.Tokenize(d.Text)
+			for j, l := range matcher.Compile(toks, ms) {
+				sums[j] += float64(len(l))
+			}
+		}
+		for j := range sums {
+			avg := sums[j] / float64(len(ds.Docs))
+			target := q.Profile[j]
+			// Within a factor of 2 of the paper-reported average (or
+			// ±0.5 absolute for the very rare terms).
+			if avg > 2*target+0.5 || avg < target/2-0.5 {
+				t.Errorf("%s term %d (%s): avg list size %.2f vs paper %.2f",
+					q.ID, j, q.Terms[j], avg, target)
+			}
+		}
+	}
+}
+
+func TestDBWorldShape(t *testing.T) {
+	msgs := GenerateDBWorld(25, 7, 3)
+	if len(msgs) != 25 {
+		t.Fatalf("%d messages", len(msgs))
+	}
+	ext := 0
+	for _, m := range msgs {
+		if m.Extension {
+			ext++
+		}
+		toks := text.Tokenize(m.Text)
+		if len(toks) < 100 {
+			t.Errorf("message %d suspiciously short: %d tokens", m.ID, len(toks))
+		}
+		// Ground-truth positions must hold the advertised tokens.
+		if toks[m.MeetingPlacePos].Word == "" {
+			t.Errorf("message %d: empty place token", m.ID)
+		}
+		monthTok := toks[m.MeetingDatePos].Word
+		if !isMonth(monthTok) {
+			t.Errorf("message %d: MeetingDatePos token %q is not a month", m.ID, monthTok)
+		}
+	}
+	if ext != 7 {
+		t.Errorf("%d extension messages, want 7", ext)
+	}
+}
+
+func isMonth(w string) bool {
+	for _, m := range cfpMonths {
+		if w == m {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDBWorldListSizesApproximatePaper(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	msgs := GenerateDBWorld(25, 7, 5)
+	ms := DBWorldQuery(g, gz)
+	sums := make([]float64, len(ms))
+	for _, m := range msgs {
+		toks := text.Tokenize(m.Text)
+		for j, l := range matcher.Compile(toks, ms) {
+			sums[j] += float64(len(l))
+		}
+	}
+	// Paper-reported averages: 13.2, 12.7, 73.5.
+	targets := []float64{13.2, 12.7, 73.5}
+	for j, target := range targets {
+		avg := sums[j] / float64(len(msgs))
+		if avg > 1.8*target || avg < target/1.8 {
+			t.Errorf("dbworld term %d: avg list size %.1f vs paper %.1f", j, avg, target)
+		}
+	}
+}
+
+func TestDBWorldFirstDateHeuristicFailsOnExtensions(t *testing.T) {
+	// The paper's footnote 12: taking the first date in a message
+	// fails on deadline-extension announcements. Verify our simulated
+	// extensions reproduce that: the first date token is NOT the
+	// meeting date.
+	msgs := GenerateDBWorld(25, 7, 9)
+	for _, m := range msgs {
+		toks := text.Tokenize(m.Text)
+		first := -1
+		for _, tok := range toks {
+			if isMonth(tok.Word) {
+				first = tok.Pos
+				break
+			}
+		}
+		if first < 0 {
+			t.Fatalf("message %d has no month token", m.ID)
+		}
+		if m.Extension && first == m.MeetingDatePos {
+			t.Errorf("extension message %d: first date IS the meeting date", m.ID)
+		}
+		if !m.Extension && first != m.MeetingDatePos {
+			t.Errorf("normal message %d: first month %d != meeting date %d", m.ID, first, m.MeetingDatePos)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateTREC(TRECQueries()[0], 5, 42)
+	b := GenerateTREC(TRECQueries()[0], 5, 42)
+	for i := range a.Docs {
+		if a.Docs[i].Text != b.Docs[i].Text {
+			t.Fatal("TREC generation not deterministic")
+		}
+	}
+	ca := GenerateDBWorld(5, 2, 42)
+	cb := GenerateDBWorld(5, 2, 42)
+	for i := range ca {
+		if ca[i].Text != cb[i].Text {
+			t.Fatal("DBWorld generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/matcher"
+)
+
+// CFP is one synthesized DBWorld call-for-papers message, with the
+// ground-truth token positions of the meeting's date and place for
+// extraction-accuracy evaluation.
+type CFP struct {
+	Doc
+	// Extension marks deadline-extension announcements, where the
+	// first date in the message is a new submission deadline, not the
+	// meeting date (7 of the paper's 25 messages).
+	Extension bool
+	// MeetingDatePos and MeetingPlacePos are the token positions of
+	// the month of the meeting date and of the venue city.
+	MeetingDatePos  int
+	MeetingPlacePos int
+}
+
+// DBWorldQuery returns the paper's DBWorld query
+// {conference|workshop, date, place} as matchers, using the lexicon
+// rule for the first term (conference scores 1, direct neighbours 0.7)
+// and the paper's date and place matchers.
+func DBWorldQuery(g *lexicon.Graph, gz *gazetteer.Gazetteer) []matcher.Matcher {
+	return []matcher.Matcher{
+		matcher.Union{Name: "conference|workshop", Matchers: []matcher.Matcher{
+			matcher.Lexical{Word: "conference", Graph: g},
+			matcher.Lexical{Word: "workshop", Graph: g},
+		}},
+		matcher.Date{},
+		matcher.Place{Gazetteer: gz, Graph: g},
+	}
+}
+
+var (
+	cfpTopics = []string{
+		"data management", "information retrieval", "distributed systems",
+		"machine learning", "knowledge discovery", "web search",
+		"database theory", "stream processing", "semantic web",
+	}
+	cfpCities = []string{
+		"turin", "beijing", "vancouver", "barcelona", "seattle", "vienna",
+		"istanbul", "singapore", "sydney", "helsinki", "lyon", "auckland",
+		"boston", "shanghai", "amsterdam", "copenhagen", "athens",
+	}
+	cfpCountries = []string{
+		"italy", "china", "canada", "spain", "usa", "austria", "turkey",
+		"singapore", "australia", "finland", "france", "zealand",
+		"netherlands", "denmark", "greece",
+	}
+	cfpMonths = []string{
+		"january", "february", "march", "april", "may", "june", "july",
+		"august", "september", "october", "november", "december",
+	}
+	pcSurnames = []string{
+		"smith", "johnson", "brown", "miller", "wilson", "taylor",
+		"anderson", "thomas", "jackson", "harris", "martin", "thompson",
+		"robinson", "clark", "lewis", "walker", "hall", "allen", "young",
+		"king", "wright", "scott", "green", "baker", "adams", "nelson",
+		"hill", "campbell", "mitchell", "roberts", "carter", "phillips",
+		"evans", "turner", "parker", "collins", "edwards", "stewart",
+		"morris", "rogers", "reed", "cook", "morgan", "bell", "murphy",
+		"bailey", "rivera", "cooper", "richardson", "cox", "howard",
+		"ward", "peterson", "gray", "ramirez", "watson", "brooks",
+	}
+	cfpMeetingWords = []string{"conference", "workshop", "symposium", "meeting"}
+)
+
+// GenerateDBWorld synthesizes n CFP messages. The structure mirrors
+// what the paper observed: titles and body text mention the meeting
+// (~13 conference-term matches per message), an "important dates"
+// section carries many deadlines (~13 date matches), and a long
+// programme-committee list carries PC members' affiliations (~73 place
+// matches — the paper: "CFPs contain a huge number of places because
+// they often list PC members' affiliations"). extensions of the n
+// messages announce deadline extensions first, so the naive
+// take-the-first-date heuristic fails on them.
+func GenerateDBWorld(n, extensions int, seed int64) []CFP {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]CFP, n)
+	for i := range out {
+		out[i] = generateCFP(rng, i, i < extensions)
+	}
+	return out
+}
+
+func generateCFP(rng *rand.Rand, id int, extension bool) CFP {
+	city := cfpCities[rng.Intn(len(cfpCities))]
+	country := cfpCountries[rng.Intn(len(cfpCountries))]
+	topic := cfpTopics[rng.Intn(len(cfpTopics))]
+	meetingWord := cfpMeetingWords[rng.Intn(len(cfpMeetingWords))]
+	meetingMonth := cfpMonths[rng.Intn(len(cfpMonths))]
+	meetingYear := fmt.Sprintf("%d", 2008+rng.Intn(2))
+	acro := fmt.Sprintf("conf%02d", id)
+
+	var w []string
+	add := func(words ...string) {
+		w = append(w, words...)
+	}
+	addDate := func() {
+		add(cfpMonths[rng.Intn(len(cfpMonths))], fmt.Sprintf("%d", 1+rng.Intn(28)), "2008")
+	}
+
+	// Header / extension notice.
+	if extension {
+		add("deadline", "extension", "the", "submission", "deadline", "for", acro, "has", "been", "extended", "to")
+		addDate()
+		add("due", "to", "numerous", "requests")
+	}
+	// No year in the title line: in a normal CFP the first date-like
+	// token is then the meeting date, so the take-the-first-date
+	// heuristic succeeds on non-extension messages (footnote 12 is
+	// about it failing on the extensions).
+	add("call", "for", "papers", acro, "international", meetingWord, "on")
+	add(splitSpace(topic)...)
+
+	// Venue sentence — the ground truth the query should extract. The
+	// date and place sit in tight proximity around the meeting word.
+	add("the", meetingWord, "will", "be", "held", "in")
+	placePos := len(w)
+	add(city, country)
+	add("on")
+	datePos := len(w)
+	add(meetingMonth, fmt.Sprintf("%d", 1+rng.Intn(28)), meetingYear)
+
+	// Scope paragraph with more meeting-word mentions: CFPs repeat
+	// "the conference/workshop ..." throughout.
+	for k := 0; k < 9+rng.Intn(4); k++ {
+		add("the", cfpMeetingWords[rng.Intn(len(cfpMeetingWords))], "solicits", "papers", "on")
+		add(splitSpace(cfpTopics[rng.Intn(len(cfpTopics))])...)
+		add(filler[rng.Intn(len(filler))])
+	}
+
+	// Important-dates section: many deadlines (the paper: "CFPs
+	// contain many dates as well, e.g., abstract submission and
+	// camera-ready deadlines").
+	add("important", "dates")
+	deadlines := []string{"abstract", "submission", "notification", "camera", "ready", "registration"}
+	for _, d := range deadlines {
+		add(d, "deadline")
+		if rng.Float64() < 0.5 {
+			addDate()
+		} else {
+			// Month and day only, no year — real CFPs mix both forms.
+			add(cfpMonths[rng.Intn(len(cfpMonths))], fmt.Sprintf("%d", 1+rng.Intn(28)))
+		}
+	}
+
+	// Programme committee: the source of the huge place lists.
+	add("program", "committee")
+	pcSize := 35 + rng.Intn(16)
+	for k := 0; k < pcSize; k++ {
+		name := pcSurnames[rng.Intn(len(pcSurnames))]
+		switch rng.Intn(3) {
+		case 0:
+			add(name, "university", "of", cfpCities[rng.Intn(len(cfpCities))])
+		case 1:
+			add(name, cfpCities[rng.Intn(len(cfpCities))], "university")
+		default:
+			add(name, "institute", "of", "technology", cfpCities[rng.Intn(len(cfpCities))])
+		}
+	}
+	add("we", "look", "forward", "to", "your", "submission")
+
+	return CFP{
+		Doc:             Doc{ID: id, Text: joinSpace(w), AnswerStart: placePos, AnswerEnd: datePos + 2},
+		Extension:       extension,
+		MeetingDatePos:  datePos,
+		MeetingPlacePos: placePos,
+	}
+}
+
+func joinSpace(words []string) string { return strings.Join(words, " ") }

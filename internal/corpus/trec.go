@@ -1,0 +1,231 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/matcher"
+)
+
+// TRECQuery specifies one of the paper's seven selected TREC 2006 QA
+// factoid queries (Figure 12): the multi-term form of the question,
+// the matchers that produce its match lists, the per-term average
+// match-list sizes the paper measured (the generation targets), and
+// the answer sentence planted in the answer document.
+type TRECQuery struct {
+	ID       string
+	Question string
+	Terms    []string
+	// Profile holds the paper-reported average match-list size per
+	// term; the generator scatters pool words to hit these means.
+	Profile []float64
+	// Pools holds, per term, the surface words the generator scatters
+	// as distractor matches for that term.
+	Pools [][]string
+	// Answer is the sentence planted in the answer document; it must
+	// contain one close-proximity match per query term.
+	Answer []string
+}
+
+// Matchers builds the query's per-term matchers over the shared
+// lexicon and gazetteer, mirroring the paper's WordNet-based matcher
+// with (1−0.3d) scoring.
+func (q TRECQuery) Matchers(g *lexicon.Graph, gz *gazetteer.Gazetteer) []matcher.Matcher {
+	ms := make([]matcher.Matcher, len(q.Terms))
+	for j, term := range q.Terms {
+		switch term {
+		case "Leaning Tower of Pisa":
+			ms[j] = matcher.Phrase{Name: term, Words: []string{"leaning", "tower", "of", "pisa"},
+				Head: "pisa", FullScore: 1, HeadScore: 0.7}
+		case "Lebanese Parliament":
+			ms[j] = matcher.Phrase{Name: term, Words: []string{"lebanese", "parliament"},
+				Head: "", FullScore: 1}
+		case "Prince Edward":
+			ms[j] = matcher.Phrase{Name: term, Words: []string{"prince", "edward"},
+				Head: "edward", FullScore: 1, HeadScore: 0.7}
+		case "Alfred Hitchcock":
+			ms[j] = matcher.Phrase{Name: term, Words: []string{"alfred", "hitchcock"},
+				Head: "hitchcock", FullScore: 1, HeadScore: 0.7}
+		case "Chavez":
+			ms[j] = matcher.Phrase{Name: term, Words: []string{"hugo", "chavez"},
+				Head: "chavez", FullScore: 1, HeadScore: 0.9}
+		case "date":
+			ms[j] = matcher.Date{}
+		default:
+			ms[j] = matcher.Lexical{Word: term, Graph: g}
+		}
+	}
+	return ms
+}
+
+// TRECQueries returns the paper's seven queries with generation
+// profiles from Figure 12's "match list sizes" column.
+func TRECQueries() []TRECQuery {
+	return []TRECQuery{
+		{
+			ID:       "Q1",
+			Question: "Leaning Tower of Pisa began to be built in what year?",
+			Terms:    []string{"Leaning Tower of Pisa", "began", "build", "year"},
+			Profile:  []float64{2.9, 0.2, 8.3, 3.7},
+			Pools: [][]string{
+				{"pisa", "pisa", "leaning tower of pisa"},
+				{"began", "begin", "commence"},
+				{"build", "built", "construction", "constructed", "building", "erected"},
+				{"year", "years", "century", "decade"},
+			},
+			Answer: []string{"construction", "of", "the", "leaning", "tower", "of", "pisa", "began", "in", "the", "year", "1173"},
+		},
+		{
+			ID:       "Q2",
+			Question: "What school and in what year did Hugo Chavez graduate from?",
+			Terms:    []string{"Chavez", "graduate", "school", "year"},
+			Profile:  []float64{6.7, 5.2, 4.3, 4.6},
+			Pools: [][]string{
+				{"chavez", "chavez", "hugo chavez"},
+				{"graduate", "graduated", "degree", "diploma", "graduation"},
+				{"school", "academy", "college", "university", "institute"},
+				{"year", "years", "century", "decade"},
+			},
+			Answer: []string{"hugo", "chavez", "graduated", "military", "academy", "year", "1975"},
+		},
+		{
+			ID:       "Q3",
+			Question: "In what city is the Lebanese parliament located?",
+			Terms:    []string{"Lebanese Parliament", "in", "city"},
+			Profile:  []float64{0.1, 11.9, 4.1},
+			Pools: [][]string{
+				{"lebanese parliament"},
+				{"in", "in", "within", "inside", "at"},
+				{"city", "town", "capital", "metropolis"},
+			},
+			Answer: []string{"lebanese", "parliament", "in", "capital", "city", "beirut"},
+		},
+		{
+			ID:       "Q4",
+			Question: "In what country was Stonehenge built?",
+			Terms:    []string{"country", "Stonehenge", "in"},
+			Profile:  []float64{11.4, 0.04, 11.5},
+			Pools: [][]string{
+				{"country", "nation", "state", "land", "kingdom"},
+				{"stonehenge"},
+				{"in", "in", "within", "inside", "at"},
+			},
+			Answer: []string{"stonehenge", "built", "in", "country", "england"},
+		},
+		{
+			ID:       "Q5",
+			Question: "When did Prince Edward marry?",
+			Terms:    []string{"Prince Edward", "marry", "date"},
+			Profile:  []float64{3.4, 2.1, 18.2},
+			Pools: [][]string{
+				{"edward", "edward", "prince edward", "prince"},
+				{"marry", "married", "wedding", "wed", "marriage"},
+				{"january", "march", "june", "september", "1995", "1998", "2001", "2004", "2006"},
+			},
+			Answer: []string{"prince", "edward", "married", "june", "1999"},
+		},
+		{
+			ID:       "Q6",
+			Question: "Where was Alfred Hitchcock born?",
+			Terms:    []string{"Alfred Hitchcock", "born", "city"},
+			Profile:  []float64{3.6, 0.1, 8.4},
+			Pools: [][]string{
+				{"hitchcock", "hitchcock", "alfred hitchcock"},
+				{"born"},
+				{"city", "town", "capital", "metropolis", "municipality"},
+			},
+			Answer: []string{"alfred", "hitchcock", "born", "city", "london"},
+		},
+		{
+			ID:       "Q7",
+			Question: "Where is the IMF headquartered?",
+			Terms:    []string{"IMF", "headquarters", "city"},
+			Profile:  []float64{7.5, 1.0, 2.4},
+			Pools: [][]string{
+				{"imf", "imf", "fund"},
+				{"headquarters", "headquartered", "based"},
+				{"city", "town", "capital"},
+			},
+			Answer: []string{"imf", "headquarters", "city", "washington"},
+		},
+	}
+}
+
+// TRECDataset is a simulated TREC topic: the query plus its documents,
+// one of which (AnswerDoc) carries the planted answer sentence.
+type TRECDataset struct {
+	Query     TRECQuery
+	Docs      []Doc
+	AnswerDoc int
+}
+
+// GenerateTREC synthesizes docs documents for one query. Documents
+// average 450–500 words, like the paper's collection. Exactly one
+// document receives the planted answer sentence; every document
+// receives distractor matches per the query's profile.
+func GenerateTREC(q TRECQuery, docs int, seed int64) *TRECDataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &TRECDataset{Query: q, Docs: make([]Doc, docs), AnswerDoc: rng.Intn(docs)}
+	for i := range ds.Docs {
+		ds.Docs[i] = generateTRECDoc(rng, q, i, i == ds.AnswerDoc)
+	}
+	return ds
+}
+
+func generateTRECDoc(rng *rand.Rand, q TRECQuery, id int, withAnswer bool) Doc {
+	words := 450 + rng.Intn(51)
+	b := newBuilder(rng, words)
+	doc := Doc{ID: id, AnswerStart: -1, AnswerEnd: -1}
+	avoidLo, avoidHi := -1, -1
+	if withAnswer {
+		start := 20 + rng.Intn(words-20-2*len(q.Answer))
+		end := b.plantAt(start, expandPhrases(q.Answer)...)
+		doc.AnswerStart, doc.AnswerEnd = start, end-1
+		avoidLo, avoidHi = start, end-1
+	}
+	for j, pool := range q.Pools {
+		n := poissonish(rng, q.Profile[j])
+		for k := 0; k < n; k++ {
+			entry := pool[rng.Intn(len(pool))]
+			phrase := expandPhrases([]string{entry})
+			pos := rng.Intn(words - len(phrase))
+			if pos >= avoidLo-len(phrase) && pos <= avoidHi {
+				continue // keep the answer window pristine
+			}
+			b.plantAt(pos, phrase...)
+		}
+	}
+	doc.Text = b.text()
+	return doc
+}
+
+// expandPhrases splits multi-word pool entries ("hugo chavez") into
+// their tokens.
+func expandPhrases(entries []string) []string {
+	var out []string
+	for _, e := range entries {
+		for _, w := range splitSpace(e) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func splitSpace(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package dedup
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+const tol = 1e-9
+
+func winAlg(fn scorefn.WIN) Algorithm {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.WIN(fn, ls) }
+}
+
+func medAlg(fn scorefn.MED) Algorithm {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.MED(fn, ls) }
+}
+
+func maxAlg(fn scorefn.EfficientMAX) Algorithm {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.MAX(fn, ls) }
+}
+
+func TestChinaExample(t *testing.T) {
+	// Section VI's motivating example, in numbers: a single token
+	// ("china" at location 10) matches both terms well, while a
+	// separate pair ("ceramics"/"Jingdezhen" at 20 and 22) matches the
+	// terms individually. The duplicate-unaware algorithm picks the
+	// china/china matchset (zero window); the wrapper must return the
+	// valid pair.
+	lists := match.Lists{
+		{{Loc: 10, Score: 0.9}, {Loc: 22, Score: 0.6}}, // "asia": china, Jingdezhen
+		{{Loc: 10, Score: 0.9}, {Loc: 20, Score: 0.8}}, // "porcelain": china, ceramics
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.2}
+	raw, _, ok := join.WIN(fn, lists)
+	if !ok || raw.Valid() {
+		t.Fatalf("setup: duplicate-unaware best should be the invalid china/china set, got %v", raw)
+	}
+	res := Best(winAlg(fn), lists)
+	if !res.OK {
+		t.Fatal("wrapper found no valid matchset")
+	}
+	if !res.Set.Valid() {
+		t.Fatalf("wrapper returned invalid set %v", res.Set)
+	}
+	if res.Set[0].Loc != 22 || res.Set[1].Loc != 20 {
+		t.Errorf("wrapper picked %v, want the Jingdezhen/ceramics pair", res.Set)
+	}
+	if res.Invocations < 2 {
+		t.Errorf("Invocations = %d, want at least 2 (initial run plus reruns)", res.Invocations)
+	}
+}
+
+func TestNoDuplicatesSingleInvocation(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 1, Score: 0.5}},
+		{{Loc: 5, Score: 0.5}},
+	}
+	res := Best(winAlg(scorefn.ExpWIN{Alpha: 0.1}), lists)
+	if !res.OK || res.Invocations != 1 {
+		t.Errorf("duplicate-free input: OK=%v Invocations=%d, want single run", res.OK, res.Invocations)
+	}
+}
+
+func TestNoValidMatchsetExists(t *testing.T) {
+	// Both terms have only the same single token: no valid matchset.
+	lists := match.Lists{
+		{{Loc: 3, Score: 0.9}},
+		{{Loc: 3, Score: 0.9}},
+	}
+	res := Best(winAlg(scorefn.ExpWIN{Alpha: 0.1}), lists)
+	if res.OK {
+		t.Errorf("expected no valid matchset, got %v", res.Set)
+	}
+}
+
+func TestEmptyListPropagates(t *testing.T) {
+	lists := match.Lists{{{Loc: 1, Score: 1}}, {}}
+	res := Best(winAlg(scorefn.ExpWIN{Alpha: 0.1}), lists)
+	if res.OK {
+		t.Error("wrapper ok with an empty list")
+	}
+	if res.Invocations != 1 {
+		t.Errorf("Invocations = %d, want 1", res.Invocations)
+	}
+}
+
+// checkAgainstExhaustive verifies, over random duplicate-heavy
+// instances, that the wrapper's result score equals the best over all
+// valid matchsets.
+func checkAgainstExhaustive(t *testing.T, name string, alg Algorithm, scoreOf func(match.Set) float64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 400; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{
+			Terms: 2 + rng.Intn(3), MaxPerList: 4, MaxLoc: 8, AllowTies: true,
+		})
+		res := Best(alg, lists)
+		want, wantScore, wantOK := naive.BestValid(lists, scoreOf)
+		if res.OK != wantOK {
+			t.Fatalf("%s: OK=%v, exhaustive OK=%v on %v", name, res.OK, wantOK, lists)
+		}
+		if !res.OK {
+			continue
+		}
+		if !res.Set.Valid() {
+			t.Fatalf("%s: returned invalid set %v", name, res.Set)
+		}
+		if math.Abs(res.Score-wantScore) > tol {
+			t.Fatalf("%s: score %v != exhaustive valid optimum %v\ngot %v\nwant %v\nlists %v",
+				name, res.Score, wantScore, res.Set, want, lists)
+		}
+	}
+}
+
+func TestWrapperMatchesExhaustiveWIN(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	checkAgainstExhaustive(t, "WIN", winAlg(fn),
+		func(s match.Set) float64 { return scorefn.ScoreWIN(fn, s) }, 1001)
+}
+
+func TestWrapperMatchesExhaustiveMED(t *testing.T) {
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	checkAgainstExhaustive(t, "MED", medAlg(fn),
+		func(s match.Set) float64 { return scorefn.ScoreMED(fn, s) }, 1002)
+}
+
+func TestWrapperMatchesExhaustiveMAX(t *testing.T) {
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	checkAgainstExhaustive(t, "MAX", maxAlg(fn),
+		func(s match.Set) float64 { v, _ := scorefn.ScoreMAX(fn, s); return v }, 1003)
+}
+
+func TestAdversarialAlgorithmStillTerminates(t *testing.T) {
+	// An algorithm that keeps reporting (fabricated) duplicated
+	// matchsets for its first 50 calls forces deep recursion; the
+	// wrapper must keep rerunning, never exceed the invocation cap,
+	// and surface the valid matchset once the algorithm produces one.
+	calls := 0
+	adversary := func(ls match.Lists) (match.Set, float64, bool) {
+		calls++
+		if calls <= 50 {
+			// A fresh duplicated location every call defeats both the
+			// memo and the pruning bound (scores keep increasing).
+			return match.Set{{Loc: calls, Score: 1}, {Loc: calls, Score: 1}}, float64(100 + calls), true
+		}
+		return match.Set{{Loc: 1, Score: 1}, {Loc: 2, Score: 1}}, 1, true
+	}
+	lists := match.Lists{
+		{{Loc: 0, Score: 1}, {Loc: 1, Score: 1}},
+		{{Loc: 0, Score: 1}, {Loc: 2, Score: 1}},
+	}
+	res := Best(adversary, lists)
+	if !res.OK || !res.Set.Valid() {
+		t.Fatalf("wrapper did not surface the valid matchset: %+v", res)
+	}
+	if res.Invocations <= 50 || res.Invocations > MaxInvocations {
+		t.Errorf("Invocations = %d, want >50 and within cap", res.Invocations)
+	}
+}
+
+func TestBestWithOptionsAllConfigsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	alg := medAlg(fn)
+	opts := []Options{
+		{},
+		{Prune: true},
+		{Memoize: true},
+		{Prune: true, Memoize: true},
+	}
+	for trial := 0; trial < 150; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 3, MaxLoc: 7, AllowTies: true})
+		base := BestWithOptions(alg, lists, opts[0])
+		for _, o := range opts[1:] {
+			r := BestWithOptions(alg, lists, o)
+			if r.OK != base.OK {
+				t.Fatalf("opts %+v: OK=%v, plain OK=%v on %v", o, r.OK, base.OK, lists)
+			}
+			if r.OK && math.Abs(r.Score-base.Score) > tol {
+				t.Fatalf("opts %+v: score %v != plain %v on %v", o, r.Score, base.Score, lists)
+			}
+			if r.Invocations > base.Invocations {
+				t.Errorf("opts %+v: %d invocations exceed plain's %d", o, r.Invocations, base.Invocations)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package envelope implements the dominating-match machinery shared by
+// the MED and MAX join algorithms (Sections IV and V of the paper):
+//
+//   - the linear-time stack precomputation of the dominating match
+//     function U_j (Algorithm 2's PrecomputeDomMatchFunc), valid for
+//     any at-most-one-crossing contribution function;
+//   - a cursor that serves "dominating match at location l" queries in
+//     amortized constant time for non-decreasing l;
+//   - the explicit interval-match-pair representation of U_j used by
+//     the paper's general (non-specialized) MAX approach, together
+//     with the argmax of the summed contribution upper envelopes
+//     (Lemma 2).
+//
+// A contribution function c(m,l) gives the distance-decayed score
+// contribution of match m at reference location l (Definitions 5/7).
+// A match m dominates m' at l when c(m,l) ≥ c(m',l) (Definition 6).
+package envelope
+
+import (
+	"math"
+
+	"bestjoin/internal/match"
+)
+
+// Contribution computes the distance-decayed score contribution of a
+// match at a reference location. For MED it is g(score)−|loc−l|; for
+// MAX it is g(score, |loc−l|).
+type Contribution func(m match.Match, l int) float64
+
+// Entry is one element of a precomputed dominating-match list: the
+// match plus its position in the original match list. The position
+// lets the MED algorithm order same-location matches consistently with
+// the global processing order (the paper's footnote 3 requires picking
+// dominating matches that succeed the current match consistently).
+type Entry struct {
+	M   match.Match
+	Pos int
+}
+
+// Precompute builds the dominating match list V for one match list
+// under contribution c, by a single left-to-right pass with a stack
+// (Algorithm 2, PrecomputeDomMatchFunc). Each match is pushed and
+// popped at most once, so the cost is O(|list|).
+//
+// The result is ordered by location and contains, bottom to top, one
+// match per local maximum of the contribution upper envelope (plus
+// tie-breaking dominating matches; ties are broken in favour of the
+// match that comes last in the list, per the paper's footnote 4).
+//
+// The contract requires c to be at-most-one-crossing (Definition 8);
+// MED tent contributions and the paper's exponential-decay MAX
+// contributions both qualify (Lemma 3).
+func Precompute(list match.List, c Contribution) []Entry {
+	stack := make([]Entry, 0, len(list))
+	for pos, m := range list {
+		// Skip m if it does not dominate the top of the stack at its
+		// own location: by at-most-one-crossing it is then dominated
+		// everywhere.
+		if len(stack) > 0 && c(m, m.Loc) < c(stack[len(stack)-1].M, m.Loc) {
+			continue
+		}
+		// Pop any match dominated by m at that match's own location:
+		// it is then dominated everywhere. The ≥ comparison makes m
+		// (the later match) win ties.
+		for len(stack) > 0 {
+			top := stack[len(stack)-1].M
+			if c(m, top.Loc) >= c(top, top.Loc) {
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			break
+		}
+		stack = append(stack, Entry{M: m, Pos: pos})
+	}
+	return stack
+}
+
+// Matches strips the positions off a precomputed dominating-match
+// list, yielding a location-sorted match.List (useful for merging the
+// V_j's with match.Merge, as the MAX algorithm does).
+func Matches(v []Entry) match.List {
+	out := make(match.List, len(v))
+	for i, e := range v {
+		out[i] = e.M
+	}
+	return out
+}
+
+// Cursor serves dominating-match queries against a precomputed list V
+// for a sequence of non-decreasing query locations, mirroring how the
+// main loops of the MED and MAX algorithms scan the V_j's in parallel
+// with the match lists. Each query advances the cursor and compares
+// the contributions of at most two matches in V located closest to the
+// query location (one left of the boundary, one right).
+//
+// A cursor offers two query styles that must not be mixed on one
+// instance: At takes bare locations (queries non-decreasing in
+// location; used by MAX), AtEvent takes merge events (queries
+// non-decreasing in processing order; used by MED, where the
+// left/right boundary must split same-location matches by processing
+// order).
+type Cursor struct {
+	v    []Entry
+	c    Contribution
+	term int // query-term index of the underlying list
+	next int // index of first element right of the current boundary
+}
+
+// NewCursor returns a cursor over term's precomputed dominating-match
+// list.
+func NewCursor(term int, v []Entry, c Contribution) *Cursor {
+	return &Cursor{v: v, c: c, term: term}
+}
+
+// At returns a dominating match for location l. Query locations must
+// be non-decreasing across calls. ok is false only if V is empty.
+// Contribution ties between the left and right candidate go to the
+// right one, i.e. the match that comes later (footnote 3).
+func (cu *Cursor) At(l int) (m match.Match, ok bool) {
+	for cu.next < len(cu.v) && cu.v[cu.next].M.Loc <= l {
+		cu.next++
+	}
+	m, _, ok = cu.pick(l)
+	return m, ok
+}
+
+// AtEvent returns a dominating match for the location of merge event
+// ev, splitting same-location matches around ev by processing order.
+// Events must be non-decreasing in processing order across calls.
+// follows reports whether the returned match succeeds ev in processing
+// order — the information the MED algorithm's median-rank counter
+// needs. Contribution ties go to the following candidate (footnote 3).
+func (cu *Cursor) AtEvent(ev match.Event) (m match.Match, follows, ok bool) {
+	for cu.next < len(cu.v) && cu.precedes(cu.v[cu.next], ev) {
+		cu.next++
+	}
+	return cu.pick(ev.M.Loc)
+}
+
+// precedes reports whether entry e comes before event ev in the global
+// processing order of match.Merge: by location, then term index, then
+// position within the list.
+func (cu *Cursor) precedes(e Entry, ev match.Event) bool {
+	if e.M.Loc != ev.M.Loc {
+		return e.M.Loc < ev.M.Loc
+	}
+	if cu.term != ev.Term {
+		return cu.term < ev.Term
+	}
+	return e.Pos < ev.Pos
+}
+
+// pick compares the two boundary candidates at location l; ties go to
+// the right (following) candidate. fromRight reports which side the
+// pick came from.
+func (cu *Cursor) pick(l int) (m match.Match, fromRight, ok bool) {
+	hasLeft := cu.next > 0
+	hasRight := cu.next < len(cu.v)
+	switch {
+	case !hasLeft && !hasRight:
+		return match.Match{}, false, false
+	case !hasLeft:
+		return cu.v[cu.next].M, true, true
+	case !hasRight:
+		return cu.v[cu.next-1].M, false, true
+	}
+	left, right := cu.v[cu.next-1].M, cu.v[cu.next].M
+	if cu.c(right, l) >= cu.c(left, l) {
+		return right, true, true
+	}
+	return left, false, true
+}
+
+// Value returns the contribution upper envelope S(l) = max over the
+// list of c(m,l), via the same two-candidate comparison as At.
+func (cu *Cursor) Value(l int) (float64, bool) {
+	m, ok := cu.At(l)
+	if !ok {
+		return 0, false
+	}
+	return cu.c(m, l), true
+}
+
+// Interval is one interval-match pair of an explicit dominating match
+// function representation: M dominates its list at every integer
+// location in [Lo, Hi].
+type Interval struct {
+	Lo, Hi int
+	M      match.Match
+}
+
+// Intervals computes the interval-match-pair representation of the
+// dominating match function over the integer location range [lo, hi]
+// by brute-force evaluation of all contribution curves at every
+// location — the paper's general approach, whose cost is linear in the
+// number of interval-match pairs, which "can be arbitrarily large (up
+// to the number of all possible locations)". Complexity
+// O((hi−lo+1)·|list|). Ties go to the later match in the list.
+func Intervals(list match.List, c Contribution, lo, hi int) []Interval {
+	if len(list) == 0 || hi < lo {
+		return nil
+	}
+	var out []Interval
+	for l := lo; l <= hi; l++ {
+		m := dominatingAt(list, c, l)
+		if n := len(out); n > 0 && out[n-1].M == m {
+			out[n-1].Hi = l
+			continue
+		}
+		out = append(out, Interval{Lo: l, Hi: l, M: m})
+	}
+	return out
+}
+
+// ArgmaxSum computes l_MAX = argmax over [lo,hi] of Σj Sj(l), the
+// summed contribution upper envelopes of all lists, returning the
+// maximizing location, the per-list dominating matches at it, and the
+// summed contribution there. Per Lemma 2 the matchset
+// {U_1(l_MAX), …, U_Q(l_MAX)} is then an overall best matchset under
+// the MAX scoring function. ok is false if any list is empty or the
+// range is empty.
+//
+// This is the general (expensive) MAX approach: it evaluates every
+// envelope at every integer location, costing O((hi−lo+1)·Σ|Lj|).
+func ArgmaxSum(lists match.Lists, cs []Contribution, lo, hi int) (lMax int, doms match.Set, sum float64, ok bool) {
+	if !lists.Complete() || hi < lo {
+		return 0, nil, 0, false
+	}
+	bestSum := math.Inf(-1)
+	bestLoc := lo
+	for l := lo; l <= hi; l++ {
+		s := 0.0
+		for j, list := range lists {
+			s += cs[j](dominatingAt(list, cs[j], l), l)
+		}
+		if s > bestSum {
+			bestSum, bestLoc = s, l
+		}
+	}
+	doms = make(match.Set, len(lists))
+	for j, list := range lists {
+		doms[j] = dominatingAt(list, cs[j], bestLoc)
+	}
+	return bestLoc, doms, bestSum, true
+}
+
+// dominatingAt scans the whole list for the contribution argmax at l;
+// ties go to the later match.
+func dominatingAt(list match.List, c Contribution, l int) match.Match {
+	best := list[0]
+	bestV := c(best, l)
+	for _, m := range list[1:] {
+		if v := c(m, l); v >= bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}

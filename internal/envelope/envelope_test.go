@@ -1,0 +1,263 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// tent is the MED-style contribution: peak score·scale at the match
+// location, slopes ±1.
+func tent(m match.Match, l int) float64 {
+	d := m.Loc - l
+	if d < 0 {
+		d = -d
+	}
+	return 10*m.Score - float64(d)
+}
+
+// expDecay is the SumMAX-style contribution.
+func expDecay(m match.Match, l int) float64 {
+	d := m.Loc - l
+	if d < 0 {
+		d = -d
+	}
+	return m.Score * math.Exp(-0.1*float64(d))
+}
+
+func bruteEnvelope(list match.List, c Contribution, l int) float64 {
+	best := math.Inf(-1)
+	for _, m := range list {
+		if v := c(m, l); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestPrecomputeEmpty(t *testing.T) {
+	if v := Precompute(nil, tent); len(v) != 0 {
+		t.Errorf("Precompute(nil) = %v, want empty", v)
+	}
+}
+
+func TestPrecomputeSingle(t *testing.T) {
+	list := match.List{{Loc: 5, Score: 0.5}}
+	v := Precompute(list, tent)
+	if len(v) != 1 || v[0].M != list[0] || v[0].Pos != 0 {
+		t.Errorf("Precompute single = %v", v)
+	}
+}
+
+func TestPrecomputeDropsDominatedMatch(t *testing.T) {
+	// A low-score match right next to a high-score one is dominated
+	// everywhere under the tent contribution.
+	list := match.List{
+		{Loc: 10, Score: 1.0}, // peak 10
+		{Loc: 11, Score: 0.1}, // peak 1, dominated: 10−1 ≥ 1 at loc 11
+	}
+	v := Precompute(list, tent)
+	if len(v) != 1 || v[0].M.Loc != 10 {
+		t.Errorf("Precompute = %v, want only the dominating match", v)
+	}
+}
+
+func TestPrecomputePopsEarlierDominated(t *testing.T) {
+	list := match.List{
+		{Loc: 10, Score: 0.1}, // peak 1
+		{Loc: 11, Score: 1.0}, // peak 10; dominates previous at loc 10 (10−1 ≥ 1)
+	}
+	v := Precompute(list, tent)
+	if len(v) != 1 || v[0].M.Loc != 11 {
+		t.Errorf("Precompute = %v, want only the later match", v)
+	}
+}
+
+func TestPrecomputeTieGoesToLaterMatch(t *testing.T) {
+	// Identical matches at the same location: the later one must win
+	// (footnote 4 tie-breaking).
+	list := match.List{{Loc: 5, Score: 0.5}, {Loc: 5, Score: 0.5}}
+	v := Precompute(list, tent)
+	if len(v) != 1 || v[0].Pos != 1 {
+		t.Fatalf("Precompute = %v, want only the later of the tied matches", v)
+	}
+}
+
+// checkEnvelopeAgreement verifies that cursor queries over the
+// precomputed list reproduce the brute-force upper envelope at every
+// location in [lo,hi].
+func checkEnvelopeAgreement(t *testing.T, list match.List, c Contribution, lo, hi int) {
+	t.Helper()
+	v := Precompute(list, c)
+	cu := NewCursor(0, v, c)
+	for l := lo; l <= hi; l++ {
+		got, ok := cu.Value(l)
+		if !ok {
+			t.Fatalf("cursor has no value at %d", l)
+		}
+		want := bruteEnvelope(list, c, l)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("envelope at %d: cursor %v, brute %v (V=%v)", l, got, want, v)
+		}
+	}
+}
+
+func TestEnvelopeMatchesBruteForceTent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		list := make(match.List, 0, n)
+		for i := 0; i < n; i++ {
+			list = append(list, match.Match{Loc: rng.Intn(60), Score: 1 - rng.Float64()})
+		}
+		list.Sort()
+		checkEnvelopeAgreement(t, list, tent, -5, 65)
+	}
+}
+
+func TestEnvelopeMatchesBruteForceExpDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		list := make(match.List, 0, n)
+		for i := 0; i < n; i++ {
+			list = append(list, match.Match{Loc: rng.Intn(60), Score: 1 - rng.Float64()})
+		}
+		list.Sort()
+		checkEnvelopeAgreement(t, list, expDecay, -5, 65)
+	}
+}
+
+func TestCursorFollowsFlag(t *testing.T) {
+	list := match.List{{Loc: 10, Score: 1}, {Loc: 100, Score: 1}}
+	v := Precompute(list, tent)
+	if len(v) != 2 {
+		t.Fatalf("both separated peaks should survive, got %v", v)
+	}
+	// Cursor for term 1, queried with events from term 0.
+	cu := NewCursor(1, v, tent)
+	m, follows, ok := cu.AtEvent(match.Event{Term: 0, M: match.Match{Loc: 12}})
+	if !ok || m.Loc != 10 || follows {
+		t.Errorf("AtEvent(12) = %v follows=%v, want loc 10 not following", m, follows)
+	}
+	m, follows, ok = cu.AtEvent(match.Event{Term: 0, M: match.Match{Loc: 80}})
+	if !ok || m.Loc != 100 || !follows {
+		t.Errorf("AtEvent(80) = %v follows=%v, want loc 100 following", m, follows)
+	}
+}
+
+func TestCursorSameLocationSplitsByProcessingOrder(t *testing.T) {
+	// A dominating match at the event's own location counts as
+	// following when its term index is greater than the event's, and
+	// as preceding when smaller — the consistent succeed-preference
+	// the MED median-rank counter relies on (footnote 3).
+	list := match.List{{Loc: 10, Score: 1}}
+	v := Precompute(list, tent)
+
+	after := NewCursor(2, v, tent)
+	m, follows, ok := after.AtEvent(match.Event{Term: 1, M: match.Match{Loc: 10}})
+	if !ok || m.Loc != 10 || !follows {
+		t.Errorf("same-loc later-term = %v follows=%v, want following", m, follows)
+	}
+
+	before := NewCursor(0, v, tent)
+	m, follows, ok = before.AtEvent(match.Event{Term: 1, M: match.Match{Loc: 10}})
+	if !ok || m.Loc != 10 || follows {
+		t.Errorf("same-loc earlier-term = %v follows=%v, want not following", m, follows)
+	}
+}
+
+func TestCursorEmpty(t *testing.T) {
+	cu := NewCursor(0, nil, tent)
+	if _, ok := cu.At(5); ok {
+		t.Error("cursor over empty list reported ok")
+	}
+	if _, _, ok := cu.AtEvent(match.Event{Term: 1, M: match.Match{Loc: 5}}); ok {
+		t.Error("AtEvent over empty list reported ok")
+	}
+}
+
+func TestIntervalsCoverRangeAndAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		list := make(match.List, 0, n)
+		for i := 0; i < n; i++ {
+			list = append(list, match.Match{Loc: rng.Intn(40), Score: 1 - rng.Float64()})
+		}
+		list.Sort()
+		lo, hi := -3, 45
+		ivs := Intervals(list, tent, lo, hi)
+		// Intervals must tile [lo,hi] contiguously.
+		if ivs[0].Lo != lo || ivs[len(ivs)-1].Hi != hi {
+			t.Fatalf("intervals do not span range: %v", ivs)
+		}
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Lo != ivs[i-1].Hi+1 {
+				t.Fatalf("gap between intervals %v and %v", ivs[i-1], ivs[i])
+			}
+		}
+		// Every interval's match must achieve the brute envelope.
+		for _, iv := range ivs {
+			for l := iv.Lo; l <= iv.Hi; l++ {
+				if math.Abs(tent(iv.M, l)-bruteEnvelope(list, tent, l)) > 1e-9 {
+					t.Fatalf("interval match %v not dominating at %d", iv.M, l)
+				}
+			}
+		}
+	}
+}
+
+func TestArgmaxSumMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	for trial := 0; trial < 100; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 5, MaxLoc: 40, AllowTies: true})
+		cs := make([]Contribution, len(lists))
+		for j := range cs {
+			j := j
+			cs[j] = func(m match.Match, l int) float64 {
+				d := m.Loc - l
+				if d < 0 {
+					d = -d
+				}
+				return fn.Contribution(j, m.Score, float64(d))
+			}
+		}
+		lMax, doms, sum, ok := ArgmaxSum(lists, cs, 0, 40)
+		if !ok {
+			t.Fatal("ArgmaxSum not ok on complete lists")
+		}
+		// Brute: max over locations of summed per-list envelope.
+		want := math.Inf(-1)
+		for l := 0; l <= 40; l++ {
+			s := 0.0
+			for j := range lists {
+				s += bruteEnvelope(lists[j], cs[j], l)
+			}
+			want = math.Max(want, s)
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("ArgmaxSum sum=%v want %v", sum, want)
+		}
+		// The returned matchset must achieve the sum at lMax.
+		got := 0.0
+		for j, m := range doms {
+			got += cs[j](m, lMax)
+		}
+		if math.Abs(got-sum) > 1e-9 {
+			t.Fatalf("dominating set sums to %v at %d, reported %v", got, lMax, sum)
+		}
+	}
+}
+
+func TestArgmaxSumIncomplete(t *testing.T) {
+	lists := match.Lists{{{Loc: 1, Score: 1}}, {}}
+	if _, _, _, ok := ArgmaxSum(lists, []Contribution{tent, tent}, 0, 10); ok {
+		t.Error("ArgmaxSum ok with an empty list")
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/synth"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, as a
+// table (the benchmark suite has testing.B counterparts):
+//
+//   - the duplicate-avoidance search configurations (the paper's plain
+//     recursive method vs bound pruning vs pruning+memoization), in
+//     solver invocations and time, at two duplicate frequencies;
+//   - the specialized MAX algorithm vs the general envelope approach;
+//   - the switch-to-naive heuristic at extreme term-popularity skew.
+func Ablations(o Options) Table {
+	t := Table{
+		ID:      "ablations",
+		Title:   "design-choice ablations",
+		Columns: []string{"ablation", "configuration", "time(ms)", "invocations/doc"},
+	}
+
+	// Duplicate-avoidance search configurations.
+	alg := func(ls match.Lists) (match.Set, float64, bool) { return join.MED(synthMED, ls) }
+	for _, lambda := range []float64{1.5, 2.5} {
+		ds := synthDataset(o, func(c *synth.Config) { c.Lambda = lambda })
+		for _, cfg := range []struct {
+			name string
+			opts dedup.Options
+		}{
+			{"plain", dedup.Options{}},
+			{"prune", dedup.Options{Prune: true}},
+			{"prune+memo", dedup.Options{Prune: true, Memoize: true}},
+		} {
+			start := time.Now()
+			invocations := 0
+			for _, doc := range ds.Docs {
+				invocations += dedup.BestWithOptions(alg, doc, cfg.opts).Invocations
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("dedup search (lambda=%.1f)", lambda),
+				cfg.name,
+				ms(time.Since(start)),
+				fmt.Sprintf("%.2f", float64(invocations)/float64(len(ds.Docs))),
+			})
+		}
+	}
+
+	// Specialized vs general MAX.
+	ds := synthDataset(o, nil)
+	start := time.Now()
+	for _, doc := range ds.Docs {
+		join.MAX(synthMAX, doc)
+	}
+	t.Rows = append(t.Rows, []string{"MAX algorithm", "specialized (Section V)", ms(time.Since(start)), "-"})
+	start = time.Now()
+	for _, doc := range ds.Docs {
+		join.MAXGeneral(synthMAX, doc)
+	}
+	t.Rows = append(t.Rows, []string{"MAX algorithm", "general envelope (Lemma 2)", ms(time.Since(start)), "-"})
+
+	// Switch-to-naive heuristic at extreme skew.
+	for _, s := range []float64{1.1, 4.0} {
+		ds := synthDataset(o, func(c *synth.Config) { c.ZipfS = s })
+		start := time.Now()
+		for _, doc := range ds.Docs {
+			join.MED(synthMED, doc)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("skew switch (s=%.1f)", s), "always-fast", ms(time.Since(start)), "-",
+		})
+		start = time.Now()
+		for _, doc := range ds.Docs {
+			// The paper's Section VIII fix: with all match lists but
+			// one holding at most one match, enumerate directly.
+			if allButOneSingleton(doc) {
+				naive.MED(synthMED, doc)
+			} else {
+				join.MED(synthMED, doc)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("skew switch (s=%.1f)", s), "with-switch", ms(time.Since(start)), "-",
+		})
+	}
+	return t
+}
+
+// allButOneSingleton reports whether at most one list has more than
+// one match — the paper's trigger for switching to the naive
+// algorithm.
+func allButOneSingleton(lists match.Lists) bool {
+	big := 0
+	for _, l := range lists {
+		if len(l) > 1 {
+			big++
+		}
+	}
+	return big <= 1
+}

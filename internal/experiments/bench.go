@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/synth"
+)
+
+// This file exposes the experiment workloads and algorithm runners to
+// the repository's root-level benchmark suite (bench_test.go), which
+// has one testing.B benchmark per paper figure/table. Workloads are
+// materialized once per benchmark outside the timed loop, mirroring
+// the paper's exclusion of match-list generation from its timings.
+
+// SynthWorkload materializes the synthetic dataset for one data point
+// of Figures 6–10. Zero-valued knobs keep the paper's defaults.
+func SynthWorkload(o Options, terms, matches int, lambda, zipfS float64) []match.Lists {
+	return synthDataset(o, func(c *synth.Config) {
+		if terms > 0 {
+			c.Terms = terms
+		}
+		if matches > 0 {
+			c.Matches = matches
+		}
+		if lambda > 0 {
+			c.Lambda = lambda
+		}
+		if zipfS > 0 {
+			c.ZipfS = zipfS
+		}
+	}).Docs
+}
+
+// TRECWorkload is one materialized TREC topic for benchmarking.
+type TRECWorkload struct {
+	ID    string
+	Terms int
+	Docs  []match.Lists
+}
+
+// TRECWorkloads materializes all seven topics.
+func TRECWorkloads(o Options) []TRECWorkload {
+	var out []TRECWorkload
+	for _, inst := range trecInstances(o) {
+		out = append(out, TRECWorkload{ID: inst.query.ID, Terms: len(inst.query.Terms), Docs: inst.docs})
+	}
+	return out
+}
+
+// DBWorldWorkload materializes the CFP match lists.
+func DBWorldWorkload(o Options) []match.Lists {
+	return dbworldInstanceFor(o).docs
+}
+
+// RunSynth runs one named synthetic-experiment algorithm (WIN, MED,
+// MAX, NWIN, NMED, NMAX) over all documents, returning the total
+// number of duplicate-unaware solver invocations. It panics on an
+// unknown name — benchmarks fail fast on typos.
+func RunSynth(name string, docs []match.Lists) int {
+	return run(name, append(proposed(), baselines()...), docs)
+}
+
+// RunTREC runs one named algorithm under the TREC scoring functions.
+func RunTREC(name string, docs []match.Lists) int {
+	return run(name, trecAlgorithms(), docs)
+}
+
+// RunDBWorld runs one named algorithm under the DBWorld configuration.
+func RunDBWorld(name string, docs []match.Lists) int {
+	return run(name, dbworldAlgorithms(), docs)
+}
+
+func run(name string, algs []algorithm, docs []match.Lists) int {
+	for _, alg := range algs {
+		if alg.name == name {
+			n := 0
+			for _, doc := range docs {
+				n += alg.run(doc)
+			}
+			return n
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
+}

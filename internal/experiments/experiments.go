@@ -1,0 +1,194 @@
+// Package experiments reproduces every table and figure of the paper's
+// Section VIII evaluation. Each Fig*/table function builds its
+// workload (synthetic datasets, the simulated TREC topics, or the
+// simulated DBWorld messages), runs the algorithms the paper compares,
+// and returns a Table whose rows mirror the series the paper plots.
+//
+// As in the paper, the time to generate the input match lists is
+// excluded — datasets and match lists are materialized before the
+// clocks start — and the proposed algorithms run with the Section VI
+// duplicate-handling wrapper while the naive baselines enumerate the
+// raw cross product.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/scorefn"
+)
+
+// Table is one reproduced artifact: a figure's data series or a
+// table's rows, ready for text or CSV rendering.
+type Table struct {
+	ID      string     // experiment id, e.g. "fig6"
+	Title   string     // what the paper's artifact shows
+	Columns []string   // header
+	Rows    [][]string // formatted cells
+}
+
+// Text renders the table as aligned columns.
+func (t Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options scales the experiments. The zero value runs at paper scale;
+// Quick() runs a reduced scale suitable for tests and CI.
+type Options struct {
+	// SynthDocs is the number of synthetic documents per data point
+	// (paper: 500).
+	SynthDocs int
+	// TRECDocs is the number of documents per TREC query (paper:
+	// 1000).
+	TRECDocs int
+	// DBWorldMsgs is the number of CFP messages (paper: 25).
+	DBWorldMsgs int
+	// Seed makes the workloads deterministic.
+	Seed int64
+}
+
+// Default returns paper-scale options.
+func Default() Options {
+	return Options{SynthDocs: 500, TRECDocs: 1000, DBWorldMsgs: 25, Seed: 1}
+}
+
+// Quick returns reduced-scale options for tests.
+func Quick() Options {
+	return Options{SynthDocs: 40, TRECDocs: 60, DBWorldMsgs: 25, Seed: 1}
+}
+
+// The scoring functions of the synthetic experiments: the paper's
+// equations (1), (3) and (5) with a moderate decay rate.
+const synthAlpha = 0.1
+
+var (
+	synthWIN = scorefn.ExpWIN{Alpha: synthAlpha}
+	synthMED = scorefn.ExpMED{Alpha: synthAlpha}
+	synthMAX = scorefn.SumMAX{Alpha: synthAlpha}
+)
+
+// algorithm is one timed contender: it consumes a document's match
+// lists and returns how many times a duplicate-unaware solver ran (1
+// for the naive baselines).
+type algorithm struct {
+	name string
+	run  func(match.Lists) int
+}
+
+// proposed returns the paper's three algorithms wrapped with the
+// Section VI duplicate handling (the configuration the experiments
+// use).
+func proposed() []algorithm {
+	return []algorithm{
+		{"WIN", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.WIN(synthWIN, x) }, ls).Invocations
+		}},
+		{"MED", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MED(synthMED, x) }, ls).Invocations
+		}},
+		{"MAX", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MAX(synthMAX, x) }, ls).Invocations
+		}},
+	}
+}
+
+// baselines returns the naive cross-product algorithms.
+func baselines() []algorithm {
+	return []algorithm{
+		{"NWIN", func(ls match.Lists) int { naive.WIN(synthWIN, ls); return 1 }},
+		{"NMED", func(ls match.Lists) int { naive.MED(synthMED, ls); return 1 }},
+		{"NMAX", func(ls match.Lists) int { naive.MAX(synthMAX, ls); return 1 }},
+	}
+}
+
+// timeOver runs an algorithm over every document and returns the total
+// wall-clock time plus the average solver invocations per document.
+func timeOver(alg algorithm, docs []match.Lists) (time.Duration, float64) {
+	start := time.Now()
+	invocations := 0
+	for _, doc := range docs {
+		invocations += alg.run(doc)
+	}
+	return time.Since(start), float64(invocations) / float64(len(docs))
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+// All runs every experiment at the given scale, in paper order.
+func All(o Options) []Table {
+	return []Table{
+		Fig6(o), Fig7(o), Fig8(o), Fig9(o), Fig10(o),
+		Fig11(o), Fig12(o), DBWorld(o),
+	}
+}
+
+// ByID returns the experiment with the given id (fig6..fig12,
+// dbworld), or ok=false.
+func ByID(id string, o Options) (Table, bool) {
+	switch id {
+	case "fig6":
+		return Fig6(o), true
+	case "fig7":
+		return Fig7(o), true
+	case "fig8":
+		return Fig8(o), true
+	case "fig9":
+		return Fig9(o), true
+	case "fig10":
+		return Fig10(o), true
+	case "fig11":
+		return Fig11(o), true
+	case "fig12":
+		return Fig12(o), true
+	case "dbworld":
+		return DBWorld(o), true
+	case "ablations":
+		return Ablations(o), true
+	}
+	return Table{}, false
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseMs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig6ShapeAndTrend(t *testing.T) {
+	tab := Fig6(Quick())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("fig6 has %d rows, want 6 (terms 2..7)", len(tab.Rows))
+	}
+	if len(tab.Columns) != 7 {
+		t.Fatalf("fig6 columns = %v", tab.Columns)
+	}
+	// At 7 terms the naive algorithms must be slower than their fast
+	// counterparts — the paper's headline comparison.
+	last := tab.Rows[len(tab.Rows)-1]
+	for i, fast := range []int{1, 2, 3} {
+		naiveMs := parseMs(t, last[fast+3])
+		fastMs := parseMs(t, last[fast])
+		if naiveMs < fastMs {
+			t.Errorf("fig6 terms=7: %s (%.2fms) faster than %s (%.2fms)",
+				tab.Columns[fast+3], naiveMs, tab.Columns[fast], fastMs)
+		}
+		_ = i
+	}
+}
+
+func TestFig7NaiveGrowsFasterThanProposed(t *testing.T) {
+	tab := Fig7(Quick())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fig7 rows = %d", len(tab.Rows))
+	}
+	// Growth factor from 10 to 40 matches must be larger for the naive
+	// algorithms than for the proposed ones.
+	for col := 1; col <= 3; col++ {
+		fastGrowth := parseMs(t, tab.Rows[3][col]) / (parseMs(t, tab.Rows[0][col]) + 1e-6)
+		naiveGrowth := parseMs(t, tab.Rows[3][col+3]) / (parseMs(t, tab.Rows[0][col+3]) + 1e-6)
+		if naiveGrowth < fastGrowth/4 {
+			t.Errorf("fig7 col %s: naive growth %.1fx vs fast growth %.1fx — expected exponential blowup",
+				tab.Columns[col], naiveGrowth, fastGrowth)
+		}
+	}
+}
+
+func TestFig8InvocationsDecreaseWithLambda(t *testing.T) {
+	tab := Fig8(Quick())
+	if len(tab.Rows) != len(lambdaSweep) {
+		t.Fatalf("fig8 rows = %d", len(tab.Rows))
+	}
+	// Duplicate frequency must fall monotonically with λ.
+	prev := 101.0
+	for _, row := range tab.Rows {
+		freq := parseMs(t, row[1])
+		if freq > prev+5 {
+			t.Errorf("fig8: duplicate frequency rose with lambda: %v", row)
+		}
+		prev = freq
+	}
+	// Invocations at λ=1.0 must exceed invocations at λ=3.0 for every
+	// algorithm, and be at least 1 everywhere.
+	for col := 2; col <= 4; col++ {
+		hi := parseMs(t, tab.Rows[0][col])
+		lo := parseMs(t, tab.Rows[len(tab.Rows)-1][col])
+		if hi < lo {
+			t.Errorf("fig8 %s: invocations grew with lambda (%.2f -> %.2f)", tab.Columns[col], hi, lo)
+		}
+		if lo < 1 {
+			t.Errorf("fig8 %s: invocations below 1", tab.Columns[col])
+		}
+	}
+}
+
+func TestFig9And10Shapes(t *testing.T) {
+	t9 := Fig9(Quick())
+	if len(t9.Rows) != len(lambdaSweep) || len(t9.Columns) != 7 {
+		t.Fatalf("fig9 shape %dx%d", len(t9.Rows), len(t9.Columns))
+	}
+	t10 := Fig10(Quick())
+	if len(t10.Rows) != 4 || len(t10.Columns) != 7 {
+		t.Fatalf("fig10 shape %dx%d", len(t10.Rows), len(t10.Columns))
+	}
+	// At extreme skew the naive algorithms catch up: NWIN at s=4 must
+	// be within a small factor of WIN (the paper: "catching up only
+	// when s=4").
+	winS4 := parseMs(t, t10.Rows[3][1])
+	nwinS4 := parseMs(t, t10.Rows[3][4])
+	nwinS11 := parseMs(t, t10.Rows[0][4])
+	if nwinS4 > nwinS11 {
+		t.Errorf("fig10: NWIN did not improve with skew (%.2f -> %.2f)", nwinS11, nwinS4)
+	}
+	_ = winS4
+}
+
+func TestFig11RespectsWINOmission(t *testing.T) {
+	o := Quick()
+	o.TRECDocs = 30
+	tab := Fig11(o)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig11 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		q := row[0]
+		winCell := row[3]
+		fourTerm := q == "Q1" || q == "Q2"
+		if fourTerm && winCell == "-" {
+			t.Errorf("fig11 %s: WIN should run for 4-term queries", q)
+		}
+		if !fourTerm && winCell != "-" {
+			t.Errorf("fig11 %s: WIN should be omitted for ≤3-term queries", q)
+		}
+	}
+}
+
+func TestFig12AnswerRanks(t *testing.T) {
+	o := Quick()
+	o.TRECDocs = 40
+	tab := Fig12(o)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("fig12 rows = %d", len(tab.Rows))
+	}
+	// The planted answers must rank near the top: the paper reports
+	// rank 1 or 2 everywhere. Allow rank ≤ 3 at reduced scale.
+	for _, row := range tab.Rows {
+		for col := 4; col <= 6; col++ {
+			cell := row[col]
+			if cell == "-" {
+				continue
+			}
+			rankStr := cell
+			if i := strings.IndexByte(cell, '('); i >= 0 {
+				rankStr = cell[:i]
+			}
+			rank, err := strconv.Atoi(rankStr)
+			if err != nil {
+				t.Fatalf("fig12 %s %s: bad rank cell %q", row[0], tab.Columns[col], cell)
+			}
+			if rank > 3 {
+				t.Errorf("fig12 %s: answer rank %d under %s, want ≤3", row[0], rank, tab.Columns[col])
+			}
+		}
+	}
+}
+
+func TestDBWorldTable(t *testing.T) {
+	tab := DBWorld(Quick())
+	if len(tab.Rows) < 9 {
+		t.Fatalf("dbworld rows = %d", len(tab.Rows))
+	}
+	// Average place list must dwarf the other two (the paper: 73.5 vs
+	// ~13), reflecting PC-member affiliations.
+	sizes := tab.Rows[0]
+	conf := parseMs(t, sizes[1])
+	date := parseMs(t, sizes[2])
+	place := parseMs(t, sizes[3])
+	if place < 3*conf || place < 3*date {
+		t.Errorf("dbworld list sizes %v: place should dominate", sizes)
+	}
+	// Extraction accuracy: the paper gets 18/25 fully correct; at
+	// least half must extract correctly here.
+	var winOK string
+	var heuristicFails string
+	for _, row := range tab.Rows {
+		if row[0] == "correct extractions WIN" {
+			winOK = row[1]
+		}
+		if row[0] == "first-date heuristic fails" {
+			heuristicFails = row[1]
+		}
+	}
+	num, den := parseFrac(t, winOK)
+	if num*2 < den {
+		t.Errorf("dbworld WIN extraction accuracy %s below half", winOK)
+	}
+	// The first-date heuristic must fail on the extension messages
+	// (7/25 per the paper's footnote 12).
+	fnum, _ := parseFrac(t, heuristicFails)
+	if fnum < 1 {
+		t.Errorf("first-date heuristic fails = %s, want ≥1 (extensions exist)", heuristicFails)
+	}
+}
+
+func parseFrac(t *testing.T, s string) (num, den int) {
+	t.Helper()
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		t.Fatalf("bad fraction %q", s)
+	}
+	num, _ = strconv.Atoi(parts[0])
+	den, _ = strconv.Atoi(parts[1])
+	return num, den
+}
+
+func TestByIDAndAll(t *testing.T) {
+	o := Quick()
+	o.SynthDocs = 10
+	o.TRECDocs = 10
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "dbworld"} {
+		tab, ok := ByID(id, o)
+		if !ok {
+			t.Fatalf("ByID(%q) not found", id)
+		}
+		if tab.ID != id {
+			t.Errorf("ByID(%q).ID = %q", id, tab.ID)
+		}
+		if txt := tab.Text(); !strings.Contains(txt, id) {
+			t.Errorf("Text() missing id header for %s", id)
+		}
+		if csv := tab.CSV(); !strings.Contains(csv, ",") {
+			t.Errorf("CSV() malformed for %s", id)
+		}
+	}
+	if _, ok := ByID("nope", o); ok {
+		t.Error("ByID(nope) found something")
+	}
+}
+
+func TestBenchHelpers(t *testing.T) {
+	o := Quick()
+	o.SynthDocs = 5
+	o.TRECDocs = 5
+	docs := SynthWorkload(o, 3, 20, 1.5, 2.0)
+	if len(docs) != 5 {
+		t.Fatalf("SynthWorkload returned %d docs", len(docs))
+	}
+	for _, d := range docs {
+		if len(d) != 3 || d.TotalSize() != 20 {
+			t.Fatalf("workload shape wrong: %d lists, %d matches", len(d), d.TotalSize())
+		}
+	}
+	if inv := RunSynth("MED", docs); inv < len(docs) {
+		t.Errorf("RunSynth invocations = %d, want at least one per doc", inv)
+	}
+	ws := TRECWorkloads(o)
+	if len(ws) != 7 {
+		t.Fatalf("TRECWorkloads returned %d topics", len(ws))
+	}
+	if ws[0].ID != "Q1" || ws[0].Terms != 4 {
+		t.Errorf("first workload = %+v", ws[0])
+	}
+	if inv := RunTREC("MAX", ws[0].Docs); inv < 1 {
+		t.Errorf("RunTREC invocations = %d", inv)
+	}
+	db := DBWorldWorkload(o)
+	if len(db) != o.DBWorldMsgs {
+		t.Fatalf("DBWorldWorkload returned %d docs", len(db))
+	}
+	if inv := RunDBWorld("WIN", db); inv < len(db) {
+		t.Errorf("RunDBWorld invocations = %d", inv)
+	}
+}
+
+func TestRunUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RunSynth did not panic on unknown algorithm")
+		}
+	}()
+	RunSynth("NOPE", nil)
+}
+
+func TestAblationsTable(t *testing.T) {
+	o := Quick()
+	o.SynthDocs = 20
+	tab, ok := ByID("ablations", o)
+	if !ok {
+		t.Fatal("ablations experiment not registered")
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("ablations has %d rows, want 12", len(tab.Rows))
+	}
+	// Pruned dedup search must never need more invocations than plain.
+	var plain, pruned float64
+	for _, row := range tab.Rows {
+		if row[0] == "dedup search (lambda=1.5)" {
+			switch row[1] {
+			case "plain":
+				plain = parseMs(t, row[3])
+			case "prune+memo":
+				pruned = parseMs(t, row[3])
+			}
+		}
+	}
+	if pruned > plain {
+		t.Errorf("prune+memo invocations %.2f exceed plain %.2f", pruned, plain)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bestjoin/internal/synth"
+)
+
+// synthDataset materializes one synthetic dataset (match-list
+// generation is excluded from all timings).
+func synthDataset(o Options, mutate func(*synth.Config)) *synth.Dataset {
+	cfg := synth.DefaultConfig()
+	cfg.Docs = o.SynthDocs
+	cfg.Seed = o.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return synth.Generate(cfg)
+}
+
+// Fig6 reproduces Figure 6: total execution time over the dataset when
+// the number of query terms grows from 2 to 7. The proposed algorithms
+// stay near-flat while the naive ones explode combinatorially.
+func Fig6(o Options) Table {
+	t := Table{
+		ID:      "fig6",
+		Title:   "execution time (ms) vs number of query terms",
+		Columns: []string{"terms", "WIN", "MED", "MAX", "NWIN", "NMED", "NMAX"},
+	}
+	for terms := 2; terms <= 7; terms++ {
+		ds := synthDataset(o, func(c *synth.Config) { c.Terms = terms })
+		row := []string{fmt.Sprintf("%d", terms)}
+		for _, alg := range append(proposed(), baselines()...) {
+			d, _ := timeOver(alg, ds.Docs)
+			row = append(row, ms(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: execution time when the total size of the
+// match lists per document grows from 10 to 40.
+func Fig7(o Options) Table {
+	t := Table{
+		ID:      "fig7",
+		Title:   "execution time (ms) vs total match-list size per document",
+		Columns: []string{"matches", "WIN", "MED", "MAX", "NWIN", "NMED", "NMAX"},
+	}
+	for _, matches := range []int{10, 20, 30, 40} {
+		ds := synthDataset(o, func(c *synth.Config) { c.Matches = matches })
+		row := []string{fmt.Sprintf("%d", matches)}
+		for _, alg := range append(proposed(), baselines()...) {
+			d, _ := timeOver(alg, ds.Docs)
+			row = append(row, ms(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// lambdaSweep is the λ range of Figures 8 and 9; duplicate frequency
+// falls from ~60% at λ=1.0 to ~10% at λ=3.0.
+var lambdaSweep = []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+
+// Fig8 reproduces Figure 8: how many times the duplicate-unaware
+// algorithms are executed per document as λ varies (the cost of the
+// Section VI duplicate-handling method).
+func Fig8(o Options) Table {
+	t := Table{
+		ID:      "fig8",
+		Title:   "duplicate-unaware solver invocations per document vs lambda",
+		Columns: []string{"lambda", "dupFreq%", "WIN", "MED", "MAX"},
+	}
+	for _, lambda := range lambdaSweep {
+		ds := synthDataset(o, func(c *synth.Config) { c.Lambda = lambda })
+		row := []string{fmt.Sprintf("%.1f", lambda), fmt.Sprintf("%.1f", 100*ds.DuplicateFrequency())}
+		for _, alg := range proposed() {
+			_, inv := timeOver(alg, ds.Docs)
+			row = append(row, fmt.Sprintf("%.2f", inv))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig9 reproduces Figure 9: execution time as the duplicate frequency
+// decreases (λ from 1.0 to 3.0).
+func Fig9(o Options) Table {
+	t := Table{
+		ID:      "fig9",
+		Title:   "execution time (ms) vs lambda (duplicate frequency)",
+		Columns: []string{"lambda", "WIN", "MED", "MAX", "NWIN", "NMED", "NMAX"},
+	}
+	for _, lambda := range lambdaSweep {
+		ds := synthDataset(o, func(c *synth.Config) { c.Lambda = lambda })
+		row := []string{fmt.Sprintf("%.1f", lambda)}
+		for _, alg := range append(proposed(), baselines()...) {
+			d, _ := timeOver(alg, ds.Docs)
+			row = append(row, ms(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig10 reproduces Figure 10: execution time as the Zipf skew s in the
+// term popularities increases. The naive algorithms improve with skew
+// (fewer possible matchsets) and catch up only at extreme skew (s=4),
+// where all lists but one have size ~1.
+func Fig10(o Options) Table {
+	t := Table{
+		ID:      "fig10",
+		Title:   "execution time (ms) vs Zipf skew of term popularity",
+		Columns: []string{"s", "WIN", "MED", "MAX", "NWIN", "NMED", "NMAX"},
+	}
+	for _, s := range []float64{1.1, 2.0, 3.0, 4.0} {
+		ds := synthDataset(o, func(c *synth.Config) { c.ZipfS = s })
+		row := []string{fmt.Sprintf("%.1f", s)}
+		for _, alg := range append(proposed(), baselines()...) {
+			d, _ := timeOver(alg, ds.Docs)
+			row = append(row, ms(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

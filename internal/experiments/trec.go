@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bestjoin/internal/corpus"
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/join"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/match"
+	"bestjoin/internal/matcher"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/scorefn"
+	"bestjoin/internal/synth"
+	"bestjoin/internal/text"
+)
+
+// The TREC/DBWorld scoring functions from the paper's footnote 9:
+// WIN g(x)=x/0.3, f(x,y)=x−y; MED g(x)=x/0.3, f(x)=x; MAX is equation
+// (5) with α=0.1.
+var (
+	trecWIN = scorefn.LinearWIN{Scale: 0.3}
+	trecMED = scorefn.LinearMED{Scale: 0.3}
+	trecMAX = scorefn.SumMAX{Alpha: 0.1}
+)
+
+// trecInstance is one materialized TREC topic: per-document match
+// lists (matching time excluded from all timings, as in the paper) and
+// the identity of the answer document.
+type trecInstance struct {
+	query     corpus.TRECQuery
+	docs      []match.Lists
+	answerDoc int
+}
+
+// trecInstances synthesizes and materializes all seven topics.
+func trecInstances(o Options) []trecInstance {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	queries := corpus.TRECQueries()
+	out := make([]trecInstance, len(queries))
+	for i, q := range queries {
+		ds := corpus.GenerateTREC(q, o.TRECDocs, o.Seed+int64(i))
+		ms := q.Matchers(g, gz)
+		inst := trecInstance{query: q, answerDoc: ds.AnswerDoc}
+		for _, d := range ds.Docs {
+			inst.docs = append(inst.docs, matcher.Compile(text.Tokenize(d.Text), ms))
+		}
+		out[i] = inst
+	}
+	return out
+}
+
+// trecAlgorithms returns the contenders of Figure 11 under the TREC
+// scoring functions.
+func trecAlgorithms() []algorithm {
+	return []algorithm{
+		{"MED", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MED(trecMED, x) }, ls).Invocations
+		}},
+		{"MAX", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MAX(trecMAX, x) }, ls).Invocations
+		}},
+		{"WIN", func(ls match.Lists) int {
+			return dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.WIN(trecWIN, x) }, ls).Invocations
+		}},
+		{"NWIN", func(ls match.Lists) int { naive.WIN(trecWIN, ls); return 1 }},
+		{"NMED", func(ls match.Lists) int { naive.MED(trecMED, ls); return 1 }},
+		{"NMAX", func(ls match.Lists) int { naive.MAX(trecMAX, ls); return 1 }},
+	}
+}
+
+// Fig11 reproduces Figure 11: per-query execution times over the TREC
+// topics. As in the paper, WIN is only run for queries with four or
+// more terms — for three terms or fewer the WIN and MED scoring
+// functions are identical, so MED is invoked instead and the WIN cell
+// is marked "-".
+func Fig11(o Options) Table {
+	t := Table{
+		ID:      "fig11",
+		Title:   "execution time (ms) per TREC query",
+		Columns: []string{"query", "MED", "MAX", "WIN", "NWIN", "NMED", "NMAX"},
+	}
+	for _, inst := range trecInstances(o) {
+		row := []string{inst.query.ID}
+		for _, alg := range trecAlgorithms() {
+			if alg.name == "WIN" && len(inst.query.Terms) <= 3 {
+				row = append(row, "-")
+				continue
+			}
+			d, _ := timeOver(alg, inst.docs)
+			row = append(row, ms(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig12 reproduces the table in Figure 12: per query, the measured
+// average match-list sizes, the average number of duplicate matches
+// per document, and the answer rank under each scoring function (the
+// rank of the answer document when documents are ordered by their best
+// matchset score; ties at that rank are shown in brackets).
+func Fig12(o Options) Table {
+	t := Table{
+		ID:    "fig12",
+		Title: "TREC query statistics and answer ranks",
+		Columns: []string{
+			"query", "terms", "list sizes", "#dups", "MED", "MAX", "WIN",
+		},
+	}
+	for _, inst := range trecInstances(o) {
+		nDocs := float64(len(inst.docs))
+		sizes := make([]float64, len(inst.query.Terms))
+		dups := 0.0
+		for _, doc := range inst.docs {
+			for j, l := range doc {
+				sizes[j] += float64(len(l))
+			}
+			d, _ := synth.CountDuplicates(doc)
+			dups += float64(d)
+		}
+		sizeCells := "("
+		for j := range sizes {
+			if j > 0 {
+				sizeCells += " "
+			}
+			sizeCells += fmt.Sprintf("%.1f", sizes[j]/nDocs)
+		}
+		sizeCells += ")"
+
+		row := []string{
+			inst.query.ID,
+			fmt.Sprintf("%d", len(inst.query.Terms)),
+			sizeCells,
+			fmt.Sprintf("%.1f", dups/nDocs),
+		}
+		for _, fn := range []string{"MED", "MAX", "WIN"} {
+			if fn == "WIN" && len(inst.query.Terms) <= 3 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, rankCell(inst, fn))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// rankCell computes the answer document's rank under one scoring
+// function, formatted as "r" or "r(k)" when k documents tie at that
+// rank.
+func rankCell(inst trecInstance, fn string) string {
+	scores := make([]float64, len(inst.docs))
+	ok := make([]bool, len(inst.docs))
+	for i, doc := range inst.docs {
+		var r dedup.Result
+		switch fn {
+		case "MED":
+			r = dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MED(trecMED, x) }, doc)
+		case "MAX":
+			r = dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.MAX(trecMAX, x) }, doc)
+		case "WIN":
+			r = dedup.Best(func(x match.Lists) (match.Set, float64, bool) { return join.WIN(trecWIN, x) }, doc)
+		}
+		scores[i], ok[i] = r.Score, r.OK
+	}
+	if !ok[inst.answerDoc] {
+		return "none"
+	}
+	rank, ties := answerRank(scores, ok, inst.answerDoc)
+	if ties > 1 {
+		return fmt.Sprintf("%d(%d)", rank, ties)
+	}
+	return fmt.Sprintf("%d", rank)
+}
+
+// answerRank returns the 1-based rank of the answer document (number
+// of strictly better documents + 1) and the number of documents tied
+// at its score.
+func answerRank(scores []float64, ok []bool, answer int) (rank, ties int) {
+	const eps = 1e-9
+	target := scores[answer]
+	rank, ties = 1, 0
+	for i := range scores {
+		if !ok[i] {
+			continue
+		}
+		switch {
+		case scores[i] > target+eps:
+			rank++
+		case math.Abs(scores[i]-target) <= eps:
+			ties++
+		}
+	}
+	return rank, ties
+}
+
+// trecTotalTime is a convenience for benchmarks: total time of one
+// algorithm over one query's documents.
+func trecTotalTime(inst trecInstance, alg algorithm) time.Duration {
+	d, _ := timeOver(alg, inst.docs)
+	return d
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShowTables(t *testing.T) {
+	o := Options{SynthDocs: 200, TRECDocs: 200, DBWorldMsgs: 25, Seed: 1}
+	for _, tab := range All(o) {
+		fmt.Println(tab.Text())
+	}
+}

@@ -1,0 +1,99 @@
+// Package gazetteer is the repository's stand-in for the GeoWorldMap
+// place database the paper uses in its DBWorld experiment ("if a term
+// can be found in the GeoWorldMap database, we consider it a match
+// with score 1"). It embeds a table of city, country and region names;
+// lookups are by single lower-cased token.
+//
+// Like the lexicon substitute, only the shape of the resulting match
+// lists matters to the join algorithms, not geographic completeness.
+package gazetteer
+
+import "strings"
+
+// Gazetteer answers is-this-a-place queries.
+type Gazetteer struct {
+	places map[string]bool
+}
+
+// New returns a gazetteer over the given place names (single tokens,
+// matched case-insensitively).
+func New(places ...string) *Gazetteer {
+	g := &Gazetteer{places: make(map[string]bool, len(places))}
+	for _, p := range places {
+		g.places[strings.ToLower(p)] = true
+	}
+	return g
+}
+
+// Contains reports whether the token names a place.
+func (g *Gazetteer) Contains(token string) bool {
+	return g.places[strings.ToLower(token)]
+}
+
+// Size returns the number of known places.
+func (g *Gazetteer) Size() int { return len(g.places) }
+
+// Builtin returns the embedded place table: a few hundred cities,
+// countries and regions, biased toward the kind of names that appear
+// in conference CFPs (venues and PC-member affiliations) and in the
+// paper's TREC queries.
+func Builtin() *Gazetteer {
+	return New(
+		// Countries.
+		"italy", "france", "germany", "spain", "portugal", "greece",
+		"england", "scotland", "ireland", "wales", "britain", "uk",
+		"usa", "america", "canada", "mexico", "brazil", "argentina",
+		"chile", "peru", "colombia", "venezuela", "china", "japan",
+		"korea", "india", "pakistan", "vietnam", "thailand",
+		"singapore", "malaysia", "indonesia", "philippines",
+		"australia", "zealand", "russia", "poland", "hungary",
+		"austria", "switzerland", "belgium", "netherlands", "holland",
+		"denmark", "norway", "sweden", "finland", "iceland", "turkey",
+		"israel", "lebanon", "egypt", "morocco", "tunisia", "kenya",
+		"nigeria", "ghana", "africa", "iran", "iraq", "jordan",
+		"cyprus", "croatia", "serbia", "slovenia", "slovakia",
+		"romania", "bulgaria", "estonia", "latvia", "lithuania",
+		"ukraine", "czech", "taiwan", "qatar", "emirates",
+		// Cities common in CFPs and the paper's examples.
+		"rome", "milan", "turin", "pisa", "florence", "venice",
+		"naples", "bologna", "paris", "lyon", "nice", "marseille",
+		"berlin", "munich", "hamburg", "frankfurt", "cologne",
+		"dresden", "madrid", "barcelona", "seville", "valencia",
+		"lisbon", "porto", "athens", "london", "oxford", "cambridge",
+		"manchester", "edinburgh", "glasgow", "dublin", "cardiff",
+		"york", "boston", "chicago", "seattle", "portland", "denver",
+		"austin", "dallas", "houston", "phoenix", "atlanta", "miami",
+		"orlando", "philadelphia", "pittsburgh", "baltimore",
+		"washington", "francisco", "angeles", "diego", "jose",
+		"vancouver", "toronto", "montreal", "ottawa", "quebec",
+		"calgary", "beijing", "shanghai", "shenzhen", "guangzhou",
+		"hangzhou", "nanjing", "jingdezhen", "hong", "kong", "macau",
+		"tokyo", "osaka", "kyoto", "nagoya", "seoul", "busan",
+		"taipei", "delhi", "mumbai", "bangalore", "chennai",
+		"hyderabad", "kolkata", "bangkok", "hanoi", "saigon",
+		"jakarta", "manila", "sydney", "melbourne", "brisbane",
+		"perth", "auckland", "wellington", "moscow", "petersburg",
+		"warsaw", "krakow", "budapest", "vienna", "salzburg",
+		"zurich", "geneva", "basel", "bern", "lausanne", "brussels",
+		"antwerp", "amsterdam", "rotterdam", "utrecht", "eindhoven",
+		"copenhagen", "aarhus", "oslo", "bergen", "stockholm",
+		"gothenburg", "uppsala", "helsinki", "espoo", "reykjavik",
+		"istanbul", "ankara", "izmir", "jerusalem", "haifa",
+		"cairo", "beirut", "amman", "dubai", "doha", "riyadh",
+		"nairobi", "lagos", "cape", "johannesburg", "casablanca",
+		"tunis", "lima", "bogota", "santiago", "buenos", "aires",
+		"paulo", "janeiro", "brasilia", "havana", "kingston",
+		"ljubljana", "zagreb", "belgrade", "bucharest", "sofia",
+		"tallinn", "riga", "vilnius", "kiev", "prague", "brno",
+		"bratislava", "beijing", "xian", "chengdu", "wuhan",
+		// US states and regions that appear as venue qualifiers.
+		"california", "texas", "florida", "virginia", "maryland",
+		"oregon", "arizona", "colorado", "illinois", "michigan",
+		"wisconsin", "minnesota", "georgia", "carolina", "tennessee",
+		"alabama", "louisiana", "utah", "nevada", "hawaii", "alaska",
+		"massachusetts", "pennsylvania", "jersey", "ohio", "indiana",
+		"iowa", "kansas", "missouri", "nebraska", "oklahoma",
+		"kentucky", "arkansas", "mississippi", "montana", "idaho",
+		"wyoming", "vermont", "maine", "connecticut", "delaware",
+	)
+}

@@ -1,0 +1,34 @@
+package gazetteer
+
+import "testing"
+
+func TestContainsCaseInsensitive(t *testing.T) {
+	g := New("Turin", "beijing")
+	for _, w := range []string{"turin", "Turin", "TURIN", "beijing", "Beijing"} {
+		if !g.Contains(w) {
+			t.Errorf("Contains(%q) = false", w)
+		}
+	}
+	if g.Contains("nowhere") {
+		t.Error("Contains(nowhere) = true")
+	}
+}
+
+func TestBuiltinCoverage(t *testing.T) {
+	g := Builtin()
+	if g.Size() < 250 {
+		t.Errorf("builtin gazetteer has only %d places", g.Size())
+	}
+	// Places from the paper's running examples must be present.
+	for _, w := range []string{"turin", "italy", "beijing", "china", "jingdezhen", "lebanon", "pisa"} {
+		if !g.Contains(w) {
+			t.Errorf("builtin missing %q", w)
+		}
+	}
+	// Ordinary words must not be places.
+	for _, w := range []string{"conference", "deadline", "the", "paper"} {
+		if g.Contains(w) {
+			t.Errorf("builtin wrongly contains %q", w)
+		}
+	}
+}

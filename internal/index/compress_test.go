@@ -1,0 +1,143 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]Posting{
+		nil,
+		{{Doc: 0, Pos: 0}},
+		{{Doc: 0, Pos: 0}, {Doc: 0, Pos: 1}, {Doc: 0, Pos: 100}},
+		{{Doc: 3, Pos: 7}, {Doc: 3, Pos: 9}, {Doc: 12, Pos: 0}, {Doc: 500, Pos: 499}},
+	}
+	for _, ps := range cases {
+		got, err := DecodePostings(EncodePostings(ps))
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", ps, err)
+		}
+		if len(got) != len(ps) {
+			t.Fatalf("round trip of %v returned %v", ps, got)
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("round trip of %v returned %v", ps, got)
+			}
+		}
+	}
+}
+
+// Property: encode∘decode is the identity on any sorted posting list.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := make([]Posting, int(n))
+		for i := range ps {
+			ps[i] = Posting{Doc: rng.Intn(50), Pos: rng.Intn(1000)}
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Doc != ps[j].Doc {
+				return ps[i].Doc < ps[j].Doc
+			}
+			return ps[i].Pos < ps[j].Pos
+		})
+		// Deduplicate identical (doc,pos) pairs — deltas of zero are
+		// legal but equality comparison needs unique entries.
+		uniq := ps[:0]
+		for i, p := range ps {
+			if i == 0 || p != ps[i-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		got, err := DecodePostings(EncodePostings(uniq))
+		if err != nil || len(got) != len(uniq) {
+			return false
+		}
+		for i := range uniq {
+			if got[i] != uniq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	valid := EncodePostings([]Posting{{Doc: 1, Pos: 2}, {Doc: 1, Pos: 9}})
+	// Truncations must error, not panic or return garbage silently.
+	for cut := 1; cut < len(valid); cut++ {
+		if _, err := DecodePostings(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded without error", cut)
+		}
+	}
+	// Trailing garbage must error.
+	if _, err := DecodePostings(append(append([]byte{}, valid...), 0x1)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+}
+
+func TestCompactMatchesIndex(t *testing.T) {
+	ix := New()
+	docs := []string{
+		"lenovo partners with the nba in a new deal",
+		"dell announced a partnership with the olympics",
+		"lenovo again lenovo and dell in beijing",
+	}
+	for i, d := range docs {
+		ix.AddText(i, d)
+	}
+	c := ix.Compact()
+	if c.Docs() != ix.Docs() {
+		t.Errorf("Docs: compact %d, index %d", c.Docs(), ix.Docs())
+	}
+	for _, word := range []string{"lenovo", "dell", "partnership", "nba", "missing"} {
+		a, b := ix.Postings(word), c.Postings(word)
+		if len(a) != len(b) {
+			t.Fatalf("%q: compact %v, index %v", word, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: compact %v, index %v", word, b, a)
+			}
+		}
+	}
+	concept := Concept{"lenovo": 0.9, "dell": 0.8}
+	for doc := 0; doc < 3; doc++ {
+		a, b := ix.ConceptList(doc, concept), c.ConceptList(doc, concept)
+		if len(a) != len(b) {
+			t.Fatalf("doc %d: concept lists differ: %v vs %v", doc, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("doc %d: concept lists differ: %v vs %v", doc, a, b)
+			}
+		}
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	ix := New()
+	// A realistic posting distribution: a frequent word across many
+	// documents.
+	for d := 0; d < 200; d++ {
+		body := ""
+		for k := 0; k < 30; k++ {
+			body += "conference filler words here and more conference talk "
+		}
+		ix.AddText(d, body)
+	}
+	c := ix.Compact()
+	raw := 0
+	for _, word := range []string{"conference", "filler", "words", "here", "and", "more", "talk"} {
+		raw += len(ix.Postings(word)) * 16 // two machine words per posting
+	}
+	if c.Bytes() >= raw/3 {
+		t.Errorf("compressed %d bytes vs raw %d: expected at least 3x compression", c.Bytes(), raw)
+	}
+}

@@ -1,0 +1,46 @@
+package index
+
+import "testing"
+
+// FuzzDecodePostings ensures posting decompression never panics on
+// arbitrary bytes and that accepted inputs round-trip.
+func FuzzDecodePostings(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePostings([]Posting{{Doc: 0, Pos: 0}}))
+	f.Add(EncodePostings([]Posting{{Doc: 1, Pos: 3}, {Doc: 1, Pos: 9}, {Doc: 7, Pos: 2}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodePostings(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodePostings(EncodePostings(ps))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(ps) {
+			t.Fatalf("round trip changed posting count")
+		}
+		for i := range ps {
+			if ps[i] != again[i] {
+				t.Fatalf("round trip changed posting %d", i)
+			}
+		}
+	})
+}
+
+// FuzzLoadCompact ensures index deserialization never panics.
+func FuzzLoadCompact(f *testing.F) {
+	ix := New()
+	ix.AddText(0, "alpha beta gamma")
+	f.Add(ix.Compact().Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := LoadCompact(data)
+		if err != nil {
+			return
+		}
+		// A loaded index must be queryable without panicking.
+		_ = c.Postings("alpha")
+		_ = c.Docs()
+	})
+}

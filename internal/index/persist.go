@@ -1,0 +1,83 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Persistence for compacted indexes: a Compact serializes to a single
+// byte buffer (and back) so precomputed indexes can be stored on disk
+// or shipped between processes.
+//
+// Layout: varint(docs), varint(#terms), then per term (sorted by stem
+// for determinism) varint(len(stem)) stem varint(len(postings))
+// postings — where postings is the already-varint-packed posting
+// buffer of compress.go.
+
+// Marshal serializes the compacted index.
+func (c *Compact) Marshal() []byte {
+	stems := make([]string, 0, len(c.postings))
+	for s := range c.postings {
+		stems = append(stems, s)
+	}
+	sort.Strings(stems)
+	buf := binary.AppendUvarint(nil, uint64(c.docs))
+	buf = binary.AppendUvarint(buf, uint64(len(stems)))
+	for _, s := range stems {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+		p := c.postings[s]
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// LoadCompact deserializes a Marshal buffer.
+func LoadCompact(b []byte) (*Compact, error) {
+	docs, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt docs header")
+	}
+	b = b[n:]
+	nTerms, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt term count")
+	}
+	b = b[n:]
+	// Each term costs at least 3 bytes (stem length, one stem byte,
+	// posting length); reject counts the buffer cannot hold so corrupt
+	// input cannot drive huge allocations.
+	if nTerms > uint64(len(b))/3+1 {
+		return nil, fmt.Errorf("index: term count %d exceeds buffer", nTerms)
+	}
+	c := &Compact{postings: make(map[string][]byte, nTerms), docs: int(docs)}
+	for i := uint64(0); i < nTerms; i++ {
+		slen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < slen {
+			return nil, fmt.Errorf("index: corrupt stem %d", i)
+		}
+		b = b[n:]
+		stem := string(b[:slen])
+		b = b[slen:]
+		plen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < plen {
+			return nil, fmt.Errorf("index: corrupt postings for %q", stem)
+		}
+		b = b[n:]
+		postings := make([]byte, plen)
+		copy(postings, b[:plen])
+		b = b[plen:]
+		// Validate eagerly so a corrupt load fails here, not at query
+		// time.
+		if _, err := DecodePostings(postings); err != nil {
+			return nil, fmt.Errorf("index: invalid postings for %q: %v", stem, err)
+		}
+		c.postings[stem] = postings
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes", len(b))
+	}
+	return c, nil
+}

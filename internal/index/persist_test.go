@@ -1,0 +1,54 @@
+package index
+
+import "testing"
+
+func TestMarshalLoadRoundTrip(t *testing.T) {
+	ix := New()
+	ix.AddText(0, "lenovo partners with the nba in a new deal")
+	ix.AddText(1, "dell announced a partnership with the olympics")
+	ix.AddText(5, "sparse doc id space works too")
+	c := ix.Compact()
+
+	loaded, err := LoadCompact(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Docs() != c.Docs() {
+		t.Errorf("Docs = %d, want %d", loaded.Docs(), c.Docs())
+	}
+	for _, word := range []string{"lenovo", "dell", "partnership", "sparse", "missing"} {
+		a, b := c.Postings(word), loaded.Postings(word)
+		if len(a) != len(b) {
+			t.Fatalf("%q: loaded %v, original %v", word, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: loaded %v, original %v", word, b, a)
+			}
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	ix := New()
+	ix.AddText(0, "alpha beta gamma delta epsilon zeta")
+	c := ix.Compact()
+	a, b := c.Marshal(), c.Marshal()
+	if string(a) != string(b) {
+		t.Error("Marshal is not deterministic")
+	}
+}
+
+func TestLoadCompactCorrupt(t *testing.T) {
+	ix := New()
+	ix.AddText(0, "some words here")
+	valid := ix.Compact().Marshal()
+	for cut := 1; cut < len(valid); cut++ {
+		if _, err := LoadCompact(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d loaded without error", cut)
+		}
+	}
+	if _, err := LoadCompact(append(append([]byte{}, valid...), 9)); err == nil {
+		t.Error("trailing byte loaded without error")
+	}
+}

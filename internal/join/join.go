@@ -1,0 +1,27 @@
+// Package join implements the paper's core contribution: algorithms
+// for the overall-best-matchset problem (Definition 2) under the three
+// scoring-function families, with running times linear in the total
+// size of the match lists:
+//
+//   - WIN: Algorithm 1, dynamic programming over query-term subsets,
+//     O(2^|Q| · Σ|Lj|) time and O(|Q| · 2^|Q|) space (Section III);
+//   - MED: Algorithm 2, dominating-match precomputation plus a single
+//     median-anchored scan, O(|Q| · Σ|Lj|) time (Section IV);
+//   - MAX: the efficient specialized algorithm for at-most-one-crossing,
+//     maximized-at-match scoring functions, O(|Q| · Σ|Lj|) time, plus
+//     the general envelope-based approach (Section V).
+//
+// All functions take match lists sorted by location (one per query
+// term) and return a highest-scoring matchset with its score; ok is
+// false when no matchset exists (some list is empty).
+package join
+
+import "bestjoin/internal/match"
+
+// Result bundles a best matchset with its score, for callers that
+// carry results around (the experiment harness, the dedup wrapper).
+type Result struct {
+	Set   match.Set
+	Score float64
+	OK    bool
+}

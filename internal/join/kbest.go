@@ -1,0 +1,144 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// KBestWIN returns the k highest-scoring distinct matchsets under a
+// WIN scoring function, best first — the k-best generalization of
+// Algorithm 1. Fewer than k are returned when fewer matchsets exist.
+//
+// The generalization keeps, per query-term subset P, the k best
+// partial P-matchsets instead of one. Its soundness rests on the same
+// optimal substructure property that powers Algorithm 1, in two ways:
+//
+//   - order invariance: for two partial matchsets in the same list,
+//     advancing the current location adds the same δ to both window
+//     terms, so their relative order never changes — each state's list
+//     stays sorted without re-sorting;
+//   - k-best soundness: the i-th best P-matchset at location l either
+//     excludes the newest match (then it was among the i best at the
+//     previous location) or includes it (then its reduction was among
+//     the i best (P∖{q})-matchsets, because extension preserves
+//     order). Hence per-state k-lists merged from the predecessor
+//     k-lists are exact.
+//
+// Every matchset is assembled exactly once — at the step processing
+// its largest-location match, where its evaluation equals its true WIN
+// score — so collecting the newly created full-query entries at each
+// step and keeping the global top k yields the k best distinct
+// matchsets.
+//
+// Time O(k·2^|Q|·Σ|Lj|), space O(k·|Q|·2^|Q|). KBestWIN panics if the
+// query has more than MaxWINTerms terms.
+func KBestWIN(fn scorefn.WIN, lists match.Lists, k int) []Result {
+	q := len(lists)
+	if q > MaxWINTerms {
+		panic(fmt.Sprintf("join: KBestWIN supports at most %d query terms, got %d", MaxWINTerms, q))
+	}
+	if k <= 0 || !lists.Complete() {
+		return nil
+	}
+	full := 1<<q - 1
+
+	type entry struct {
+		set  *winNode
+		gsum float64
+		lmin int
+	}
+	// states[mask] holds up to k partial matchsets, sorted by score at
+	// the current location, best first.
+	states := make([][]entry, 1<<q)
+
+	// Global top-k candidates (true scores), maintained as a sorted
+	// slice — k is small.
+	type candidate struct {
+		set   *winNode
+		score float64
+	}
+	var top []candidate
+	record := func(set *winNode, score float64) {
+		if len(top) == k && score <= top[k-1].score {
+			return
+		}
+		i := sort.Search(len(top), func(i int) bool { return top[i].score < score })
+		top = append(top, candidate{})
+		copy(top[i+1:], top[i:])
+		top[i] = candidate{set: set, score: score}
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+
+	scratch := make([]entry, 0, 2*k)
+	match.Merge(lists, func(ev match.Event) bool {
+		j, m := ev.Term, ev.M
+		g := fn.G(j, m.Score)
+		l := m.Loc
+		bit := 1 << j
+		rest := full &^ bit
+		for s := rest; ; s = (s - 1) & rest {
+			mask := s | bit
+			// The extensions: the subset's k-list entries (or the bare
+			// match when P={q_j}) each extended with m, in order.
+			var exts []entry
+			if s == 0 {
+				exts = []entry{{set: &winNode{term: j, m: m}, gsum: g, lmin: l}}
+			} else {
+				base := states[s]
+				exts = make([]entry, len(base))
+				for i, e := range base {
+					exts[i] = entry{
+						set:  &winNode{term: j, m: m, prev: e.set},
+						gsum: e.gsum + g,
+						lmin: e.lmin,
+					}
+				}
+			}
+			// Merge the carried-over list with the extensions; both are
+			// sorted by score at l, and their union is distinct (only
+			// extensions contain m).
+			old := states[mask]
+			merged := scratch[:0]
+			oi, ei := 0, 0
+			for len(merged) < k && (oi < len(old) || ei < len(exts)) {
+				switch {
+				case oi == len(old):
+					merged = append(merged, exts[ei])
+					ei++
+				case ei == len(exts):
+					merged = append(merged, old[oi])
+					oi++
+				case fn.F(old[oi].gsum, float64(l-old[oi].lmin)) >= fn.F(exts[ei].gsum, float64(l-exts[ei].lmin)):
+					merged = append(merged, old[oi])
+					oi++
+				default:
+					merged = append(merged, exts[ei])
+					ei++
+				}
+			}
+			states[mask] = append(old[:0], merged...)
+			// Newly created full-query matchsets carry their true score
+			// here (l is their largest location).
+			if mask == full {
+				for _, e := range exts[:min(len(exts), k)] {
+					record(e.set, fn.F(e.gsum, float64(l-e.lmin)))
+				}
+			}
+			if s == 0 {
+				break
+			}
+		}
+		return true
+	})
+
+	out := make([]Result, len(top))
+	for i, c := range top {
+		out[i] = Result{Set: c.set.toSet(q), Score: c.score, OK: true}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// exhaustiveTopK enumerates every matchset and returns the k best
+// scores, best first.
+func exhaustiveTopK(fn scorefn.WIN, lists match.Lists, k int) []float64 {
+	var scores []float64
+	naive.ForEach(lists, func(s match.Set) {
+		scores = append(scores, scorefn.ScoreWIN(fn, s))
+	})
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if k < len(scores) {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+func TestKBestWINMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	fns := map[string]scorefn.WIN{
+		"ExpWIN":    scorefn.ExpWIN{Alpha: 0.15},
+		"LinearWIN": scorefn.LinearWIN{Scale: 0.3},
+	}
+	for name, fn := range fns {
+		for trial := 0; trial < 400; trial++ {
+			lists := randinst.Lists(rng, randinst.Config{
+				Terms: 1 + rng.Intn(4), MaxPerList: 4, MaxLoc: 60, AllowTies: trial%2 == 0,
+			})
+			k := 1 + rng.Intn(6)
+			got := KBestWIN(fn, lists, k)
+			want := exhaustiveTopK(fn, lists, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: returned %d results, want %d\nlists %v", name, k, len(got), len(want), lists)
+			}
+			for i := range want {
+				if math.Abs(got[i].Score-want[i]) > 1e-9 {
+					t.Fatalf("%s k=%d: rank %d score %v, want %v\nlists %v", name, k, i, got[i].Score, want[i], lists)
+				}
+				// Reported scores must match the returned sets.
+				if sc := scorefn.ScoreWIN(fn, got[i].Set); math.Abs(sc-got[i].Score) > 1e-9 {
+					t.Fatalf("%s: rank %d reported %v but set scores %v", name, i, got[i].Score, sc)
+				}
+			}
+			// Results must be distinct matchsets.
+			seen := map[string]bool{}
+			for _, r := range got {
+				key := r.Set.String()
+				if seen[key] {
+					t.Fatalf("%s: duplicate matchset %v in k-best", name, r.Set)
+				}
+				seen[key] = true
+			}
+		}
+	}
+}
+
+func TestKBestWINTopOneEqualsWIN(t *testing.T) {
+	rng := rand.New(rand.NewSource(910))
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	for trial := 0; trial < 200; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 4, MaxLoc: 60})
+		_, best, ok := WIN(fn, lists)
+		top := KBestWIN(fn, lists, 1)
+		if !ok {
+			if len(top) != 0 {
+				t.Fatalf("KBest returned results where WIN found none")
+			}
+			continue
+		}
+		if len(top) != 1 || math.Abs(top[0].Score-best) > 1e-9 {
+			t.Fatalf("KBest(1) = %v, WIN best %v", top, best)
+		}
+	}
+}
+
+func TestKBestWINEdgeCases(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	if got := KBestWIN(fn, match.Lists{{{Loc: 1, Score: 1}}, {}}, 3); len(got) != 0 {
+		t.Errorf("KBest with empty list = %v", got)
+	}
+	if got := KBestWIN(fn, match.Lists{{{Loc: 1, Score: 1}}}, 0); got != nil {
+		t.Errorf("KBest k=0 = %v", got)
+	}
+	// k exceeding the number of matchsets returns them all, sorted.
+	lists := match.Lists{
+		{{Loc: 1, Score: 0.5}, {Loc: 5, Score: 0.9}},
+		{{Loc: 2, Score: 0.8}},
+	}
+	got := KBestWIN(fn, lists, 10)
+	if len(got) != 2 {
+		t.Fatalf("KBest(10) over 2 matchsets = %d results", len(got))
+	}
+	if got[0].Score < got[1].Score {
+		t.Error("KBest not sorted best first")
+	}
+}

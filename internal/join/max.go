@@ -1,0 +1,116 @@
+package join
+
+import (
+	"math"
+
+	"bestjoin/internal/envelope"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// MAX computes an overall best matchset under a MAX scoring function
+// satisfying the at-most-one-crossing and maximized-at-match
+// properties (Definition 8) — the paper's efficient specialized
+// algorithm of Section V.
+//
+// It precomputes the dominating match list V_j per term (the same
+// stack precomputation as MED, with the MAX contribution function) and
+// then walks the dominating matches of all V_j's in location order. At
+// each dominating-match location l it assembles the matchset of
+// per-term dominating matches at l and scores it by f(Σj cj(mj,l)).
+// The maximum over those locations is the optimum: by
+// maximized-at-match the best score is attained at a match location of
+// the best matchset, every match of which is dominating there, so that
+// location appears in some V_j; and by Lemma 2 no candidate can exceed
+// f(Σj Sj(lMAX)).
+//
+// Time O(|Q| · Σ|Lj|), space O(Σ|Lj|). ok is false when some list is
+// empty.
+func MAX(fn scorefn.EfficientMAX, lists match.Lists) (best match.Set, score float64, ok bool) {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	cs := maxContributions(fn, q)
+	doms := make(match.Lists, q)
+	cursors := make([]*envelope.Cursor, q)
+	for j := range lists {
+		v := envelope.Precompute(lists[j], cs[j])
+		doms[j] = envelope.Matches(v)
+		cursors[j] = envelope.NewCursor(j, v, cs[j])
+	}
+
+	bestSum := math.Inf(-1)
+	cand := make(match.Set, q)
+	match.Merge(doms, func(ev match.Event) bool {
+		l := ev.M.Loc
+		sum := 0.0
+		for j := range lists {
+			dm, _ := cursors[j].At(l)
+			cand[j] = dm
+			sum += cs[j](dm, l)
+		}
+		if sum > bestSum {
+			bestSum = sum
+			best = append(best[:0], cand...)
+		}
+		return true
+	})
+
+	if best == nil {
+		return nil, 0, false
+	}
+	return best.Clone(), fn.F(bestSum), true
+}
+
+// MAXGeneral computes an overall best matchset under any MAX scoring
+// function via the paper's general approach: build the contribution
+// upper envelopes S_j explicitly over the full location range and take
+// l_MAX = argmax Σj Sj(l) (Lemma 2). It makes no structural assumption
+// on the contribution functions, at the price of a cost linear in the
+// size of the location domain: O((maxLoc−minLoc)·Σ|Lj|).
+//
+// The returned score is f evaluated at the summed envelope maximum,
+// which by Lemma 2 equals the matchset's MAX score.
+func MAXGeneral(fn scorefn.MAX, lists match.Lists) (best match.Set, score float64, ok bool) {
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	lo, hi := locRange(lists)
+	cs := maxContributions(fn, len(lists))
+	_, doms, sum, ok := envelope.ArgmaxSum(lists, cs, lo, hi)
+	if !ok {
+		return nil, 0, false
+	}
+	return doms, fn.F(sum), true
+}
+
+// locRange returns the smallest and largest match locations across all
+// lists. Lists must be complete.
+func locRange(lists match.Lists) (lo, hi int) {
+	lo, hi = math.MaxInt, math.MinInt
+	for _, l := range lists {
+		if l[0].Loc < lo {
+			lo = l[0].Loc
+		}
+		if last := l[len(l)-1].Loc; last > hi {
+			hi = last
+		}
+	}
+	return lo, hi
+}
+
+func maxContributions(fn scorefn.MAX, q int) []envelope.Contribution {
+	cs := make([]envelope.Contribution, q)
+	for j := 0; j < q; j++ {
+		j := j
+		cs[j] = func(m match.Match, l int) float64 {
+			d := m.Loc - l
+			if d < 0 {
+				d = -d
+			}
+			return fn.Contribution(j, m.Score, float64(d))
+		}
+	}
+	return cs
+}

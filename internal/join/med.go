@@ -1,0 +1,77 @@
+package join
+
+import (
+	"math"
+
+	"bestjoin/internal/envelope"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// MED computes an overall best matchset under a MED scoring function
+// (Algorithm 2). By Lemma 1 there is an overall best matchset in which
+// every match is dominating at the set's median location, so the
+// algorithm precomputes the dominating match list V_j per term
+// (envelope.Precompute) and then scans all matches in location order;
+// for each match m it assembles the matchset of dominating matches at
+// loc(m) and evaluates it as a candidate when m is the median-ranked
+// element of that set.
+//
+// Time O(|Q| · Σ|Lj|) (precomputation O(Σ|Lj|), then O(|Q|) per
+// match), space O(Σ|Lj|). ok is false when some list is empty.
+func MED(fn scorefn.MED, lists match.Lists) (best match.Set, score float64, ok bool) {
+	q := len(lists)
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	cursors := medCursors(fn, lists)
+	medianRank := match.MedianRank(q)
+	bestScore := math.Inf(-1)
+	cand := make(match.Set, q)
+
+	match.Merge(lists, func(ev match.Event) bool {
+		m := ev.M
+		cand[ev.Term] = m
+		following := 0 // matches in cand succeeding m in processing order
+		for j := range lists {
+			if j == ev.Term {
+				continue
+			}
+			dm, follows, _ := cursors[j].AtEvent(ev)
+			cand[j] = dm
+			if follows {
+				following++
+			}
+		}
+		// m is a candidate anchor only if it is the median-ranked
+		// element: exactly ⌊(|Q|+1)/2⌋−1 matches rank above it.
+		if following+1 == medianRank {
+			if sc := scorefn.ScoreMED(fn, cand); best == nil || sc > bestScore {
+				best, bestScore = cand.Clone(), sc
+			}
+		}
+		return true
+	})
+
+	if best == nil {
+		return nil, 0, false
+	}
+	return best, bestScore, true
+}
+
+// medCursors precomputes one dominating-match cursor per term under
+// the MED contribution c_j(m,l) = g_j(score(m)) − |loc(m)−l|.
+func medCursors(fn scorefn.MED, lists match.Lists) []*envelope.Cursor {
+	cursors := make([]*envelope.Cursor, len(lists))
+	for j := range lists {
+		c := medContribution(fn, j)
+		cursors[j] = envelope.NewCursor(j, envelope.Precompute(lists[j], c), c)
+	}
+	return cursors
+}
+
+func medContribution(fn scorefn.MED, term int) envelope.Contribution {
+	return func(m match.Match, l int) float64 {
+		return scorefn.MEDContribution(fn, term, m, l)
+	}
+}

@@ -1,0 +1,217 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// instanceFromSeed derives a random instance deterministically from a
+// quick-generated seed, so failures are reproducible from the printed
+// argument.
+func instanceFromSeed(seed int64, allowTies bool) match.Lists {
+	rng := rand.New(rand.NewSource(seed))
+	return randinst.Lists(rng, randinst.Config{
+		Terms:      1 + rng.Intn(4),
+		MaxPerList: 4,
+		MaxLoc:     10 + rng.Intn(60),
+		AllowTies:  allowTies,
+	})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(99))}
+}
+
+func TestQuickWINOptimal(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.2}
+	f := func(seed int64) bool {
+		lists := instanceFromSeed(seed, seed%2 == 0)
+		_, fast, fok := WIN(fn, lists)
+		_, slow, sok := naive.WIN(fn, lists)
+		return fok == sok && (!fok || math.Abs(fast-slow) <= 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMEDOptimal(t *testing.T) {
+	fn := scorefn.ExpMED{Alpha: 0.2}
+	f := func(seed int64) bool {
+		lists := instanceFromSeed(seed, seed%2 == 0)
+		_, fast, fok := MED(fn, lists)
+		_, slow, sok := naive.MED(fn, lists)
+		return fok == sok && (!fok || math.Abs(fast-slow) <= 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMAXOptimal(t *testing.T) {
+	fn := scorefn.SumMAX{Alpha: 0.2}
+	f := func(seed int64) bool {
+		lists := instanceFromSeed(seed, seed%2 == 0)
+		_, fast, fok := MAX(fn, lists)
+		_, slow, sok := naive.MAX(fn, lists)
+		return fok == sok && (!fok || math.Abs(fast-slow) <= 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Translation invariance: all three scoring families depend on
+// locations only through differences, so shifting every location by a
+// constant must not change the optimal score.
+func TestQuickTranslationInvariance(t *testing.T) {
+	winFn := scorefn.ExpWIN{Alpha: 0.1}
+	medFn := scorefn.ExpMED{Alpha: 0.1}
+	maxFn := scorefn.SumMAX{Alpha: 0.1}
+	f := func(seed int64, rawShift int16) bool {
+		shift := int(rawShift)
+		lists := instanceFromSeed(seed, false)
+		shifted := lists.Clone()
+		for j := range shifted {
+			for i := range shifted[j] {
+				shifted[j][i].Loc += shift
+			}
+		}
+		_, w1, _ := WIN(winFn, lists)
+		_, w2, _ := WIN(winFn, shifted)
+		_, m1, _ := MED(medFn, lists)
+		_, m2, _ := MED(medFn, shifted)
+		_, x1, _ := MAX(maxFn, lists)
+		_, x2, _ := MAX(maxFn, shifted)
+		const tol = 1e-9
+		return math.Abs(w1-w2) <= tol && math.Abs(m1-m2) <= tol && math.Abs(x1-x2) <= tol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Score monotonicity: raising one match's individual score can never
+// lower the optimal matchset score (all g's are increasing).
+func TestQuickScoreMonotonicity(t *testing.T) {
+	winFn := scorefn.ExpWIN{Alpha: 0.1}
+	medFn := scorefn.ExpMED{Alpha: 0.1}
+	maxFn := scorefn.SumMAX{Alpha: 0.1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lists := randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 4, MaxLoc: 50})
+		j := rng.Intn(len(lists))
+		i := rng.Intn(len(lists[j]))
+		boosted := lists.Clone()
+		boosted[j][i].Score = math.Min(1, boosted[j][i].Score+rng.Float64()*(1-boosted[j][i].Score))
+
+		const tol = 1e-9
+		_, w1, _ := WIN(winFn, lists)
+		_, w2, _ := WIN(winFn, boosted)
+		if w2 < w1-tol {
+			return false
+		}
+		_, m1, _ := MED(medFn, lists)
+		_, m2, _ := MED(medFn, boosted)
+		if m2 < m1-tol {
+			return false
+		}
+		_, x1, _ := MAX(maxFn, lists)
+		_, x2, _ := MAX(maxFn, boosted)
+		return x2 >= x1-tol
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Membership: every returned matchset must consist of matches actually
+// present in the corresponding lists.
+func TestQuickReturnedSetsAreMembers(t *testing.T) {
+	winFn := scorefn.ExpWIN{Alpha: 0.1}
+	medFn := scorefn.ExpMED{Alpha: 0.1}
+	maxFn := scorefn.SumMAX{Alpha: 0.1}
+	member := func(lists match.Lists, s match.Set) bool {
+		for j, m := range s {
+			found := false
+			for _, x := range lists[j] {
+				if x == m {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		lists := instanceFromSeed(seed, seed%3 == 0)
+		if s, _, ok := WIN(winFn, lists); ok && !member(lists, s) {
+			return false
+		}
+		if s, _, ok := MED(medFn, lists); ok && !member(lists, s) {
+			return false
+		}
+		if s, _, ok := MAX(maxFn, lists); ok && !member(lists, s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// All matches co-located: degenerate but legal — the optimum is simply
+// the per-term best scores with zero distance penalty.
+func TestAllMatchesSameLocation(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 7, Score: 0.2}, {Loc: 7, Score: 0.9}},
+		{{Loc: 7, Score: 0.5}},
+		{{Loc: 7, Score: 0.8}, {Loc: 7, Score: 0.1}},
+	}
+	winFn := scorefn.ExpWIN{Alpha: 0.1}
+	s, sc, ok := WIN(winFn, lists)
+	if !ok {
+		t.Fatal("no WIN matchset")
+	}
+	want := 0.9 * 0.5 * 0.8
+	if math.Abs(sc-want) > 1e-9 {
+		t.Errorf("WIN co-located score %v, want %v (set %v)", sc, want, s)
+	}
+	_, sc, _ = MED(scorefn.ExpMED{Alpha: 0.1}, lists)
+	if math.Abs(sc-want) > 1e-9 {
+		t.Errorf("MED co-located score %v, want %v", sc, want)
+	}
+	_, sc, _ = MAX(scorefn.SumMAX{Alpha: 0.1}, lists)
+	if math.Abs(sc-(0.9+0.5+0.8)) > 1e-9 {
+		t.Errorf("MAX co-located score %v, want %v", sc, 0.9+0.5+0.8)
+	}
+}
+
+// Negative locations are legal (locations only enter through
+// differences).
+func TestNegativeLocations(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: -30, Score: 0.9}, {Loc: 10, Score: 0.5}},
+		{{Loc: -28, Score: 0.8}},
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	s, sc, ok := WIN(fn, lists)
+	if !ok || s[0].Loc != -30 {
+		t.Fatalf("WIN with negative locations = %v %v %v", s, sc, ok)
+	}
+	_, nsc, _ := naive.WIN(fn, lists)
+	if math.Abs(sc-nsc) > 1e-9 {
+		t.Errorf("negative locations: %v != naive %v", sc, nsc)
+	}
+}

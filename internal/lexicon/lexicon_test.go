@@ -1,0 +1,147 @@
+package lexicon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistanceBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a1", "b1")
+	g.AddEdge("b1", "c1")
+	g.AddEdge("c1", "d1")
+	g.AddEdge("d1", "e1")
+
+	cases := []struct {
+		a, b string
+		max  int
+		d    int
+		ok   bool
+	}{
+		{"a1", "a1", 3, 0, true},
+		{"a1", "b1", 3, 1, true},
+		{"a1", "c1", 3, 2, true},
+		{"a1", "d1", 3, 3, true},
+		{"a1", "e1", 3, 0, false}, // distance 4 exceeds max
+		{"a1", "e1", 4, 4, true},
+		{"a1", "zz", 3, 0, false}, // unknown word
+		{"zz", "zz", 3, 0, true},  // identical stems always distance 0
+	}
+	for _, c := range cases {
+		d, ok := g.Distance(c.a, c.b, c.max)
+		if ok != c.ok || (ok && d != c.d) {
+			t.Errorf("Distance(%q,%q,max=%d) = %d,%v; want %d,%v", c.a, c.b, c.max, d, ok, c.d, c.ok)
+		}
+	}
+}
+
+func TestDistanceIsSymmetric(t *testing.T) {
+	g := Builtin()
+	pairs := [][2]string{{"conference", "seminar"}, {"pc", "lenovo"}, {"year", "date"}}
+	for _, p := range pairs {
+		d1, ok1 := g.Distance(p[0], p[1], MaxDistance)
+		d2, ok2 := g.Distance(p[1], p[0], MaxDistance)
+		if ok1 != ok2 || d1 != d2 {
+			t.Errorf("asymmetric distance for %v: (%d,%v) vs (%d,%v)", p, d1, ok1, d2, ok2)
+		}
+	}
+}
+
+func TestDistanceUsesStems(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("marry", "wedding")
+	// "married" stems to the same node as "marry".
+	if d, ok := g.Distance("married", "weddings", 3); !ok || d != 1 {
+		t.Errorf("stemmed distance = %d,%v, want 1,true", d, ok)
+	}
+}
+
+func TestScoreRule(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("x1", "y1")
+	g.AddEdge("y1", "z1")
+	cases := []struct {
+		a, b  string
+		score float64
+		ok    bool
+	}{
+		{"x1", "x1", 1.0, true},
+		{"x1", "y1", 0.7, true},
+		{"x1", "z1", 0.4, true},
+	}
+	for _, c := range cases {
+		s, ok := g.Score(c.a, c.b)
+		if ok != c.ok || math.Abs(s-c.score) > 1e-12 {
+			t.Errorf("Score(%q,%q) = %v,%v; want %v,%v", c.a, c.b, s, ok, c.score, c.ok)
+		}
+	}
+}
+
+func TestBuiltinCoversExperimentVocabulary(t *testing.T) {
+	g := Builtin()
+	if g.Nodes() < 150 {
+		t.Errorf("builtin graph has only %d nodes", g.Nodes())
+	}
+	// The paper's manual edges must be present at distance 1.
+	mustPairs := [][2]string{
+		{"conference", "workshop"},
+		{"university", "place"},
+	}
+	for _, p := range mustPairs {
+		if d, ok := g.Distance(p[0], p[1], 1); !ok || d != 1 {
+			t.Errorf("builtin: %v not at distance 1 (d=%d ok=%v)", p, d, ok)
+		}
+	}
+	// Representative query-term ↔ document-word matches within 3.
+	within := [][2]string{
+		{"sports", "nba"},
+		{"pc", "lenovo"},
+		{"partnership", "deal"},
+		{"conference", "symposium"},
+		{"school", "university"},
+		{"marry", "wedding"},
+		{"born", "birthplace"},
+		{"year", "century"},
+	}
+	for _, p := range within {
+		if _, ok := g.Distance(p[0], p[1], MaxDistance); !ok {
+			t.Errorf("builtin: %q and %q not within %d edges", p[0], p[1], MaxDistance)
+		}
+	}
+	// Unrelated clusters must stay far apart.
+	far := [][2]string{
+		{"stonehenge", "nba"},
+		{"imf", "wedding"},
+	}
+	for _, p := range far {
+		if d, ok := g.Distance(p[0], p[1], MaxDistance); ok {
+			t.Errorf("builtin: %q and %q unexpectedly within %d edges (d=%d)", p[0], p[1], MaxDistance, d)
+		}
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("hub", "s1")
+	g.AddEdge("hub", "s2")
+	g.AddEdge("s1", "t1")
+	n := g.Neighborhood("hub", 1)
+	if len(n) != 3 || n["hub"] != 0 || n["s1"] != 1 || n["s2"] != 1 {
+		t.Errorf("Neighborhood(hub,1) = %v", n)
+	}
+	n = g.Neighborhood("hub", 2)
+	if n["t1"] != 2 {
+		t.Errorf("Neighborhood(hub,2) missing t1: %v", n)
+	}
+	if len(g.Neighborhood("unknown", 2)) != 0 {
+		t.Error("Neighborhood of unknown word should be empty")
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("same", "same")
+	if g.Nodes() != 0 {
+		t.Error("self edge created nodes")
+	}
+}

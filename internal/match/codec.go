@@ -1,0 +1,94 @@
+package match
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codec for join instances. Systems that precompute match lists
+// (e.g. per document per concept) want a compact cache representation;
+// this codec delta-encodes locations as varints (lists are
+// location-sorted, so deltas are small and non-negative except the
+// first, which is zigzag-encoded to permit negative locations) and
+// stores scores as raw float64 bits.
+//
+// Layout: varint(#lists), then per list varint(#matches),
+// zigzag-varint(first location), varint(location deltas)..., with each
+// location followed by its 8-byte little-endian score.
+
+// Encode packs the lists. Lists must be location-sorted (Validate).
+func Encode(lists Lists) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(lists)))
+	for _, l := range lists {
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		prev := 0
+		for i, m := range l {
+			if i == 0 {
+				buf = binary.AppendVarint(buf, int64(m.Loc))
+			} else {
+				buf = binary.AppendUvarint(buf, uint64(m.Loc-prev))
+			}
+			prev = m.Loc
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.Score))
+		}
+	}
+	return buf
+}
+
+// Decode unpacks an Encode buffer.
+func Decode(b []byte) (Lists, error) {
+	nLists, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("match: corrupt header")
+	}
+	b = b[n:]
+	// Each list costs at least one header byte, so a count exceeding
+	// the remaining buffer is corrupt; rejecting it here keeps
+	// attacker-controlled counts from driving huge allocations.
+	if nLists > uint64(len(b))+1 {
+		return nil, fmt.Errorf("match: list count %d exceeds buffer", nLists)
+	}
+	lists := make(Lists, nLists)
+	for j := range lists {
+		count, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("match: corrupt list %d header", j)
+		}
+		b = b[n:]
+		// Each match costs at least 9 bytes (1 location byte + 8 score
+		// bytes).
+		if count > uint64(len(b)/9)+1 {
+			return nil, fmt.Errorf("match: match count %d exceeds buffer", count)
+		}
+		l := make(List, count)
+		loc := 0
+		for i := range l {
+			if i == 0 {
+				first, n := binary.Varint(b)
+				if n <= 0 {
+					return nil, fmt.Errorf("match: corrupt first location in list %d", j)
+				}
+				b = b[n:]
+				loc = int(first)
+			} else {
+				delta, n := binary.Uvarint(b)
+				if n <= 0 {
+					return nil, fmt.Errorf("match: corrupt location delta in list %d", j)
+				}
+				b = b[n:]
+				loc += int(delta)
+			}
+			if len(b) < 8 {
+				return nil, fmt.Errorf("match: truncated score in list %d", j)
+			}
+			l[i] = Match{Loc: loc, Score: math.Float64frombits(binary.LittleEndian.Uint64(b))}
+			b = b[8:]
+		}
+		lists[j] = l
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("match: %d trailing bytes", len(b))
+	}
+	return lists, nil
+}

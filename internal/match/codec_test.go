@@ -1,0 +1,88 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripBasic(t *testing.T) {
+	cases := []Lists{
+		{},
+		{{}},
+		{{{Loc: 0, Score: 0.5}}},
+		{{{Loc: -7, Score: 0.1}, {Loc: 0, Score: 1}}, {}, {{Loc: 3, Score: 0.25}}},
+	}
+	for _, lists := range cases {
+		got, err := Decode(Encode(lists))
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", lists, err)
+		}
+		assertListsEqual(t, lists, got)
+	}
+}
+
+func assertListsEqual(t *testing.T, want, got Lists) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("lists: want %v, got %v", want, got)
+	}
+	for j := range want {
+		if len(want[j]) != len(got[j]) {
+			t.Fatalf("list %d: want %v, got %v", j, want[j], got[j])
+		}
+		for i := range want[j] {
+			if want[j][i] != got[j][i] {
+				t.Fatalf("list %d match %d: want %v, got %v", j, i, want[j][i], got[j][i])
+			}
+		}
+	}
+}
+
+// Property: Decode(Encode(x)) == x for any sorted instance.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lists := make(Lists, rng.Intn(5))
+		for j := range lists {
+			n := rng.Intn(6)
+			l := make(List, n)
+			loc := rng.Intn(50) - 25
+			for i := range l {
+				l[i] = Match{Loc: loc, Score: rng.Float64()}
+				loc += rng.Intn(20)
+			}
+			lists[j] = l
+		}
+		got, err := Decode(Encode(lists))
+		if err != nil || len(got) != len(lists) {
+			return false
+		}
+		for j := range lists {
+			if len(got[j]) != len(lists[j]) {
+				return false
+			}
+			for i := range lists[j] {
+				if got[j][i] != lists[j][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecCorrupt(t *testing.T) {
+	valid := Encode(Lists{{{Loc: 1, Score: 0.5}, {Loc: 9, Score: 0.25}}})
+	for cut := 1; cut < len(valid); cut++ {
+		if _, err := Decode(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, valid...), 0xff)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+}

@@ -1,0 +1,39 @@
+package match
+
+import "testing"
+
+// FuzzDecode ensures the binary codec never panics and never silently
+// accepts garbage that re-encodes differently.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(Lists{}))
+	f.Add(Encode(Lists{{{Loc: 1, Score: 0.5}, {Loc: 4, Score: 1}}}))
+	f.Add(Encode(Lists{{{Loc: -3, Score: 0.1}}, {}, {{Loc: 0, Score: 0.9}}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lists, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must round-trip stably.
+		again, err := Decode(Encode(lists))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(lists) {
+			t.Fatalf("round trip changed list count")
+		}
+		for j := range lists {
+			if len(again[j]) != len(lists[j]) {
+				t.Fatalf("round trip changed list %d length", j)
+			}
+			for i := range lists[j] {
+				a, b := lists[j][i], again[j][i]
+				// NaN scores are legal bit patterns; compare bitwise
+				// via !=(self) checks.
+				if a.Loc != b.Loc || (a.Score != b.Score && (a.Score == a.Score || b.Score == b.Score)) {
+					t.Fatalf("round trip changed match %d/%d: %v vs %v", j, i, a, b)
+				}
+			}
+		}
+	})
+}

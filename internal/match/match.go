@@ -1,0 +1,195 @@
+// Package match defines the basic vocabulary of the weighted proximity
+// best-join problem: matches, match lists, queries, and matchsets
+// (Definition 1 of the paper).
+//
+// A match is one occurrence of a query term within a document; it
+// carries the token location of the occurrence and a score measuring
+// how well the occurrence matches the term. Match lists are sorted by
+// location. A matchset picks exactly one match per query term; it is
+// the unit that the scoring functions of packages scorefn and join
+// evaluate.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Match is a single occurrence of a query term in a document.
+type Match struct {
+	// Loc is the token position of the occurrence within the document.
+	Loc int
+	// Score measures the quality of the occurrence as a match for its
+	// query term. Higher is better. The paper draws scores from (0, 1]
+	// but the algorithms only require the monotonicity properties of
+	// the scoring functions, so any real score is accepted.
+	Score float64
+}
+
+// List is a match list for one query term: every match of the term in
+// a document, sorted by Loc in increasing order.
+type List []Match
+
+// Sorted reports whether the list is sorted by location in
+// non-decreasing order, which all join algorithms require.
+func (l List) Sorted() bool {
+	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].Loc < l[j].Loc })
+}
+
+// Sort sorts the list by location (stably, so equal-location matches
+// keep their relative order).
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool { return l[i].Loc < l[j].Loc })
+}
+
+// Clone returns a deep copy of the list.
+func (l List) Clone() List {
+	if l == nil {
+		return nil
+	}
+	out := make(List, len(l))
+	copy(out, l)
+	return out
+}
+
+// Lists is the full input to a best-join: one match list per query
+// term, indexed by term position in the query.
+type Lists []List
+
+// TotalSize returns the total number of matches across all lists,
+// i.e. Σ|Lj|, the quantity the paper's complexity bounds are stated in.
+func (ls Lists) TotalSize() int {
+	n := 0
+	for _, l := range ls {
+		n += len(l)
+	}
+	return n
+}
+
+// Clone returns a deep copy of all lists.
+func (ls Lists) Clone() Lists {
+	out := make(Lists, len(ls))
+	for i, l := range ls {
+		out[i] = l.Clone()
+	}
+	return out
+}
+
+// Validate checks that the instance is well formed: at least one list,
+// and every list sorted by location.
+func (ls Lists) Validate() error {
+	if len(ls) == 0 {
+		return fmt.Errorf("match: no match lists")
+	}
+	for j, l := range ls {
+		if !l.Sorted() {
+			return fmt.Errorf("match: list %d is not sorted by location", j)
+		}
+	}
+	return nil
+}
+
+// Complete reports whether every list has at least one match, which is
+// necessary for any matchset to exist.
+func (ls Lists) Complete() bool {
+	for _, l := range ls {
+		if len(l) == 0 {
+			return false
+		}
+	}
+	return len(ls) > 0
+}
+
+// Set is a matchset: one match per query term, indexed like Lists.
+// Set[j] is the match chosen for query term j.
+type Set []Match
+
+// Clone returns a copy of the matchset.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Window returns the length of the smallest window enclosing all
+// matches in the set: max location minus min location.
+func (s Set) Window() int {
+	return s.MaxLoc() - s.MinLoc()
+}
+
+// MinLoc returns the smallest match location in the set.
+func (s Set) MinLoc() int {
+	min := s[0].Loc
+	for _, m := range s[1:] {
+		if m.Loc < min {
+			min = m.Loc
+		}
+	}
+	return min
+}
+
+// MaxLoc returns the largest match location in the set.
+func (s Set) MaxLoc() int {
+	max := s[0].Loc
+	for _, m := range s[1:] {
+		if m.Loc > max {
+			max = m.Loc
+		}
+	}
+	return max
+}
+
+// Median returns the median location of the matchset per the paper's
+// Definition 5 (footnote 2): the ⌊(n+1)/2⌋-th ranked element when
+// elements are ranked by value with the 1st ranked element having the
+// greatest value. For n=3 this is the middle location; for n=4 it is
+// the second-greatest location.
+func (s Set) Median() int {
+	locs := make([]int, len(s))
+	for i, m := range s {
+		locs[i] = m.Loc
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(locs)))
+	return locs[(len(locs)+1)/2-1]
+}
+
+// MedianRank returns the 1-based rank (from the greatest location) of
+// the median element for a matchset of size n: ⌊(n+1)/2⌋.
+func MedianRank(n int) int { return (n + 1) / 2 }
+
+// Valid reports whether the matchset contains no duplicate matches in
+// the sense of Section VI: no two entries share the same location
+// (the same underlying token cannot match two query terms at once).
+func (s Set) Valid() bool {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[i].Loc == s[j].Loc {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matchset as "(loc:score, ...)" for debugging.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, m := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%.3f", m.Loc, m.Score)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Ref identifies a match by its term index and position within that
+// term's list. It is used where identity (rather than value) of a
+// match matters, e.g. by the duplicate-avoidance wrapper.
+type Ref struct {
+	Term int // query term index
+	Pos  int // index within Lists[Term]
+}

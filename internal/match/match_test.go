@@ -1,0 +1,233 @@
+package match
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianDefinition(t *testing.T) {
+	// Footnote 2: median is the ⌊(n+1)/2⌋-th ranked element with the
+	// 1st ranked element having the greatest value.
+	tests := []struct {
+		name string
+		locs []int
+		want int
+	}{
+		{"single", []int{7}, 7},
+		{"pair takes greater", []int{3, 9}, 9},
+		{"triple takes middle", []int{1, 5, 9}, 5},
+		{"quad takes second greatest", []int{1, 5, 9, 20}, 9},
+		{"quintuple takes middle", []int{1, 2, 3, 4, 5}, 3},
+		{"unsorted input", []int{9, 1, 5}, 5},
+		{"duplicates", []int{4, 4, 4, 10}, 4},
+		{"all equal", []int{6, 6, 6}, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := make(Set, len(tt.locs))
+			for i, l := range tt.locs {
+				s[i] = Match{Loc: l, Score: 1}
+			}
+			if got := s.Median(); got != tt.want {
+				t.Errorf("Median(%v) = %d, want %d", tt.locs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianRank(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 6: 3, 7: 4}
+	for n, r := range want {
+		if got := MedianRank(n); got != r {
+			t.Errorf("MedianRank(%d) = %d, want %d", n, got, r)
+		}
+	}
+}
+
+func TestMedianIsAMemberLocation(t *testing.T) {
+	// Property: the median is always one of the set's locations.
+	f := func(locs []int16) bool {
+		if len(locs) == 0 {
+			return true
+		}
+		s := make(Set, len(locs))
+		present := map[int]bool{}
+		for i, l := range locs {
+			s[i] = Match{Loc: int(l)}
+			present[int(l)] = true
+		}
+		return present[s.Median()]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowMinMax(t *testing.T) {
+	s := Set{{Loc: 12}, {Loc: 3}, {Loc: 7}}
+	if got := s.MinLoc(); got != 3 {
+		t.Errorf("MinLoc = %d, want 3", got)
+	}
+	if got := s.MaxLoc(); got != 12 {
+		t.Errorf("MaxLoc = %d, want 12", got)
+	}
+	if got := s.Window(); got != 9 {
+		t.Errorf("Window = %d, want 9", got)
+	}
+	one := Set{{Loc: 5}}
+	if got := one.Window(); got != 0 {
+		t.Errorf("single-match Window = %d, want 0", got)
+	}
+}
+
+func TestSetValid(t *testing.T) {
+	if (Set{{Loc: 1}, {Loc: 2}, {Loc: 3}}).Valid() == false {
+		t.Error("distinct locations should be valid")
+	}
+	if (Set{{Loc: 1}, {Loc: 2}, {Loc: 1}}).Valid() {
+		t.Error("duplicate location should be invalid")
+	}
+}
+
+func TestListSortAndSorted(t *testing.T) {
+	l := List{{Loc: 5}, {Loc: 1}, {Loc: 3}}
+	if l.Sorted() {
+		t.Error("unsorted list reported sorted")
+	}
+	l.Sort()
+	if !l.Sorted() {
+		t.Error("list not sorted after Sort")
+	}
+	if l[0].Loc != 1 || l[2].Loc != 5 {
+		t.Errorf("unexpected order: %v", l)
+	}
+}
+
+func TestListsValidate(t *testing.T) {
+	if err := (Lists{}).Validate(); err == nil {
+		t.Error("empty Lists should not validate")
+	}
+	bad := Lists{{{Loc: 4}, {Loc: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted list should not validate")
+	}
+	good := Lists{{{Loc: 2}, {Loc: 4}}, {}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid lists rejected: %v", err)
+	}
+}
+
+func TestListsComplete(t *testing.T) {
+	if (Lists{{{Loc: 1}}, {}}).Complete() {
+		t.Error("Lists with an empty list reported complete")
+	}
+	if !(Lists{{{Loc: 1}}, {{Loc: 2}}}).Complete() {
+		t.Error("complete lists reported incomplete")
+	}
+	if (Lists{}).Complete() {
+		t.Error("zero lists reported complete")
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	ls := Lists{{{Loc: 1}, {Loc: 2}}, {}, {{Loc: 3}}}
+	if got := ls.TotalSize(); got != 3 {
+		t.Errorf("TotalSize = %d, want 3", got)
+	}
+}
+
+func TestMergeOrder(t *testing.T) {
+	lists := Lists{
+		{{Loc: 1}, {Loc: 5}, {Loc: 9}},
+		{{Loc: 2}, {Loc: 5}},
+		{{Loc: 0}},
+	}
+	var got []Event
+	Merge(lists, func(ev Event) bool {
+		got = append(got, ev)
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("Merge visited %d events, want 6", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		if got[i].M.Loc != got[j].M.Loc {
+			return got[i].M.Loc < got[j].M.Loc
+		}
+		return got[i].Term < got[j].Term
+	}) {
+		t.Errorf("Merge order wrong: %+v", got)
+	}
+	// Tie at location 5 must order term 0 before term 1.
+	if got[3].M.Loc != 5 || got[3].Term != 0 || got[4].Term != 1 {
+		t.Errorf("tie-break order wrong: %+v", got[3:5])
+	}
+}
+
+func TestMergeEarlyStop(t *testing.T) {
+	lists := Lists{{{Loc: 1}, {Loc: 2}, {Loc: 3}}}
+	n := 0
+	Merge(lists, func(Event) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("Merge visited %d events after early stop, want 2", n)
+	}
+}
+
+func TestMergedMatchesMergeAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lists := make(Lists, 3)
+	for j := range lists {
+		for i := 0; i < 10; i++ {
+			lists[j] = append(lists[j], Match{Loc: rng.Intn(100), Score: rng.Float64()})
+		}
+		lists[j].Sort()
+	}
+	evs := Merged(lists)
+	if len(evs) != lists.TotalSize() {
+		t.Fatalf("Merged returned %d events, want %d", len(evs), lists.TotalSize())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].M.Loc < evs[i-1].M.Loc {
+			t.Fatalf("Merged not location-ordered at %d: %+v then %+v", i, evs[i-1], evs[i])
+		}
+	}
+	// Every event must reference the match it claims.
+	for _, ev := range evs {
+		if lists[ev.Term][ev.Pos] != ev.M {
+			t.Fatalf("event %+v does not match lists[%d][%d]", ev, ev.Term, ev.Pos)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := List{{Loc: 1, Score: 0.5}}
+	c := l.Clone()
+	c[0].Loc = 99
+	if l[0].Loc != 1 {
+		t.Error("List.Clone shares backing storage")
+	}
+	ls := Lists{{{Loc: 1}}}
+	cs := ls.Clone()
+	cs[0][0].Loc = 99
+	if ls[0][0].Loc != 1 {
+		t.Error("Lists.Clone shares backing storage")
+	}
+	s := Set{{Loc: 1}}
+	ss := s.Clone()
+	ss[0].Loc = 99
+	if s[0].Loc != 1 {
+		t.Error("Set.Clone shares backing storage")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := Set{{Loc: 1, Score: 0.5}, {Loc: 2, Score: 1}}
+	if got := s.String(); got != "(1:0.500, 2:1.000)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,55 @@
+package match
+
+// Event is one step of a merged, location-ordered walk over all match
+// lists: the match itself plus which term and list position it came
+// from. The join algorithms of the paper all process matches "one at a
+// time in the increasing order of their locations"; Merge provides
+// that order.
+type Event struct {
+	Term int   // query term index of the match
+	Pos  int   // index of the match within its list
+	M    Match // the match
+}
+
+// Merge walks all lists in parallel and calls fn for every match in
+// non-decreasing location order. Ties are broken by term index, then
+// by list position, so the order is deterministic. If fn returns
+// false, the walk stops early.
+//
+// The walk is the k-way merge underlying Algorithms 1 and 2: it costs
+// O(|Q|·Σ|Lj|) overall, which never dominates the join algorithms'
+// own per-match work.
+func Merge(lists Lists, fn func(Event) bool) {
+	cursors := make([]int, len(lists))
+	for {
+		best := -1
+		for j, l := range lists {
+			if cursors[j] >= len(l) {
+				continue
+			}
+			if best < 0 || l[cursors[j]].Loc < lists[best][cursors[best]].Loc {
+				best = j
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ev := Event{Term: best, Pos: cursors[best], M: lists[best][cursors[best]]}
+		cursors[best]++
+		if !fn(ev) {
+			return
+		}
+	}
+}
+
+// Merged returns all matches of all lists as a single location-ordered
+// slice of events. It is a convenience wrapper around Merge for
+// callers that want random access to the merged order.
+func Merged(lists Lists) []Event {
+	out := make([]Event, 0, lists.TotalSize())
+	Merge(lists, func(ev Event) bool {
+		out = append(out, ev)
+		return true
+	})
+	return out
+}

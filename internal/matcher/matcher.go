@@ -1,0 +1,264 @@
+// Package matcher turns tokenized documents into the scored match
+// lists the join algorithms consume. A Matcher finds and scores all
+// occurrences that match one query term; Compile runs one matcher per
+// query term over a document and assembles the match.Lists instance.
+//
+// The shipped matchers mirror the "simple matchers" of the paper's
+// TREC and DBWorld experiments: stem-equality matching, lexical-graph
+// matching scored 1−0.3d over graph distance (the WordNet rule),
+// phrase matching for multi-word names, a date matcher that accepts
+// month names and years 1990–2010, and a place matcher backed by the
+// gazetteer with a lexical-graph fallback scored 0.7.
+package matcher
+
+import (
+	"strconv"
+
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/match"
+	"bestjoin/internal/text"
+)
+
+// Matcher finds all matches for one query term in a token stream.
+type Matcher interface {
+	// Match returns the term's scored matches, sorted by location.
+	Match(tokens []text.Token) match.List
+	// Term returns the query term's display name.
+	Term() string
+}
+
+// Compile runs each matcher over the document and returns one match
+// list per query term, ready for the join algorithms.
+func Compile(tokens []text.Token, matchers []Matcher) match.Lists {
+	lists := make(match.Lists, len(matchers))
+	for j, m := range matchers {
+		lists[j] = m.Match(tokens)
+	}
+	return lists
+}
+
+// Exact matches tokens whose Porter stem equals the term's stem,
+// scoring every occurrence 1.
+type Exact struct {
+	Word string
+}
+
+func (e Exact) Term() string { return e.Word }
+
+func (e Exact) Match(tokens []text.Token) match.List {
+	stem := text.Stem(e.Word)
+	var out match.List
+	for _, t := range tokens {
+		if text.Stem(t.Word) == stem {
+			out = append(out, match.Match{Loc: t.Pos, Score: 1})
+		}
+	}
+	return out
+}
+
+// Lexical matches tokens within lexicon.MaxDistance graph edges of the
+// term, scored 1 − 0.3·distance (the paper's WordNet matcher).
+type Lexical struct {
+	Word  string
+	Graph *lexicon.Graph
+}
+
+func (l Lexical) Term() string { return l.Word }
+
+func (l Lexical) Match(tokens []text.Token) match.List {
+	var out match.List
+	cache := map[string]float64{} // stem -> score, -1 for no match
+	for _, t := range tokens {
+		stem := text.Stem(t.Word)
+		s, seen := cache[stem]
+		if !seen {
+			if score, ok := l.Graph.Score(l.Word, t.Word); ok {
+				s = score
+			} else {
+				s = -1
+			}
+			cache[stem] = s
+		}
+		if s > 0 {
+			out = append(out, match.Match{Loc: t.Pos, Score: s})
+		}
+	}
+	return out
+}
+
+// Phrase matches a multi-word name. A full in-order occurrence of all
+// words scores FullScore at the position of its first word; an
+// occurrence of the distinguishing head word alone scores HeadScore.
+// It covers terms like "Leaning Tower of Pisa" where a bare "Pisa"
+// still carries signal.
+type Phrase struct {
+	Name      string   // display name
+	Words     []string // the phrase, in order
+	Head      string   // distinguishing single word ("" disables)
+	FullScore float64  // score of a full phrase occurrence (e.g. 1)
+	HeadScore float64  // score of a lone head occurrence (e.g. 0.7)
+}
+
+func (p Phrase) Term() string { return p.Name }
+
+func (p Phrase) Match(tokens []text.Token) match.List {
+	stems := make([]string, len(p.Words))
+	for i, w := range p.Words {
+		stems[i] = text.Stem(w)
+	}
+	headStem := ""
+	if p.Head != "" {
+		headStem = text.Stem(p.Head)
+	}
+	tokStems := make([]string, len(tokens))
+	for i, t := range tokens {
+		tokStems[i] = text.Stem(t.Word)
+	}
+	// Full occurrences first; tokens they cover must not also produce
+	// lone-head matches.
+	covered := make([]bool, len(tokens))
+	var out match.List
+	for i := 0; i+len(stems) <= len(tokens); i++ {
+		full := true
+		for k, s := range stems {
+			if tokStems[i+k] != s {
+				full = false
+				break
+			}
+		}
+		if full {
+			out = append(out, match.Match{Loc: tokens[i].Pos, Score: p.FullScore})
+			for k := range stems {
+				covered[i+k] = true
+			}
+		}
+	}
+	if headStem != "" {
+		for i := range tokens {
+			if !covered[i] && tokStems[i] == headStem {
+				out = append(out, match.Match{Loc: tokens[i].Pos, Score: p.HeadScore})
+			}
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// monthStems holds the Porter stems of English month names and common
+// abbreviations.
+var monthStems = func() map[string]bool {
+	months := []string{
+		"january", "february", "march", "april", "may", "june", "july",
+		"august", "september", "october", "november", "december",
+		"jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+		"oct", "nov", "dec",
+	}
+	out := make(map[string]bool, len(months))
+	for _, m := range months {
+		out[text.Stem(m)] = true
+	}
+	return out
+}()
+
+// Date is the paper's DBWorld date matcher: month names and numbers
+// between MinYear and MaxYear match with score 1.
+type Date struct {
+	MinYear, MaxYear int // zero values default to the paper's 1990–2010
+}
+
+func (d Date) Term() string { return "date" }
+
+func (d Date) Match(tokens []text.Token) match.List {
+	lo, hi := d.MinYear, d.MaxYear
+	if lo == 0 {
+		lo = 1990
+	}
+	if hi == 0 {
+		hi = 2010
+	}
+	var out match.List
+	for _, t := range tokens {
+		if monthStems[text.Stem(t.Word)] {
+			out = append(out, match.Match{Loc: t.Pos, Score: 1})
+			continue
+		}
+		if n, err := strconv.Atoi(t.Word); err == nil && n >= lo && n <= hi {
+			out = append(out, match.Match{Loc: t.Pos, Score: 1})
+		}
+	}
+	return out
+}
+
+// Place is the paper's DBWorld place matcher: gazetteer hits score 1;
+// otherwise a token directly connected to "place" in the lexical graph
+// scores 0.7.
+type Place struct {
+	Gazetteer *gazetteer.Gazetteer
+	Graph     *lexicon.Graph
+}
+
+func (p Place) Term() string { return "place" }
+
+func (p Place) Match(tokens []text.Token) match.List {
+	var out match.List
+	for _, t := range tokens {
+		if p.Gazetteer != nil && p.Gazetteer.Contains(t.Word) {
+			out = append(out, match.Match{Loc: t.Pos, Score: 1})
+			continue
+		}
+		if p.Graph != nil {
+			if d, ok := p.Graph.Distance("place", t.Word, 1); ok && d == 1 {
+				out = append(out, match.Match{Loc: t.Pos, Score: 0.7})
+			}
+		}
+	}
+	return out
+}
+
+// Union merges several matchers for one query term (e.g. the DBWorld
+// query's conference|workshop term), keeping the best score per
+// location.
+type Union struct {
+	Name     string
+	Matchers []Matcher
+}
+
+func (u Union) Term() string { return u.Name }
+
+func (u Union) Match(tokens []text.Token) match.List {
+	best := map[int]float64{}
+	for _, m := range u.Matchers {
+		for _, mm := range m.Match(tokens) {
+			if s, ok := best[mm.Loc]; !ok || mm.Score > s {
+				best[mm.Loc] = mm.Score
+			}
+		}
+	}
+	out := make(match.List, 0, len(best))
+	for loc, s := range best {
+		out = append(out, match.Match{Loc: loc, Score: s})
+	}
+	out.Sort()
+	return out
+}
+
+// Scored wraps a matcher, scaling every match score by Factor — handy
+// for the paper's rule that any term directly connected to
+// "conference" in the graph scores 0.7 while "conference" itself
+// scores 1 (Lexical already implements exactly that via distances, but
+// Scored lets callers re-weight other matchers).
+type Scored struct {
+	Inner  Matcher
+	Factor float64
+}
+
+func (s Scored) Term() string { return s.Inner.Term() }
+
+func (s Scored) Match(tokens []text.Token) match.List {
+	out := s.Inner.Match(tokens)
+	for i := range out {
+		out[i].Score *= s.Factor
+	}
+	return out
+}

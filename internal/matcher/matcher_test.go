@@ -1,0 +1,237 @@
+package matcher
+
+import (
+	"math"
+	"testing"
+
+	"bestjoin/internal/gazetteer"
+	"bestjoin/internal/lexicon"
+	"bestjoin/internal/text"
+)
+
+const doc = "As part of the new deal, Lenovo will become the official PC partner " +
+	"of the NBA, and it will be marketing its NBA affiliation in the US and in China. " +
+	"The laptop maker has a similar marketing and technology partnership with the Olympic Games."
+
+func TestExactMatchesStems(t *testing.T) {
+	toks := text.Tokenize("partners partner partnership partnering")
+	got := Exact{Word: "partner"}.Match(toks)
+	// "partners", "partner", "partnering" share the stem "partner";
+	// "partnership" does not.
+	if len(got) != 3 {
+		t.Fatalf("Exact matched %d tokens %v, want 3", len(got), got)
+	}
+	for _, m := range got {
+		if m.Score != 1 {
+			t.Errorf("Exact score = %v, want 1", m.Score)
+		}
+	}
+	if got[0].Loc != 0 || got[1].Loc != 1 || got[2].Loc != 3 {
+		t.Errorf("Exact locations = %v", got)
+	}
+}
+
+func TestLexicalScoresByDistance(t *testing.T) {
+	g := lexicon.Builtin()
+	toks := text.Tokenize(doc)
+	got := Lexical{Word: "partnership", Graph: g}.Match(toks)
+	if len(got) == 0 {
+		t.Fatal("Lexical found nothing for partnership")
+	}
+	byLoc := map[int]float64{}
+	for _, m := range got {
+		byLoc[m.Loc] = m.Score
+	}
+	// "partnership" itself must match with 1.0; "partner" and "deal"
+	// (both neighbors of the partnership cluster head) with less.
+	var sawExact, sawPartner, sawDeal bool
+	for i, tok := range text.Tokenize(doc) {
+		switch tok.Word {
+		case "partnership":
+			if math.Abs(byLoc[i]-1.0) > 1e-12 {
+				t.Errorf("partnership scored %v at %d, want 1.0", byLoc[i], i)
+			}
+			sawExact = true
+		case "partner":
+			if s := byLoc[i]; s <= 0 || s >= 1 {
+				t.Errorf("partner scored %v, want in (0,1)", s)
+			}
+			sawPartner = true
+		case "deal":
+			if s := byLoc[i]; s <= 0 || s >= 1 {
+				t.Errorf("deal scored %v, want in (0,1)", s)
+			}
+			sawDeal = true
+		}
+	}
+	if !sawExact || !sawPartner || !sawDeal {
+		t.Errorf("missed expected matches: exact=%v partner=%v deal=%v", sawExact, sawPartner, sawDeal)
+	}
+}
+
+func TestLexicalSortedAndCached(t *testing.T) {
+	g := lexicon.Builtin()
+	toks := text.Tokenize("deal deal deal partner")
+	got := Lexical{Word: "partnership", Graph: g}.Match(toks)
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	if !got.Sorted() {
+		t.Error("Lexical output not sorted")
+	}
+}
+
+func TestPhraseFullAndHead(t *testing.T) {
+	toks := text.Tokenize("the leaning tower of pisa stands in pisa near another tower")
+	p := Phrase{
+		Name: "Leaning Tower of Pisa", Words: []string{"leaning", "tower", "of", "pisa"},
+		Head: "pisa", FullScore: 1, HeadScore: 0.7,
+	}
+	got := p.Match(toks)
+	if len(got) != 2 {
+		t.Fatalf("Phrase matched %v, want full occurrence + lone head", got)
+	}
+	if got[0].Loc != 1 || got[0].Score != 1 {
+		t.Errorf("full phrase match = %+v, want loc 1 score 1", got[0])
+	}
+	if got[1].Loc != 7 || got[1].Score != 0.7 {
+		t.Errorf("head match = %+v, want loc 7 score 0.7", got[1])
+	}
+}
+
+func TestPhraseNoHead(t *testing.T) {
+	toks := text.Tokenize("hugo chavez spoke; chavez waved")
+	p := Phrase{Name: "Hugo Chavez", Words: []string{"hugo", "chavez"}, Head: "chavez", FullScore: 1, HeadScore: 0.8}
+	got := p.Match(toks)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDateMatcher(t *testing.T) {
+	toks := text.Tokenize("submissions due January 15, 2008; camera-ready 2011; founded 1989; see sect 7")
+	got := Date{}.Match(toks)
+	locs := map[int]bool{}
+	for _, m := range got {
+		locs[m.Loc] = true
+		if m.Score != 1 {
+			t.Errorf("date score = %v", m.Score)
+		}
+	}
+	words := text.Tokenize("submissions due January 15, 2008; camera-ready 2011; founded 1989; see sect 7")
+	for _, tok := range words {
+		want := tok.Word == "january" || tok.Word == "2008"
+		if locs[tok.Pos] != want {
+			t.Errorf("token %q at %d matched=%v, want %v", tok.Word, tok.Pos, locs[tok.Pos], want)
+		}
+	}
+}
+
+func TestDateCustomRange(t *testing.T) {
+	toks := text.Tokenize("1980 1995 2020")
+	got := Date{MinYear: 1970, MaxYear: 1990}.Match(toks)
+	if len(got) != 1 || got[0].Loc != 0 {
+		t.Errorf("custom range matched %v", got)
+	}
+}
+
+func TestPlaceMatcher(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	toks := text.Tokenize("held in Turin, Italy at the University campus near the venue")
+	got := Place{Gazetteer: gz, Graph: g}.Match(toks)
+	byLoc := map[int]float64{}
+	for _, m := range got {
+		byLoc[m.Loc] = m.Score
+	}
+	for _, tok := range toks {
+		switch tok.Word {
+		case "turin", "italy":
+			if byLoc[tok.Pos] != 1 {
+				t.Errorf("%q scored %v, want 1 (gazetteer)", tok.Word, byLoc[tok.Pos])
+			}
+		case "university", "venue":
+			if byLoc[tok.Pos] != 0.7 {
+				t.Errorf("%q scored %v, want 0.7 (graph fallback)", tok.Word, byLoc[tok.Pos])
+			}
+		case "held", "campus", "near", "the":
+			if _, ok := byLoc[tok.Pos]; ok {
+				t.Errorf("%q unexpectedly matched place", tok.Word)
+			}
+		}
+	}
+}
+
+func TestUnionKeepsBestScorePerLocation(t *testing.T) {
+	g := lexicon.Builtin()
+	toks := text.Tokenize("the workshop and conference on data")
+	u := Union{Name: "conference|workshop", Matchers: []Matcher{
+		Lexical{Word: "conference", Graph: g},
+		Lexical{Word: "workshop", Graph: g},
+	}}
+	got := u.Match(toks)
+	if !got.Sorted() {
+		t.Fatal("Union output not sorted")
+	}
+	byLoc := map[int]float64{}
+	for _, m := range got {
+		byLoc[m.Loc] = m.Score
+	}
+	// Both words are distance ≤1 from each matcher's term, so the
+	// union must score each occurrence 1.0 (its exact matcher wins).
+	for _, tok := range toks {
+		if tok.Word == "workshop" || tok.Word == "conference" {
+			if math.Abs(byLoc[tok.Pos]-1.0) > 1e-12 {
+				t.Errorf("%q scored %v under union, want 1.0", tok.Word, byLoc[tok.Pos])
+			}
+		}
+	}
+}
+
+func TestScoredScales(t *testing.T) {
+	toks := text.Tokenize("alpha alpha")
+	got := Scored{Inner: Exact{Word: "alpha"}, Factor: 0.5}.Match(toks)
+	if len(got) != 2 || got[0].Score != 0.5 {
+		t.Errorf("Scored = %v", got)
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	g := lexicon.Builtin()
+	toks := text.Tokenize(doc)
+	lists := Compile(toks, []Matcher{
+		Lexical{Word: "pc", Graph: g},
+		Lexical{Word: "sports", Graph: g},
+		Lexical{Word: "partnership", Graph: g},
+	})
+	if len(lists) != 3 {
+		t.Fatalf("Compile returned %d lists", len(lists))
+	}
+	if err := lists.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for j, l := range lists {
+		if len(l) == 0 {
+			t.Errorf("list %d empty; the Figure 1 document matches all three terms", j)
+		}
+	}
+}
+
+func TestMatcherTermNames(t *testing.T) {
+	g := lexicon.Builtin()
+	gz := gazetteer.Builtin()
+	cases := map[string]Matcher{
+		"word":                Exact{Word: "word"},
+		"partnership":         Lexical{Word: "partnership", Graph: g},
+		"Leaning Tower":       Phrase{Name: "Leaning Tower", Words: []string{"leaning", "tower"}},
+		"date":                Date{},
+		"place":               Place{Gazetteer: gz, Graph: g},
+		"conference|workshop": Union{Name: "conference|workshop"},
+		"scaled":              Scored{Inner: Exact{Word: "scaled"}, Factor: 0.5},
+	}
+	for want, m := range cases {
+		if got := m.Term(); got != want {
+			t.Errorf("Term() = %q, want %q", got, want)
+		}
+	}
+}

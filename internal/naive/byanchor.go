@@ -1,0 +1,106 @@
+package naive
+
+import (
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// Anchored is a best matchset for one anchor location.
+type Anchored struct {
+	Set   match.Set
+	Score float64
+}
+
+// ByAnchorWIN solves the best-matchset-by-location problem
+// (Definition 10) exhaustively for WIN: for every matchset in the
+// cross product, its anchor is its largest match location
+// (Definition 9); the map holds the best matchset per anchor.
+func ByAnchorWIN(fn scorefn.WIN, lists match.Lists) map[int]Anchored {
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		record(out, s.MaxLoc(), s, scorefn.ScoreWIN(fn, s))
+	})
+	return out
+}
+
+// ByAnchorMED solves best-matchset-by-location exhaustively for MED:
+// the anchor is the median match location.
+func ByAnchorMED(fn scorefn.MED, lists match.Lists) map[int]Anchored {
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		record(out, s.Median(), s, scorefn.ScoreMED(fn, s))
+	})
+	return out
+}
+
+// ByAnchorMAX solves best-matchset-by-location exhaustively for MAX,
+// per the paper's Section VII formulation: for every match location l
+// in the lists, the best matchset anchored at l is the one maximizing
+// the total contribution at l (it consists of dominating matches at
+// l). The map holds, per location, the matchset with the highest
+// score-at-that-location over the full cross product.
+func ByAnchorMAX(fn scorefn.MAX, lists match.Lists) map[int]Anchored {
+	locs := make(map[int]bool)
+	for _, l := range lists {
+		for _, m := range l {
+			locs[m.Loc] = true
+		}
+	}
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		for l := range locs {
+			record(out, l, s, scorefn.ScoreMAXAt(fn, s, l))
+		}
+	})
+	return out
+}
+
+func record(out map[int]Anchored, anchor int, s match.Set, score float64) {
+	if prev, seen := out[anchor]; !seen || score > prev.Score {
+		out[anchor] = Anchored{Set: s.Clone(), Score: score}
+	}
+}
+
+// ValidByAnchorWIN is ByAnchorWIN restricted to valid (duplicate-free)
+// matchsets — the exhaustive reference for the combined
+// Section VI + VII problem.
+func ValidByAnchorWIN(fn scorefn.WIN, lists match.Lists) map[int]Anchored {
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		if s.Valid() {
+			record(out, s.MaxLoc(), s, scorefn.ScoreWIN(fn, s))
+		}
+	})
+	return out
+}
+
+// ValidByAnchorMED is ByAnchorMED restricted to valid matchsets.
+func ValidByAnchorMED(fn scorefn.MED, lists match.Lists) map[int]Anchored {
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		if s.Valid() {
+			record(out, s.Median(), s, scorefn.ScoreMED(fn, s))
+		}
+	})
+	return out
+}
+
+// ValidByAnchorMAX is ByAnchorMAX restricted to valid matchsets.
+func ValidByAnchorMAX(fn scorefn.MAX, lists match.Lists) map[int]Anchored {
+	locs := make(map[int]bool)
+	for _, l := range lists {
+		for _, m := range l {
+			locs[m.Loc] = true
+		}
+	}
+	out := make(map[int]Anchored)
+	ForEach(lists, func(s match.Set) {
+		if !s.Valid() {
+			return
+		}
+		for l := range locs {
+			record(out, l, s, scorefn.ScoreMAXAt(fn, s, l))
+		}
+	})
+	return out
+}

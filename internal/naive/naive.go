@@ -1,0 +1,101 @@
+// Package naive implements the paper's baseline algorithms NWIN, NMED
+// and NMAX (Section II, Section VIII): exhaustively enumerate the
+// cross product of all match lists, score every possible matchset, and
+// return one with the highest score. Time complexity is
+// Θ(|Q|·Π|Lj|), exponential in the number of query terms with the
+// average list size as the base — exactly the cost the paper's
+// linear-time algorithms avoid.
+//
+// Besides serving as experiment baselines, these enumerators are the
+// ground truth the fast algorithms are property-tested against.
+package naive
+
+import (
+	"math"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// WIN is the NWIN baseline: the exact overall best matchset under a
+// WIN scoring function by cross-product enumeration. ok is false when
+// some list is empty (no matchset exists).
+func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok bool) {
+	return enumerate(lists, func(s match.Set) float64 { return scorefn.ScoreWIN(fn, s) })
+}
+
+// MED is the NMED baseline under a MED scoring function. The paper
+// notes NMED is slower than NWIN because of the median calculation;
+// the same holds here (Set.Median sorts the locations).
+func MED(fn scorefn.MED, lists match.Lists) (best match.Set, score float64, ok bool) {
+	return enumerate(lists, func(s match.Set) float64 { return scorefn.ScoreMED(fn, s) })
+}
+
+// MAX is the NMAX baseline under a maximized-at-match MAX scoring
+// function: for each matchset in the cross product, the total
+// contribution is computed at every match location of the set (the
+// paper: NMAX "needs to compute the total contribution at every match
+// location in the matchset"), and the best location is kept.
+func MAX(fn scorefn.MAX, lists match.Lists) (best match.Set, score float64, ok bool) {
+	return enumerate(lists, func(s match.Set) float64 {
+		v, _ := scorefn.ScoreMAX(fn, s)
+		return v
+	})
+}
+
+// BestValid enumerates only valid (duplicate-free, Section VI)
+// matchsets and returns the best under an arbitrary scoring function.
+// It is the ground truth for the duplicate-avoidance wrapper. ok is
+// false when no valid matchset exists.
+func BestValid(lists match.Lists, score func(match.Set) float64) (best match.Set, bestScore float64, ok bool) {
+	bestScore = math.Inf(-1)
+	ForEach(lists, func(s match.Set) {
+		if !s.Valid() {
+			return
+		}
+		if v := score(s); !ok || v > bestScore {
+			best, bestScore, ok = s.Clone(), v, true
+		}
+	})
+	return best, bestScore, ok
+}
+
+// ForEach invokes fn for every matchset in the cross product of the
+// lists, reusing a single scratch Set between calls (clone it to
+// retain). It visits nothing if any list is empty.
+func ForEach(lists match.Lists, fn func(match.Set)) {
+	if !lists.Complete() {
+		return
+	}
+	q := len(lists)
+	idx := make([]int, q)
+	cur := make(match.Set, q)
+	for {
+		for j := range cur {
+			cur[j] = lists[j][idx[j]]
+		}
+		fn(cur)
+		// Advance the odometer.
+		j := q - 1
+		for ; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < len(lists[j]) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j < 0 {
+			return
+		}
+	}
+}
+
+func enumerate(lists match.Lists, score func(match.Set) float64) (best match.Set, bestScore float64, ok bool) {
+	bestScore = math.Inf(-1)
+	ForEach(lists, func(s match.Set) {
+		if v := score(s); !ok || v > bestScore {
+			best, bestScore, ok = s.Clone(), v, true
+		}
+	})
+	return best, bestScore, ok
+}

@@ -1,0 +1,218 @@
+package naive
+
+import (
+	"math"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+func lists2x2() match.Lists {
+	return match.Lists{
+		{{Loc: 0, Score: 0.5}, {Loc: 10, Score: 1.0}},
+		{{Loc: 2, Score: 0.9}, {Loc: 50, Score: 0.4}},
+	}
+}
+
+func TestForEachVisitsFullCrossProduct(t *testing.T) {
+	var seen []match.Set
+	ForEach(lists2x2(), func(s match.Set) { seen = append(seen, s.Clone()) })
+	if len(seen) != 4 {
+		t.Fatalf("visited %d matchsets, want 4", len(seen))
+	}
+	// All combinations must be distinct.
+	uniq := map[string]bool{}
+	for _, s := range seen {
+		uniq[s.String()] = true
+	}
+	if len(uniq) != 4 {
+		t.Errorf("duplicate matchsets visited: %v", seen)
+	}
+}
+
+func TestForEachEmptyList(t *testing.T) {
+	n := 0
+	ForEach(match.Lists{{{Loc: 1}}, {}}, func(match.Set) { n++ })
+	if n != 0 {
+		t.Errorf("ForEach visited %d matchsets with an empty list", n)
+	}
+}
+
+func TestWINPicksManualOptimum(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	lists := lists2x2()
+	set, score, ok := WIN(fn, lists)
+	if !ok {
+		t.Fatal("no matchset")
+	}
+	// Manual: best is (0,2): 0.5·0.9·e^-0.2 = 0.3685; (10,2): 0.9·e^-0.8
+	// = 0.4044 — actually higher. Enumerate to be sure.
+	best := math.Inf(-1)
+	ForEach(lists, func(s match.Set) {
+		if v := scorefn.ScoreWIN(fn, s); v > best {
+			best = v
+		}
+	})
+	if math.Abs(score-best) > 1e-12 {
+		t.Errorf("WIN score %v, manual optimum %v (set %v)", score, best, set)
+	}
+}
+
+func TestBestValidSkipsDuplicates(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 5, Score: 1.0}, {Loc: 9, Score: 0.1}},
+		{{Loc: 5, Score: 1.0}},
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	set, _, ok := BestValid(lists, func(s match.Set) float64 { return scorefn.ScoreWIN(fn, s) })
+	if !ok {
+		t.Fatal("no valid matchset found")
+	}
+	if !set.Valid() {
+		t.Fatalf("BestValid returned invalid set %v", set)
+	}
+	if set[0].Loc != 9 {
+		t.Errorf("BestValid = %v, want the loc-9 match for term 0", set)
+	}
+}
+
+func TestBestValidNoneExists(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 5, Score: 1}},
+		{{Loc: 5, Score: 1}},
+	}
+	if _, _, ok := BestValid(lists, func(match.Set) float64 { return 1 }); ok {
+		t.Error("BestValid found a set when every combination is invalid")
+	}
+}
+
+func TestByAnchorWINKeysAreMaxLocs(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	got := ByAnchorWIN(fn, lists2x2())
+	// Possible max locations: 2 (0,2), 10 (10,2), 50 (0,50 and 10,50).
+	want := map[int]bool{2: true, 10: true, 50: true}
+	if len(got) != len(want) {
+		t.Fatalf("anchors = %v", got)
+	}
+	for a, r := range got {
+		if !want[a] {
+			t.Errorf("unexpected anchor %d", a)
+		}
+		if r.Set.MaxLoc() != a {
+			t.Errorf("anchor %d holds set %v with MaxLoc %d", a, r.Set, r.Set.MaxLoc())
+		}
+	}
+}
+
+func TestByAnchorMEDKeysAreMedians(t *testing.T) {
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	got := ByAnchorMED(fn, lists2x2())
+	for a, r := range got {
+		if r.Set.Median() != a {
+			t.Errorf("anchor %d holds set %v with median %d", a, r.Set, r.Set.Median())
+		}
+	}
+}
+
+func TestByAnchorMAXCoversAllLocations(t *testing.T) {
+	fn := scorefn.SumMAX{Alpha: 0.1}
+	got := ByAnchorMAX(fn, lists2x2())
+	// Every match location appears as an anchor.
+	for _, loc := range []int{0, 10, 2, 50} {
+		if _, ok := got[loc]; !ok {
+			t.Errorf("location %d missing from ByAnchorMAX", loc)
+		}
+	}
+	// Per-anchor score must equal the best score-at-anchor over the
+	// cross product.
+	for a, r := range got {
+		best := math.Inf(-1)
+		ForEach(lists2x2(), func(s match.Set) {
+			best = math.Max(best, scorefn.ScoreMAXAt(fn, s, a))
+		})
+		if math.Abs(r.Score-best) > 1e-12 {
+			t.Errorf("anchor %d score %v, want %v", a, r.Score, best)
+		}
+	}
+}
+
+func TestMEDAndMAXEnumerators(t *testing.T) {
+	lists := lists2x2()
+	medFn := scorefn.ExpMED{Alpha: 0.1}
+	set, score, ok := MED(medFn, lists)
+	if !ok {
+		t.Fatal("MED found nothing")
+	}
+	best := math.Inf(-1)
+	ForEach(lists, func(s match.Set) {
+		if v := scorefn.ScoreMED(medFn, s); v > best {
+			best = v
+		}
+	})
+	if math.Abs(score-best) > 1e-12 {
+		t.Errorf("MED score %v, manual optimum %v (set %v)", score, best, set)
+	}
+
+	maxFn := scorefn.SumMAX{Alpha: 0.1}
+	set, score, ok = MAX(maxFn, lists)
+	if !ok {
+		t.Fatal("MAX found nothing")
+	}
+	best = math.Inf(-1)
+	ForEach(lists, func(s match.Set) {
+		if v, _ := scorefn.ScoreMAX(maxFn, s); v > best {
+			best = v
+		}
+	})
+	if math.Abs(score-best) > 1e-12 {
+		t.Errorf("MAX score %v, manual optimum %v (set %v)", score, best, set)
+	}
+	_ = set
+}
+
+func TestEnumeratorsEmptyList(t *testing.T) {
+	lists := match.Lists{{}, {{Loc: 1, Score: 1}}}
+	if _, _, ok := MED(scorefn.ExpMED{Alpha: 0.1}, lists); ok {
+		t.Error("MED ok with empty list")
+	}
+	if _, _, ok := MAX(scorefn.SumMAX{Alpha: 0.1}, lists); ok {
+		t.Error("MAX ok with empty list")
+	}
+	if got := ByAnchorWIN(scorefn.ExpWIN{Alpha: 0.1}, lists); len(got) != 0 {
+		t.Errorf("ByAnchorWIN = %v with empty list", got)
+	}
+	if got := ValidByAnchorMED(scorefn.ExpMED{Alpha: 0.1}, lists); len(got) != 0 {
+		t.Errorf("ValidByAnchorMED = %v with empty list", got)
+	}
+}
+
+func TestValidByAnchorFiltersInvalid(t *testing.T) {
+	lists := match.Lists{
+		{{Loc: 5, Score: 1}, {Loc: 8, Score: 0.5}},
+		{{Loc: 5, Score: 1}},
+	}
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	all := ByAnchorWIN(fn, lists)
+	valid := ValidByAnchorWIN(fn, lists)
+	if len(valid) >= len(all) {
+		t.Fatalf("valid anchors (%d) should be fewer than all anchors (%d)", len(valid), len(all))
+	}
+	for a, r := range valid {
+		if !r.Set.Valid() {
+			t.Errorf("anchor %d holds invalid set %v", a, r.Set)
+		}
+	}
+	vmed := ValidByAnchorMED(scorefn.ExpMED{Alpha: 0.1}, lists)
+	for a, r := range vmed {
+		if !r.Set.Valid() || r.Set.Median() != a {
+			t.Errorf("MED anchor %d invalid entry %v", a, r)
+		}
+	}
+	vmax := ValidByAnchorMAX(scorefn.SumMAX{Alpha: 0.1}, lists)
+	for _, r := range vmax {
+		if !r.Set.Valid() {
+			t.Errorf("MAX invalid entry %v", r)
+		}
+	}
+}

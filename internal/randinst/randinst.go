@@ -1,0 +1,58 @@
+// Package randinst generates random weighted-proximity-join problem
+// instances. It exists for the property tests that compare the fast
+// algorithms against the naive cross-product baselines on thousands of
+// random instances, and for micro-benchmarks that need inputs with a
+// controlled shape.
+package randinst
+
+import (
+	"math/rand"
+
+	"bestjoin/internal/match"
+)
+
+// Config controls the shape of generated instances.
+type Config struct {
+	Terms      int  // number of query terms (match lists)
+	MaxPerList int  // each list gets 1..MaxPerList matches
+	MaxLoc     int  // locations drawn from [0, MaxLoc)
+	AllowEmpty bool // if set, a list may be empty
+	AllowTies  bool // if set, distinct matches may share a location
+}
+
+// Lists generates one random instance. Scores are uniform over (0,1],
+// the regime of the paper's experiments. Lists come back sorted by
+// location. When AllowTies is false all locations across all lists are
+// distinct, which removes median/anchor tie ambiguity; tie-specific
+// behaviour is tested separately with AllowTies set.
+func Lists(rng *rand.Rand, cfg Config) match.Lists {
+	lists := make(match.Lists, cfg.Terms)
+	used := make(map[int]bool)
+	for j := range lists {
+		n := 1 + rng.Intn(cfg.MaxPerList)
+		if cfg.AllowEmpty && rng.Intn(8) == 0 {
+			n = 0
+		}
+		l := make(match.List, 0, n)
+		for len(l) < n {
+			loc := rng.Intn(cfg.MaxLoc)
+			if !cfg.AllowTies {
+				if used[loc] {
+					// When the range is too tight for the demanded
+					// number of distinct locations, overflow past
+					// MaxLoc instead of rejection-sampling forever.
+					if len(used) >= cfg.MaxLoc {
+						loc = cfg.MaxLoc + len(used)
+					} else {
+						continue
+					}
+				}
+				used[loc] = true
+			}
+			l = append(l, match.Match{Loc: loc, Score: 1 - rng.Float64()})
+		}
+		l.Sort()
+		lists[j] = l
+	}
+	return lists
+}

@@ -1,0 +1,74 @@
+package randinst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestListsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		ls := Lists(rng, Config{Terms: 4, MaxPerList: 5, MaxLoc: 100})
+		if len(ls) != 4 {
+			t.Fatalf("got %d lists", len(ls))
+		}
+		if err := ls.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, l := range ls {
+			if len(l) == 0 || len(l) > 5 {
+				t.Fatalf("list size %d outside [1,5]", len(l))
+			}
+			for _, m := range l {
+				if m.Loc < 0 || m.Loc >= 100 {
+					t.Fatalf("loc %d out of range", m.Loc)
+				}
+				if m.Score <= 0 || m.Score > 1 {
+					t.Fatalf("score %v outside (0,1]", m.Score)
+				}
+				if seen[m.Loc] {
+					t.Fatalf("duplicate location %d without AllowTies", m.Loc)
+				}
+				seen[m.Loc] = true
+			}
+		}
+	}
+}
+
+func TestAllowEmptyProducesEmptyLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	empties := 0
+	for trial := 0; trial < 200; trial++ {
+		for _, l := range Lists(rng, Config{Terms: 3, MaxPerList: 3, MaxLoc: 50, AllowEmpty: true}) {
+			if len(l) == 0 {
+				empties++
+			}
+		}
+	}
+	if empties == 0 {
+		t.Error("AllowEmpty never produced an empty list over 600 draws")
+	}
+}
+
+func TestAllowTiesProducesTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ties := 0
+	for trial := 0; trial < 100; trial++ {
+		ls := Lists(rng, Config{Terms: 3, MaxPerList: 5, MaxLoc: 6, AllowTies: true})
+		seen := map[int]int{}
+		for _, l := range ls {
+			for _, m := range l {
+				seen[m.Loc]++
+			}
+		}
+		for _, n := range seen {
+			if n > 1 {
+				ties++
+			}
+		}
+	}
+	if ties == 0 {
+		t.Error("AllowTies with a tiny location range never produced a tie")
+	}
+}

@@ -1,0 +1,139 @@
+package scorefn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CheckWIN probes a WIN scoring function against the Definition 3
+// contract on n randomized inputs drawn from rng: monotonicity of
+// every g_j and of f in both arguments, plus the optimal substructure
+// property. It returns the first violation found, or nil.
+//
+// Scores are drawn from (0,1] and windows from [0,200), matching the
+// regime the paper's experiments operate in.
+func CheckWIN(fn WIN, terms int, n int, rng *rand.Rand) error {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(terms)
+		x, y := randScore(rng), randScore(rng)
+		if x > y && fn.G(j, x) < fn.G(j, y) {
+			return fmt.Errorf("scorefn: g_%d not increasing: g(%v)=%v < g(%v)=%v", j, x, fn.G(j, x), y, fn.G(j, y))
+		}
+		a, b := rng.Float64()*20-10, rng.Float64()*20-10
+		w, v := rng.Float64()*200, rng.Float64()*200
+		if a >= b && fn.F(a, w) < fn.F(b, w) {
+			return fmt.Errorf("scorefn: f not increasing in x: f(%v,%v) < f(%v,%v)", a, w, b, w)
+		}
+		if w >= v && fn.F(a, w) > fn.F(a, v) {
+			return fmt.Errorf("scorefn: f not decreasing in y: f(%v,%v) > f(%v,%v)", a, w, a, v)
+		}
+		// Optimal substructure: f(x,y) ≥ f(x',y') must be preserved by
+		// adding δ≥0 to both first arguments, and by adding δ≥0 to
+		// both second arguments.
+		delta := rng.Float64() * 50
+		if fn.F(a, w) >= fn.F(b, v) {
+			if fn.F(a+delta, w) < fn.F(b+delta, v) {
+				return fmt.Errorf("scorefn: optimal substructure (x+δ) violated at x=%v y=%v x'=%v y'=%v δ=%v", a, w, b, v, delta)
+			}
+			if fn.F(a, w+delta) < fn.F(b, v+delta) {
+				return fmt.Errorf("scorefn: optimal substructure (y+δ) violated at x=%v y=%v x'=%v y'=%v δ=%v", a, w, b, v, delta)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMED probes a MED scoring function against the Definition 5
+// contract (f and every g_j monotonically increasing) on n randomized
+// inputs. It returns the first violation found, or nil.
+func CheckMED(fn MED, terms int, n int, rng *rand.Rand) error {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(terms)
+		x, y := randScore(rng), randScore(rng)
+		if x > y && fn.G(j, x) < fn.G(j, y) {
+			return fmt.Errorf("scorefn: g_%d not increasing", j)
+		}
+		a, b := rng.Float64()*40-20, rng.Float64()*40-20
+		if a >= b && fn.F(a) < fn.F(b) {
+			return fmt.Errorf("scorefn: f not increasing: f(%v)=%v < f(%v)=%v", a, fn.F(a), b, fn.F(b))
+		}
+	}
+	return nil
+}
+
+// CheckMAX probes a MAX scoring function against the Definition 7
+// contract (f increasing; contribution increasing in score, decreasing
+// in distance) on n randomized inputs. It returns the first violation
+// found, or nil.
+func CheckMAX(fn MAX, terms int, n int, rng *rand.Rand) error {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(terms)
+		x, y := randScore(rng), randScore(rng)
+		d := rng.Float64() * 100
+		if x > y && fn.Contribution(j, x, d) < fn.Contribution(j, y, d) {
+			return fmt.Errorf("scorefn: contribution not increasing in score")
+		}
+		d2 := d + rng.Float64()*100
+		if fn.Contribution(j, x, d) < fn.Contribution(j, x, d2) {
+			return fmt.Errorf("scorefn: contribution not decreasing in distance")
+		}
+		a, b := rng.Float64()*40-20, rng.Float64()*40-20
+		if a >= b && fn.F(a) < fn.F(b) {
+			return fmt.Errorf("scorefn: f not increasing")
+		}
+	}
+	return nil
+}
+
+// CheckAtMostOneCrossing numerically probes the Definition 8 crossing
+// property: for random pairs of (score, loc) match curves for the same
+// term, the sign of their contribution difference, swept over integer
+// locations in [lo, hi], must change at most once. It returns the
+// first violation found, or nil.
+func CheckAtMostOneCrossing(fn MAX, terms int, n int, lo, hi int, rng *rand.Rand) error {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(terms)
+		s1, s2 := randScore(rng), randScore(rng)
+		l1 := lo + rng.Intn(hi-lo)
+		l2 := lo + rng.Intn(hi-lo)
+		changes, prev := 0, 0
+		for l := lo; l <= hi; l++ {
+			d := fn.Contribution(j, s1, absDist(l1, l)) - fn.Contribution(j, s2, absDist(l2, l))
+			s := sign(d)
+			if s != 0 {
+				if prev != 0 && s != prev {
+					changes++
+				}
+				prev = s
+			}
+		}
+		if changes > 1 {
+			return fmt.Errorf("scorefn: contributions of (%v@%d) and (%v@%d) cross %d times", s1, l1, s2, l2, changes)
+		}
+	}
+	return nil
+}
+
+func randScore(rng *rand.Rand) float64 {
+	// Uniform over (0,1]: the paper's individual-match-score regime.
+	return 1 - rng.Float64()
+}
+
+func absDist(a, b int) float64 {
+	if a < b {
+		return float64(b - a)
+	}
+	return float64(a - b)
+}
+
+func sign(x float64) int {
+	const eps = 1e-12
+	switch {
+	case x > eps:
+		return 1
+	case x < -eps:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,144 @@
+// Package scorefn defines the three families of matchset scoring
+// functions studied by the paper — window-length (WIN, Definition 3),
+// distance-from-median (MED, Definition 5) and maximize-over-location
+// (MAX, Definition 7) — together with the concrete instances used in
+// the paper's examples and experiments.
+//
+// Each family is an interface capturing exactly the degrees of freedom
+// the paper leaves open (the f and g_j functions); the join algorithms
+// in package join work for any implementation that satisfies the
+// family's stated monotonicity/substructure contract. Package scorefn
+// also provides randomized property checkers (see check.go) that
+// verify a candidate implementation against that contract.
+package scorefn
+
+import (
+	"math"
+
+	"bestjoin/internal/match"
+)
+
+// WIN is a window-length scoring function (Definition 3):
+//
+//	score(M,Q) = F( Σj Gj(score(mj)),  maxj loc(mj) − minj loc(mj) )
+//
+// Contract: G(j,·) must be monotonically increasing for every term j;
+// F must be monotonically increasing in its first argument,
+// monotonically decreasing in its second, and satisfy the optimal
+// substructure property:
+//
+//	F(x,y) ≥ F(x',y')  ⇒  F(x+δ,y) ≥ F(x'+δ,y')   for all δ ≥ 0
+//	F(x,y) ≥ F(x',y')  ⇒  F(x,y+δ) ≥ F(x',y'+δ)   for all δ ≥ 0
+//
+// CheckWIN verifies these properties on randomized inputs.
+type WIN interface {
+	// G is the per-term score transform g_j applied to an individual
+	// match score.
+	G(term int, score float64) float64
+	// F combines the transformed score total with the window length.
+	F(gsum float64, window float64) float64
+}
+
+// MED is a distance-from-median scoring function (Definition 5):
+//
+//	score(M,Q) = F( Σj ( Gj(score(mj)) − |loc(mj) − median(M)| ) )
+//
+// Contract: F and every G(j,·) must be monotonically increasing.
+type MED interface {
+	G(term int, score float64) float64
+	F(total float64) float64
+}
+
+// MAX is a maximize-over-location scoring function (Definition 7):
+//
+//	score(M,Q) = max_l F( Σj Gj(score(mj), |loc(mj) − l|) )
+//
+// Contribution here exposes g_j directly: the distance-decayed score
+// contribution c_j(m,l) = g_j(score(m), |loc(m)−l|) of a match at a
+// reference location. Contract: F monotonically increasing;
+// Contribution monotonically increasing in score and monotonically
+// decreasing in dist.
+type MAX interface {
+	// Contribution is c_j(m,l) evaluated with dist = |loc(m)−l|.
+	Contribution(term int, score float64, dist float64) float64
+	F(total float64) float64
+}
+
+// EfficientMAX marks MAX scoring functions that additionally satisfy
+// the two properties of Definition 8 enabling the specialized
+// linear-time algorithm:
+//
+//   - at-most-one-crossing: for two matches of the same list, the sign
+//     of c_j(m,l) − c_j(m',l) changes at most once over l;
+//   - maximized-at-match: the maximum over l of the matchset score is
+//     attained at the location of one of the matches in the matchset.
+//
+// Lemma 3 proves both hold for the exponential-decay instances
+// ProdMAX and SumMAX. CheckMAXProperties probes them numerically.
+type EfficientMAX interface {
+	MAX
+	// AtMostOneCrossing is a marker; implementations assert the
+	// Definition 8 properties hold.
+	AtMostOneCrossing() bool
+}
+
+// ScoreWIN evaluates a WIN scoring function on a full matchset.
+func ScoreWIN(fn WIN, s match.Set) float64 {
+	gsum := 0.0
+	for j, m := range s {
+		gsum += fn.G(j, m.Score)
+	}
+	return fn.F(gsum, float64(s.Window()))
+}
+
+// ScoreMED evaluates a MED scoring function on a full matchset, using
+// the paper's median definition (match.Set.Median).
+func ScoreMED(fn MED, s match.Set) float64 {
+	med := s.Median()
+	total := 0.0
+	for j, m := range s {
+		total += MEDContribution(fn, j, m, med)
+	}
+	return fn.F(total)
+}
+
+// MEDContribution is c_j(m,l) = g_j(score(m)) − |loc(m) − l|, the
+// distance-decayed score contribution of a match under MED.
+func MEDContribution(fn MED, term int, m match.Match, l int) float64 {
+	return fn.G(term, m.Score) - absInt(m.Loc-l)
+}
+
+// ScoreMAXAt evaluates F(Σ c_j(m_j, l)) for a fixed reference
+// location l.
+func ScoreMAXAt(fn MAX, s match.Set, l int) float64 {
+	total := 0.0
+	for j, m := range s {
+		total += fn.Contribution(j, m.Score, absInt(m.Loc-l))
+	}
+	return fn.F(total)
+}
+
+// ScoreMAX evaluates a MAX scoring function on a full matchset by
+// maximizing over candidate reference locations. For maximized-at-match
+// functions the candidates are exactly the match locations of the set,
+// which is how the paper's algorithms evaluate matchsets; for general
+// MAX functions the true maximum may fall between matches, and callers
+// should use envelope-based evaluation instead.
+func ScoreMAX(fn MAX, s match.Set) (score float64, anchor int) {
+	best := math.Inf(-1)
+	bestLoc := s[0].Loc
+	for _, m := range s {
+		if v := ScoreMAXAt(fn, s, m.Loc); v > best {
+			best = v
+			bestLoc = m.Loc
+		}
+	}
+	return best, bestLoc
+}
+
+func absInt(d int) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}

@@ -1,0 +1,214 @@
+package scorefn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+)
+
+func TestExpWINEqualsEquationOne(t *testing.T) {
+	// Equation (1): (Π score) · e^(−α·window).
+	fn := ExpWIN{Alpha: 0.1}
+	s := match.Set{{Loc: 3, Score: 0.5}, {Loc: 10, Score: 0.8}, {Loc: 7, Score: 0.9}}
+	want := 0.5 * 0.8 * 0.9 * math.Exp(-0.1*float64(10-3))
+	if got := ScoreWIN(fn, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreWIN = %v, want %v", got, want)
+	}
+}
+
+func TestLinearWINEqualsFootnoteNine(t *testing.T) {
+	fn := LinearWIN{Scale: 0.3}
+	s := match.Set{{Loc: 2, Score: 0.6}, {Loc: 12, Score: 0.3}}
+	want := 0.6/0.3 + 0.3/0.3 - float64(12-2)
+	if got := ScoreWIN(fn, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreWIN = %v, want %v", got, want)
+	}
+}
+
+func TestExpMEDEqualsEquationThree(t *testing.T) {
+	// Equation (3): Π( score · e^(−α·|loc−median|) ).
+	fn := ExpMED{Alpha: 0.2}
+	s := match.Set{{Loc: 0, Score: 0.5}, {Loc: 10, Score: 0.8}, {Loc: 14, Score: 0.9}}
+	med := 10.0
+	want := 1.0
+	for _, m := range s {
+		want *= m.Score * math.Exp(-0.2*math.Abs(float64(m.Loc)-med))
+	}
+	if got := ScoreMED(fn, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreMED = %v, want %v", got, want)
+	}
+}
+
+func TestLinearMEDEqualsFootnoteNine(t *testing.T) {
+	fn := LinearMED{Scale: 0.3}
+	s := match.Set{{Loc: 0, Score: 0.6}, {Loc: 4, Score: 0.3}, {Loc: 9, Score: 0.9}}
+	// median is 4 (middle of three).
+	want := 0.6/0.3 - 4 + 0.3/0.3 - 0 + 0.9/0.3 - 5
+	if got := ScoreMED(fn, s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreMED = %v, want %v", got, want)
+	}
+}
+
+func TestSumMAXEqualsEquationFive(t *testing.T) {
+	fn := SumMAX{Alpha: 0.1}
+	s := match.Set{{Loc: 0, Score: 0.5}, {Loc: 6, Score: 1.0}}
+	// Maximized-at-match: best anchor is one of the match locations.
+	at0 := 0.5 + 1.0*math.Exp(-0.6)
+	at6 := 0.5*math.Exp(-0.6) + 1.0
+	want := math.Max(at0, at6)
+	got, anchor := ScoreMAX(fn, s)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreMAX = %v, want %v", got, want)
+	}
+	if anchor != 6 {
+		t.Errorf("anchor = %d, want 6 (the higher-scoring match)", anchor)
+	}
+}
+
+func TestProdMAXEqualsEquationFour(t *testing.T) {
+	fn := ProdMAX{Alpha: 0.1}
+	s := match.Set{{Loc: 2, Score: 0.5}, {Loc: 9, Score: 0.8}}
+	best := math.Inf(-1)
+	for _, l := range []int{2, 9} {
+		v := 1.0
+		for _, m := range s {
+			v *= m.Score * math.Exp(-0.1*math.Abs(float64(m.Loc-l)))
+		}
+		best = math.Max(best, v)
+	}
+	got, _ := ScoreMAX(fn, s)
+	if math.Abs(got-best) > 1e-12 {
+		t.Errorf("ScoreMAX = %v, want %v", got, best)
+	}
+}
+
+func TestMEDAsMAXContribution(t *testing.T) {
+	med := LinearMED{Scale: 0.3}
+	adapted := MEDAsMAX{med}
+	m := match.Match{Loc: 5, Score: 0.6}
+	want := MEDContribution(med, 0, m, 12)
+	if got := adapted.Contribution(0, m.Score, 7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MEDAsMAX contribution = %v, want %v", got, want)
+	}
+}
+
+func TestScoreMAXAtMatchesManualSum(t *testing.T) {
+	fn := SumMAX{Alpha: 0.25}
+	s := match.Set{{Loc: 1, Score: 0.4}, {Loc: 8, Score: 0.9}}
+	want := 0.4*math.Exp(-0.25*4) + 0.9*math.Exp(-0.25*3)
+	if got := ScoreMAXAt(fn, s, 5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScoreMAXAt = %v, want %v", got, want)
+	}
+}
+
+func TestInstancesSatisfyContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 5000
+	wins := map[string]WIN{
+		"ExpWIN":    ExpWIN{Alpha: 0.1},
+		"LinearWIN": LinearWIN{Scale: 0.3},
+	}
+	for name, fn := range wins {
+		if err := CheckWIN(fn, 4, n, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	meds := map[string]MED{
+		"ExpMED":    ExpMED{Alpha: 0.1},
+		"LinearMED": LinearMED{Scale: 0.3},
+	}
+	for name, fn := range meds {
+		if err := CheckMED(fn, 4, n, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	maxes := map[string]MAX{
+		"ProdMAX":  ProdMAX{Alpha: 0.1},
+		"SumMAX":   SumMAX{Alpha: 0.1},
+		"MEDAsMAX": MEDAsMAX{LinearMED{Scale: 0.3}},
+	}
+	for name, fn := range maxes {
+		if err := CheckMAX(fn, 4, n, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestEfficientInstancesAtMostOneCrossing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	maxes := map[string]MAX{
+		"ProdMAX":  ProdMAX{Alpha: 0.1},
+		"SumMAX":   SumMAX{Alpha: 0.1},
+		"MEDAsMAX": MEDAsMAX{LinearMED{Scale: 0.3}},
+	}
+	for name, fn := range maxes {
+		if err := CheckAtMostOneCrossing(fn, 3, 200, 0, 120, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// brokenWIN violates optimal substructure: f(x,y) = x − ln(1+y) is
+// monotone in both arguments, but shifting two windows right by the
+// same δ changes their penalty difference, so an ordering established
+// at (y, y') need not survive at (y+δ, y'+δ).
+type brokenWIN struct{}
+
+func (brokenWIN) G(_ int, s float64) float64 { return s }
+func (brokenWIN) F(x, y float64) float64     { return x - math.Log(1+y) }
+
+func TestCheckWINCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if err := CheckWIN(brokenWIN{}, 2, 5000, rng); err == nil {
+		t.Error("CheckWIN failed to catch an optimal-substructure violation")
+	}
+}
+
+// crossingMAX has contribution curves that can cross twice: decay rate
+// depends on the score, steeply then flat.
+type crossingMAX struct{}
+
+func (crossingMAX) Contribution(_ int, s, d float64) float64 {
+	// Higher-score matches decay fast then plateau above zero;
+	// lower-score matches decay linearly through them.
+	if s > 0.5 {
+		return s * math.Exp(-2*d)
+	}
+	return s - 0.01*d
+}
+func (crossingMAX) F(x float64) float64 { return x }
+
+func TestCheckAtMostOneCrossingCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if err := CheckAtMostOneCrossing(crossingMAX{}, 1, 500, 0, 200, rng); err == nil {
+		t.Error("CheckAtMostOneCrossing failed to catch a double crossing")
+	}
+}
+
+// brokenMED has a decreasing f.
+type brokenMED struct{}
+
+func (brokenMED) G(_ int, s float64) float64 { return s }
+func (brokenMED) F(x float64) float64        { return -x }
+
+func TestCheckMEDCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if err := CheckMED(brokenMED{}, 2, 2000, rng); err == nil {
+		t.Error("CheckMED failed to catch a decreasing f")
+	}
+}
+
+// brokenMAX has a contribution increasing in distance.
+type brokenMAX struct{}
+
+func (brokenMAX) Contribution(_ int, s, d float64) float64 { return s + 0.01*d }
+func (brokenMAX) F(x float64) float64                      { return x }
+
+func TestCheckMAXCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if err := CheckMAX(brokenMAX{}, 2, 2000, rng); err == nil {
+		t.Error("CheckMAX failed to catch a distance-increasing contribution")
+	}
+}

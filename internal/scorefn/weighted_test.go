@@ -1,0 +1,57 @@
+package scorefn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+)
+
+func TestWeightedWINAppliesPerTermWeights(t *testing.T) {
+	base := LinearWIN{Scale: 0.3}
+	w := WeightedWIN{Base: base, Weights: []float64{2, 0.5}}
+	if got, want := w.G(0, 0.6), 2*base.G(0, 0.6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("G(0) = %v, want %v", got, want)
+	}
+	if got, want := w.G(1, 0.6), 0.5*base.G(1, 0.6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("G(1) = %v, want %v", got, want)
+	}
+	// Terms beyond the weight slice keep weight 1.
+	if got, want := w.G(5, 0.6), base.G(5, 0.6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("G(5) = %v, want %v", got, want)
+	}
+	// F passes through.
+	if got, want := w.F(3, 7), base.F(3, 7); got != want {
+		t.Errorf("F = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedSatisfyContracts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	win := WeightedWIN{Base: ExpWIN{Alpha: 0.1}, Weights: []float64{2, 0.5, 1.5, 0.25}}
+	if err := CheckWIN(win, 4, 4000, rng); err != nil {
+		t.Errorf("WeightedWIN: %v", err)
+	}
+	med := WeightedMED{Base: ExpMED{Alpha: 0.1}, Weights: []float64{2, 0.5, 1.5, 0.25}}
+	if err := CheckMED(med, 4, 4000, rng); err != nil {
+		t.Errorf("WeightedMED: %v", err)
+	}
+}
+
+func TestWeightedMEDShiftsPreference(t *testing.T) {
+	// Two matchsets: one has a strong match for term 0, the other for
+	// term 1 (symmetric otherwise). Upweighting term 0 must prefer the
+	// first; upweighting term 1 the second.
+	a := match.Set{{Loc: 0, Score: 0.9}, {Loc: 2, Score: 0.3}}
+	b := match.Set{{Loc: 0, Score: 0.3}, {Loc: 2, Score: 0.9}}
+	base := LinearMED{Scale: 0.3}
+	up0 := WeightedMED{Base: base, Weights: []float64{3, 1}}
+	up1 := WeightedMED{Base: base, Weights: []float64{1, 3}}
+	if ScoreMED(up0, a) <= ScoreMED(up0, b) {
+		t.Error("upweighting term 0 did not prefer the strong-term-0 matchset")
+	}
+	if ScoreMED(up1, b) <= ScoreMED(up1, a) {
+		t.Error("upweighting term 1 did not prefer the strong-term-1 matchset")
+	}
+}

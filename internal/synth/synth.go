@@ -1,0 +1,224 @@
+// Package synth generates the synthetic datasets of the paper's
+// Section VIII experiments. A dataset is a collection of documents;
+// each document is a set of match lists whose shape is controlled by
+// four knobs the paper varies:
+//
+//   - the number of query terms (Figure 6),
+//   - the total size of the match lists per document (Figure 7),
+//   - the frequency of duplicates, via the rate λ of a truncated
+//     exponential distribution over the number of matches sharing one
+//     location (Figures 8 and 9),
+//   - the skew s of the Zipf distribution over query-term popularity,
+//     which controls the relative sizes of the match lists
+//     (Figure 10).
+//
+// Match locations are chosen at random within the document; individual
+// match scores are uniform over (0,1]. Defaults follow the paper: 500
+// documents of 1000 words, 4 terms, 30 matches per document, λ=2.0,
+// s=1.1.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"bestjoin/internal/match"
+)
+
+// Config controls dataset generation. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	Docs     int     // number of documents in the dataset
+	DocWords int     // words (locations) per document
+	Terms    int     // number of query terms |Q|
+	Matches  int     // total size of the match lists per document
+	Lambda   float64 // duplicate-frequency knob λ (larger = fewer duplicates)
+	ZipfS    float64 // skew s of term popularity (larger = more skew)
+	Seed     int64   // RNG seed; datasets are deterministic given Config
+}
+
+// DefaultConfig returns the paper's default synthetic workload: 500
+// documents averaging 1000 words, 4 query terms, 30 matches per
+// document, λ=2.0 (just under 24% duplicates), s=1.1.
+func DefaultConfig() Config {
+	return Config{
+		Docs:     500,
+		DocWords: 1000,
+		Terms:    4,
+		Matches:  30,
+		Lambda:   2.0,
+		ZipfS:    1.1,
+		Seed:     1,
+	}
+}
+
+// Dataset is a generated collection of per-document match lists.
+type Dataset struct {
+	Config Config
+	Docs   []match.Lists
+}
+
+// Generate builds a dataset per the configuration. Every document is
+// generated independently: locations are drawn at random over the
+// document; at each chosen location, the number of terms matching
+// there (τ) follows the truncated exponential p(τ) ∝ λe^(−λτ) over
+// [1, Terms]; which τ terms match is drawn (without replacement)
+// from the Zipf popularity distribution over terms; scores are uniform
+// over (0,1].
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Config: cfg, Docs: make([]match.Lists, cfg.Docs)}
+	tauDist := tauWeights(cfg.Lambda, cfg.Terms)
+	zipf := zipfWeights(cfg.ZipfS, cfg.Terms)
+	for d := range ds.Docs {
+		ds.Docs[d] = generateDoc(rng, cfg, tauDist, zipf)
+	}
+	return ds
+}
+
+func generateDoc(rng *rand.Rand, cfg Config, tauDist, zipf []float64) match.Lists {
+	lists := make(match.Lists, cfg.Terms)
+	used := make(map[int]bool)
+	total := 0
+	for total < cfg.Matches {
+		// A fresh random location for the next token carrying matches.
+		loc := rng.Intn(cfg.DocWords)
+		if used[loc] {
+			continue
+		}
+		used[loc] = true
+		tau := 1 + sample(rng, tauDist)
+		if tau > cfg.Matches-total {
+			tau = cfg.Matches - total
+		}
+		for _, term := range sampleDistinct(rng, zipf, tau) {
+			lists[term] = append(lists[term], match.Match{Loc: loc, Score: 1 - rng.Float64()})
+			total++
+		}
+	}
+	for j := range lists {
+		lists[j].Sort()
+	}
+	return lists
+}
+
+// DuplicateFrequency returns the fraction of matches whose location is
+// shared with a match from another list (the paper's footnote 8
+// definition), averaged over the dataset.
+func (ds *Dataset) DuplicateFrequency() float64 {
+	dups, total := 0, 0
+	for _, doc := range ds.Docs {
+		d, n := CountDuplicates(doc)
+		dups += d
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dups) / float64(total)
+}
+
+// CountDuplicates returns, for one document, the number of duplicate
+// matches (location shared with a match from another list) and the
+// total number of matches.
+func CountDuplicates(doc match.Lists) (dups, total int) {
+	owners := make(map[int]map[int]bool) // loc -> set of lists
+	for j, l := range doc {
+		for _, m := range l {
+			if owners[m.Loc] == nil {
+				owners[m.Loc] = make(map[int]bool)
+			}
+			owners[m.Loc][j] = true
+			total++
+		}
+	}
+	for _, l := range doc {
+		for _, m := range l {
+			if len(owners[m.Loc]) > 1 {
+				dups++
+			}
+		}
+	}
+	return dups, total
+}
+
+// ListSizeSkew returns the average size of each term's match list over
+// the dataset, most popular first, for verifying the Zipf knob.
+func (ds *Dataset) ListSizeSkew() []float64 {
+	if len(ds.Docs) == 0 {
+		return nil
+	}
+	out := make([]float64, ds.Config.Terms)
+	for _, doc := range ds.Docs {
+		for j, l := range doc {
+			out[j] += float64(len(l))
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(ds.Docs))
+	}
+	return out
+}
+
+// tauWeights returns the truncated exponential weights
+// p(τ) ∝ λe^(−λτ) for τ = 1..terms (index 0 holds τ=1).
+func tauWeights(lambda float64, terms int) []float64 {
+	w := make([]float64, terms)
+	for i := range w {
+		w[i] = lambda * math.Exp(-lambda*float64(i+1))
+	}
+	return normalize(w)
+}
+
+// zipfWeights returns term-popularity weights f(k) ∝ 1/k^s where k is
+// the 1-based popularity rank; term 0 is the most popular.
+func zipfWeights(s float64, terms int) []float64 {
+	w := make([]float64, terms)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return normalize(w)
+}
+
+func normalize(w []float64) []float64 {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sample draws an index from a normalized weight vector.
+func sample(rng *rand.Rand, w []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if r < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// sampleDistinct draws n distinct indices from a normalized weight
+// vector by repeated weighted sampling with rejection.
+func sampleDistinct(rng *rand.Rand, w []float64, n int) []int {
+	if n > len(w) {
+		n = len(w)
+	}
+	chosen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		i := sample(rng, w)
+		if chosen[i] {
+			continue
+		}
+		chosen[i] = true
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Docs = 50
+	ds := Generate(cfg)
+	if len(ds.Docs) != 50 {
+		t.Fatalf("generated %d docs, want 50", len(ds.Docs))
+	}
+	for i, doc := range ds.Docs {
+		if len(doc) != cfg.Terms {
+			t.Fatalf("doc %d has %d lists, want %d", i, len(doc), cfg.Terms)
+		}
+		if got := doc.TotalSize(); got != cfg.Matches {
+			t.Fatalf("doc %d has %d matches, want %d", i, got, cfg.Matches)
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		for j, l := range doc {
+			for _, m := range l {
+				if m.Loc < 0 || m.Loc >= cfg.DocWords {
+					t.Fatalf("doc %d list %d: location %d out of range", i, j, m.Loc)
+				}
+				if m.Score <= 0 || m.Score > 1 {
+					t.Fatalf("doc %d list %d: score %v outside (0,1]", i, j, m.Score)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Docs = 5
+	a, b := Generate(cfg), Generate(cfg)
+	for d := range a.Docs {
+		for j := range a.Docs[d] {
+			if len(a.Docs[d][j]) != len(b.Docs[d][j]) {
+				t.Fatal("same seed produced different datasets")
+			}
+			for i := range a.Docs[d][j] {
+				if a.Docs[d][j][i] != b.Docs[d][j][i] {
+					t.Fatal("same seed produced different matches")
+				}
+			}
+		}
+	}
+	cfg.Seed = 2
+	c := Generate(cfg)
+	same := true
+	for d := range a.Docs {
+		for j := range a.Docs[d] {
+			if len(a.Docs[d][j]) != len(c.Docs[d][j]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		// Identical list-size profiles across all docs under a new
+		// seed would be astronomically unlikely.
+		t.Log("warning: different seeds produced identical list sizes (suspicious but not impossible)")
+	}
+}
+
+func TestDuplicateFrequencyTracksLambda(t *testing.T) {
+	// The paper: λ=2.0 gives "a little less than 24%" duplicates;
+	// λ=1.0 about 60%; λ=3.0 about 10%.
+	cases := []struct {
+		lambda float64
+		lo, hi float64
+	}{
+		{1.0, 0.45, 0.68},
+		{2.0, 0.17, 0.31},
+		{3.0, 0.05, 0.16},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.Docs = 200
+		cfg.Lambda = c.lambda
+		got := Generate(cfg).DuplicateFrequency()
+		if got < c.lo || got > c.hi {
+			t.Errorf("λ=%v: duplicate frequency %.3f outside [%.2f, %.2f]", c.lambda, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestZipfSkewOrdersListSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Docs = 300
+	cfg.ZipfS = 2.0
+	sizes := Generate(cfg).ListSizeSkew()
+	for j := 1; j < len(sizes); j++ {
+		if sizes[j] > sizes[j-1]+0.5 {
+			t.Errorf("list sizes not decreasing with rank: %v", sizes)
+		}
+	}
+	// Extreme skew concentrates nearly everything in the top list.
+	cfg.ZipfS = 4.0
+	sizes = Generate(cfg).ListSizeSkew()
+	total := 0.0
+	for _, s := range sizes {
+		total += s
+	}
+	if sizes[0]/total < 0.75 {
+		t.Errorf("s=4 should concentrate matches in the top term: %v", sizes)
+	}
+}
+
+func TestTauWeightsNormalizedAndDecreasing(t *testing.T) {
+	w := tauWeights(2.0, 4)
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		if i > 0 && v > w[i-1] {
+			t.Errorf("tau weights not decreasing: %v", w)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("tau weights sum to %v", sum)
+	}
+}
+
+func TestCountDuplicatesManual(t *testing.T) {
+	doc := Generate(Config{Docs: 1, DocWords: 100, Terms: 3, Matches: 9, Lambda: 0.5, ZipfS: 1.0, Seed: 3}).Docs[0]
+	d, n := CountDuplicates(doc)
+	if n != 9 {
+		t.Fatalf("total = %d, want 9", n)
+	}
+	if d < 0 || d > n {
+		t.Fatalf("dups = %d out of range", d)
+	}
+	// Cross-check with the definition directly.
+	type key struct{ loc, list int }
+	byLoc := map[int][]key{}
+	for j, l := range doc {
+		for _, m := range l {
+			byLoc[m.Loc] = append(byLoc[m.Loc], key{m.Loc, j})
+		}
+	}
+	want := 0
+	for _, ks := range byLoc {
+		lists := map[int]bool{}
+		for _, k := range ks {
+			lists[k.list] = true
+		}
+		if len(lists) > 1 {
+			want += len(ks)
+		}
+	}
+	if d != want {
+		t.Errorf("CountDuplicates = %d, manual count %d", d, want)
+	}
+}

@@ -1,0 +1,55 @@
+package text
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzStem ensures the stemmer never panics, never lengthens a word,
+// and is deterministic.
+func FuzzStem(f *testing.F) {
+	for _, w := range []string{"", "a", "running", "caresses", "Stonehenge", "ponies", "ééé", "日本語", "x1y2"} {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		s1 := Stem(word)
+		s2 := Stem(word)
+		if s1 != s2 {
+			t.Fatalf("Stem(%q) nondeterministic: %q vs %q", word, s1, s2)
+		}
+		if len(s1) > len(word) {
+			t.Fatalf("Stem(%q) = %q grew the word", word, s1)
+		}
+	})
+}
+
+// FuzzTokenize ensures tokenization never panics and only emits
+// non-empty lower-case alphanumeric tokens with increasing positions.
+func FuzzTokenize(f *testing.F) {
+	f.Add("hello, world! 42")
+	f.Add("")
+	f.Add("...!!!")
+	f.Add("ALL CAPS and MiXeD 日本語 text")
+	f.Fuzz(func(t *testing.T, doc string) {
+		toks := Tokenize(doc)
+		for i, tok := range toks {
+			if tok.Word == "" {
+				t.Fatal("empty token")
+			}
+			if tok.Pos != i {
+				t.Fatalf("token %d has position %d", i, tok.Pos)
+			}
+			for _, r := range tok.Word {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok.Word, r)
+				}
+				// Lower-cased means a fixed point of ToLower (some
+				// uppercase letters have no lowercase form and map to
+				// themselves).
+				if r != unicode.ToLower(r) {
+					t.Fatalf("token %q not lower-cased", tok.Word)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,268 @@
+package text
+
+// Porter's stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the original
+// description. Stem reduces an English word to its stem, e.g.
+// "caresses" → "caress", "ponies" → "poni", "relational" → "relat".
+//
+// The implementation operates on ASCII words (lower-casing them
+// first); words shorter than three letters are returned unchanged, as
+// the original algorithm prescribes.
+
+// Stem returns the Porter stem of a word. ASCII letters are
+// lower-cased first, so "Stonehenge" and "stonehenge" share a stem;
+// words containing non-ASCII bytes are returned unchanged (Porter's
+// algorithm is defined for English).
+func Stem(word string) string {
+	w := []byte(word)
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c >= 0x80 {
+			return word
+		}
+		if 'A' <= c && c <= 'Z' {
+			w[i] = c + 'a' - 'A'
+		}
+	}
+	if len(w) <= 2 {
+		return string(w)
+	}
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isConsonant reports whether w[i] is a consonant in Porter's sense:
+// letters other than a,e,i,o,u; y is a consonant when it follows a
+// vowel position start or follows a consonant.
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC (vowel-consonant) sequences in
+// w[0:end]: [C](VC)^m[V].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && isConsonant(w, i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < end && !isConsonant(w, i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		// Skip consonants: one full VC block.
+		for i < end && isConsonant(w, i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasVowel reports whether w[0:end] contains a vowel.
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether w[0:end] ends with a double
+// consonant (same letter twice).
+func endsDoubleConsonant(w []byte, end int) bool {
+	if end < 2 {
+		return false
+	}
+	return w[end-1] == w[end-2] && isConsonant(w, end-1)
+}
+
+// endsCVC reports whether w[0:end] ends consonant-vowel-consonant
+// where the final consonant is not w, x or y — Porter's *o condition.
+func endsCVC(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isConsonant(w, end-3) || isConsonant(w, end-2) || !isConsonant(w, end-1) {
+		return false
+	}
+	switch w[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s with r when the stem before s has
+// measure > minM; returns the (possibly new) word and whether the
+// suffix matched (regardless of the measure test).
+func replaceSuffix(w []byte, s, r string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stemEnd := len(w) - len(s)
+	if measure(w, stemEnd) > minM {
+		return append(w[:stemEnd], r...), true
+	}
+	return w, true
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2] // sses -> ss
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2] // ies -> i
+	case hasSuffix(w, "ss"):
+		return w // ss -> ss
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1] // s -> (nothing)
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1] // eed -> ee
+		}
+		return w
+	}
+	applied := false
+	if hasSuffix(w, "ed") && hasVowel(w, len(w)-2) {
+		w = w[:len(w)-2]
+		applied = true
+	} else if hasSuffix(w, "ing") && hasVowel(w, len(w)-3) {
+		w = w[:len(w)-3]
+		applied = true
+	}
+	if !applied {
+		return w
+	}
+	// Cleanup after removing ed/ing.
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleConsonant(w, len(w)):
+		last := w[len(w)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return w[:len(w)-1]
+		}
+		return w
+	case measure(w, len(w)) == 1 && endsCVC(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+func step2(w []byte) []byte {
+	pairs := []struct{ s, r string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, p := range pairs {
+		if w2, matched := replaceSuffix(w, p.s, p.r, 0); matched {
+			return w2
+		}
+	}
+	return w
+}
+
+func step3(w []byte) []byte {
+	pairs := []struct{ s, r string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if w2, matched := replaceSuffix(w, p.s, p.r, 0); matched {
+			return w2
+		}
+	}
+	return w
+}
+
+func step4(w []byte) []byte {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, s := range suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stemEnd := len(w) - len(s)
+		if s == "ion" {
+			// (m>1 and (*S or *T)) ION ->
+			if measure(w, stemEnd) > 1 && stemEnd > 0 && (w[stemEnd-1] == 's' || w[stemEnd-1] == 't') {
+				return w[:stemEnd]
+			}
+			return w
+		}
+		if measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stemEnd := len(w) - 1
+	m := measure(w, stemEnd)
+	if m > 1 || (m == 1 && !endsCVC(w, stemEnd)) {
+		return w[:stemEnd]
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w, len(w)) > 1 && endsDoubleConsonant(w, len(w)) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,56 @@
+// Package text provides the document-processing substrate for the
+// paper's TREC and DBWorld experiments: a tokenizer that turns raw
+// text into located tokens, and a from-scratch implementation of
+// Porter's stemming algorithm, which the paper uses for all string
+// comparisons ("we use the stem of a word as returned by a standard
+// Porter's stemmer").
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one word occurrence in a document: its normalized surface
+// form (lower-cased), and its position counted in tokens from the
+// start of the document — the location unit of the join algorithms.
+type Token struct {
+	Word string
+	Pos  int
+}
+
+// Tokenize splits a document into lower-cased word tokens. A token is
+// a maximal run of letters or digits; everything else separates
+// tokens. Token positions are sequential, so proximity in positions
+// corresponds to proximity in the text.
+func Tokenize(doc string) []Token {
+	var out []Token
+	var b strings.Builder
+	pos := 0
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, Token{Word: b.String(), Pos: pos})
+			pos++
+			b.Reset()
+		}
+	}
+	for _, r := range doc {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// Words returns just the normalized words of a document, in order.
+func Words(doc string) []string {
+	toks := Tokenize(doc)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Word
+	}
+	return out
+}

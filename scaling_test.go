@@ -1,0 +1,75 @@
+package bestjoin_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bestjoin"
+)
+
+// bigInstance builds one large join instance: total matches spread
+// over q terms across a long document.
+func bigInstance(q, total, docLen int, seed int64) bestjoin.MatchLists {
+	rng := rand.New(rand.NewSource(seed))
+	lists := make(bestjoin.MatchLists, q)
+	for i := 0; i < total; i++ {
+		j := rng.Intn(q)
+		lists[j] = append(lists[j], bestjoin.Match{Loc: rng.Intn(docLen), Score: 1 - rng.Float64()})
+	}
+	for j := range lists {
+		lists[j].Sort()
+	}
+	return lists
+}
+
+// The paper's complexity claims at scale: the proposed algorithms must
+// chew through instances far beyond what the cross product could ever
+// touch (100k matches across 4 lists would be ~10^18 matchsets), in
+// time roughly linear in the input. Wall-clock bounds are deliberately
+// loose — this is a does-not-blow-up test, not a microbenchmark.
+func TestLargeInstanceLinearBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-instance test skipped in -short mode")
+	}
+	const q = 4
+	small := bigInstance(q, 10_000, 200_000, 1)
+	large := bigInstance(q, 100_000, 2_000_000, 2)
+
+	type solver struct {
+		name string
+		run  func(bestjoin.MatchLists)
+	}
+	solvers := []solver{
+		{"WIN", func(ls bestjoin.MatchLists) { bestjoin.BestWIN(bestjoin.ExpWIN{Alpha: 0.01}, ls) }},
+		{"MED", func(ls bestjoin.MatchLists) { bestjoin.BestMED(bestjoin.ExpMED{Alpha: 0.01}, ls) }},
+		{"MAX", func(ls bestjoin.MatchLists) { bestjoin.BestMAX(bestjoin.SumMAX{Alpha: 0.01}, ls) }},
+	}
+	for _, s := range solvers {
+		start := time.Now()
+		s.run(small)
+		smallTime := time.Since(start)
+		start = time.Now()
+		s.run(large)
+		largeTime := time.Since(start)
+		if largeTime > 5*time.Second {
+			t.Errorf("%s took %v on 100k matches — not linear-ish", s.name, largeTime)
+		}
+		// 10x input should cost well under 100x time (quadratic would
+		// be ~100x); allow generous scheduling noise.
+		if smallTime > 10*time.Millisecond && largeTime > 40*smallTime {
+			t.Errorf("%s scaled %v -> %v for 10x input", s.name, smallTime, largeTime)
+		}
+	}
+
+	// By-location solvers over the large instance must also complete
+	// promptly and agree on the anchor count invariant.
+	start := time.Now()
+	anchors := bestjoin.ByLocationMAX(bestjoin.SumMAX{Alpha: 0.01}, large)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("ByLocationMAX took %v on 100k matches", d)
+	}
+	if len(anchors) == 0 {
+		t.Error("ByLocationMAX returned nothing on a complete instance")
+	}
+}
