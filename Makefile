@@ -1,0 +1,18 @@
+# Convenience targets; `make check` is the gate every change must pass.
+
+.PHONY: check test bench fuzz
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Short fuzz passes over the untrusted-bytes decode paths.
+fuzz:
+	go test -run=Fuzz -fuzz=FuzzDecode -fuzztime=30s ./internal/match/
+	go test -run=Fuzz -fuzz=FuzzDecodePostings -fuzztime=30s ./internal/index/
+	go test -run=Fuzz -fuzz=FuzzLoadCompact -fuzztime=30s ./internal/index/

@@ -1,0 +1,179 @@
+package bestjoin_test
+
+// Benchmarks for the concurrent indexed query engine: cold vs cached
+// query latency (the LRU match-list cache removes all posting
+// decompression from repeated queries) and worker-pool scaling (1
+// worker vs GOMAXPROCS) on a synthetic corpus of 2000 documents.
+//
+//	go test -bench=BenchmarkEngine -benchmem
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bestjoin"
+)
+
+const engineBenchDocs = 2000
+
+var (
+	engineCorpusOnce sync.Once
+	engineCompact    *bestjoin.CompactIndex
+)
+
+// engineBenchIndex builds (once) a compacted index over a dense
+// synthetic corpus: 2000 documents of 300 words with three planted
+// concept groups, several occurrences each, so per-document joins do
+// real work and most documents are candidates.
+func engineBenchIndex() *bestjoin.CompactIndex {
+	engineCorpusOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		filler := strings.Fields("quartz ribbon saddle timber umbrella violet walnut yarn " +
+			"zeppelin bottle curtain dolphin ember flute glacier helmet ivory jacket kernel lantern")
+		planted := [][]string{
+			{"lenovo", "dell", "hewlett"},
+			{"nba", "olympics", "basketball"},
+			{"partnership", "alliance", "deal"},
+		}
+		ix := bestjoin.NewIndex()
+		for d := 0; d < engineBenchDocs; d++ {
+			words := make([]string, 300)
+			for i := range words {
+				words[i] = filler[rng.Intn(len(filler))]
+			}
+			for g, group := range planted {
+				if rng.Intn(10) < 7 { // ~70% of docs per concept
+					for occ := 0; occ < 4+rng.Intn(5); occ++ {
+						words[rng.Intn(len(words))] = group[rng.Intn(len(group))]
+					}
+				}
+				_ = g
+			}
+			ix.AddText(d, strings.Join(words, " "))
+		}
+		engineCompact = ix.Compact()
+	})
+	return engineCompact
+}
+
+func engineBenchQuery() bestjoin.EngineQuery {
+	return bestjoin.EngineQuery{
+		Concepts: []bestjoin.Concept{
+			{"lenovo": 1, "dell": 0.9, "hewlett": 0.8},
+			{"nba": 1, "olympics": 0.9, "basketball": 0.7},
+			{"partnership": 1, "alliance": 0.8, "deal": 0.6},
+		},
+		Join: bestjoin.JoinValidWIN(bestjoin.ExpWIN{Alpha: 0.1}),
+		K:    10,
+	}
+}
+
+// BenchmarkEngineColdVsCached compares a query that must decode every
+// concept's postings against the identical query answered from the
+// LRU cache.
+func BenchmarkEngineColdVsCached(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	b.Run("cold", func(b *testing.B) {
+		e := bestjoin.NewEngine(c, bestjoin.EngineConfig{CacheLists: 1 << 14})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.ResetCache()
+			if _, err := e.Search(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := bestjoin.NewEngine(c, bestjoin.EngineConfig{CacheLists: 1 << 14})
+		if _, err := e.Search(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Search(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := e.Stats(); st.CacheMisses > 3 {
+			b.Fatalf("cached runs decoded postings: %d misses", st.CacheMisses)
+		}
+	})
+}
+
+// BenchmarkEngineWorkers measures worker-pool scaling of the join
+// phase (caches primed, so posting decompression is off the path):
+// 1 worker vs GOMAXPROCS. On a single-core host the second point
+// still exercises the sharded-pool path, just without speedup.
+func BenchmarkEngineWorkers(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	multi := runtime.GOMAXPROCS(0)
+	if multi == 1 {
+		multi = 4
+	}
+	for _, workers := range []int{1, multi} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := bestjoin.NewEngine(c, bestjoin.EngineConfig{Workers: workers, CacheLists: 1 << 14})
+			if _, err := e.Search(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Search(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginePublicAPI drives the whole public engine surface once:
+// index → compact → marshal round trip → engine → search, plus the
+// deadline path returning a Partial result.
+func TestEnginePublicAPI(t *testing.T) {
+	c := engineBenchIndex()
+	reloaded, err := bestjoin.LoadCompactIndex(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := bestjoin.NewEngine(reloaded, bestjoin.EngineConfig{})
+	q := engineBenchQuery()
+	res, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || len(res.Docs) == 0 {
+		t.Fatalf("full search: partial=%v docs=%d", res.Partial, len(res.Docs))
+	}
+	if res.Candidates < engineBenchDocs/10 {
+		t.Fatalf("suspiciously few candidates: %d", res.Candidates)
+	}
+	for i := 1; i < len(res.Docs); i++ {
+		if res.Docs[i].Score > res.Docs[i-1].Score {
+			t.Fatalf("results not sorted best-first at rank %d", i)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	partial, err := e.Search(ctx, q)
+	if err != nil {
+		t.Fatalf("deadline must not error: %v", err)
+	}
+	if !partial.Partial {
+		t.Error("expired deadline did not mark the result Partial")
+	}
+	if st := e.Stats(); st.Queries < 2 || st.DeadlineHits == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -30,7 +31,7 @@ func main() {
 		fn    = flag.String("fn", "med", "scoring family: win, med, or max")
 		alpha = flag.Float64("alpha", 0.1, "distance-decay rate for exp scoring functions")
 		all   = flag.Bool("all", false, "print all locally-best matchsets by anchor location")
-		min   = flag.Float64("min", 0, "with -all, only print anchors scoring at least this")
+		min   = flag.Float64("min", math.Inf(-1), "with -all, only print anchors scoring at least this (default: no filter)")
 		date  = flag.Int("date", -1, "term index to match with the date matcher")
 		place = flag.Int("place", -1, "term index to match with the place matcher")
 	)
@@ -100,13 +101,29 @@ func printByLocation(doc bestjoin.Document, terms []string, lists bestjoin.Match
 	default:
 		anchored = bestjoin.ByLocationMED(bestjoin.ExpMED{Alpha: alpha}, lists)
 	}
-	for _, a := range anchored {
-		if a.Score < min {
-			continue
-		}
+	kept, suppressed := filterAnchored(anchored, min)
+	for _, a := range kept {
 		fmt.Printf("anchor %d (score %.4f):\n", a.Anchor, a.Score)
 		printSet(doc, terms, a.Set)
 	}
+	if suppressed > 0 {
+		fmt.Printf("(%d anchors below -min %g suppressed)\n", suppressed, min)
+	}
+}
+
+// filterAnchored splits anchors into those at or above min and a count
+// of the rest. The default min is -Inf (keep everything): a 0 default
+// would silently drop all anchors under scoring families with negative
+// scores, such as the linear TREC instances.
+func filterAnchored(anchored []bestjoin.Anchored, min float64) (kept []bestjoin.Anchored, suppressed int) {
+	for _, a := range anchored {
+		if a.Score < min {
+			suppressed++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept, suppressed
 }
 
 func printSet(doc bestjoin.Document, terms []string, set bestjoin.Matchset) {

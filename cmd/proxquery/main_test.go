@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,6 +33,28 @@ func TestBestDispatchesOnFamily(t *testing.T) {
 	x, _ := best(lists, "max", 0.1)
 	if w.Score == x.Score {
 		t.Error("win and max produced identical scores on an asymmetric instance")
+	}
+}
+
+func TestFilterAnchoredDefaultKeepsNegativeScores(t *testing.T) {
+	anchored := []bestjoin.Anchored{
+		{Anchor: 1, Score: -4.5},
+		{Anchor: 3, Score: 0.2},
+		{Anchor: 9, Score: -0.1},
+	}
+	// The default threshold (-Inf) must keep every anchor, including
+	// the negative scores produced by the linear scoring families.
+	kept, suppressed := filterAnchored(anchored, math.Inf(-1))
+	if len(kept) != 3 || suppressed != 0 {
+		t.Errorf("default filter kept %d, suppressed %d; want 3, 0", len(kept), suppressed)
+	}
+	// An explicit threshold still filters and reports what it dropped.
+	kept, suppressed = filterAnchored(anchored, 0)
+	if len(kept) != 1 || suppressed != 2 {
+		t.Errorf("min=0 kept %d, suppressed %d; want 1, 2", len(kept), suppressed)
+	}
+	if kept[0].Anchor != 3 {
+		t.Errorf("min=0 kept anchor %d; want 3", kept[0].Anchor)
 	}
 }
 

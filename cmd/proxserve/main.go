@@ -1,0 +1,275 @@
+// Command proxserve serves weighted proximity best-join queries over
+// an indexed corpus with the concurrent engine of internal/engine —
+// the end-to-end "query + corpus → ranked answers" path.
+//
+//	proxserve doc1.txt doc2.txt ...   # index the given files (one doc each)
+//	proxserve -synth 2000             # index a synthetic 2000-doc corpus
+//	proxserve                         # index a small embedded demo corpus
+//
+// By default proxserve runs a line-oriented REPL on stdin: each line
+// is a comma-separated list of query terms, answered with the top-k
+// documents; ":stats" prints the engine's observability snapshot and
+// ":quit" exits. With -http it serves HTTP instead:
+//
+//	GET /query?terms=a,b&k=5     top-k documents as JSON
+//	GET /stats                   engine stats as JSON
+//	GET /debug/vars              expvar (includes bestjoin.engine)
+//
+// Query terms are expanded into concepts through the embedded lexical
+// graph (exact stem = 1.0, one edge = 0.7, …), mirroring proxquery.
+// Every query runs under -timeout; queries that exceed it return their
+// best-so-far answer marked partial.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	_ "expvar"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bestjoin"
+	"bestjoin/internal/index"
+	"bestjoin/internal/lexicon"
+)
+
+func main() {
+	var (
+		fn      = flag.String("fn", "med", "scoring family: win, med, or max")
+		alpha   = flag.Float64("alpha", 0.1, "distance-decay rate for the exp scoring functions")
+		k       = flag.Int("k", 5, "number of documents to return per query")
+		workers = flag.Int("workers", 0, "join workers per query (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "match-list cache capacity in entries (0 = default)")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
+		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
+		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
+	)
+	flag.Parse()
+
+	corpus, err := loadCorpus(flag.Args(), *synth)
+	if err != nil {
+		log.Fatalf("proxserve: %v", err)
+	}
+	ix := bestjoin.NewIndex()
+	for d, body := range corpus {
+		ix.AddText(d, body)
+	}
+	compact := ix.Compact()
+	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{Workers: *workers, CacheLists: *cache})
+	if err := eng.Publish("bestjoin.engine"); err != nil {
+		log.Printf("proxserve: %v", err)
+	}
+	srv := &server{
+		eng:     eng,
+		lex:     bestjoin.BuiltinLexicon(),
+		fn:      *fn,
+		alpha:   *alpha,
+		k:       *k,
+		timeout: *timeout,
+	}
+	fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
+
+	if *httpad != "" {
+		http.HandleFunc("/query", srv.handleQuery)
+		http.HandleFunc("/stats", srv.handleStats)
+		fmt.Printf("serving on %s (try /query?terms=lenovo,nba,partnership and /debug/vars)\n", *httpad)
+		log.Fatal(http.ListenAndServe(*httpad, nil))
+	}
+	srv.repl(os.Stdin, os.Stdout)
+}
+
+type server struct {
+	eng     *bestjoin.Engine
+	lex     *bestjoin.Lexicon
+	fn      string
+	alpha   float64
+	k       int
+	timeout time.Duration
+}
+
+// query answers one comma-separated term list.
+func (s *server) query(terms string, k int) (*bestjoin.EngineResult, error) {
+	var concepts []bestjoin.Concept
+	for _, t := range strings.Split(terms, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		concepts = append(concepts, s.concept(t))
+	}
+	if len(concepts) == 0 {
+		return nil, fmt.Errorf("no query terms")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	return s.eng.Search(ctx, bestjoin.EngineQuery{Concepts: concepts, Join: s.joiner(), K: k})
+}
+
+// concept expands one query term through the lexical graph: the term
+// itself at score 1 plus its graph neighborhood at 1 − 0.3·distance.
+func (s *server) concept(term string) bestjoin.Concept {
+	c := index.ConceptFromGraph(s.lex.Neighborhood(term, 3), lexicon.ScorePerEdge)
+	if len(c) == 0 {
+		c = bestjoin.Concept{term: 1}
+	}
+	return c
+}
+
+func (s *server) joiner() bestjoin.Joiner {
+	switch s.fn {
+	case "win":
+		return bestjoin.JoinValidWIN(bestjoin.ExpWIN{Alpha: s.alpha})
+	case "max":
+		return bestjoin.JoinValidMAX(bestjoin.SumMAX{Alpha: s.alpha})
+	default:
+		return bestjoin.JoinValidMED(bestjoin.ExpMED{Alpha: s.alpha})
+	}
+}
+
+func (s *server) repl(in *os.File, out *os.File) {
+	fmt.Fprintf(out, "enter comma-separated query terms (:stats for counters, :quit to exit)\n> ")
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":stats":
+			b, _ := json.MarshalIndent(s.eng.Stats(), "", "  ")
+			fmt.Fprintln(out, string(b))
+		default:
+			res, err := s.query(line, s.k)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			printResult(out, res)
+		}
+		fmt.Fprint(out, "> ")
+	}
+}
+
+func printResult(out *os.File, res *bestjoin.EngineResult) {
+	state := ""
+	if res.Partial {
+		state = " [PARTIAL: deadline hit]"
+	}
+	fmt.Fprintf(out, "%d candidates, %d evaluated in %v%s\n",
+		res.Candidates, res.Evaluated, res.Elapsed.Round(time.Microsecond), state)
+	for rank, d := range res.Docs {
+		fmt.Fprintf(out, "#%d doc %d  score %.4f  matchset %v\n", rank+1, d.Doc, d.Score, d.Set)
+	}
+	if len(res.Docs) == 0 {
+		fmt.Fprintln(out, "no documents contain every term")
+	}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	terms := r.URL.Query().Get("terms")
+	if terms == "" {
+		http.Error(w, "missing terms parameter", http.StatusBadRequest)
+		return
+	}
+	k := s.k
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	res, err := s.query(terms, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.eng.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// loadCorpus assembles the document set: the given files (one document
+// each), a synthetic corpus, or the embedded demo corpus.
+func loadCorpus(files []string, synth int) ([]string, error) {
+	if synth > 0 {
+		return synthCorpus(synth), nil
+	}
+	if len(files) == 0 {
+		return demoCorpus, nil
+	}
+	docs := make([]string, len(files))
+	for i, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		docs[i] = string(b)
+	}
+	return docs, nil
+}
+
+// synthCorpus generates a deterministic corpus with three planted
+// concept-word groups at varying densities over a filler vocabulary,
+// so queries like "lenovo,nba,partnership" have non-trivial answers.
+func synthCorpus(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	filler := strings.Fields("quartz ribbon saddle timber umbrella violet walnut yarn " +
+		"zeppelin bottle curtain dolphin ember flute glacier helmet ivory jacket kernel lantern")
+	planted := [][]string{
+		{"lenovo", "dell", "hewlett"},
+		{"nba", "olympics", "basketball"},
+		{"partnership", "alliance", "deal"},
+	}
+	docs := make([]string, n)
+	for d := range docs {
+		words := make([]string, 80)
+		for i := range words {
+			words[i] = filler[rng.Intn(len(filler))]
+		}
+		for g, group := range planted {
+			if rng.Intn(4) <= 2-g || d%7 == g {
+				words[rng.Intn(len(words))] = group[rng.Intn(len(group))]
+			}
+		}
+		docs[d] = strings.Join(words, " ")
+	}
+	return docs
+}
+
+// demoCorpus is the small news corpus of examples/indexed.
+var demoCorpus = []string{
+	`As part of the new deal, Lenovo will become the official PC partner
+	 of the NBA, and it will be marketing its NBA affiliation in the US and
+	 in China. The laptop maker has a similar marketing and technology
+	 partnership with the Olympic Games.`,
+	`Dell announced quarterly earnings today. The PC maker said laptop
+	 shipments grew, while desktop sales were flat.`,
+	`The NBA finals drew record audiences, and the basketball league
+	 announced a new broadcast deal with the network.`,
+	`Hewlett-Packard opened a research lab in the valley this week, while
+	 the Olympics committee met in Lausanne, and a partnership between two
+	 regional banks was announced late on Friday.`,
+	`The museum opened a new exhibition of renaissance ceramics from
+	 Jingdezhen, drawing visitors from across the region.`,
+}

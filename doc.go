@@ -55,6 +55,17 @@
 // and RankDocuments process document collections in parallel;
 // EncodeLists/DecodeLists give match lists a compact binary form.
 //
+// # Serving queries over an index
+//
+// For ranking whole corpora rather than single documents, NewEngine
+// wraps a compacted inverted index (CompactIndex) in a concurrent
+// query engine — candidate generation, per-document best-joins on a
+// worker pool, a global top-k heap, LRU-cached posting decoding,
+// context deadlines with partial results, and Stats/expvar
+// observability. The implementation lives in internal/engine; see
+// cmd/proxserve for a runnable server and examples/engine for a
+// walkthrough.
+//
 // # From text to match lists
 //
 // The Document type and the matcher constructors (NewLexicalMatcher,

@@ -1,0 +1,79 @@
+package bestjoin
+
+import (
+	"bestjoin/internal/engine"
+	"bestjoin/internal/index"
+)
+
+// This file is the public surface of the retrieval-engine slice: the
+// inverted-index substrate and the concurrent indexed query engine of
+// internal/engine. Together with the join primitives in bestjoin.go
+// this gives the full path from "query + corpus" to "ranked answers":
+// index documents, compact, build an engine, Search.
+
+// Index is an in-memory inverted index over tokenized documents; add
+// documents with AddText, then Compact it for querying.
+type Index = index.Index
+
+// NewIndex returns an empty inverted index.
+func NewIndex() *Index { return index.New() }
+
+// CompactIndex is the compressed, read-only form of an Index — the
+// representation a production system keeps on disk (Marshal /
+// LoadCompactIndex) and queries through an Engine.
+type CompactIndex = index.Compact
+
+// LoadCompactIndex deserializes a CompactIndex.Marshal buffer,
+// validating every posting list eagerly so corrupt or adversarial
+// bytes fail here rather than at query time.
+func LoadCompactIndex(b []byte) (*CompactIndex, error) { return index.LoadCompact(b) }
+
+// Concept is a scored disjunction of words: the specific terms whose
+// inverted lists together form the match list of one general query
+// term (the paper's footnote-1 construction), each with the score its
+// occurrences carry.
+type Concept = index.Concept
+
+// Engine is a concurrent retrieval engine over a CompactIndex: it
+// evaluates multi-concept queries document-at-a-time on a sharded
+// worker pool, keeps a global top-k heap, caches decoded match lists
+// in an LRU, honors context deadlines (returning Partial results),
+// and exposes counters and latency histograms via Stats.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine: worker count and cache capacities.
+type EngineConfig = engine.Config
+
+// EngineQuery is one retrieval request: concepts, a joiner, and K.
+type EngineQuery = engine.Query
+
+// EngineResult is a query's outcome: top-k documents plus the Partial
+// flag and evaluation counts.
+type EngineResult = engine.Result
+
+// EngineStats is a snapshot of an Engine's observability counters.
+type EngineStats = engine.Stats
+
+// Joiner runs one best-join over a candidate document's match lists.
+type Joiner = engine.Joiner
+
+// NewEngine builds an engine over a compacted index.
+func NewEngine(idx *CompactIndex, cfg EngineConfig) *Engine { return engine.New(idx, cfg) }
+
+// JoinWIN builds a Joiner from a WIN scoring function.
+func JoinWIN(fn WIN) Joiner { return engine.WINJoiner(fn) }
+
+// JoinMED builds a Joiner from a MED scoring function.
+func JoinMED(fn MED) Joiner { return engine.MEDJoiner(fn) }
+
+// JoinMAX builds a Joiner from an efficient MAX scoring function.
+func JoinMAX(fn EfficientMAX) Joiner { return engine.MAXJoiner(fn) }
+
+// JoinValidWIN is JoinWIN restricted to valid matchsets (Section VI).
+func JoinValidWIN(fn WIN) Joiner { return engine.ValidWINJoiner(fn) }
+
+// JoinValidMED is JoinMED restricted to valid matchsets.
+func JoinValidMED(fn MED) Joiner { return engine.ValidMEDJoiner(fn) }
+
+// JoinValidMAX is JoinMAX restricted to valid matchsets.
+func JoinValidMAX(fn EfficientMAX) Joiner { return engine.ValidMAXJoiner(fn) }

@@ -1,0 +1,400 @@
+// Package engine is a concurrent indexed retrieval engine: the first
+// vertical slice of the serving system the roadmap aims at. It
+// evaluates a multi-concept query document-at-a-time over a compacted
+// inverted index (index.Compact), runs a weighted proximity best-join
+// per candidate document on a sharded worker pool, and keeps a global
+// top-k document heap — the document-at-a-time, budgeted shape that
+// Fagin-style threshold algorithms and response-time-guaranteed
+// proximity indexes both converge on.
+//
+// The engine supports context cancellation and deadlines (a query that
+// runs out of time returns its best-so-far answer marked Partial), an
+// LRU cache of decoded per-(document, concept) match lists so repeated
+// queries skip posting decompression entirely, and an observability
+// layer of atomic counters plus a latency histogram, exposed via
+// Stats() and optionally expvar (Publish).
+package engine
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/index"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// Defaults for Config and Query zero values.
+const (
+	DefaultK             = 10
+	DefaultCacheLists    = 4096
+	DefaultCacheConcepts = 256
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the number of join workers per query; ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheLists caps the (document, concept) match-list LRU in
+	// entries; ≤ 0 means DefaultCacheLists.
+	CacheLists int
+	// CacheConcepts caps the concept → candidate-documents LRU in
+	// entries; ≤ 0 means DefaultCacheConcepts.
+	CacheConcepts int
+}
+
+// Engine answers top-k queries over one compacted index. It is safe
+// for concurrent use; all mutable state is the two caches and the
+// stats counters, each with its own synchronization.
+type Engine struct {
+	idx      *index.Compact
+	workers  int
+	lists    *lruCache[listKey, match.List]
+	concepts *lruCache[uint64, []int]
+	counters counters
+	latency  histogram
+}
+
+// listKey identifies one decoded match list: a document and a concept
+// fingerprint.
+type listKey struct {
+	doc int
+	fp  uint64
+}
+
+// New builds an engine over a compacted index.
+func New(idx *index.Compact, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheLists <= 0 {
+		cfg.CacheLists = DefaultCacheLists
+	}
+	if cfg.CacheConcepts <= 0 {
+		cfg.CacheConcepts = DefaultCacheConcepts
+	}
+	return &Engine{
+		idx:      idx,
+		workers:  cfg.Workers,
+		lists:    newLRU[listKey, match.List](cfg.CacheLists),
+		concepts: newLRU[uint64, []int](cfg.CacheConcepts),
+	}
+}
+
+// ResetCache drops both caches, restoring the cold-query path.
+// Benchmarks use it to compare cold and cached latency.
+func (e *Engine) ResetCache() {
+	e.lists.Reset()
+	e.concepts.Reset()
+}
+
+// Joiner runs one best-join over a candidate document's match lists.
+// It must be safe for concurrent use (every joiner built by the
+// constructors below is: the join algorithms share no mutable state).
+type Joiner func(match.Lists) (match.Set, float64, bool)
+
+// WINJoiner joins under a WIN scoring function (Algorithm 1).
+func WINJoiner(fn scorefn.WIN) Joiner {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.WIN(fn, ls) }
+}
+
+// MEDJoiner joins under a MED scoring function (Algorithm 2).
+func MEDJoiner(fn scorefn.MED) Joiner {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.MED(fn, ls) }
+}
+
+// MAXJoiner joins under an efficient MAX scoring function.
+func MAXJoiner(fn scorefn.EfficientMAX) Joiner {
+	return func(ls match.Lists) (match.Set, float64, bool) { return join.MAX(fn, ls) }
+}
+
+// ValidWINJoiner is WINJoiner restricted to valid matchsets (no token
+// answers two query terms at once, the paper's Section VI).
+func ValidWINJoiner(fn scorefn.WIN) Joiner { return validJoiner(WINJoiner(fn)) }
+
+// ValidMEDJoiner is MEDJoiner restricted to valid matchsets.
+func ValidMEDJoiner(fn scorefn.MED) Joiner { return validJoiner(MEDJoiner(fn)) }
+
+// ValidMAXJoiner is MAXJoiner restricted to valid matchsets.
+func ValidMAXJoiner(fn scorefn.EfficientMAX) Joiner { return validJoiner(MAXJoiner(fn)) }
+
+func validJoiner(inner Joiner) Joiner {
+	return func(ls match.Lists) (match.Set, float64, bool) {
+		r := dedup.Best(dedup.Algorithm(inner), ls)
+		return r.Set, r.Score, r.OK
+	}
+}
+
+// Query is one retrieval request: candidate documents are those
+// containing at least one match for every concept, each is joined
+// with Join, and the K best are returned.
+type Query struct {
+	Concepts []index.Concept
+	Join     Joiner
+	// K is the number of documents to return; ≤ 0 means DefaultK.
+	K int
+}
+
+// DocResult is one ranked document: its id, best matchset, and score.
+type DocResult struct {
+	Doc   int
+	Score float64
+	Set   match.Set
+}
+
+// Result is a query's outcome.
+type Result struct {
+	// Docs holds the top-k documents, best first.
+	Docs []DocResult
+	// Partial is true when the context expired before every candidate
+	// was evaluated; Docs then ranks only the documents evaluated so
+	// far (the best-so-far answer), not the full corpus.
+	Partial bool
+	// Candidates is the number of documents containing every concept;
+	// Evaluated is how many of them were actually joined.
+	Candidates int
+	Evaluated  int
+	// Elapsed is the wall-clock time the query took.
+	Elapsed time.Duration
+}
+
+// Search evaluates the query document-at-a-time. It returns an error
+// only for malformed queries; a context deadline or cancellation
+// instead yields the best-so-far Result with Partial set.
+func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
+	if len(q.Concepts) == 0 {
+		return nil, errors.New("engine: query has no concepts")
+	}
+	if q.Join == nil {
+		return nil, errors.New("engine: query has no joiner")
+	}
+	k := q.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	start := time.Now()
+	e.counters.queries.Add(1)
+	defer func() { e.latency.observe(time.Since(start)) }()
+
+	// Candidate generation: materialize each concept's documents
+	// (cache-assisted) and intersect.
+	cds := make([]*conceptData, len(q.Concepts))
+	for j, c := range q.Concepts {
+		cds[j] = e.conceptData(c)
+	}
+	candidates := intersect(cds)
+
+	// Sharded worker pool: each worker owns one job channel; documents
+	// are sharded by id, so a given document always lands on the same
+	// worker. The dispatcher assembles match lists (touching the
+	// caches single-threaded); workers only run joins and offer
+	// results to the shared top-k heap.
+	res := &Result{Candidates: len(candidates)}
+	workers := e.workers
+	if workers > len(candidates) && len(candidates) > 0 {
+		workers = len(candidates)
+	}
+	top := newTopK(k)
+	var evaluated atomic.Int64
+	chans := make([]chan docJob, workers)
+	var wg sync.WaitGroup
+	for w := range chans {
+		chans[w] = make(chan docJob, 64)
+		wg.Add(1)
+		go func(jobs <-chan docJob) {
+			defer wg.Done()
+			for jb := range jobs {
+				// Drain without evaluating once the query is out of
+				// time; those documents count as unevaluated.
+				if ctx.Err() != nil {
+					continue
+				}
+				e.counters.docsEvaluated.Add(1)
+				set, score, ok := q.Join(jb.lists)
+				e.counters.joinsRun.Add(1)
+				evaluated.Add(1)
+				if ok && !math.IsNaN(score) {
+					top.offer(jb.doc, score, set)
+				}
+			}
+		}(chans[w])
+	}
+
+dispatch:
+	for _, doc := range candidates {
+		lists := make(match.Lists, len(cds))
+		for j, cd := range cds {
+			lists[j] = e.list(cd, doc)
+		}
+		select {
+		case chans[doc%workers] <- docJob{doc: doc, lists: lists}:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	res.Docs = top.results()
+	res.Evaluated = int(evaluated.Load())
+	res.Partial = res.Evaluated != res.Candidates
+	if res.Partial {
+		e.counters.partials.Add(1)
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		e.counters.deadlineHits.Add(1)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// docJob is one unit of worker work: a candidate document and its
+// assembled join instance.
+type docJob struct {
+	doc   int
+	lists match.Lists
+}
+
+// conceptData is the per-query working state for one concept.
+type conceptData struct {
+	concept index.Concept
+	fp      uint64
+	docs    []int // sorted ids of documents containing the concept
+	// local holds this query's freshly decoded lists; nil until the
+	// concept has been decoded (cache hits avoid it entirely).
+	local map[int]match.List
+}
+
+// conceptData resolves a concept to its candidate documents, from the
+// concept cache when possible, decoding postings otherwise.
+func (e *Engine) conceptData(c index.Concept) *conceptData {
+	cd := &conceptData{concept: c, fp: fingerprint(c)}
+	if docs, ok := e.concepts.Get(cd.fp); ok {
+		e.counters.cacheHits.Add(1)
+		cd.docs = docs
+		return cd
+	}
+	e.counters.cacheMisses.Add(1)
+	e.decode(cd)
+	return cd
+}
+
+// list fetches the match list of one concept in one document: from
+// this query's decoded state, else the LRU, else by decoding the
+// concept's postings (which fills both).
+func (e *Engine) list(cd *conceptData, doc int) match.List {
+	if cd.local != nil {
+		return cd.local[doc]
+	}
+	if l, ok := e.lists.Get(listKey{doc: doc, fp: cd.fp}); ok {
+		e.counters.cacheHits.Add(1)
+		return l
+	}
+	e.counters.cacheMisses.Add(1)
+	e.decode(cd)
+	return cd.local[doc]
+}
+
+// decode materializes a concept across the whole corpus: one pass over
+// each member word's posting list, keeping the best score per
+// (document, position) — the same merge as index.Compact.ConceptList,
+// but for all documents at once instead of re-decoding per document.
+// Results populate the query-local state and both caches.
+func (e *Engine) decode(cd *conceptData) {
+	best := make(map[int]map[int]float64) // doc -> pos -> best score
+	for word, score := range cd.concept {
+		for _, p := range e.idx.Postings(word) {
+			byPos := best[p.Doc]
+			if byPos == nil {
+				byPos = make(map[int]float64)
+				best[p.Doc] = byPos
+			}
+			if s, ok := byPos[p.Pos]; !ok || score > s {
+				byPos[p.Pos] = score
+			}
+		}
+	}
+	cd.local = make(map[int]match.List, len(best))
+	cd.docs = make([]int, 0, len(best))
+	for doc, byPos := range best {
+		l := make(match.List, 0, len(byPos))
+		for pos, s := range byPos {
+			l = append(l, match.Match{Loc: pos, Score: s})
+		}
+		l.Sort()
+		cd.local[doc] = l
+		cd.docs = append(cd.docs, doc)
+		e.lists.Put(listKey{doc: doc, fp: cd.fp}, l)
+	}
+	sort.Ints(cd.docs)
+	e.concepts.Put(cd.fp, cd.docs)
+}
+
+// fingerprint hashes a concept to a stable 64-bit cache key,
+// independent of map iteration order.
+func fingerprint(c index.Concept) uint64 {
+	words := make([]string, 0, len(c))
+	for w := range c {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		h.Write([]byte(w))
+		h.Write([]byte{0})
+		bits := math.Float64bits(c[w])
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// intersect returns the documents present in every concept's candidate
+// list, by a k-pointer walk over the sorted lists.
+func intersect(cds []*conceptData) []int {
+	if len(cds) == 0 {
+		return nil
+	}
+	out := cds[0].docs
+	for _, cd := range cds[1:] {
+		out = intersectSorted(out, cd.docs)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	// out may alias a cached slice; copy so callers cannot disturb it.
+	return append([]int(nil), out...)
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

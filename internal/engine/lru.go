@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded least-recently-used cache. The engine
+// keeps two: decoded per-(document, concept) match lists, and
+// per-concept candidate document sets. Both are read and written from
+// Search, which may run concurrently from many goroutines, so every
+// operation takes the lock.
+type lruCache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	return &lruCache[K, V]{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Reset drops every entry (used by benchmarks to measure cold paths).
+func (c *lruCache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}

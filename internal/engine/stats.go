@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Observability: lock-free counters incremented on the query hot path,
+// a power-of-two latency histogram, and an expvar bridge. Everything
+// is readable at any time via Engine.Stats without pausing queries.
+
+// counters holds the engine's atomic event counters.
+type counters struct {
+	queries       atomic.Uint64
+	docsEvaluated atomic.Uint64
+	joinsRun      atomic.Uint64
+	cacheHits     atomic.Uint64
+	cacheMisses   atomic.Uint64
+	deadlineHits  atomic.Uint64
+	partials      atomic.Uint64
+}
+
+// histBuckets is the number of latency buckets: bucket i counts
+// queries with latency in [2^(i−1), 2^i) microseconds (bucket 0 is
+// < 1µs), and the last bucket absorbs everything from ~1s up.
+const histBuckets = 22
+
+// histogram is a fixed-bucket power-of-two latency histogram safe for
+// concurrent observation.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64 // total observed time in microseconds
+}
+
+func (h *histogram) observe(d time.Duration) {
+	micros := d.Microseconds()
+	if micros < 0 {
+		micros = 0
+	}
+	idx := bits.Len64(uint64(micros))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.counts[idx].Add(1)
+	h.sum.Add(micros)
+}
+
+// LatencyBucket is one row of a latency histogram snapshot.
+type LatencyBucket struct {
+	// UpperMicros is the exclusive upper bound of the bucket in
+	// microseconds; 0 marks the unbounded overflow bucket.
+	UpperMicros uint64
+	Count       uint64
+}
+
+// LatencyHistogram is a point-in-time latency distribution.
+type LatencyHistogram struct {
+	Count      uint64 // total observations
+	MeanMicros float64
+	Buckets    []LatencyBucket // only non-empty buckets, ascending
+}
+
+func (h *histogram) snapshot() LatencyHistogram {
+	var out LatencyHistogram
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		out.Count += n
+		upper := uint64(1) << i
+		if i == histBuckets-1 {
+			upper = 0 // overflow bucket
+		}
+		out.Buckets = append(out.Buckets, LatencyBucket{UpperMicros: upper, Count: n})
+	}
+	if out.Count > 0 {
+		out.MeanMicros = float64(h.sum.Load()) / float64(out.Count)
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the engine's observability
+// surface. All fields are cumulative since the engine was created; the
+// struct marshals to JSON, which is what the expvar bridge publishes.
+type Stats struct {
+	Queries        uint64 // Search calls
+	DocsEvaluated  uint64 // candidate documents handed to the worker pool
+	JoinsRun       uint64 // best-join invocations
+	CacheHits      uint64 // match-list / concept cache hits
+	CacheMisses    uint64 // cache misses (each miss decodes postings)
+	DeadlineHits   uint64 // queries cut short by a context deadline
+	PartialResults uint64 // queries returning Partial results
+	CachedLists    int    // current entries in the match-list cache
+	QueryLatency   LatencyHistogram
+}
+
+// Stats returns a consistent-enough snapshot of the engine's counters.
+// Counters are read individually without a global lock, so a snapshot
+// taken during a query may be mid-update by one event; totals are
+// still monotonic.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:        e.counters.queries.Load(),
+		DocsEvaluated:  e.counters.docsEvaluated.Load(),
+		JoinsRun:       e.counters.joinsRun.Load(),
+		CacheHits:      e.counters.cacheHits.Load(),
+		CacheMisses:    e.counters.cacheMisses.Load(),
+		DeadlineHits:   e.counters.deadlineHits.Load(),
+		PartialResults: e.counters.partials.Load(),
+		CachedLists:    e.lists.Len(),
+		QueryLatency:   e.latency.snapshot(),
+	}
+}
+
+// expvarMu serializes Publish calls: expvar panics on duplicate names,
+// so we check-then-publish under a package lock.
+var expvarMu sync.Mutex
+
+// Publish exposes the engine's Stats snapshot as an expvar variable
+// under the given name (conventionally "bestjoin.engine"), making it
+// visible at /debug/vars on any server importing net/http/pprof or
+// expvar. Publishing the same name twice — including by two engines —
+// returns an error instead of panicking.
+func (e *Engine) Publish(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("engine: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	return nil
+}

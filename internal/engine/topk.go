@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"bestjoin/internal/match"
+)
+
+// topK is the query's global top-k document heap: a size-bounded
+// min-heap guarded by a mutex, shared by every worker. The heap root
+// is the currently weakest kept document, so most offers from losing
+// documents are rejected after one comparison.
+type topK struct {
+	mu sync.Mutex
+	k  int
+	h  docHeap
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, h: make(docHeap, 0, k)}
+}
+
+// offer proposes a scored document. Ties are broken toward smaller
+// document ids so concurrent schedules produce the same top-k.
+func (t *topK) offer(doc int, score float64, set match.Set) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.h) < t.k {
+		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: set})
+		return
+	}
+	worst := t.h[0]
+	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
+		t.h[0] = DocResult{Doc: doc, Score: score, Set: set}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// results drains the heap into a best-first slice.
+func (t *topK) results() []DocResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]DocResult, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+// docHeap is a min-heap by (score asc, doc desc): the root is the
+// entry top-k would discard first.
+type docHeap []DocResult
+
+func (h docHeap) Len() int { return len(h) }
+func (h docHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h docHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *docHeap) Push(x any)   { *h = append(*h, x.(DocResult)) }
+func (h *docHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -53,7 +53,19 @@ func EncodePostings(ps []Posting) []byte {
 	return buf
 }
 
-// DecodePostings unpacks an EncodePostings buffer.
+// MaxDocID and MaxPosition bound the document ids and token positions
+// DecodePostings accepts. Compressed postings may come from disk or
+// other untrusted storage; without these bounds a huge uvarint delta
+// wraps the int accumulators negative, yielding out-of-order (even
+// negative) postings that silently corrupt every downstream merge.
+const (
+	MaxDocID    = 1 << 40
+	MaxPosition = 1 << 40
+)
+
+// DecodePostings unpacks an EncodePostings buffer. Document ids are
+// bounded by MaxDocID and positions by MaxPosition; deltas that would
+// overflow either bound are rejected as corrupt rather than wrapped.
 func DecodePostings(b []byte) ([]Posting, error) {
 	if len(b) == 0 {
 		return nil, nil
@@ -65,13 +77,25 @@ func DecodePostings(b []byte) ([]Posting, error) {
 	b = b[n:]
 	var out []Posting
 	doc := 0
+	prevRunEnd := -1 // last position of the previous run of this doc
 	for d := uint64(0); d < nDocs; d++ {
 		delta, n := binary.Uvarint(b)
 		if n <= 0 {
 			return nil, fmt.Errorf("index: corrupt doc delta")
 		}
 		b = b[n:]
+		// Check the delta before converting: a uvarint above MaxInt64
+		// would wrap int(delta) negative.
+		if delta > MaxDocID {
+			return nil, fmt.Errorf("index: doc delta %d exceeds %d", delta, uint64(MaxDocID))
+		}
 		doc += int(delta)
+		if doc > MaxDocID {
+			return nil, fmt.Errorf("index: doc id %d exceeds %d", doc, int64(MaxDocID))
+		}
+		if delta != 0 {
+			prevRunEnd = -1
+		}
 		count, n := binary.Uvarint(b)
 		if n <= 0 {
 			return nil, fmt.Errorf("index: corrupt position count")
@@ -84,9 +108,23 @@ func DecodePostings(b []byte) ([]Posting, error) {
 				return nil, fmt.Errorf("index: corrupt position delta")
 			}
 			b = b[n:]
+			if pd > MaxPosition {
+				return nil, fmt.Errorf("index: position delta %d exceeds %d", pd, uint64(MaxPosition))
+			}
 			pos += int(pd)
+			if pos > MaxPosition {
+				return nil, fmt.Errorf("index: position %d exceeds %d", pos, int64(MaxPosition))
+			}
+			// A repeated run of the same document (doc delta 0) restarts
+			// the position accumulator; reject it unless positions keep
+			// ascending, so decoded postings are always (doc, pos)-sorted.
+			if pos < prevRunEnd {
+				return nil, fmt.Errorf("index: positions out of order in doc %d", doc)
+			}
 			out = append(out, Posting{Doc: doc, Pos: pos})
 		}
+		pos = max(pos, prevRunEnd)
+		prevRunEnd = pos
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("index: %d trailing bytes", len(b))

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -79,6 +81,60 @@ func TestDecodeCorrupt(t *testing.T) {
 	// Trailing garbage must error.
 	if _, err := DecodePostings(append(append([]byte{}, valid...), 0x1)); err == nil {
 		t.Error("trailing bytes decoded without error")
+	}
+}
+
+// TestDecodePostingsRejectsOverflowingDeltas locks in the fix for the
+// delta-accumulation overflow: huge doc or position deltas used to
+// wrap the int accumulators, yielding corrupt (out-of-order, negative)
+// postings instead of an error.
+func TestDecodePostingsRejectsOverflowingDeltas(t *testing.T) {
+	craftDoc := func(delta uint64) []byte {
+		b := binary.AppendUvarint(nil, 1)  // #docs
+		b = binary.AppendUvarint(b, delta) // doc delta
+		b = binary.AppendUvarint(b, 1)     // #positions
+		return binary.AppendUvarint(b, 0)  // position delta
+	}
+	craftPos := func(pd uint64) []byte {
+		b := binary.AppendUvarint(nil, 1)
+		b = binary.AppendUvarint(b, 0)
+		b = binary.AppendUvarint(b, 1)
+		return binary.AppendUvarint(b, pd)
+	}
+	for _, delta := range []uint64{math.MaxUint64, 1 << 63, MaxDocID + 1} {
+		if ps, err := DecodePostings(craftDoc(delta)); err == nil {
+			t.Errorf("doc delta %d decoded without error: %v", delta, ps)
+		}
+		if ps, err := DecodePostings(craftPos(delta)); err == nil {
+			t.Errorf("position delta %d decoded without error: %v", delta, ps)
+		}
+	}
+	// Two in-range doc deltas whose sum is out of range.
+	b := binary.AppendUvarint(nil, 2)
+	for i := 0; i < 2; i++ {
+		b = binary.AppendUvarint(b, MaxDocID) // doc delta
+		b = binary.AppendUvarint(b, 1)        // #positions
+		b = binary.AppendUvarint(b, 0)        // position delta
+	}
+	if ps, err := DecodePostings(b); err == nil {
+		t.Errorf("accumulated doc id past MaxDocID decoded without error: %v", ps)
+	}
+	// A repeated doc run that restarts positions out of order must be
+	// rejected: the output would no longer be (doc, pos)-sorted.
+	b = binary.AppendUvarint(nil, 2)
+	b = binary.AppendUvarint(b, 5)  // doc 5
+	b = binary.AppendUvarint(b, 1)  // #positions
+	b = binary.AppendUvarint(b, 10) // pos 10
+	b = binary.AppendUvarint(b, 0)  // doc 5 again
+	b = binary.AppendUvarint(b, 1)  // #positions
+	b = binary.AppendUvarint(b, 3)  // pos 3 < 10
+	if ps, err := DecodePostings(b); err == nil {
+		t.Errorf("out-of-order repeated-doc run decoded without error: %v", ps)
+	}
+	// The maximum legal posting still round-trips.
+	ok := EncodePostings([]Posting{{Doc: MaxDocID, Pos: MaxPosition}})
+	if _, err := DecodePostings(ok); err != nil {
+		t.Errorf("posting at bound failed to decode: %v", err)
 	}
 }
 

@@ -1,6 +1,10 @@
 package index
 
-import "testing"
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
 
 // FuzzDecodePostings ensures posting decompression never panics on
 // arbitrary bytes and that accepted inputs round-trip.
@@ -8,10 +12,29 @@ func FuzzDecodePostings(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodePostings([]Posting{{Doc: 0, Pos: 0}}))
 	f.Add(EncodePostings([]Posting{{Doc: 1, Pos: 3}, {Doc: 1, Pos: 9}, {Doc: 7, Pos: 2}}))
+	// Regression input for the bounded-delta fix: a doc delta of
+	// MaxUint64 used to wrap the accumulator negative.
+	overflow := binary.AppendUvarint(nil, 1)
+	overflow = binary.AppendUvarint(overflow, math.MaxUint64)
+	overflow = binary.AppendUvarint(overflow, 1)
+	f.Add(binary.AppendUvarint(overflow, 0))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ps, err := DecodePostings(data)
 		if err != nil {
 			return
+		}
+		// Accepted postings must be (doc, pos)-sorted and in range —
+		// the invariant the overflow bug used to break.
+		for i, p := range ps {
+			if p.Doc < 0 || p.Doc > MaxDocID || p.Pos < 0 || p.Pos > MaxPosition {
+				t.Fatalf("posting %d out of range: %+v", i, p)
+			}
+			if i > 0 {
+				prev := ps[i-1]
+				if p.Doc < prev.Doc || (p.Doc == prev.Doc && p.Pos < prev.Pos) {
+					t.Fatalf("postings out of order at %d: %+v then %+v", i, prev, p)
+				}
+			}
 		}
 		again, err := DecodePostings(EncodePostings(ps))
 		if err != nil {

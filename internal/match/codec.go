@@ -36,7 +36,19 @@ func Encode(lists Lists) []byte {
 	return buf
 }
 
-// Decode unpacks an Encode buffer.
+// MaxLocation bounds the token locations Decode accepts, on both
+// sides of zero. Locations index tokens within one document, so even a
+// pathological corpus stays far below 2^40; anything larger in an
+// encoded buffer is corrupt or adversarial. The bound also keeps the
+// delta accumulator far from int overflow: without it, a huge uvarint
+// delta wraps `loc` negative and silently violates the sorted-list
+// precondition every join algorithm relies on.
+const MaxLocation = 1 << 40
+
+// Decode unpacks an Encode buffer. It rejects buffers whose locations
+// fall outside [-MaxLocation, MaxLocation] or whose lists are not
+// location-sorted, so untrusted bytes can never produce an instance
+// that violates the Lists.Validate contract.
 func Decode(b []byte) (Lists, error) {
 	nLists, n := binary.Uvarint(b)
 	if n <= 0 {
@@ -70,6 +82,9 @@ func Decode(b []byte) (Lists, error) {
 					return nil, fmt.Errorf("match: corrupt first location in list %d", j)
 				}
 				b = b[n:]
+				if first < -MaxLocation || first > MaxLocation {
+					return nil, fmt.Errorf("match: first location %d in list %d outside ±%d", first, j, int64(MaxLocation))
+				}
 				loc = int(first)
 			} else {
 				delta, n := binary.Uvarint(b)
@@ -77,7 +92,17 @@ func Decode(b []byte) (Lists, error) {
 					return nil, fmt.Errorf("match: corrupt location delta in list %d", j)
 				}
 				b = b[n:]
+				// Bound the delta before converting: a uvarint above
+				// MaxInt64 would wrap int(delta) negative, and anything
+				// above 2·MaxLocation cannot yield an in-range location
+				// from an in-range predecessor.
+				if delta > 2*MaxLocation {
+					return nil, fmt.Errorf("match: location delta %d in list %d exceeds %d", delta, j, uint64(2*MaxLocation))
+				}
 				loc += int(delta)
+				if loc > MaxLocation {
+					return nil, fmt.Errorf("match: location %d in list %d exceeds %d", loc, j, int64(MaxLocation))
+				}
 			}
 			if len(b) < 8 {
 				return nil, fmt.Errorf("match: truncated score in list %d", j)
@@ -89,6 +114,17 @@ func Decode(b []byte) (Lists, error) {
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("match: %d trailing bytes", len(b))
+	}
+	// The bounds above make out-of-order lists impossible (deltas are
+	// non-negative and cannot overflow), but decoded bytes feed the
+	// join algorithms directly, so re-check the sorted-list contract
+	// rather than trust the arithmetic. Validate also rejects
+	// zero-list instances, which Encode can legitimately produce, so
+	// only run it when there are lists to check.
+	if len(lists) > 0 {
+		if err := lists.Validate(); err != nil {
+			return nil, fmt.Errorf("match: decoded instance invalid: %v", err)
+		}
 	}
 	return lists, nil
 }

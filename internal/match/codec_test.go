@@ -1,6 +1,8 @@
 package match
 
 import (
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -84,5 +86,54 @@ func TestCodecCorrupt(t *testing.T) {
 	}
 	if _, err := Decode(append(append([]byte{}, valid...), 0xff)); err == nil {
 		t.Error("trailing byte decoded without error")
+	}
+}
+
+// TestDecodeRejectsOverflowingDeltas locks in the fix for the uvarint
+// accumulation overflow: a huge location delta used to wrap `loc`
+// negative, producing an out-of-order list that silently violated the
+// sorted precondition of every join algorithm. Such buffers must now
+// fail to decode.
+func TestDecodeRejectsOverflowingDeltas(t *testing.T) {
+	score := make([]byte, 8)
+	// One list of two matches: first location 0, then a hostile delta.
+	craft := func(delta uint64) []byte {
+		b := binary.AppendUvarint(nil, 1) // #lists
+		b = binary.AppendUvarint(b, 2)    // #matches
+		b = binary.AppendVarint(b, 0)     // first location
+		b = append(b, score...)
+		b = binary.AppendUvarint(b, delta)
+		return append(b, score...)
+	}
+	for _, delta := range []uint64{
+		math.MaxUint64,            // wraps int(delta) negative
+		1 << 63,                   // exactly MinInt64 after conversion
+		2*MaxLocation + 1,         // cannot yield an in-range location
+		uint64(MaxLocation+1) * 2, // accumulates past MaxLocation
+	} {
+		lists, err := Decode(craft(delta))
+		if err == nil {
+			t.Errorf("delta %d decoded without error: %v", delta, lists)
+			continue
+		}
+		if lists != nil {
+			t.Errorf("delta %d returned lists alongside error", delta)
+		}
+	}
+	// A hostile first location (zigzag-encoded, so it can be negative)
+	// must be bounded too.
+	for _, first := range []int64{MaxLocation + 1, -(MaxLocation + 1), math.MaxInt64, math.MinInt64} {
+		b := binary.AppendUvarint(nil, 1)
+		b = binary.AppendUvarint(b, 1)
+		b = binary.AppendVarint(b, first)
+		b = append(b, score...)
+		if _, err := Decode(b); err == nil {
+			t.Errorf("first location %d decoded without error", first)
+		}
+	}
+	// The maximum legal location still round-trips.
+	ok := Encode(Lists{{{Loc: MaxLocation, Score: 1}}})
+	if _, err := Decode(ok); err != nil {
+		t.Errorf("location at bound failed to decode: %v", err)
 	}
 }

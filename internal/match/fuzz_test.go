@@ -1,6 +1,10 @@
 package match
 
-import "testing"
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
 
 // FuzzDecode ensures the binary codec never panics and never silently
 // accepts garbage that re-encodes differently.
@@ -9,10 +13,32 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Lists{}))
 	f.Add(Encode(Lists{{{Loc: 1, Score: 0.5}, {Loc: 4, Score: 1}}}))
 	f.Add(Encode(Lists{{{Loc: -3, Score: 0.1}}, {}, {{Loc: 0, Score: 0.9}}}))
+	// A hand-crafted buffer whose second location delta would overflow
+	// the int accumulator — the regression input for the bounded-delta
+	// fix (see TestDecodeRejectsOverflowingDeltas).
+	overflow := binary.AppendUvarint(nil, 1)
+	overflow = binary.AppendUvarint(overflow, 2)
+	overflow = binary.AppendVarint(overflow, 0)
+	overflow = append(overflow, make([]byte, 8)...)
+	overflow = binary.AppendUvarint(overflow, math.MaxUint64)
+	f.Add(append(overflow, make([]byte, 8)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lists, err := Decode(data)
 		if err != nil {
 			return
+		}
+		// Every accepted instance must satisfy the sorted-list contract
+		// the join algorithms assume — the invariant the overflow bug
+		// used to break.
+		for j, l := range lists {
+			if !l.Sorted() {
+				t.Fatalf("decoded list %d is not location-sorted", j)
+			}
+		}
+		if len(lists) > 0 {
+			if err := lists.Validate(); err != nil {
+				t.Fatalf("decoded instance fails Validate: %v", err)
+			}
 		}
 		// Anything that decodes must round-trip stably.
 		again, err := Decode(Encode(lists))

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo-wide verification: vet, build, and the full test suite under
+# the race detector. The engine worker pool and its LRU caches are the
+# repo's first seriously concurrent code paths, so -race is mandatory
+# here even though it slows the run down.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: OK"
