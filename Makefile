@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate every change must pass.
 
-.PHONY: check test bench fuzz
+.PHONY: check test bench bench-json fuzz
 
 check:
 	./scripts/check.sh
@@ -10,6 +10,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Engine benchmarks with -benchmem, parsed into BENCH_engine.json
+# (ns/op, B/op, allocs/op per benchmark; the saved pre-refactor
+# baseline is embedded when BENCH_engine.baseline.txt exists).
+bench-json:
+	./scripts/benchjson.sh
 
 # Short fuzz passes over the untrusted-bytes decode paths.
 fuzz:

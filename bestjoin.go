@@ -104,6 +104,38 @@ func BestMAXGeneral(fn MAX, lists MatchLists) Result {
 	return Result{Set: s, Score: sc, OK: ok}
 }
 
+// JoinKernel is a reusable best-join evaluator: it owns its algorithm's
+// working state and reuses it across Reset/Join cycles, so a caller
+// evaluating many instances in sequence (the engine's
+// document-at-a-time workers) performs no per-instance allocation. The
+// Set returned by Join aliases kernel memory and is valid only until
+// the next Reset or Join; Clone it to keep it. Kernels are not safe
+// for concurrent use — build one per goroutine.
+type JoinKernel = join.Kernel
+
+// NewWINKernel returns a reusable WIN kernel (Algorithm 1); BestWIN is
+// its one-shot form.
+func NewWINKernel(fn WIN) JoinKernel { return join.NewWINKernel(fn) }
+
+// NewMEDKernel returns a reusable MED kernel (Algorithm 2); BestMED is
+// its one-shot form.
+func NewMEDKernel(fn MED) JoinKernel { return join.NewMEDKernel(fn) }
+
+// NewMAXKernel returns a reusable efficient-MAX kernel (Section V);
+// BestMAX is its one-shot form.
+func NewMAXKernel(fn EfficientMAX) JoinKernel { return join.NewMAXKernel(fn) }
+
+// NewValidKernel layers Section VI duplicate avoidance over any
+// kernel, reusing the duplicate-search scratch as well: the kernel
+// form of the BestValid functions.
+func NewValidKernel(inner JoinKernel) JoinKernel { return dedup.Wrap(inner) }
+
+// JoinKernelFunc adapts a one-shot join function into a JoinKernel,
+// for plugging custom joiners into kernel-shaped APIs (KernelFactory).
+func JoinKernelFunc(fn func(MatchLists) (Matchset, float64, bool)) JoinKernel {
+	return join.KernelFunc(fn)
+}
+
 // Score evaluates a matchset under each family's definition, for
 // callers that need to re-score or compare sets.
 func ScoreWIN(fn WIN, s Matchset) float64 { return scorefn.ScoreWIN(fn, s) }

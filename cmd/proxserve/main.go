@@ -19,21 +19,29 @@
 // graph (exact stem = 1.0, one edge = 0.7, …), mirroring proxquery.
 // Every query runs under -timeout; queries that exceed it return their
 // best-so-far answer marked partial.
+//
+// In HTTP mode the server shuts down gracefully on SIGINT or SIGTERM:
+// the listener closes immediately and in-flight requests get up to
+// -drain to finish; a second signal kills the process at once.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	_ "expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bestjoin"
@@ -49,6 +57,7 @@ func main() {
 		workers = flag.Int("workers", 0, "join workers per query (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", 0, "match-list cache capacity in entries (0 = default)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
+		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
 	)
@@ -81,9 +90,55 @@ func main() {
 		http.HandleFunc("/query", srv.handleQuery)
 		http.HandleFunc("/stats", srv.handleStats)
 		fmt.Printf("serving on %s (try /query?terms=lenovo,nba,partnership and /debug/vars)\n", *httpad)
-		log.Fatal(http.ListenAndServe(*httpad, nil))
+		if err := runServer(&http.Server{Addr: *httpad}, nil, *drain); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	srv.repl(os.Stdin, os.Stdout)
+}
+
+// runServer serves hs until it fails or the process receives SIGINT or
+// SIGTERM, then shuts down gracefully: the listener closes immediately
+// (so health checks and load balancers see the port go away) while
+// in-flight requests get up to drain to finish. A second signal during
+// the drain kills the process the default way, since signal delivery
+// is restored as soon as the first one arrives.
+//
+// ln is the listener to serve on; nil means listen on hs.Addr. A clean
+// shutdown — whether signal-initiated or by a Close/Shutdown call
+// elsewhere — returns nil.
+func runServer(hs *http.Server, ln net.Listener, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- hs.Serve(ln)
+		} else {
+			errc <- hs.ListenAndServe()
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("proxserve: shutting down, draining for up to %v", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			// Drain budget exhausted: cut the remaining connections.
+			hs.Close()
+			return fmt.Errorf("proxserve: drain incomplete: %w", err)
+		}
+		return nil
+	}
 }
 
 type server struct {

@@ -2,8 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -111,5 +117,56 @@ func TestSynthCorpusDeterministicAndQueryable(t *testing.T) {
 	}
 	if len(res.Docs) == 0 {
 		t.Error("synthetic corpus yields no answers for the planted query")
+	}
+}
+
+func TestRunServerGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		time.Sleep(200 * time.Millisecond)
+		w.Write([]byte("done"))
+	})
+	hs := &http.Server{Handler: mux}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- runServer(hs, ln, 2*time.Second) }()
+
+	// An in-flight request at signal time must be allowed to finish.
+	reqErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			defer resp.Body.Close()
+			if b, _ := io.ReadAll(resp.Body); string(b) != "done" {
+				err = fmt.Errorf("drained request body %q, want %q", b, "done")
+			}
+		}
+		reqErr <- err
+	}()
+
+	<-started
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runServer did not return after SIGTERM")
+	}
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request: %v", err)
+	}
+	// The port must be closed once runServer returns.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/slow"); err == nil {
+		t.Error("listener still accepting after shutdown")
 	}
 }

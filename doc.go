@@ -46,6 +46,23 @@
 // ByLocation* variants return one locally-best matchset per anchor
 // location for information-extraction workloads (Section VII).
 //
+// # Join kernels
+//
+// The Best* functions solve one instance and return a caller-owned
+// result. Hot loops that join many instances in sequence — a worker
+// ranking one candidate document after another — should instead hold a
+// reusable kernel (JoinKernel, built by NewWINKernel, NewMEDKernel,
+// NewMAXKernel, or NewValidKernel for duplicate avoidance): Reset
+// loads an instance, Join solves it, and all working state (WIN's
+// subset table and chain-node arena, MED/MAX's dominating-match stacks
+// and envelope cursors, dedup's memo and scratch) is reused across
+// calls, so a warmed kernel allocates nothing per instance. The
+// returned Matchset aliases kernel memory and is valid only until the
+// next Reset or Join; Clone it to keep it. Kernels are not safe for
+// concurrent use — build one per goroutine (the engine does this via
+// KernelFactory). The Best* functions remain thin wrappers that run a
+// fresh kernel once.
+//
 // # Beyond the paper
 //
 // KBestWIN returns the k best distinct matchsets; TopKWIN/MED/MAX the

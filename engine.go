@@ -54,7 +54,13 @@ type EngineResult = engine.Result
 // EngineStats is a snapshot of an Engine's observability counters.
 type EngineStats = engine.Stats
 
-// Joiner runs one best-join over a candidate document's match lists.
+// KernelFactory builds one reusable join kernel per engine worker;
+// the worker reuses the kernel's scratch across every candidate
+// document it evaluates. Adapt a one-shot function with JoinKernelFunc.
+type KernelFactory = engine.KernelFactory
+
+// Joiner is the former name of KernelFactory, kept as an alias for
+// call sites predating the kernel refactor.
 type Joiner = engine.Joiner
 
 // NewEngine builds an engine over a compacted index.

@@ -13,6 +13,12 @@
 // the paper's Figure 8 experiment shows — realistic inputs need few
 // reruns; the invocation count is surfaced so that experiment can be
 // reproduced.
+//
+// Two entry points cover the two calling shapes: the one-shot Best /
+// BestWithOptions functions, and the reusable Deduper (plus the
+// kernel wrapper Wrap in kernel.go), which keeps the memo table,
+// group/drop scratch, and result buffer alive across calls for
+// document-at-a-time workers.
 package dedup
 
 import (
@@ -51,7 +57,7 @@ const MaxInvocations = 100000
 // and is pruned. OK is false when no valid matchset exists (or the
 // invocation cap was hit before one was found).
 func Best(alg Algorithm, lists match.Lists) Result {
-	return BestWithOptions(alg, lists, Options{Prune: true, Memoize: true})
+	return NewDeduper().Best(alg, lists)
 }
 
 // Options tunes the duplicate-avoidance search. Best uses both
@@ -69,14 +75,26 @@ type Options struct {
 
 // BestWithOptions is Best with explicit search options.
 func BestWithOptions(alg Algorithm, lists match.Lists, opts Options) Result {
-	r := &runner{alg: alg, opts: opts, visited: map[string]bool{}}
-	r.solve(lists, nil)
-	return Result{Set: r.best, Score: r.bestScore, OK: r.found, Invocations: r.invocations}
+	d := &Deduper{Opts: opts}
+	return d.Best(alg, lists)
 }
 
-type runner struct {
+// Deduper is a reusable duplicate-avoidance evaluator: it owns the
+// visited-instance memo, the duplicate-group and drop-set scratch, and
+// the best-matchset buffer, all reused across Best calls. On the
+// common path — the duplicate-unaware optimum is already valid — a
+// warmed Deduper allocates nothing.
+//
+// The Set in the returned Result aliases Deduper-owned memory and is
+// valid only until the next Best call; callers that keep results must
+// Clone them. A Deduper is not safe for concurrent use.
+type Deduper struct {
+	// Opts tunes the search. NewDeduper enables both optimizations
+	// (the Best defaults); the zero value runs the paper's plain
+	// recursive method.
+	Opts Options
+
 	alg         Algorithm
-	opts        Options
 	invocations int
 	best        match.Set
 	bestScore   float64
@@ -85,6 +103,44 @@ type runner struct {
 	// different keeper-choice paths frequently converge on the same
 	// modified instance, which need not be solved twice.
 	visited map[string]bool
+	// byLoc and drop are the group/drop scratch of the splitting step,
+	// cleared and refilled per use instead of reallocated.
+	byLoc map[int][]int
+	drop  map[dropKey]bool
+}
+
+// dropKey identifies one (term, location) pair removed when building a
+// modified instance.
+type dropKey struct {
+	term, loc int
+}
+
+// NewDeduper returns a Deduper with the Best defaults (pruning and
+// memoization enabled).
+func NewDeduper() *Deduper {
+	return &Deduper{Opts: Options{Prune: true, Memoize: true}}
+}
+
+// Best runs the duplicate-avoiding search over lists with alg as the
+// duplicate-unaware solver. alg may return sets aliasing its own
+// reused memory (a join.Kernel does): Best copies what it keeps.
+func (d *Deduper) Best(alg Algorithm, lists match.Lists) Result {
+	d.alg = alg
+	d.invocations = 0
+	d.found = false
+	d.bestScore = 0
+	if len(d.visited) > 0 {
+		clear(d.visited)
+	}
+	d.solve(lists, nil)
+	d.alg = nil
+	res := Result{Score: d.bestScore, OK: d.found, Invocations: d.invocations}
+	if d.found {
+		res.Set = d.best
+	} else {
+		res.Score = 0
+	}
+	return res
 }
 
 // removal identifies one match deleted from the original instance.
@@ -92,19 +148,22 @@ type removal struct {
 	term, loc int
 }
 
-func (r *runner) solve(lists match.Lists, removed []removal) {
-	if r.opts.Memoize {
+func (d *Deduper) solve(lists match.Lists, removed []removal) {
+	if d.Opts.Memoize && len(removed) > 0 {
 		key := removalKey(removed)
-		if r.visited[key] {
+		if d.visited == nil {
+			d.visited = make(map[string]bool)
+		}
+		if d.visited[key] {
 			return
 		}
-		r.visited[key] = true
+		d.visited[key] = true
 	}
-	if r.invocations >= MaxInvocations {
+	if d.invocations >= MaxInvocations {
 		return
 	}
-	r.invocations++
-	set, score, ok := r.alg(lists)
+	d.invocations++
+	set, score, ok := d.alg(lists)
 	if !ok {
 		return
 	}
@@ -114,13 +173,16 @@ func (r *runner) solve(lists match.Lists, removed []removal) {
 	// found so far is pruned. With pruning disabled we still keep only
 	// strictly better duplicate-free results, just without skipping
 	// subtree exploration.
-	if r.opts.Prune && r.found && score <= r.bestScore {
+	if d.Opts.Prune && d.found && score <= d.bestScore {
 		return
 	}
-	groups := duplicateGroups(set)
-	if len(groups) == 0 {
-		if !r.found || score > r.bestScore {
-			r.best, r.bestScore, r.found = set, score, true
+	// Hot path: a duplicate-free optimum needs no group machinery at
+	// all — record it (copying out of alg's possibly reused buffer)
+	// and return.
+	if set.Valid() {
+		if !d.found || score > d.bestScore {
+			d.best = append(d.best[:0], set...)
+			d.bestScore, d.found = score, true
 		}
 		return
 	}
@@ -128,12 +190,13 @@ func (r *runner) solve(lists match.Lists, removed []removal) {
 	// For each such token, one of its terms keeps the token and the
 	// token's matches are removed from the other terms' lists; the
 	// instances enumerate every combination of keepers.
+	groups := d.duplicateGroups(set)
 	keepers := make([]int, len(groups))
 	var walk func(g int)
 	walk = func(g int) {
 		if g == len(groups) {
-			modified, added := removeDuplicates(lists, groups, keepers)
-			r.solve(modified, append(removed[:len(removed):len(removed)], added...))
+			modified, added := d.removeDuplicates(lists, groups, keepers)
+			d.solve(modified, append(removed[:len(removed):len(removed)], added...))
 			return
 		}
 		for k := range groups[g].terms {
@@ -168,7 +231,8 @@ func removalKey(removed []removal) string {
 // variant of duplicate avoidance (the paper notes the problem "can be
 // similarly modified") rerun their solver over each instance.
 func Split(lists match.Lists, set match.Set) []match.Lists {
-	groups := duplicateGroups(set)
+	var d Deduper
+	groups := d.duplicateGroups(set)
 	if len(groups) == 0 {
 		return nil
 	}
@@ -177,7 +241,7 @@ func Split(lists match.Lists, set match.Set) []match.Lists {
 	var walk func(g int)
 	walk = func(g int) {
 		if g == len(groups) {
-			modified, _ := removeDuplicates(lists, groups, keepers)
+			modified, _ := d.removeDuplicates(lists, groups, keepers)
 			out = append(out, modified)
 			return
 		}
@@ -202,14 +266,20 @@ type group struct {
 // terms are ordered by descending match score (ties by term index):
 // keeping the token for its highest-scoring term tends to preserve the
 // strongest valid matchsets, so exploring keepers in that order lets
-// the search bound prune earlier.
-func duplicateGroups(set match.Set) []group {
-	byLoc := make(map[int][]int)
+// the search bound prune earlier. The by-location index map is reused
+// across calls; the group and term slices themselves are fresh, since
+// recursion keeps outer levels' groups alive.
+func (d *Deduper) duplicateGroups(set match.Set) []group {
+	if d.byLoc == nil {
+		d.byLoc = make(map[int][]int)
+	} else {
+		clear(d.byLoc)
+	}
 	for j, m := range set {
-		byLoc[m.Loc] = append(byLoc[m.Loc], j)
+		d.byLoc[m.Loc] = append(d.byLoc[m.Loc], j)
 	}
 	var out []group
-	for loc, terms := range byLoc {
+	for loc, terms := range d.byLoc {
 		if len(terms) > 1 {
 			sort.Slice(terms, func(a, b int) bool {
 				if set[terms[a]].Score != set[terms[b]].Score {
@@ -227,34 +297,41 @@ func duplicateGroups(set match.Set) []group {
 // removeDuplicates builds the modified instance in which, for each
 // group g, only groups[g].terms[keepers[g]] retains its matches at the
 // group's location; all other terms in the group lose theirs. It also
-// returns the removals performed, for instance memoization.
-func removeDuplicates(lists match.Lists, groups []group, keepers []int) (match.Lists, []removal) {
-	out := make(match.Lists, len(lists))
-	// drop[j] is the set of locations to remove from list j.
-	drop := make(map[int]map[int]bool)
+// returns the removals performed, for instance memoization. The drop
+// set is reused across calls; the modified lists are fresh, since they
+// live on in the recursion.
+func (d *Deduper) removeDuplicates(lists match.Lists, groups []group, keepers []int) (match.Lists, []removal) {
+	if d.drop == nil {
+		d.drop = make(map[dropKey]bool)
+	} else {
+		clear(d.drop)
+	}
+	var removed []removal
 	for g, grp := range groups {
 		for k, term := range grp.terms {
 			if k == keepers[g] {
 				continue
 			}
-			if drop[term] == nil {
-				drop[term] = make(map[int]bool)
-			}
-			drop[term][grp.loc] = true
+			d.drop[dropKey{term: term, loc: grp.loc}] = true
+			removed = append(removed, removal{term: term, loc: grp.loc})
 		}
 	}
-	var removed []removal
+	out := make(match.Lists, len(lists))
 	for j, l := range lists {
-		if drop[j] == nil {
+		drops := false
+		for _, m := range l {
+			if d.drop[dropKey{term: j, loc: m.Loc}] {
+				drops = true
+				break
+			}
+		}
+		if !drops {
 			out[j] = l
 			continue
 		}
-		for loc := range drop[j] {
-			removed = append(removed, removal{term: j, loc: loc})
-		}
 		kept := make(match.List, 0, len(l))
 		for _, m := range l {
-			if !drop[j][m.Loc] {
+			if !d.drop[dropKey{term: j, loc: m.Loc}] {
 				kept = append(kept, m)
 			}
 		}

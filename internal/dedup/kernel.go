@@ -1,0 +1,59 @@
+package dedup
+
+import (
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+)
+
+// Kernel is a join.Kernel that layers duplicate avoidance over an
+// inner kernel: Join runs the full Section VI search with the inner
+// kernel as the duplicate-unaware solver and returns the best valid
+// (duplicate-free) matchset. The Deduper's memo, scratch, and result
+// buffer — and the inner kernel's own scratch — are reused across
+// calls, so the wrapper keeps the inner kernel's allocation-free
+// document-at-a-time behavior on the common path where the
+// unconstrained optimum is already valid.
+//
+// The ownership contract matches the Kernel interface: the returned
+// Set aliases wrapper-owned memory, valid until the next Reset or
+// Join. Not safe for concurrent use.
+type Kernel struct {
+	inner join.Kernel
+	lists match.Lists
+	d     Deduper
+	alg   Algorithm
+	invs  int
+}
+
+// Wrap layers duplicate avoidance over inner, with the Best defaults
+// (pruning and memoization enabled).
+func Wrap(inner join.Kernel) *Kernel {
+	k := &Kernel{inner: inner, d: Deduper{Opts: Options{Prune: true, Memoize: true}}}
+	// One closure for the kernel's lifetime: each sub-instance of the
+	// search reloads the inner kernel rather than rebuilding anything.
+	k.alg = func(lists match.Lists) (match.Set, float64, bool) {
+		k.inner.Reset(nil, lists)
+		return k.inner.Join()
+	}
+	return k
+}
+
+// Reset records lists (the search's root instance) and passes fn and
+// lists through to the inner kernel.
+func (k *Kernel) Reset(fn any, lists match.Lists) {
+	k.lists = lists
+	k.inner.Reset(fn, lists)
+}
+
+// Join solves the loaded instance with duplicate avoidance. ok is
+// false when no valid matchset exists (or the invocation cap was hit
+// before one was found).
+func (k *Kernel) Join() (match.Set, float64, bool) {
+	res := k.d.Best(k.alg, k.lists)
+	k.invs = res.Invocations
+	return res.Set, res.Score, res.OK
+}
+
+// Invocations reports how many times the inner kernel ran during the
+// last Join — the paper's Figure 8 metric.
+func (k *Kernel) Invocations() int { return k.invs }

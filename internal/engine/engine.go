@@ -13,6 +13,11 @@
 // queries skip posting decompression entirely, and an observability
 // layer of atomic counters plus a latency histogram, exposed via
 // Stats() and optionally expvar (Publish).
+//
+// Joins run on reusable kernels (join.Kernel): a query supplies a
+// KernelFactory, each worker builds one kernel from it and reuses that
+// kernel's scratch for every candidate document it evaluates, so the
+// cached query path performs almost no per-document allocation.
 package engine
 
 import (
@@ -98,41 +103,46 @@ func (e *Engine) ResetCache() {
 	e.concepts.Reset()
 }
 
-// Joiner runs one best-join over a candidate document's match lists.
-// It must be safe for concurrent use (every joiner built by the
-// constructors below is: the join algorithms share no mutable state).
-type Joiner func(match.Lists) (match.Set, float64, bool)
+// KernelFactory builds one reusable join kernel. The factory itself
+// must be safe for concurrent use (Search calls it once per worker);
+// the kernels it returns need not be — each worker owns its kernel
+// exclusively and reuses its scratch across the documents it
+// evaluates. Adapt a plain one-shot function with join.KernelFunc.
+type KernelFactory func() join.Kernel
+
+// Joiner is the former name of KernelFactory, kept as an alias for
+// call sites predating the kernel refactor.
+type Joiner = KernelFactory
 
 // WINJoiner joins under a WIN scoring function (Algorithm 1).
-func WINJoiner(fn scorefn.WIN) Joiner {
-	return func(ls match.Lists) (match.Set, float64, bool) { return join.WIN(fn, ls) }
+func WINJoiner(fn scorefn.WIN) KernelFactory {
+	return func() join.Kernel { return join.NewWINKernel(fn) }
 }
 
 // MEDJoiner joins under a MED scoring function (Algorithm 2).
-func MEDJoiner(fn scorefn.MED) Joiner {
-	return func(ls match.Lists) (match.Set, float64, bool) { return join.MED(fn, ls) }
+func MEDJoiner(fn scorefn.MED) KernelFactory {
+	return func() join.Kernel { return join.NewMEDKernel(fn) }
 }
 
 // MAXJoiner joins under an efficient MAX scoring function.
-func MAXJoiner(fn scorefn.EfficientMAX) Joiner {
-	return func(ls match.Lists) (match.Set, float64, bool) { return join.MAX(fn, ls) }
+func MAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
+	return func() join.Kernel { return join.NewMAXKernel(fn) }
 }
 
 // ValidWINJoiner is WINJoiner restricted to valid matchsets (no token
 // answers two query terms at once, the paper's Section VI).
-func ValidWINJoiner(fn scorefn.WIN) Joiner { return validJoiner(WINJoiner(fn)) }
+func ValidWINJoiner(fn scorefn.WIN) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewWINKernel(fn)) }
+}
 
 // ValidMEDJoiner is MEDJoiner restricted to valid matchsets.
-func ValidMEDJoiner(fn scorefn.MED) Joiner { return validJoiner(MEDJoiner(fn)) }
+func ValidMEDJoiner(fn scorefn.MED) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewMEDKernel(fn)) }
+}
 
 // ValidMAXJoiner is MAXJoiner restricted to valid matchsets.
-func ValidMAXJoiner(fn scorefn.EfficientMAX) Joiner { return validJoiner(MAXJoiner(fn)) }
-
-func validJoiner(inner Joiner) Joiner {
-	return func(ls match.Lists) (match.Set, float64, bool) {
-		r := dedup.Best(dedup.Algorithm(inner), ls)
-		return r.Set, r.Score, r.OK
-	}
+func ValidMAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewMAXKernel(fn)) }
 }
 
 // Query is one retrieval request: candidate documents are those
@@ -140,7 +150,7 @@ func validJoiner(inner Joiner) Joiner {
 // with Join, and the K best are returned.
 type Query struct {
 	Concepts []index.Concept
-	Join     Joiner
+	Join     KernelFactory
 	// K is the number of documents to return; ≤ 0 means DefaultK.
 	K int
 }
@@ -176,7 +186,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		return nil, errors.New("engine: query has no concepts")
 	}
 	if q.Join == nil {
-		return nil, errors.New("engine: query has no joiner")
+		return nil, errors.New("engine: query has no kernel factory")
 	}
 	k := q.K
 	if k <= 0 {
@@ -194,14 +204,24 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	}
 	candidates := intersect(cds)
 
+	// No candidate contains every concept: the answer is empty and
+	// final, so skip the worker pool entirely.
+	res := &Result{Candidates: len(candidates)}
+	if len(candidates) == 0 {
+		res.Docs = []DocResult{}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
 	// Sharded worker pool: each worker owns one job channel; documents
 	// are sharded by id, so a given document always lands on the same
 	// worker. The dispatcher assembles match lists (touching the
 	// caches single-threaded); workers only run joins and offer
-	// results to the shared top-k heap.
-	res := &Result{Candidates: len(candidates)}
+	// results to the shared top-k heap. Each worker builds one kernel
+	// from the query's factory and reuses its scratch for every
+	// document it evaluates.
 	workers := e.workers
-	if workers > len(candidates) && len(candidates) > 0 {
+	if workers > len(candidates) {
 		workers = len(candidates)
 	}
 	top := newTopK(k)
@@ -213,6 +233,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		wg.Add(1)
 		go func(jobs <-chan docJob) {
 			defer wg.Done()
+			kern := q.Join()
 			for jb := range jobs {
 				// Drain without evaluating once the query is out of
 				// time; those documents count as unevaluated.
@@ -220,7 +241,8 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 					continue
 				}
 				e.counters.docsEvaluated.Add(1)
-				set, score, ok := q.Join(jb.lists)
+				kern.Reset(nil, jb.lists)
+				set, score, ok := kern.Join()
 				e.counters.joinsRun.Add(1)
 				evaluated.Add(1)
 				if ok && !math.IsNaN(score) {
@@ -230,9 +252,12 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		}(chans[w])
 	}
 
+	// One flat backing array for every job's lists header: per-document
+	// jobs slice into it instead of allocating.
+	backing := make(match.Lists, len(candidates)*len(cds))
 dispatch:
-	for _, doc := range candidates {
-		lists := make(match.Lists, len(cds))
+	for i, doc := range candidates {
+		lists := backing[i*len(cds) : (i+1)*len(cds) : (i+1)*len(cds)]
 		for j, cd := range cds {
 			lists[j] = e.list(cd, doc)
 		}
@@ -278,68 +303,114 @@ type conceptData struct {
 }
 
 // conceptData resolves a concept to its candidate documents, from the
-// concept cache when possible, decoding postings otherwise.
+// concept cache when possible, decoding postings otherwise. Hits and
+// misses land in the concept-cache counters.
 func (e *Engine) conceptData(c index.Concept) *conceptData {
 	cd := &conceptData{concept: c, fp: fingerprint(c)}
 	if docs, ok := e.concepts.Get(cd.fp); ok {
-		e.counters.cacheHits.Add(1)
+		e.counters.conceptHits.Add(1)
 		cd.docs = docs
 		return cd
 	}
-	e.counters.cacheMisses.Add(1)
+	e.counters.conceptMisses.Add(1)
 	e.decode(cd)
 	return cd
 }
 
 // list fetches the match list of one concept in one document: from
 // this query's decoded state, else the LRU, else by decoding the
-// concept's postings (which fills both).
+// concept's postings (which fills both). Hits and misses land in the
+// list-cache counters.
 func (e *Engine) list(cd *conceptData, doc int) match.List {
 	if cd.local != nil {
 		return cd.local[doc]
 	}
 	if l, ok := e.lists.Get(listKey{doc: doc, fp: cd.fp}); ok {
-		e.counters.cacheHits.Add(1)
+		e.counters.listHits.Add(1)
 		return l
 	}
-	e.counters.cacheMisses.Add(1)
+	e.counters.listMisses.Add(1)
 	e.decode(cd)
 	return cd.local[doc]
 }
 
-// decode materializes a concept across the whole corpus: one pass over
-// each member word's posting list, keeping the best score per
-// (document, position) — the same merge as index.Compact.ConceptList,
-// but for all documents at once instead of re-decoding per document.
-// Results populate the query-local state and both caches.
+// decode materializes a concept across the whole corpus: a k-way merge
+// of the member words' posting lists in (document, position) order,
+// keeping the best score per (document, position) — the same merge as
+// index.Compact.ConceptList, but for all documents at once instead of
+// re-decoding per document. Because each word's postings are already
+// sorted by (doc, pos), the merge emits every match in final order
+// directly into one flat backing list; per-document lists are capped
+// subslices of it, so the whole corpus-wide decode costs a handful of
+// allocations instead of two map levels plus one slice and one sort
+// per document. Results populate the query-local state and both
+// caches.
 func (e *Engine) decode(cd *conceptData) {
-	best := make(map[int]map[int]float64) // doc -> pos -> best score
+	type source struct {
+		ps    []index.Posting
+		score float64
+		next  int
+	}
+	srcs := make([]source, 0, len(cd.concept))
+	total := 0
 	for word, score := range cd.concept {
-		for _, p := range e.idx.Postings(word) {
-			byPos := best[p.Doc]
-			if byPos == nil {
-				byPos = make(map[int]float64)
-				best[p.Doc] = byPos
-			}
-			if s, ok := byPos[p.Pos]; !ok || score > s {
-				byPos[p.Pos] = score
-			}
+		if ps := e.idx.Postings(word); len(ps) > 0 {
+			srcs = append(srcs, source{ps: ps, score: score})
+			total += len(ps)
 		}
 	}
-	cd.local = make(map[int]match.List, len(best))
-	cd.docs = make([]int, 0, len(best))
-	for doc, byPos := range best {
-		l := make(match.List, 0, len(byPos))
-		for pos, s := range byPos {
-			l = append(l, match.Match{Loc: pos, Score: s})
+	flat := make(match.List, 0, total)
+	cd.local = make(map[int]match.List)
+	var docs []int
+	curDoc, begin := -1, 0
+	flush := func() {
+		if curDoc < 0 {
+			return
 		}
-		l.Sort()
-		cd.local[doc] = l
-		cd.docs = append(cd.docs, doc)
-		e.lists.Put(listKey{doc: doc, fp: cd.fp}, l)
+		l := flat[begin:len(flat):len(flat)]
+		cd.local[curDoc] = l
+		docs = append(docs, curDoc)
+		e.lists.Put(listKey{doc: curDoc, fp: cd.fp}, l)
+		begin = len(flat)
 	}
-	sort.Ints(cd.docs)
-	e.concepts.Put(cd.fp, cd.docs)
+	for {
+		min := -1
+		for s := range srcs {
+			if srcs[s].next == len(srcs[s].ps) {
+				continue
+			}
+			if min < 0 {
+				min = s
+				continue
+			}
+			p, q := srcs[s].ps[srcs[s].next], srcs[min].ps[srcs[min].next]
+			if p.Doc < q.Doc || (p.Doc == q.Doc && p.Pos < q.Pos) {
+				min = s
+			}
+		}
+		if min < 0 {
+			break
+		}
+		src := &srcs[min]
+		p := src.ps[src.next]
+		src.next++
+		if p.Doc != curDoc {
+			flush()
+			curDoc = p.Doc
+		}
+		// Words of one concept can share a (doc, pos); duplicates are
+		// adjacent in merge order, and the best member-word score wins.
+		if n := len(flat); n > begin && flat[n-1].Loc == p.Pos {
+			if src.score > flat[n-1].Score {
+				flat[n-1].Score = src.score
+			}
+			continue
+		}
+		flat = append(flat, match.Match{Loc: p.Pos, Score: src.score})
+	}
+	flush()
+	cd.docs = docs
+	e.concepts.Put(cd.fp, docs)
 }
 
 // fingerprint hashes a concept to a stable 64-bit cache key,

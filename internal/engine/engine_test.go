@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bestjoin/internal/index"
+	"bestjoin/internal/join"
 	"bestjoin/internal/match"
 	"bestjoin/internal/scorefn"
 )
@@ -77,16 +78,20 @@ func testConcepts() []index.Concept {
 
 // bruteForce ranks every document by re-deriving its lists directly
 // from the compacted index — the reference the engine must agree with.
-func bruteForce(c *index.Compact, concepts []index.Concept, jn Joiner, k int) []DocResult {
+// It reuses one kernel across all documents, exactly like an engine
+// worker, cloning kept sets out of the kernel's buffer.
+func bruteForce(c *index.Compact, concepts []index.Concept, jn KernelFactory, k int) []DocResult {
 	var out []DocResult
+	kern := jn()
 	for d := 0; d < c.Docs(); d++ {
 		lists := c.QueryLists(d, concepts)
 		if !lists.Complete() {
 			continue
 		}
-		set, score, ok := jn(lists)
+		kern.Reset(nil, lists)
+		set, score, ok := kern.Join()
 		if ok {
-			out = append(out, DocResult{Doc: d, Score: score, Set: set})
+			out = append(out, DocResult{Doc: d, Score: score, Set: set.Clone()})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -141,19 +146,26 @@ func TestRepeatQueryHitsCacheAndSkipsDecoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := e.Stats()
-	if cold.CacheMisses == 0 {
-		t.Fatal("cold query recorded no cache misses")
+	if cold.ConceptMisses == 0 {
+		t.Fatal("cold query recorded no concept-cache misses")
+	}
+	if cold.ConceptHits != 0 || cold.ListHits != 0 {
+		t.Errorf("cold query recorded cache hits: concepts %d, lists %d", cold.ConceptHits, cold.ListHits)
 	}
 	second, err := e.Search(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	warm := e.Stats()
-	if warm.CacheMisses != cold.CacheMisses {
-		t.Errorf("warm query decoded postings: misses went %d -> %d", cold.CacheMisses, warm.CacheMisses)
+	if warm.ConceptMisses != cold.ConceptMisses || warm.ListMisses != cold.ListMisses {
+		t.Errorf("warm query decoded postings: misses went %d/%d -> %d/%d",
+			cold.ConceptMisses, cold.ListMisses, warm.ConceptMisses, warm.ListMisses)
 	}
-	if warm.CacheHits <= cold.CacheHits {
-		t.Errorf("warm query recorded no cache hits: %d -> %d", cold.CacheHits, warm.CacheHits)
+	if warm.ConceptHits <= cold.ConceptHits {
+		t.Errorf("warm query recorded no concept-cache hits: %d -> %d", cold.ConceptHits, warm.ConceptHits)
+	}
+	if warm.ListHits <= cold.ListHits {
+		t.Errorf("warm query recorded no list-cache hits: %d -> %d", cold.ListHits, warm.ListHits)
 	}
 	if len(first.Docs) != len(second.Docs) {
 		t.Fatalf("cached result differs in length: %d vs %d", len(first.Docs), len(second.Docs))
@@ -188,10 +200,12 @@ func TestCacheEvictionStillCorrect(t *testing.T) {
 func TestDeadlineReturnsPartial(t *testing.T) {
 	c := buildCompact(t, testCorpus(300, 5))
 	e := New(c, Config{Workers: 2})
-	slow := func(ls match.Lists) (match.Set, float64, bool) {
-		time.Sleep(2 * time.Millisecond)
-		return MEDJoiner(scorefn.ExpMED{Alpha: 0.1})(ls)
-	}
+	slow := KernelFactory(func() join.Kernel {
+		return join.KernelFunc(func(ls match.Lists) (match.Set, float64, bool) {
+			time.Sleep(2 * time.Millisecond)
+			return join.MED(scorefn.ExpMED{Alpha: 0.1}, ls)
+		})
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
 	res, err := e.Search(ctx, Query{Concepts: testConcepts(), Join: slow, K: 5})

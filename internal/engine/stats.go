@@ -13,13 +13,18 @@ import (
 // a power-of-two latency histogram, and an expvar bridge. Everything
 // is readable at any time via Engine.Stats without pausing queries.
 
-// counters holds the engine's atomic event counters.
+// counters holds the engine's atomic event counters. The two caches
+// are accounted separately: a concept miss re-derives a concept's
+// candidate documents, a list miss re-decodes postings for one
+// (document, concept) — conflating them hides which cache is cold.
 type counters struct {
 	queries       atomic.Uint64
 	docsEvaluated atomic.Uint64
 	joinsRun      atomic.Uint64
-	cacheHits     atomic.Uint64
-	cacheMisses   atomic.Uint64
+	conceptHits   atomic.Uint64
+	conceptMisses atomic.Uint64
+	listHits      atomic.Uint64
+	listMisses    atomic.Uint64
 	deadlineHits  atomic.Uint64
 	partials      atomic.Uint64
 }
@@ -91,8 +96,10 @@ type Stats struct {
 	Queries        uint64 // Search calls
 	DocsEvaluated  uint64 // candidate documents handed to the worker pool
 	JoinsRun       uint64 // best-join invocations
-	CacheHits      uint64 // match-list / concept cache hits
-	CacheMisses    uint64 // cache misses (each miss decodes postings)
+	ConceptHits    uint64 // concept → candidate-documents cache hits
+	ConceptMisses  uint64 // concept cache misses (each re-derives candidates)
+	ListHits       uint64 // (document, concept) match-list cache hits
+	ListMisses     uint64 // match-list cache misses (each decodes postings)
 	DeadlineHits   uint64 // queries cut short by a context deadline
 	PartialResults uint64 // queries returning Partial results
 	CachedLists    int    // current entries in the match-list cache
@@ -108,8 +115,10 @@ func (e *Engine) Stats() Stats {
 		Queries:        e.counters.queries.Load(),
 		DocsEvaluated:  e.counters.docsEvaluated.Load(),
 		JoinsRun:       e.counters.joinsRun.Load(),
-		CacheHits:      e.counters.cacheHits.Load(),
-		CacheMisses:    e.counters.cacheMisses.Load(),
+		ConceptHits:    e.counters.conceptHits.Load(),
+		ConceptMisses:  e.counters.conceptMisses.Load(),
+		ListHits:       e.counters.listHits.Load(),
+		ListMisses:     e.counters.listMisses.Load(),
 		DeadlineHits:   e.counters.deadlineHits.Load(),
 		PartialResults: e.counters.partials.Load(),
 		CachedLists:    e.lists.Len(),

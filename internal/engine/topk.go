@@ -23,17 +23,20 @@ func newTopK(k int) *topK {
 }
 
 // offer proposes a scored document. Ties are broken toward smaller
-// document ids so concurrent schedules produce the same top-k.
+// document ids so concurrent schedules produce the same top-k. set may
+// alias the worker's kernel-owned buffer, so offer clones it — but
+// only once the document actually enters the heap; rejected offers
+// (the common case) stay allocation-free.
 func (t *topK) offer(doc int, score float64, set match.Set) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.h) < t.k {
-		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: set})
+		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: set.Clone()})
 		return
 	}
 	worst := t.h[0]
 	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
-		t.h[0] = DocResult{Doc: doc, Score: score, Set: set}
+		t.h[0] = DocResult{Doc: doc, Score: score, Set: set.Clone()}
 		heap.Fix(&t.h, 0)
 	}
 }

@@ -51,7 +51,16 @@ type Entry struct {
 // MED tent contributions and the paper's exponential-decay MAX
 // contributions both qualify (Lemma 3).
 func Precompute(list match.List, c Contribution) []Entry {
-	stack := make([]Entry, 0, len(list))
+	return PrecomputeInto(make([]Entry, 0, len(list)), list, c)
+}
+
+// PrecomputeInto is Precompute writing into a caller-provided slice:
+// the stack grows by appending to dst (pass a previous result resliced
+// to dst[:0] to reuse its backing array), so steady-state callers —
+// the MED/MAX join kernels precomputing per-term dominating lists for
+// one document after another — allocate nothing.
+func PrecomputeInto(dst []Entry, list match.List, c Contribution) []Entry {
+	stack := dst
 	for pos, m := range list {
 		// Skip m if it does not dominate the top of the stack at its
 		// own location: by at-most-one-crossing it is then dominated
@@ -79,11 +88,18 @@ func Precompute(list match.List, c Contribution) []Entry {
 // list, yielding a location-sorted match.List (useful for merging the
 // V_j's with match.Merge, as the MAX algorithm does).
 func Matches(v []Entry) match.List {
-	out := make(match.List, len(v))
-	for i, e := range v {
-		out[i] = e.M
+	return MatchesInto(make(match.List, 0, len(v)), v)
+}
+
+// MatchesInto is Matches appending into a caller-provided slice
+// (reset to length zero first), for callers reusing buffers across
+// documents.
+func MatchesInto(dst match.List, v []Entry) match.List {
+	dst = dst[:0]
+	for _, e := range v {
+		dst = append(dst, e.M)
 	}
-	return out
+	return dst
 }
 
 // Cursor serves dominating-match queries against a precomputed list V
@@ -110,6 +126,14 @@ type Cursor struct {
 // list.
 func NewCursor(term int, v []Entry, c Contribution) *Cursor {
 	return &Cursor{v: v, c: c, term: term}
+}
+
+// Reset rebinds the cursor to a (possibly different) precomputed list
+// and rewinds it, so one Cursor value can serve a stream of instances
+// without reallocation. The two query styles still must not be mixed
+// between one Reset and the next.
+func (cu *Cursor) Reset(term int, v []Entry, c Contribution) {
+	cu.v, cu.c, cu.term, cu.next = v, c, term, 0
 }
 
 // At returns a dominating match for location l. Query locations must

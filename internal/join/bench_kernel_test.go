@@ -1,0 +1,44 @@
+package join_test
+
+// Microbenchmarks contrasting the one-shot join functions with reused
+// kernels on the same instance stream — the per-document cost an
+// engine worker pays.
+//
+//	go test -bench=BenchmarkKernel -benchmem ./internal/join/
+
+import (
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/randinst"
+)
+
+func benchInstances(n int) []match.Lists {
+	rng := rand.New(rand.NewSource(17))
+	out := make([]match.Lists, n)
+	for i := range out {
+		out[i] = randinst.Lists(rng, randinst.Config{Terms: 3, MaxPerList: 12, MaxLoc: 300})
+	}
+	return out
+}
+
+func BenchmarkKernelVsOneShot(b *testing.B) {
+	instances := benchInstances(64)
+	for _, tc := range kernelCases() {
+		b.Run(tc.name+"/oneshot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tc.shot(instances[i%len(instances)])
+			}
+		})
+		b.Run(tc.name+"/kernel", func(b *testing.B) {
+			kern := tc.kernel()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kern.Reset(nil, instances[i%len(instances)])
+				kern.Join()
+			}
+		})
+	}
+}

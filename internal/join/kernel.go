@@ -1,0 +1,53 @@
+package join
+
+import "bestjoin/internal/match"
+
+// Kernel is a reusable best-join evaluator: the document-at-a-time
+// counterpart of the one-shot WIN/MED/MAX functions. A kernel owns all
+// working state its algorithm needs — WIN's 2^|Q| subset-state table
+// and chain-node arena, MED/MAX's dominating-match lists and envelope
+// cursors, the k-way merge cursors — and reuses it across calls, so a
+// worker evaluating one candidate document after another performs no
+// per-document allocation once the scratch has grown to the workload's
+// high-water mark.
+//
+// Reset loads a new instance. fn must be the concrete kernel's scoring
+// family (scorefn.WIN for WINKernel, scorefn.MED for MEDKernel,
+// scorefn.EfficientMAX for MAXKernel) or nil to keep the current
+// function; a wrong type panics. Join solves the loaded instance;
+// calling it again without an intervening Reset re-solves the same
+// instance and returns the same answer.
+//
+// Ownership: the match.Set returned by Join aliases kernel-owned
+// memory and is valid only until the next Reset or Join on the same
+// kernel. Callers that keep results across calls must Clone them
+// (the engine's top-k heap does exactly that when a document is
+// actually inserted). Kernels are not safe for concurrent use; the
+// intended model is one kernel per worker, built via a factory.
+type Kernel interface {
+	Reset(fn any, lists match.Lists)
+	Join() (match.Set, float64, bool)
+}
+
+// KernelFunc adapts a one-shot best-join function into a Kernel, for
+// plugging custom joiners into kernel-shaped APIs (the engine's
+// KernelFactory, tests). It reuses nothing — each Join simply calls
+// fn — so the returned Set is owned by the caller as with any
+// one-shot function.
+func KernelFunc(fn func(match.Lists) (match.Set, float64, bool)) Kernel {
+	return &funcKernel{fn: fn}
+}
+
+type funcKernel struct {
+	fn    func(match.Lists) (match.Set, float64, bool)
+	lists match.Lists
+}
+
+func (k *funcKernel) Reset(fn any, lists match.Lists) {
+	if fn != nil {
+		k.fn = fn.(func(match.Lists) (match.Set, float64, bool))
+	}
+	k.lists = lists
+}
+
+func (k *funcKernel) Join() (match.Set, float64, bool) { return k.fn(k.lists) }

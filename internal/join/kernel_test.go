@@ -1,0 +1,196 @@
+package join_test
+
+// Differential property tests for the reusable kernels: a kernel run
+// twice on the same instance, or interleaved across instances, must
+// return exactly what the one-shot functions return — any deviation
+// means state leaked across Reset. The file lives in an external test
+// package because it also exercises dedup.Wrap, and dedup imports
+// join.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// kernelCase is one algorithm family under test: its reusable kernel,
+// its one-shot function, and its naive cross-product baseline.
+type kernelCase struct {
+	name   string
+	kernel func() join.Kernel
+	shot   func(match.Lists) (match.Set, float64, bool)
+	naive  func(match.Lists) (match.Set, float64, bool)
+}
+
+func kernelCases() []kernelCase {
+	win := scorefn.ExpWIN{Alpha: 0.1}
+	med := scorefn.ExpMED{Alpha: 0.1}
+	max := scorefn.SumMAX{Alpha: 0.1}
+	return []kernelCase{
+		{
+			name:   "win",
+			kernel: func() join.Kernel { return join.NewWINKernel(win) },
+			shot:   func(ls match.Lists) (match.Set, float64, bool) { return join.WIN(win, ls) },
+			naive:  func(ls match.Lists) (match.Set, float64, bool) { return naive.WIN(win, ls) },
+		},
+		{
+			name:   "med",
+			kernel: func() join.Kernel { return join.NewMEDKernel(med) },
+			shot:   func(ls match.Lists) (match.Set, float64, bool) { return join.MED(med, ls) },
+			naive:  func(ls match.Lists) (match.Set, float64, bool) { return naive.MED(med, ls) },
+		},
+		{
+			name:   "max",
+			kernel: func() join.Kernel { return join.NewMAXKernel(max) },
+			shot:   func(ls match.Lists) (match.Set, float64, bool) { return join.MAX(max, ls) },
+			naive:  func(ls match.Lists) (match.Set, float64, bool) { return naive.MAX(max, ls) },
+		},
+	}
+}
+
+// outcome is one join result frozen for comparison (the set cloned out
+// of any reused buffer).
+type outcome struct {
+	set   match.Set
+	score float64
+	ok    bool
+}
+
+func freeze(set match.Set, score float64, ok bool) outcome {
+	return outcome{set: set.Clone(), score: score, ok: ok}
+}
+
+// mustEqual demands bit-identical outcomes: the kernels evaluate the
+// same float expressions in the same order as the one-shot paths, so
+// even scores must agree exactly, not just within epsilon.
+func mustEqual(t *testing.T, label string, got, want outcome) {
+	t.Helper()
+	if got.ok != want.ok {
+		t.Fatalf("%s: ok=%v, want %v", label, got.ok, want.ok)
+	}
+	if !got.ok {
+		return
+	}
+	if got.score != want.score {
+		t.Fatalf("%s: score %v, want %v", label, got.score, want.score)
+	}
+	if len(got.set) != len(want.set) {
+		t.Fatalf("%s: set size %d, want %d", label, len(got.set), len(want.set))
+	}
+	for j := range want.set {
+		if got.set[j] != want.set[j] {
+			t.Fatalf("%s: set[%d]=%+v, want %+v", label, j, got.set[j], want.set[j])
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand) match.Lists {
+	return randinst.Lists(rng, randinst.Config{
+		Terms:      1 + rng.Intn(4),
+		MaxPerList: 1 + rng.Intn(6),
+		MaxLoc:     40,
+		AllowEmpty: rng.Intn(4) == 0,
+		AllowTies:  rng.Intn(2) == 0,
+	})
+}
+
+// TestKernelReuseMatchesOneShot runs every kernel twice per instance
+// and interleaved across instances (A, B, A again), comparing each run
+// bit-for-bit against the one-shot function and — on ok instances —
+// against the naive cross-product score.
+func TestKernelReuseMatchesOneShot(t *testing.T) {
+	for _, tc := range kernelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			kern := tc.kernel() // one kernel for the whole subtest: reuse is the point
+			var prev match.Lists
+			var prevWant outcome
+			for i := 0; i < 400; i++ {
+				lists := randomInstance(rng)
+				want := freeze(tc.shot(lists))
+
+				kern.Reset(nil, lists)
+				first := freeze(kern.Join())
+				mustEqual(t, "first join", first, want)
+				// Join without Reset re-solves the same instance.
+				second := freeze(kern.Join())
+				mustEqual(t, "repeat join", second, want)
+
+				if want.ok {
+					_, nScore, nOK := tc.naive(lists)
+					if !nOK {
+						t.Fatal("naive baseline found no matchset where the kernel did")
+					}
+					if math.Abs(want.score-nScore) > 1e-9 {
+						t.Fatalf("one-shot score %v vs naive %v", want.score, nScore)
+					}
+				}
+
+				// Interleave: going back to the previous instance must
+				// reproduce its result exactly despite the intervening
+				// solve — the direct test for state leaking across Reset.
+				if prev != nil {
+					kern.Reset(nil, prev)
+					again := freeze(kern.Join())
+					mustEqual(t, "interleaved rerun", again, prevWant)
+				}
+				prev, prevWant = lists, want
+			}
+		})
+	}
+}
+
+// TestDedupKernelMatchesBest compares the kernel-wrapped duplicate
+// avoidance (dedup.Wrap over a reused kernel) against the one-shot
+// dedup.Best over the one-shot join, on tie-heavy instances where
+// duplicates actually occur.
+func TestDedupKernelMatchesBest(t *testing.T) {
+	for _, tc := range kernelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			wrapped := dedup.Wrap(tc.kernel())
+			for i := 0; i < 200; i++ {
+				lists := randinst.Lists(rng, randinst.Config{
+					Terms:      2 + rng.Intn(3),
+					MaxPerList: 1 + rng.Intn(4),
+					MaxLoc:     6, // tight range forces shared locations
+					AllowTies:  true,
+				})
+				ref := dedup.Best(tc.shot, lists)
+				want := outcome{set: ref.Set.Clone(), score: ref.Score, ok: ref.OK}
+
+				wrapped.Reset(nil, lists)
+				got := freeze(wrapped.Join())
+				mustEqual(t, "dedup kernel", got, want)
+				if want.ok && wrapped.Invocations() != ref.Invocations {
+					t.Fatalf("invocations %d, want %d", wrapped.Invocations(), ref.Invocations)
+				}
+				// Reuse on the same instance must be stable too.
+				wrapped.Reset(nil, lists)
+				again := freeze(wrapped.Join())
+				mustEqual(t, "dedup kernel rerun", again, want)
+			}
+		})
+	}
+}
+
+// TestKernelFuncAdapter checks the one-shot adapter honors the Kernel
+// contract: Reset swaps instances, nil fn keeps the function.
+func TestKernelFuncAdapter(t *testing.T) {
+	fn := scorefn.ExpMED{Alpha: 0.1}
+	kern := join.KernelFunc(func(ls match.Lists) (match.Set, float64, bool) { return join.MED(fn, ls) })
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		lists := randomInstance(rng)
+		want := freeze(join.MED(fn, lists))
+		kern.Reset(nil, lists)
+		mustEqual(t, "adapter", freeze(kern.Join()), want)
+	}
+}

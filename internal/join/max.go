@@ -8,59 +8,143 @@ import (
 	"bestjoin/internal/scorefn"
 )
 
-// MAX computes an overall best matchset under a MAX scoring function
+// MAXKernel is the reusable Kernel for MAX scoring functions
 // satisfying the at-most-one-crossing and maximized-at-match
 // properties (Definition 8) — the paper's efficient specialized
-// algorithm of Section V.
+// algorithm of Section V. It owns the per-term dominating-match lists,
+// their match.List projections, the envelope cursors, the contribution
+// closures, the merge cursors, and the candidate/output matchset
+// buffers. See the Kernel interface for the reuse and ownership
+// contract.
+type MAXKernel struct {
+	fn       scorefn.EfficientMAX
+	lists    match.Lists
+	contribs []envelope.Contribution
+	entries  [][]envelope.Entry
+	doms     match.Lists
+	cursors  []envelope.Cursor
+	cand     match.Set
+	out      match.Set
+	merger   match.Merger
+}
+
+// NewMAXKernel returns an empty kernel bound to fn; scratch grows on
+// first use and is reused from then on.
+func NewMAXKernel(fn scorefn.EfficientMAX) *MAXKernel { return &MAXKernel{fn: fn} }
+
+// Reset loads a new instance. fn may be nil to keep the current
+// scoring function, or a scorefn.EfficientMAX to swap it (the
+// kernel's contribution closures read the current function at call
+// time, so no scratch is rebuilt).
+func (k *MAXKernel) Reset(fn any, lists match.Lists) {
+	if fn != nil {
+		k.fn = fn.(scorefn.EfficientMAX)
+	}
+	k.lists = lists
+}
+
+// grow sizes the per-term scratch for q terms. The contribution
+// closure for term j computes c_j(m,l) with dist = |loc(m)−l| against
+// the kernel's current scoring function, exactly as maxContributions
+// builds them for the one-shot path.
+func (k *MAXKernel) grow(q int) {
+	for j := len(k.contribs); j < q; j++ {
+		j := j
+		k.contribs = append(k.contribs, func(m match.Match, l int) float64 {
+			d := m.Loc - l
+			if d < 0 {
+				d = -d
+			}
+			return k.fn.Contribution(j, m.Score, float64(d))
+		})
+	}
+	for len(k.entries) < q {
+		k.entries = append(k.entries, nil)
+	}
+	for len(k.doms) < q {
+		k.doms = append(k.doms, nil)
+	}
+	if cap(k.cursors) < q {
+		k.cursors = make([]envelope.Cursor, q)
+	}
+	k.cursors = k.cursors[:q]
+	if cap(k.cand) < q {
+		k.cand = make(match.Set, q)
+	}
+	k.cand = k.cand[:q]
+	if cap(k.out) < q {
+		k.out = make(match.Set, q)
+	}
+	k.out = k.out[:q]
+}
+
+// Join solves the loaded instance exactly as the one-shot MAX does: it
+// precomputes the dominating match list V_j per term (the same stack
+// precomputation as MED, with the MAX contribution function) and then
+// walks the dominating matches of all V_j's in location order. At each
+// dominating-match location l it assembles the matchset of per-term
+// dominating matches at l and scores it by f(Σj cj(mj,l)). The maximum
+// over those locations is the optimum: by maximized-at-match the best
+// score is attained at a match location of the best matchset, every
+// match of which is dominating there, so that location appears in some
+// V_j; and by Lemma 2 no candidate can exceed f(Σj Sj(lMAX)).
 //
-// It precomputes the dominating match list V_j per term (the same
-// stack precomputation as MED, with the MAX contribution function) and
-// then walks the dominating matches of all V_j's in location order. At
-// each dominating-match location l it assembles the matchset of
-// per-term dominating matches at l and scores it by f(Σj cj(mj,l)).
-// The maximum over those locations is the optimum: by
-// maximized-at-match the best score is attained at a match location of
-// the best matchset, every match of which is dominating there, so that
-// location appears in some V_j; and by Lemma 2 no candidate can exceed
-// f(Σj Sj(lMAX)).
-//
-// Time O(|Q| · Σ|Lj|), space O(Σ|Lj|). ok is false when some list is
-// empty.
-func MAX(fn scorefn.EfficientMAX, lists match.Lists) (best match.Set, score float64, ok bool) {
+// Time O(|Q| · Σ|Lj|), space O(Σ|Lj|) — owned by the kernel and
+// reused. ok is false when some list is empty.
+func (k *MAXKernel) Join() (best match.Set, score float64, ok bool) {
+	lists := k.lists
 	q := len(lists)
 	if !lists.Complete() {
 		return nil, 0, false
 	}
-	cs := maxContributions(fn, q)
-	doms := make(match.Lists, q)
-	cursors := make([]*envelope.Cursor, q)
+	k.grow(q)
 	for j := range lists {
-		v := envelope.Precompute(lists[j], cs[j])
-		doms[j] = envelope.Matches(v)
-		cursors[j] = envelope.NewCursor(j, v, cs[j])
+		k.entries[j] = envelope.PrecomputeInto(k.entries[j][:0], lists[j], k.contribs[j])
+		k.doms[j] = envelope.MatchesInto(k.doms[j], k.entries[j])
+		k.cursors[j].Reset(j, k.entries[j], k.contribs[j])
 	}
-
+	doms := k.doms[:q]
 	bestSum := math.Inf(-1)
-	cand := make(match.Set, q)
-	match.Merge(doms, func(ev match.Event) bool {
+	found := false
+	cand := k.cand
+
+	k.merger.Start(doms)
+	for {
+		ev, more := k.merger.Next(doms)
+		if !more {
+			break
+		}
 		l := ev.M.Loc
 		sum := 0.0
 		for j := range lists {
-			dm, _ := cursors[j].At(l)
+			dm, _ := k.cursors[j].At(l)
 			cand[j] = dm
-			sum += cs[j](dm, l)
+			sum += k.contribs[j](dm, l)
 		}
 		if sum > bestSum {
 			bestSum = sum
-			best = append(best[:0], cand...)
+			copy(k.out, cand)
+			found = true
 		}
-		return true
-	})
+	}
 
-	if best == nil {
+	if !found {
 		return nil, 0, false
 	}
-	return best.Clone(), fn.F(bestSum), true
+	return k.out, k.fn.F(bestSum), true
+}
+
+// MAX computes an overall best matchset under a MAX scoring function
+// satisfying the at-most-one-crossing and maximized-at-match
+// properties (Definition 8) by running a fresh MAXKernel once — the
+// one-shot form for call sites outside the document-at-a-time hot
+// loop. The returned set is owned by the caller.
+//
+// Time O(|Q| · Σ|Lj|), space O(Σ|Lj|). ok is false when some list is
+// empty.
+func MAX(fn scorefn.EfficientMAX, lists match.Lists) (best match.Set, score float64, ok bool) {
+	k := MAXKernel{fn: fn, lists: lists}
+	return k.Join()
 }
 
 // MAXGeneral computes an overall best matchset under any MAX scoring
@@ -100,6 +184,8 @@ func locRange(lists match.Lists) (lo, hi int) {
 	return lo, hi
 }
 
+// maxContributions builds the per-term contribution closures of the
+// general MAX path (MAXGeneral and the by-location variants).
 func maxContributions(fn scorefn.MAX, q int) []envelope.Contribution {
 	cs := make([]envelope.Contribution, q)
 	for j := 0; j < q; j++ {

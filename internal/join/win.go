@@ -24,12 +24,15 @@ type winNode struct {
 	prev *winNode
 }
 
+// toSet materializes the chain ending at n as a freshly allocated
+// q-term matchset (used by the k-best search, which keeps many chains
+// alive at once and so cannot share one output buffer).
 func (n *winNode) toSet(q int) match.Set {
-	s := make(match.Set, q)
-	for ; n != nil; n = n.prev {
-		s[n.term] = n.m
+	out := make(match.Set, q)
+	for c := n; c != nil; c = c.prev {
+		out[c.term] = c.m
 	}
-	return s
+	return out
 }
 
 // winState is the remembered best P-matchset for one subset P: the
@@ -41,16 +44,75 @@ type winState struct {
 	lmin int      // smallest match location in the matchset
 }
 
-// WIN computes an overall best matchset under a WIN scoring function
-// (Algorithm 1). It processes all matches in location order; at each
-// match it updates, for every subset P of query terms containing the
-// match's term, the best partial P-matchset at the current location,
-// justified by the optimal substructure property of f (Definition 3).
+// winChunkSize is the chain-node arena's chunk size. Chunks are never
+// reallocated once handed out, so *winNode pointers into them stay
+// valid as the arena grows.
+const winChunkSize = 512
+
+// winArena is a free-list of winNodes: Algorithm 1 allocates up to
+// 2^(|Q|−1) chain nodes per match, which is the dominant allocation of
+// the one-shot WIN. The arena hands nodes out of fixed-size chunks and
+// rewinds to the first chunk on reset, so a reused kernel recycles the
+// same nodes document after document.
+type winArena struct {
+	chunks [][]winNode
+	chunk  int // index of the chunk currently allocated from
+	used   int // nodes handed out of that chunk
+}
+
+func (a *winArena) reset() { a.chunk, a.used = 0, 0 }
+
+func (a *winArena) alloc(term int, m match.Match, prev *winNode) *winNode {
+	if a.used == winChunkSize {
+		a.chunk++
+		a.used = 0
+	}
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]winNode, winChunkSize))
+	}
+	n := &a.chunks[a.chunk][a.used]
+	a.used++
+	n.term, n.m, n.prev = term, m, prev
+	return n
+}
+
+// WINKernel is the reusable Kernel for WIN scoring functions
+// (Algorithm 1): it owns the 2^|Q| subset-state table, the chain-node
+// arena, the merge cursors, and the output matchset buffer. See the
+// Kernel interface for the reuse and ownership contract.
+type WINKernel struct {
+	fn     scorefn.WIN
+	lists  match.Lists
+	states []winState
+	arena  winArena
+	merger match.Merger
+	out    match.Set
+}
+
+// NewWINKernel returns an empty kernel bound to fn; scratch grows on
+// first use and is reused from then on.
+func NewWINKernel(fn scorefn.WIN) *WINKernel { return &WINKernel{fn: fn} }
+
+// Reset loads a new instance. fn may be nil to keep the current
+// scoring function, or a scorefn.WIN to swap it.
+func (k *WINKernel) Reset(fn any, lists match.Lists) {
+	if fn != nil {
+		k.fn = fn.(scorefn.WIN)
+	}
+	k.lists = lists
+}
+
+// Join solves the loaded instance exactly as the one-shot WIN does: it
+// processes all matches in location order; at each match it updates,
+// for every subset P of query terms containing the match's term, the
+// best partial P-matchset at the current location, justified by the
+// optimal substructure property of f (Definition 3).
 //
-// Time O(2^|Q| · Σ|Lj|), space O(|Q| · 2^|Q|). WIN panics if the query
-// has more than MaxWINTerms terms; ok is false when some list is
-// empty.
-func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok bool) {
+// Time O(2^|Q| · Σ|Lj|), space O(|Q| · 2^|Q|) — owned by the kernel
+// and reused. Join panics if the query has more than MaxWINTerms
+// terms; ok is false when some list is empty.
+func (k *WINKernel) Join() (best match.Set, score float64, ok bool) {
+	lists := k.lists
 	q := len(lists)
 	if q > MaxWINTerms {
 		panic(fmt.Sprintf("join: WIN supports at most %d query terms, got %d", MaxWINTerms, q))
@@ -58,12 +120,25 @@ func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok b
 	if !lists.Complete() {
 		return nil, 0, false
 	}
+	fn := k.fn
 	full := 1<<q - 1
-	states := make([]winState, 1<<q)
+	if cap(k.states) < 1<<q {
+		k.states = make([]winState, 1<<q)
+	} else {
+		k.states = k.states[:1<<q]
+		clear(k.states)
+	}
+	states := k.states
+	k.arena.reset()
 	var bestNode *winNode
 	bestScore := math.Inf(-1)
 
-	match.Merge(lists, func(ev match.Event) bool {
+	k.merger.Start(lists)
+	for {
+		ev, more := k.merger.Next(lists)
+		if !more {
+			break
+		}
 		j, m := ev.Term, ev.M
 		g := fn.G(j, m.Score)
 		l := m.Loc
@@ -79,7 +154,7 @@ func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok b
 			if s == 0 {
 				// P = {q_j}: best single-term matchset at l.
 				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(g, 0) {
-					st.set = &winNode{term: j, m: m}
+					st.set = k.arena.alloc(j, m, nil)
 					st.gsum, st.lmin = g, l
 				}
 			} else if sub := &states[s]; sub.set != nil {
@@ -87,7 +162,7 @@ func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok b
 				// at l) or extend the best (P∖{q_j})-matchset with m.
 				cand := sub.gsum + g
 				if st.set == nil || fn.F(st.gsum, float64(l-st.lmin)) < fn.F(cand, float64(l-sub.lmin)) {
-					st.set = &winNode{term: j, m: m, prev: sub.set}
+					st.set = k.arena.alloc(j, m, sub.set)
 					st.gsum, st.lmin = cand, sub.lmin
 				}
 			}
@@ -103,11 +178,30 @@ func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok b
 				bestNode, bestScore = fs.set, sc
 			}
 		}
-		return true
-	})
+	}
 
 	if bestNode == nil {
 		return nil, 0, false
 	}
-	return bestNode.toSet(q), bestScore, true
+	if cap(k.out) < q {
+		k.out = make(match.Set, q)
+	}
+	k.out = k.out[:q]
+	for n := bestNode; n != nil; n = n.prev {
+		k.out[n.term] = n.m
+	}
+	return k.out, bestScore, true
+}
+
+// WIN computes an overall best matchset under a WIN scoring function
+// (Algorithm 1) by running a fresh WINKernel once — the one-shot form
+// for call sites outside the document-at-a-time hot loop. The returned
+// set is owned by the caller.
+//
+// Time O(2^|Q| · Σ|Lj|), space O(|Q| · 2^|Q|). WIN panics if the query
+// has more than MaxWINTerms terms; ok is false when some list is
+// empty.
+func WIN(fn scorefn.WIN, lists match.Lists) (best match.Set, score float64, ok bool) {
+	k := WINKernel{fn: fn, lists: lists}
+	return k.Join()
 }

@@ -11,6 +11,64 @@ type Event struct {
 	M    Match // the match
 }
 
+// Merger is a reusable k-way merge over match lists. It owns the
+// cursor slice that the package-level Merge allocates per call, so a
+// long-lived worker (a join kernel evaluating one document after
+// another) can walk many instances without per-walk allocation. Start
+// loads an instance and rewinds the cursors; Next then yields events
+// one at a time, which lets callers drive the walk from a plain loop
+// instead of a closure. A Merger is not safe for concurrent use.
+type Merger struct {
+	cursors []int
+}
+
+// Start prepares the merger to walk lists from the beginning, growing
+// the cursor slice only when the instance has more terms than any
+// previous one.
+func (mg *Merger) Start(lists Lists) {
+	if cap(mg.cursors) < len(lists) {
+		mg.cursors = make([]int, len(lists))
+		return
+	}
+	mg.cursors = mg.cursors[:len(lists)]
+	for j := range mg.cursors {
+		mg.cursors[j] = 0
+	}
+}
+
+// Next returns the next match in non-decreasing location order (ties
+// broken by term index, then list position, so the order is
+// deterministic); ok is false when the walk is exhausted.
+func (mg *Merger) Next(lists Lists) (ev Event, ok bool) {
+	best := -1
+	for j, l := range lists {
+		if mg.cursors[j] >= len(l) {
+			continue
+		}
+		if best < 0 || l[mg.cursors[j]].Loc < lists[best][mg.cursors[best]].Loc {
+			best = j
+		}
+	}
+	if best < 0 {
+		return Event{}, false
+	}
+	ev = Event{Term: best, Pos: mg.cursors[best], M: lists[best][mg.cursors[best]]}
+	mg.cursors[best]++
+	return ev, true
+}
+
+// Merge is the callback form of the walk: Start, then Next until the
+// lists are exhausted or fn returns false.
+func (mg *Merger) Merge(lists Lists, fn func(Event) bool) {
+	mg.Start(lists)
+	for {
+		ev, ok := mg.Next(lists)
+		if !ok || !fn(ev) {
+			return
+		}
+	}
+}
+
 // Merge walks all lists in parallel and calls fn for every match in
 // non-decreasing location order. Ties are broken by term index, then
 // by list position, so the order is deterministic. If fn returns
@@ -18,28 +76,11 @@ type Event struct {
 //
 // The walk is the k-way merge underlying Algorithms 1 and 2: it costs
 // O(|Q|·Σ|Lj|) overall, which never dominates the join algorithms'
-// own per-match work.
+// own per-match work. Callers on an allocation-sensitive path should
+// hold a Merger instead, which reuses its cursors across walks.
 func Merge(lists Lists, fn func(Event) bool) {
-	cursors := make([]int, len(lists))
-	for {
-		best := -1
-		for j, l := range lists {
-			if cursors[j] >= len(l) {
-				continue
-			}
-			if best < 0 || l[cursors[j]].Loc < lists[best][cursors[best]].Loc {
-				best = j
-			}
-		}
-		if best < 0 {
-			return
-		}
-		ev := Event{Term: best, Pos: cursors[best], M: lists[best][cursors[best]]}
-		cursors[best]++
-		if !fn(ev) {
-			return
-		}
-	}
+	var mg Merger
+	mg.Merge(lists, fn)
 }
 
 // Merged returns all matches of all lists as a single location-ordered

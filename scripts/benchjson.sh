@@ -1,0 +1,50 @@
+#!/bin/sh
+# Run the engine benchmarks with -benchmem and write BENCH_engine.json:
+# one record per benchmark with ns/op, B/op, and allocs/op. When
+# BENCH_engine.baseline.txt exists (raw `go test -bench` output saved
+# before a performance change), its numbers are embedded as "baseline"
+# so the JSON carries the before/after comparison in one file.
+#
+# Usage: scripts/benchjson.sh [benchtime]   (default 30x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-30x}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench=BenchmarkEngine -benchmem (benchtime=$BENCHTIME) =="
+go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+# Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines to JSON.
+bench_to_json() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        ns = bytes = allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")     ns = $(i - 1)
+            if ($i == "B/op")      bytes = $(i - 1)
+            if ($i == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns == "") next
+        if (out != "") out = out ","
+        out = out sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                          name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    }
+    END { printf "[%s\n  ]", out }
+    ' "$1"
+}
+
+{
+    printf '{\n  "benchmarks": '
+    bench_to_json "$RAW"
+    if [ -f BENCH_engine.baseline.txt ]; then
+        printf ',\n  "baseline": '
+        bench_to_json BENCH_engine.baseline.txt
+    fi
+    printf '\n}\n'
+} > BENCH_engine.json
+
+echo "wrote BENCH_engine.json"

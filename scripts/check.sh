@@ -16,4 +16,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Optional: refresh BENCH_engine.json (slow; off by default so the
+# gate stays fast). Enable with CHECK_BENCH=1 make check.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+    ./scripts/benchjson.sh
+fi
+
 echo "check: OK"
