@@ -1,12 +1,17 @@
 # Convenience targets; `make check` is the gate every change must pass.
 
-.PHONY: check test bench bench-json fuzz
+.PHONY: check test cover bench bench-json fuzz
 
 check:
 	./scripts/check.sh
 
 test:
 	go test ./...
+
+# Per-package statement coverage; scripts/check.sh enforces floors on
+# the engine, scorefn, and index packages.
+cover:
+	go test -count=1 -cover ./...
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -21,4 +26,5 @@ bench-json:
 fuzz:
 	go test -run=Fuzz -fuzz=FuzzDecode -fuzztime=30s ./internal/match/
 	go test -run=Fuzz -fuzz=FuzzDecodePostings -fuzztime=30s ./internal/index/
+	go test -run=Fuzz -fuzz=FuzzDecodeDocMax -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzLoadCompact -fuzztime=30s ./internal/index/

@@ -110,6 +110,77 @@ func BenchmarkEngineColdVsCached(b *testing.B) {
 	})
 }
 
+// engineBenchPruningQuery is a query shaped for max-score pruning:
+// steep score spread inside each concept (1 / 0.5 / 0.25) so
+// candidate documents' score upper bounds vary widely and the top-k
+// floor retires most of the tail without joining it.
+func engineBenchPruningQuery() bestjoin.EngineQuery {
+	return bestjoin.EngineQuery{
+		Concepts: []bestjoin.Concept{
+			{"lenovo": 1, "dell": 0.5, "hewlett": 0.25},
+			{"nba": 1, "olympics": 0.5, "basketball": 0.25},
+		},
+		Join: bestjoin.JoinValidWIN(bestjoin.ExpWIN{Alpha: 0.1}),
+		K:    10,
+	}
+}
+
+// BenchmarkEnginePruning compares the cold query path with pruning on
+// (the default) and off. Both runs produce the identical top-k — the
+// benchmark asserts it once up front — so the delta is pure join work
+// avoided; pruneddocs/op and joins/op make the skip rate visible in
+// BENCH_engine.json.
+func BenchmarkEnginePruning(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchPruningQuery()
+
+	pe := bestjoin.NewEngine(c, bestjoin.EngineConfig{})
+	ue := bestjoin.NewEngine(c, bestjoin.EngineConfig{DisablePruning: true})
+	rp, err := pe.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ru, err := ue.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rp.Docs) != len(ru.Docs) {
+		b.Fatalf("pruned returned %d docs, unpruned %d", len(rp.Docs), len(ru.Docs))
+	}
+	for i := range rp.Docs {
+		if rp.Docs[i].Doc != ru.Docs[i].Doc || rp.Docs[i].Score != ru.Docs[i].Score {
+			b.Fatalf("rank %d differs: pruned (%d, %v) vs unpruned (%d, %v)", i,
+				rp.Docs[i].Doc, rp.Docs[i].Score, ru.Docs[i].Doc, ru.Docs[i].Score)
+		}
+	}
+	if rp.Pruned == 0 {
+		b.Fatal("pruning benchmark query pruned nothing")
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  bestjoin.EngineConfig
+	}{
+		{"pruned", bestjoin.EngineConfig{CacheLists: 1 << 14}},
+		{"unpruned", bestjoin.EngineConfig{CacheLists: 1 << 14, DisablePruning: true}},
+	} {
+		b.Run(mode.name+"/cold", func(b *testing.B) {
+			e := bestjoin.NewEngine(c, mode.cfg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.ResetCache()
+				if _, err := e.Search(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := e.Stats()
+			b.ReportMetric(float64(st.PrunedDocs)/float64(b.N), "pruneddocs/op")
+			b.ReportMetric(float64(st.JoinsRun)/float64(b.N), "joins/op")
+		})
+	}
+}
+
 // BenchmarkEngineWorkers measures worker-pool scaling of the join
 // phase (caches primed, so posting decompression is off the path):
 // 1 worker vs GOMAXPROCS. On a single-core host the second point

@@ -57,6 +57,7 @@ func main() {
 		workers = flag.Int("workers", 0, "join workers per query (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", 0, "match-list cache capacity in entries (0 = default)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
+		noprune = flag.Bool("noprune", false, "disable lossless max-score pruning (baseline mode)")
 		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
@@ -72,7 +73,11 @@ func main() {
 		ix.AddText(d, body)
 	}
 	compact := ix.Compact()
-	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{Workers: *workers, CacheLists: *cache})
+	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{
+		Workers:        *workers,
+		CacheLists:     *cache,
+		DisablePruning: *noprune,
+	})
 	if err := eng.Publish("bestjoin.engine"); err != nil {
 		log.Printf("proxserve: %v", err)
 	}
@@ -218,8 +223,8 @@ func printResult(out *os.File, res *bestjoin.EngineResult) {
 	if res.Partial {
 		state = " [PARTIAL: deadline hit]"
 	}
-	fmt.Fprintf(out, "%d candidates, %d evaluated in %v%s\n",
-		res.Candidates, res.Evaluated, res.Elapsed.Round(time.Microsecond), state)
+	fmt.Fprintf(out, "%d candidates, %d evaluated, %d pruned in %v%s\n",
+		res.Candidates, res.Evaluated, res.Pruned, res.Elapsed.Round(time.Microsecond), state)
 	for rank, d := range res.Docs {
 		fmt.Fprintf(out, "#%d doc %d  score %.4f  matchset %v\n", rank+1, d.Doc, d.Score, d.Set)
 	}

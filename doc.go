@@ -79,9 +79,13 @@
 // query engine — candidate generation, per-document best-joins on a
 // worker pool, a global top-k heap, LRU-cached posting decoding,
 // context deadlines with partial results, and Stats/expvar
-// observability. The implementation lives in internal/engine; see
-// cmd/proxserve for a runnable server and examples/engine for a
-// walkthrough.
+// observability. The engine prunes losslessly by default: candidates
+// whose score upper bound (ScoreUpperBoundWIN/MED/MAX over per-concept
+// maximum match scores) cannot beat the current top-k floor are
+// skipped without joining, with output identical to the exhaustive
+// engine; EngineConfig.DisablePruning turns it off. The implementation
+// lives in internal/engine; see cmd/proxserve for a runnable server
+// and examples/engine for a walkthrough.
 //
 // # From text to match lists
 //

@@ -39,9 +39,17 @@ type Concept = index.Concept
 // worker pool, keeps a global top-k heap, caches decoded match lists
 // in an LRU, honors context deadlines (returning Partial results),
 // and exposes counters and latency histograms via Stats.
+//
+// By default the engine prunes losslessly: candidates whose score
+// upper bound (from per-concept maximum match scores) is strictly
+// below the current top-k floor are skipped without running the join,
+// with output guaranteed identical to the exhaustive engine — see
+// DESIGN.md "Score-upper-bound pruning". Set
+// EngineConfig.DisablePruning for the exhaustive baseline.
 type Engine = engine.Engine
 
-// EngineConfig sizes an Engine: worker count and cache capacities.
+// EngineConfig sizes an Engine: worker count, cache capacities, and
+// the DisablePruning switch (pruning is on by default).
 type EngineConfig = engine.Config
 
 // EngineQuery is one retrieval request: concepts, a joiner, and K.

@@ -1,6 +1,8 @@
 package dedup
 
 import (
+	"math"
+
 	"bestjoin/internal/join"
 	"bestjoin/internal/match"
 )
@@ -57,3 +59,15 @@ func (k *Kernel) Join() (match.Set, float64, bool) {
 // Invocations reports how many times the inner kernel ran during the
 // last Join — the paper's Figure 8 metric.
 func (k *Kernel) Invocations() int { return k.invs }
+
+// ScoreUpperBound forwards to the inner kernel's bound when it has
+// one. Valid (duplicate-free) matchsets are a subset of all matchsets,
+// so the inner kernel's unrestricted cap stays sound for the wrapped
+// join. An inner kernel without bound support yields +Inf, which the
+// engine's floor comparison can never prune on.
+func (k *Kernel) ScoreUpperBound(perListMax []float64) float64 {
+	if ub, ok := k.inner.(join.UpperBounded); ok {
+		return ub.ScoreUpperBound(perListMax)
+	}
+	return math.Inf(1)
+}

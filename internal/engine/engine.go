@@ -23,7 +23,6 @@ package engine
 import (
 	"context"
 	"errors"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sort"
@@ -56,6 +55,12 @@ type Config struct {
 	// CacheConcepts caps the concept → candidate-documents LRU in
 	// entries; ≤ 0 means DefaultCacheConcepts.
 	CacheConcepts int
+	// DisablePruning turns off max-score top-k pruning; the zero
+	// Config prunes (the knob defaults to on). Pruning is lossless —
+	// the differential harness proves pruned and unpruned engines
+	// return identical results — so the switch exists for that harness
+	// and for measuring the pruning win, not for correctness.
+	DisablePruning bool
 }
 
 // Engine answers top-k queries over one compacted index. It is safe
@@ -64,10 +69,20 @@ type Config struct {
 type Engine struct {
 	idx      *index.Compact
 	workers  int
+	prune    bool
 	lists    *lruCache[listKey, match.List]
-	concepts *lruCache[uint64, []int]
+	concepts *lruCache[uint64, conceptEntry]
 	counters counters
 	latency  histogram
+}
+
+// conceptEntry is the cached corpus-wide summary of one concept: the
+// sorted candidate documents and, aligned with them, the maximum match
+// score the concept attains in each — the per-list caps the pruning
+// layer feeds into the kernel's score upper bound.
+type conceptEntry struct {
+	docs  []int
+	maxSc []float64
 }
 
 // listKey identifies one decoded match list: a document and a concept
@@ -91,8 +106,9 @@ func New(idx *index.Compact, cfg Config) *Engine {
 	return &Engine{
 		idx:      idx,
 		workers:  cfg.Workers,
+		prune:    !cfg.DisablePruning,
 		lists:    newLRU[listKey, match.List](cfg.CacheLists),
-		concepts: newLRU[uint64, []int](cfg.CacheConcepts),
+		concepts: newLRU[uint64, conceptEntry](cfg.CacheConcepts),
 	}
 }
 
@@ -167,13 +183,18 @@ type Result struct {
 	// Docs holds the top-k documents, best first.
 	Docs []DocResult
 	// Partial is true when the context expired before every candidate
-	// was evaluated; Docs then ranks only the documents evaluated so
-	// far (the best-so-far answer), not the full corpus.
+	// was evaluated or pruned; Docs then ranks only the documents
+	// evaluated so far (the best-so-far answer), not the full corpus.
+	// Pruned candidates never make a result Partial: pruning is
+	// lossless, so a fully pruned+evaluated query is a complete answer.
 	Partial bool
 	// Candidates is the number of documents containing every concept;
-	// Evaluated is how many of them were actually joined.
+	// Evaluated is how many of them were actually joined; Pruned is
+	// how many were skipped because their score upper bound could not
+	// beat the top-k floor.
 	Candidates int
 	Evaluated  int
+	Pruned     int
 	// Elapsed is the wall-clock time the query took.
 	Elapsed time.Duration
 }
@@ -197,12 +218,13 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	defer func() { e.latency.observe(time.Since(start)) }()
 
 	// Candidate generation: materialize each concept's documents
-	// (cache-assisted) and intersect.
+	// (cache-assisted) and intersect, carrying each concept's
+	// per-document maximum match score alongside the ids.
 	cds := make([]*conceptData, len(q.Concepts))
 	for j, c := range q.Concepts {
 		cds[j] = e.conceptData(c)
 	}
-	candidates := intersect(cds)
+	candidates, perListMax := intersectMax(cds)
 
 	// No candidate contains every concept: the answer is empty and
 	// final, so skip the worker pool entirely.
@@ -211,6 +233,28 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		res.Docs = []DocResult{}
 		res.Elapsed = time.Since(start)
 		return res, nil
+	}
+
+	// Max-score pruning setup: when the query's kernel can cap a
+	// document's score from its per-list maxima, compute every
+	// candidate's upper bound and order candidates by bound,
+	// descending (ties keep ascending document order). Processing the
+	// most promising documents first drives the top-k floor up
+	// quickly, so later, weaker candidates are skipped before their
+	// join — or even before their match lists are assembled.
+	nc := len(cds)
+	var bounds []float64
+	var order []int // candidate indices in dispatch order; nil = as-is
+	if e.prune && perListMax != nil {
+		if ub, ok := q.Join().(join.UpperBounded); ok {
+			bounds = make([]float64, len(candidates))
+			order = make([]int, len(candidates))
+			for i := range candidates {
+				bounds[i] = ub.ScoreUpperBound(perListMax[i*nc : (i+1)*nc])
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
+		}
 	}
 
 	// Sharded worker pool: each worker owns one job channel; documents
@@ -225,7 +269,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		workers = len(candidates)
 	}
 	top := newTopK(k)
-	var evaluated atomic.Int64
+	var evaluated, pruned atomic.Int64
 	chans := make([]chan docJob, workers)
 	var wg sync.WaitGroup
 	for w := range chans {
@@ -238,6 +282,15 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 				// Drain without evaluating once the query is out of
 				// time; those documents count as unevaluated.
 				if ctx.Err() != nil {
+					continue
+				}
+				// Re-screen against the floor: it may have risen since
+				// the dispatcher enqueued this document. Strictly
+				// below only — a bound equal to the floor can still
+				// win its tie-break on document id.
+				if jb.bound < top.Floor() {
+					pruned.Add(1)
+					e.counters.prunedDocs.Add(1)
 					continue
 				}
 				e.counters.docsEvaluated.Add(1)
@@ -254,15 +307,31 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 
 	// One flat backing array for every job's lists header: per-document
 	// jobs slice into it instead of allocating.
-	backing := make(match.Lists, len(candidates)*len(cds))
+	backing := make(match.Lists, len(candidates)*nc)
 dispatch:
-	for i, doc := range candidates {
-		lists := backing[i*len(cds) : (i+1)*len(cds) : (i+1)*len(cds)]
+	for oi := 0; oi < len(candidates); oi++ {
+		i := oi
+		bound := math.Inf(1)
+		if order != nil {
+			i = order[oi]
+			bound = bounds[i]
+			// Screen before assembling lists: a document whose bound
+			// is strictly below the current floor cannot displace any
+			// kept document (the floor only rises), so skipping its
+			// join — and its match-list assembly — loses nothing.
+			if bound < top.Floor() {
+				pruned.Add(1)
+				e.counters.prunedDocs.Add(1)
+				continue
+			}
+		}
+		doc := candidates[i]
+		lists := backing[i*nc : (i+1)*nc : (i+1)*nc]
 		for j, cd := range cds {
 			lists[j] = e.list(cd, doc)
 		}
 		select {
-		case chans[doc%workers] <- docJob{doc: doc, lists: lists}:
+		case chans[doc%workers] <- docJob{doc: doc, bound: bound, lists: lists}:
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -274,7 +343,8 @@ dispatch:
 
 	res.Docs = top.results()
 	res.Evaluated = int(evaluated.Load())
-	res.Partial = res.Evaluated != res.Candidates
+	res.Pruned = int(pruned.Load())
+	res.Partial = res.Evaluated+res.Pruned != res.Candidates
 	if res.Partial {
 		e.counters.partials.Add(1)
 	}
@@ -285,10 +355,12 @@ dispatch:
 	return res, nil
 }
 
-// docJob is one unit of worker work: a candidate document and its
-// assembled join instance.
+// docJob is one unit of worker work: a candidate document, its score
+// upper bound (+Inf when the query has no bound), and its assembled
+// join instance.
 type docJob struct {
 	doc   int
+	bound float64
 	lists match.Lists
 }
 
@@ -296,23 +368,32 @@ type docJob struct {
 type conceptData struct {
 	concept index.Concept
 	fp      uint64
-	docs    []int // sorted ids of documents containing the concept
+	docs    []int     // sorted ids of documents containing the concept
+	maxSc   []float64 // aligned with docs: max match score per document
 	// local holds this query's freshly decoded lists; nil until the
 	// concept has been decoded (cache hits avoid it entirely).
 	local map[int]match.List
 }
 
-// conceptData resolves a concept to its candidate documents, from the
-// concept cache when possible, decoding postings otherwise. Hits and
-// misses land in the concept-cache counters.
+// conceptData resolves a concept to its candidate documents and
+// per-document maxima: from the concept cache when possible, from
+// precomputed index metadata (index.Compact.ConceptMeta) next — which
+// costs a doc-level decode instead of a full posting decode — and by
+// decoding postings otherwise. Hits and misses land in the
+// concept-cache counters.
 func (e *Engine) conceptData(c index.Concept) *conceptData {
-	cd := &conceptData{concept: c, fp: fingerprint(c)}
-	if docs, ok := e.concepts.Get(cd.fp); ok {
+	cd := &conceptData{concept: c, fp: index.ConceptKey(c)}
+	if ce, ok := e.concepts.Get(cd.fp); ok {
 		e.counters.conceptHits.Add(1)
-		cd.docs = docs
+		cd.docs, cd.maxSc = ce.docs, ce.maxSc
 		return cd
 	}
 	e.counters.conceptMisses.Add(1)
+	if docs, maxSc, ok := e.idx.ConceptMeta(c); ok {
+		cd.docs, cd.maxSc = docs, maxSc
+		e.concepts.Put(cd.fp, conceptEntry{docs: docs, maxSc: maxSc})
+		return cd
+	}
 	e.decode(cd)
 	return cd
 }
@@ -362,7 +443,9 @@ func (e *Engine) decode(cd *conceptData) {
 	flat := make(match.List, 0, total)
 	cd.local = make(map[int]match.List)
 	var docs []int
+	var maxs []float64
 	curDoc, begin := -1, 0
+	curMax := math.Inf(-1)
 	flush := func() {
 		if curDoc < 0 {
 			return
@@ -370,8 +453,10 @@ func (e *Engine) decode(cd *conceptData) {
 		l := flat[begin:len(flat):len(flat)]
 		cd.local[curDoc] = l
 		docs = append(docs, curDoc)
+		maxs = append(maxs, curMax)
 		e.lists.Put(listKey{doc: curDoc, fp: cd.fp}, l)
 		begin = len(flat)
+		curMax = math.Inf(-1)
 	}
 	for {
 		min := -1
@@ -400,6 +485,9 @@ func (e *Engine) decode(cd *conceptData) {
 		}
 		// Words of one concept can share a (doc, pos); duplicates are
 		// adjacent in merge order, and the best member-word score wins.
+		if src.score > curMax {
+			curMax = src.score
+		}
 		if n := len(flat); n > begin && flat[n-1].Loc == p.Pos {
 			if src.score > flat[n-1].Score {
 				flat[n-1].Score = src.score
@@ -409,63 +497,64 @@ func (e *Engine) decode(cd *conceptData) {
 		flat = append(flat, match.Match{Loc: p.Pos, Score: src.score})
 	}
 	flush()
-	cd.docs = docs
-	e.concepts.Put(cd.fp, docs)
+	cd.docs, cd.maxSc = docs, maxs
+	e.concepts.Put(cd.fp, conceptEntry{docs: docs, maxSc: maxs})
 }
 
-// fingerprint hashes a concept to a stable 64-bit cache key,
-// independent of map iteration order.
-func fingerprint(c index.Concept) uint64 {
-	words := make([]string, 0, len(c))
-	for w := range c {
-		words = append(words, w)
-	}
-	sort.Strings(words)
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, w := range words {
-		h.Write([]byte(w))
-		h.Write([]byte{0})
-		bits := math.Float64bits(c[w])
-		for i := range buf {
-			buf[i] = byte(bits >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
-
-// intersect returns the documents present in every concept's candidate
-// list, by a k-pointer walk over the sorted lists.
-func intersect(cds []*conceptData) []int {
+// intersectMax returns the documents present in every concept's
+// candidate list by a k-pointer walk over the sorted lists, together
+// with the per-list maximum match scores of every surviving document,
+// flattened document-major: perListMax[i*len(cds)+j] is concept j's
+// maximum score in the i-th candidate. perListMax is nil when any
+// concept lacks maxima.
+func intersectMax(cds []*conceptData) (docs []int, perListMax []float64) {
 	if len(cds) == 0 {
-		return nil
+		return nil, nil
 	}
-	out := cds[0].docs
-	for _, cd := range cds[1:] {
-		out = intersectSorted(out, cd.docs)
-		if len(out) == 0 {
-			return nil
+	withMax := true
+	for _, cd := range cds {
+		if cd.maxSc == nil && len(cd.docs) > 0 {
+			withMax = false
+			break
 		}
 	}
-	// out may alias a cached slice; copy so callers cannot disturb it.
-	return append([]int(nil), out...)
-}
-
-func intersectSorted(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+	ptrs := make([]int, len(cds))
+	i0 := 0
+	first := cds[0].docs
+	for i0 < len(first) {
+		d := first[i0]
+		aligned := true
+		for j := 1; j < len(cds); j++ {
+			dj := cds[j].docs
+			p := ptrs[j]
+			for p < len(dj) && dj[p] < d {
+				p++
+			}
+			ptrs[j] = p
+			if p == len(dj) {
+				return docs, perListMax // some list exhausted: done
+			}
+			if dj[p] != d {
+				// d is missing from list j; fast-forward the first
+				// list to j's current document and restart the row.
+				for i0 < len(first) && first[i0] < dj[p] {
+					i0++
+				}
+				aligned = false
+				break
+			}
 		}
+		if !aligned {
+			continue
+		}
+		docs = append(docs, d)
+		if withMax {
+			perListMax = append(perListMax, cds[0].maxSc[i0])
+			for j := 1; j < len(cds); j++ {
+				perListMax = append(perListMax, cds[j].maxSc[ptrs[j]])
+			}
+		}
+		i0++
 	}
-	return out
+	return docs, perListMax
 }

@@ -318,7 +318,7 @@ func TestFingerprintStableAndDistinct(t *testing.T) {
 	for w, s := range a { // different construction order
 		b[w] = s
 	}
-	if fingerprint(a) != fingerprint(b) {
+	if index.ConceptKey(a) != index.ConceptKey(b) {
 		t.Error("equal concepts fingerprint differently")
 	}
 	for _, other := range []index.Concept{
@@ -326,7 +326,7 @@ func TestFingerprintStableAndDistinct(t *testing.T) {
 		{"alpha": 1, "beta": 0.5, "gamma": 0.26},
 		{"alpha": 1, "beta": 0.5, "delta": 0.25},
 	} {
-		if fingerprint(a) == fingerprint(other) {
+		if index.ConceptKey(a) == index.ConceptKey(other) {
 			t.Errorf("distinct concepts %v and %v collide", a, other)
 		}
 	}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bestjoin/internal/index"
+	"bestjoin/internal/scorefn"
+)
+
+// TestNeverPruneOnEquality engineers an exact tie between a
+// candidate's score upper bound and the top-k floor and checks the
+// candidate still joins. With LinearWIN{Scale: 1} (G(x) = x,
+// F(gsum, w) = gsum − w) every quantity below is an integer-valued
+// float, so the tie is exact, not approximate.
+//
+// Concepts A = {apple: 2, gold: 3} and B = {apple: 2}; K = 2; one
+// worker so the schedule is deterministic.
+//
+//   - docs 8 and 9 are "gold pad apple": per-list maxima (3, 2) give
+//     bound 5; the actual best join puts both concepts on the single
+//     "apple" token (window 0) for score 4 — the bound is slack.
+//   - doc 1 is "apple": maxima (2, 2) give bound 4, and the best join
+//     scores exactly 4 — the bound is tight.
+//
+// The dispatcher visits by bound descending: 8, 9, then 1. After 8
+// and 9 the heap holds {(4, 8), (4, 9)} and the floor is 4 — equal to
+// doc 1's bound. Doc 1 must still be joined: it scores 4 and the
+// score-then-smaller-id tie-break replaces (4, 9), so the correct
+// answer is docs [1, 8]. An engine that pruned on equality (bound <=
+// floor) would skip doc 1 and return [8, 9].
+func TestNeverPruneOnEquality(t *testing.T) {
+	docs := make([]string, 10)
+	for i := range docs {
+		docs[i] = "pad filler"
+	}
+	docs[1] = "apple"
+	docs[8] = "gold pad apple"
+	docs[9] = "gold pad apple"
+	compact := buildCompact(t, docs)
+
+	q := Query{
+		Concepts: []index.Concept{
+			{"apple": 2, "gold": 3},
+			{"apple": 2},
+		},
+		Join: WINJoiner(scorefn.LinearWIN{Scale: 1}),
+		K:    2,
+	}
+	e := New(compact, Config{Workers: 1})
+	res, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 2 {
+		t.Fatalf("got %d docs, want 2: %+v", len(res.Docs), res.Docs)
+	}
+	if res.Docs[0].Doc != 1 || res.Docs[1].Doc != 8 {
+		t.Fatalf("got docs [%d, %d], want [1, 8] — doc 1's bound equals the floor and must not be pruned",
+			res.Docs[0].Doc, res.Docs[1].Doc)
+	}
+	if res.Docs[0].Score != 4 || res.Docs[1].Score != 4 {
+		t.Fatalf("got scores [%v, %v], want [4, 4]", res.Docs[0].Score, res.Docs[1].Score)
+	}
+	// Doc 9 loses only on the doc-id tie-break, never by pruning: its
+	// bound (5) exceeds the final floor.
+	if res.Evaluated != 3 || res.Pruned != 0 {
+		t.Fatalf("Evaluated=%d Pruned=%d, want 3 evaluated and 0 pruned", res.Evaluated, res.Pruned)
+	}
+	if res.Partial {
+		t.Fatal("result marked Partial")
+	}
+}
+
+// TestPruningSkipsDominatedCandidates checks pruning actually fires on
+// a corpus built for it — one strong document and many weak ones — and
+// that the pruned result matches the unpruned engine exactly. Weak
+// documents bound at 1 can never beat the floor of 3 set by the strong
+// document, so with K = 1 all of them must be skipped without a join.
+func TestPruningSkipsDominatedCandidates(t *testing.T) {
+	const weak = 40
+	docs := make([]string, 0, weak+1)
+	docs = append(docs, "gold apple") // doc 0: max score 3 via "gold"
+	for i := 0; i < weak; i++ {
+		docs = append(docs, "apple pad") // bound 1, actual score 1
+	}
+	compact := buildCompact(t, docs)
+
+	q := Query{
+		Concepts: []index.Concept{{"gold": 3, "apple": 1}},
+		Join:     WINJoiner(scorefn.LinearWIN{Scale: 1}),
+		K:        1,
+	}
+
+	pruned := New(compact, Config{Workers: 1})
+	rp, err := pruned.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned := New(compact, Config{Workers: 1, DisablePruning: true})
+	ru, err := unpruned.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rp.Docs) != 1 || rp.Docs[0].Doc != 0 || rp.Docs[0].Score != 3 {
+		t.Fatalf("pruned result wrong: %+v", rp.Docs)
+	}
+	if len(ru.Docs) != 1 || ru.Docs[0].Doc != rp.Docs[0].Doc || ru.Docs[0].Score != rp.Docs[0].Score {
+		t.Fatalf("pruned %+v and unpruned %+v disagree", rp.Docs, ru.Docs)
+	}
+	if rp.Pruned != weak {
+		t.Fatalf("Pruned = %d, want %d (every weak candidate skipped)", rp.Pruned, weak)
+	}
+	if rp.Evaluated != 1 {
+		t.Fatalf("Evaluated = %d, want 1", rp.Evaluated)
+	}
+	if rp.Partial {
+		t.Fatal("pruned candidates must not mark the result Partial")
+	}
+	if ru.Pruned != 0 || ru.Evaluated != weak+1 {
+		t.Fatalf("unpruned engine: Evaluated=%d Pruned=%d", ru.Evaluated, ru.Pruned)
+	}
+
+	st := pruned.Stats()
+	if st.PrunedDocs != weak {
+		t.Fatalf("Stats.PrunedDocs = %d, want %d", st.PrunedDocs, weak)
+	}
+	wantFrac := float64(weak) / float64(weak+1)
+	if st.PrunedFraction != wantFrac {
+		t.Fatalf("Stats.PrunedFraction = %v, want %v", st.PrunedFraction, wantFrac)
+	}
+}
+
+// TestPruningFloorMonotone drives many queries of varying K through
+// one engine and checks the per-query invariant that makes pruning
+// lossless: Evaluated + Pruned always accounts for every candidate,
+// and results never shrink below min(K, candidates).
+func TestPruningFloorMonotone(t *testing.T) {
+	docs := make([]string, 60)
+	for i := range docs {
+		switch i % 4 {
+		case 0:
+			docs[i] = "gold apple pad"
+		case 1:
+			docs[i] = "apple gold"
+		case 2:
+			docs[i] = "apple pad pad"
+		default:
+			docs[i] = "pad gold apple"
+		}
+	}
+	compact := buildCompact(t, docs)
+	e := New(compact, Config{Workers: 3})
+	for k := 1; k <= 8; k++ {
+		q := Query{
+			Concepts: []index.Concept{{"gold": 3, "apple": 1}, {"apple": 2}},
+			Join:     ValidWINJoiner(scorefn.LinearWIN{Scale: 1}),
+			K:        k,
+		}
+		res, err := e.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("k=%d", k)
+		if res.Evaluated+res.Pruned != res.Candidates {
+			t.Fatalf("%s: Evaluated %d + Pruned %d != Candidates %d",
+				label, res.Evaluated, res.Pruned, res.Candidates)
+		}
+		want := k
+		if res.Candidates < want {
+			want = res.Candidates
+		}
+		if len(res.Docs) != want {
+			t.Fatalf("%s: got %d docs, want %d", label, len(res.Docs), want)
+		}
+		if res.Partial {
+			t.Fatalf("%s: unexpectedly Partial", label)
+		}
+	}
+}

@@ -21,6 +21,7 @@ type counters struct {
 	queries       atomic.Uint64
 	docsEvaluated atomic.Uint64
 	joinsRun      atomic.Uint64
+	prunedDocs    atomic.Uint64
 	conceptHits   atomic.Uint64
 	conceptMisses atomic.Uint64
 	listHits      atomic.Uint64
@@ -93,9 +94,15 @@ func (h *histogram) snapshot() LatencyHistogram {
 // surface. All fields are cumulative since the engine was created; the
 // struct marshals to JSON, which is what the expvar bridge publishes.
 type Stats struct {
-	Queries        uint64 // Search calls
-	DocsEvaluated  uint64 // candidate documents handed to the worker pool
-	JoinsRun       uint64 // best-join invocations
+	Queries       uint64 // Search calls
+	DocsEvaluated uint64 // candidate documents actually joined
+	JoinsRun      uint64 // best-join invocations
+	// PrunedDocs counts candidate documents skipped because their
+	// score upper bound was strictly below the top-k floor — joins
+	// that never ran. PrunedFraction is PrunedDocs over all candidates
+	// that reached the prune-or-join decision (0 when none have).
+	PrunedDocs     uint64
+	PrunedFraction float64
 	ConceptHits    uint64 // concept → candidate-documents cache hits
 	ConceptMisses  uint64 // concept cache misses (each re-derives candidates)
 	ListHits       uint64 // (document, concept) match-list cache hits
@@ -111,10 +118,18 @@ type Stats struct {
 // taken during a query may be mid-update by one event; totals are
 // still monotonic.
 func (e *Engine) Stats() Stats {
+	pruned := e.counters.prunedDocs.Load()
+	evaluated := e.counters.docsEvaluated.Load()
+	fraction := 0.0
+	if pruned+evaluated > 0 {
+		fraction = float64(pruned) / float64(pruned+evaluated)
+	}
 	return Stats{
 		Queries:        e.counters.queries.Load(),
-		DocsEvaluated:  e.counters.docsEvaluated.Load(),
+		DocsEvaluated:  evaluated,
 		JoinsRun:       e.counters.joinsRun.Load(),
+		PrunedDocs:     pruned,
+		PrunedFraction: fraction,
 		ConceptHits:    e.counters.conceptHits.Load(),
 		ConceptMisses:  e.counters.conceptMisses.Load(),
 		ListHits:       e.counters.listHits.Load(),

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"container/heap"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bestjoin/internal/match"
 )
@@ -12,14 +14,34 @@ import (
 // min-heap guarded by a mutex, shared by every worker. The heap root
 // is the currently weakest kept document, so most offers from losing
 // documents are rejected after one comparison.
+//
+// The heap also publishes the pruning floor: the k-th best score once
+// k documents are held, -Inf before that. It is stored as float bits
+// in an atomic so the dispatcher and every worker can read it without
+// taking the heap lock; because the kept set only ever improves, the
+// floor is monotonically non-decreasing, which is what makes
+// skip-if-bound-below-floor lossless (a document pruned against
+// today's floor is rejected a fortiori by every later one).
 type topK struct {
-	mu sync.Mutex
-	k  int
-	h  docHeap
+	mu    sync.Mutex
+	k     int
+	h     docHeap
+	floor atomic.Uint64 // math.Float64bits of the current floor
 }
 
 func newTopK(k int) *topK {
-	return &topK{k: k, h: make(docHeap, 0, k)}
+	t := &topK{k: k, h: make(docHeap, 0, k)}
+	t.floor.Store(math.Float64bits(math.Inf(-1)))
+	return t
+}
+
+// Floor returns the current pruning floor: the weakest kept score once
+// the heap is full, -Inf until then. Candidates whose score upper
+// bound is strictly below the floor cannot enter the top-k; equality
+// must never prune, because an equal-scoring document with a smaller
+// id still displaces the weakest kept document.
+func (t *topK) Floor() float64 {
+	return math.Float64frombits(t.floor.Load())
 }
 
 // offer proposes a scored document. Ties are broken toward smaller
@@ -32,12 +54,16 @@ func (t *topK) offer(doc int, score float64, set match.Set) {
 	defer t.mu.Unlock()
 	if len(t.h) < t.k {
 		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: set.Clone()})
+		if len(t.h) == t.k {
+			t.floor.Store(math.Float64bits(t.h[0].Score))
+		}
 		return
 	}
 	worst := t.h[0]
 	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
 		t.h[0] = DocResult{Doc: doc, Score: score, Set: set.Clone()}
 		heap.Fix(&t.h, 0)
+		t.floor.Store(math.Float64bits(t.h[0].Score))
 	}
 }
 

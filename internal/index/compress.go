@@ -133,9 +133,12 @@ func DecodePostings(b []byte) ([]Posting, error) {
 }
 
 // Compact is a read-only compressed index: the same query surface as
-// Index over varint-packed posting lists.
+// Index over varint-packed posting lists, plus optional per-concept
+// max-score metadata (meta.go) registered at build time for lossless
+// top-k pruning.
 type Compact struct {
 	postings map[string][]byte
+	meta     map[uint64][]byte // ConceptKey → EncodeDocMax buffer
 	docs     int
 }
 

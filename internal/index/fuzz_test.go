@@ -51,6 +51,67 @@ func FuzzDecodePostings(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDocMax ensures the concept max-score metadata decode path
+// never panics on arbitrary bytes, that accepted summaries respect the
+// documented invariants (strictly ascending bounded ids, finite
+// scores), and that accepted inputs round-trip. Seeds mirror the
+// MaxLocation bounds style of the PR 1 decode hardening: crafted
+// overflow, NaN, and negative-score buffers.
+func FuzzDecodeDocMax(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeDocMax([]int{0}, []float64{1}))
+	f.Add(EncodeDocMax([]int{2, 9, 4096}, []float64{0.5, -0.25, 1}))
+	// Crafted max-score overflow: a doc delta of MaxUint64 used to be
+	// the int-wrapping shape in postings; the metadata decoder must
+	// bound it the same way.
+	overflow := binary.AppendUvarint(nil, 1)
+	overflow = binary.AppendUvarint(overflow, math.MaxUint64)
+	f.Add(binary.LittleEndian.AppendUint64(overflow, math.Float64bits(1)))
+	// NaN and ±Inf score bits: must be rejected, never stored.
+	nan := binary.AppendUvarint(nil, 1)
+	nan = binary.AppendUvarint(nan, 3)
+	f.Add(binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.NaN())))
+	inf := binary.AppendUvarint(nil, 1)
+	inf = binary.AppendUvarint(inf, 3)
+	f.Add(binary.LittleEndian.AppendUint64(inf, math.Float64bits(math.Inf(-1))))
+	// Negative finite scores are legal and must round-trip.
+	neg := binary.AppendUvarint(nil, 1)
+	neg = binary.AppendUvarint(neg, 0)
+	f.Add(binary.LittleEndian.AppendUint64(neg, math.Float64bits(-0.75)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, scores, err := DecodeDocMax(data)
+		if err != nil {
+			return
+		}
+		if len(docs) != len(scores) {
+			t.Fatalf("decoded %d docs but %d scores", len(docs), len(scores))
+		}
+		for i := range docs {
+			if docs[i] < 0 || docs[i] > MaxDocID {
+				t.Fatalf("doc %d out of range: %d", i, docs[i])
+			}
+			if i > 0 && docs[i] <= docs[i-1] {
+				t.Fatalf("doc ids not strictly ascending at %d: %d then %d", i, docs[i-1], docs[i])
+			}
+			if math.IsNaN(scores[i]) || math.IsInf(scores[i], 0) {
+				t.Fatalf("non-finite score %v accepted at %d", scores[i], i)
+			}
+		}
+		again, scoresAgain, err := DecodeDocMax(EncodeDocMax(docs, scores))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(docs) {
+			t.Fatalf("round trip changed entry count")
+		}
+		for i := range docs {
+			if again[i] != docs[i] || scoresAgain[i] != scores[i] {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}
+
 // FuzzLoadCompact ensures index deserialization never panics.
 func FuzzLoadCompact(f *testing.F) {
 	ix := New()

@@ -1,0 +1,182 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Posting metadata for lossless top-k pruning: for each registered
+// concept, the compacted index keeps a per-document summary — the
+// maximum match score the concept attains in that document — packed as
+// delta-encoded document ids with raw float64 score bits. The engine
+// turns these per-list maxima into score upper bounds (scorefn's
+// UpperBound hooks) and skips best-joins for documents that provably
+// cannot enter the current top-k.
+//
+// Like the posting lists themselves (compress.go), the metadata may
+// arrive from disk or other untrusted storage via Marshal/LoadCompact,
+// so the decode path is bounded the same way: document deltas are
+// capped by MaxDocID before the int conversion can wrap, ids must be
+// strictly ascending, and score bits must decode to a finite float —
+// NaN would poison every bound comparison downstream (NaN < floor is
+// always false, silently disabling pruning) and ±Inf would defeat the
+// point of a cap. Negative finite scores are legal: match scores may
+// be any real (see match.Match).
+//
+// Layout per concept: varint(#docs), then per document
+// varint(docDelta) float64le(maxScore), with ids delta-encoded and the
+// first delta giving the first id directly.
+
+// EncodeDocMax packs a per-document max-score summary. docs must be
+// strictly ascending with len(docs) == len(maxScore); the empty
+// summary encodes to nil.
+func EncodeDocMax(docs []int, maxScore []float64) []byte {
+	if len(docs) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, 1+len(docs)*9)
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	prev := 0
+	for i, d := range docs {
+		buf = binary.AppendUvarint(buf, uint64(d-prev))
+		prev = d
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(maxScore[i]))
+	}
+	return buf
+}
+
+// DecodeDocMax unpacks an EncodeDocMax buffer. Document ids are
+// bounded by MaxDocID and must be strictly ascending; scores must be
+// finite (NaN and ±Inf are rejected as corrupt). Hostile bytes yield
+// an error, never a panic or an out-of-range summary.
+func DecodeDocMax(b []byte) (docs []int, maxScore []float64, err error) {
+	if len(b) == 0 {
+		return nil, nil, nil
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("index: corrupt doc-max header")
+	}
+	b = b[n:]
+	// Each entry costs at least 9 bytes (one delta byte plus the score);
+	// reject counts the buffer cannot hold so corrupt input cannot drive
+	// huge allocations.
+	if count > uint64(len(b))/9 {
+		return nil, nil, fmt.Errorf("index: doc-max count %d exceeds buffer", count)
+	}
+	docs = make([]int, 0, count)
+	maxScore = make([]float64, 0, count)
+	doc := 0
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("index: corrupt doc-max delta")
+		}
+		b = b[n:]
+		// Check the delta before converting: a uvarint above MaxInt64
+		// would wrap int(delta) negative.
+		if delta > MaxDocID {
+			return nil, nil, fmt.Errorf("index: doc-max delta %d exceeds %d", delta, uint64(MaxDocID))
+		}
+		if i > 0 && delta == 0 {
+			return nil, nil, fmt.Errorf("index: doc-max ids not strictly ascending at %d", doc)
+		}
+		doc += int(delta)
+		if doc > MaxDocID {
+			return nil, nil, fmt.Errorf("index: doc-max id %d exceeds %d", doc, int64(MaxDocID))
+		}
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("index: truncated doc-max score")
+		}
+		s := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, nil, fmt.Errorf("index: doc-max score for doc %d is not finite", doc)
+		}
+		docs = append(docs, doc)
+		maxScore = append(maxScore, s)
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("index: %d trailing doc-max bytes", len(b))
+	}
+	return docs, maxScore, nil
+}
+
+// ConceptKey hashes a concept to a stable 64-bit key, independent of
+// map iteration order: the identity under which concept metadata (and
+// the engine's concept caches) are stored.
+func ConceptKey(c Concept) uint64 {
+	words := make([]string, 0, len(c))
+	for w := range c {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		h.Write([]byte(w))
+		h.Write([]byte{0})
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c[w]))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// BuildConceptMeta computes a concept's per-document max-score summary
+// from the compressed postings: for every document containing at least
+// one member word, the highest score among the member words present
+// (the same "best member-word score wins" rule as ConceptList). The
+// result is the encoded metadata buffer.
+func (c *Compact) BuildConceptMeta(concept Concept) []byte {
+	best := map[int]float64{}
+	for word, score := range concept {
+		for _, p := range c.Postings(word) {
+			if s, ok := best[p.Doc]; !ok || score > s {
+				best[p.Doc] = score
+			}
+		}
+	}
+	docs := make([]int, 0, len(best))
+	for d := range best {
+		docs = append(docs, d)
+	}
+	sort.Ints(docs)
+	maxScore := make([]float64, len(docs))
+	for i, d := range docs {
+		maxScore[i] = best[d]
+	}
+	return EncodeDocMax(docs, maxScore)
+}
+
+// AddConceptMeta precomputes and registers a concept's max-score
+// metadata, keyed by ConceptKey. Call it at build time, before the
+// index starts serving queries: Compact is otherwise read-only and
+// concurrent readers do not lock.
+func (c *Compact) AddConceptMeta(concept Concept) {
+	if c.meta == nil {
+		c.meta = make(map[uint64][]byte)
+	}
+	c.meta[ConceptKey(concept)] = c.BuildConceptMeta(concept)
+}
+
+// ConceptMeta returns a concept's registered per-document max-score
+// summary, or ok=false when the concept was never registered. Like
+// Compact.Postings, a decode failure indicates memory corruption
+// (LoadCompact validates every buffer eagerly) and fails loudly.
+func (c *Compact) ConceptMeta(concept Concept) (docs []int, maxScore []float64, ok bool) {
+	b, ok := c.meta[ConceptKey(concept)]
+	if !ok {
+		return nil, nil, false
+	}
+	docs, maxScore, err := DecodeDocMax(b)
+	if err != nil {
+		panic(fmt.Sprintf("index: corrupt concept metadata: %v", err))
+	}
+	return docs, maxScore, true
+}
+
+// ConceptMetaCount returns the number of registered concept summaries.
+func (c *Compact) ConceptMetaCount() int { return len(c.meta) }

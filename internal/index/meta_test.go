@@ -1,0 +1,169 @@
+package index
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestDocMaxRoundTrip(t *testing.T) {
+	cases := []struct {
+		docs   []int
+		scores []float64
+	}{
+		{nil, nil},
+		{[]int{0}, []float64{1}},
+		{[]int{0, 1, 2}, []float64{0.5, 1, 0.25}},
+		{[]int{3, 17, 40000}, []float64{-2.5, 0, 1e300}},
+	}
+	for _, c := range cases {
+		b := EncodeDocMax(c.docs, c.scores)
+		docs, scores, err := DecodeDocMax(b)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", c.docs, err)
+		}
+		if len(docs) != len(c.docs) {
+			t.Fatalf("decode(%v): got %v", c.docs, docs)
+		}
+		for i := range docs {
+			if docs[i] != c.docs[i] || scores[i] != c.scores[i] {
+				t.Fatalf("decode(%v, %v): got (%v, %v)", c.docs, c.scores, docs, scores)
+			}
+		}
+	}
+}
+
+// TestDecodeDocMaxHostile feeds the decoder crafted corruption: delta
+// overflow, non-finite scores, non-ascending ids, huge counts,
+// truncation, and trailing garbage. Every case must error cleanly.
+func TestDecodeDocMaxHostile(t *testing.T) {
+	score := func(v float64) []byte {
+		return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v))
+	}
+	entry := func(delta uint64, v float64) []byte {
+		return append(binary.AppendUvarint(nil, delta), score(v)...)
+	}
+	cases := map[string][]byte{
+		"doc delta wraps int": append(binary.AppendUvarint(nil, 1),
+			entry(math.MaxUint64, 1)...),
+		"doc delta exceeds MaxDocID": append(binary.AppendUvarint(nil, 1),
+			entry(MaxDocID+1, 1)...),
+		"accumulated id exceeds MaxDocID": append(binary.AppendUvarint(nil, 2),
+			append(entry(MaxDocID, 1), entry(1, 1)...)...),
+		"NaN score": append(binary.AppendUvarint(nil, 1),
+			entry(0, math.NaN())...),
+		"+Inf score": append(binary.AppendUvarint(nil, 1),
+			entry(0, math.Inf(1))...),
+		"-Inf score": append(binary.AppendUvarint(nil, 1),
+			entry(0, math.Inf(-1))...),
+		"duplicate id (zero delta)": append(binary.AppendUvarint(nil, 2),
+			append(entry(5, 1), entry(0, 1)...)...),
+		"count exceeds buffer": binary.AppendUvarint(nil, 1<<50),
+		"truncated score": append(binary.AppendUvarint(nil, 1),
+			binary.AppendUvarint(nil, 0)...),
+		"trailing bytes": append(append(binary.AppendUvarint(nil, 1),
+			entry(0, 1)...), 0xff),
+		"empty after header": binary.AppendUvarint(nil, 3),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeDocMax(b); err == nil {
+			t.Errorf("%s: decode accepted hostile bytes % x", name, b)
+		}
+	}
+	// Negative finite scores are legal, not hostile.
+	b := append(binary.AppendUvarint(nil, 1), entry(2, -0.75)...)
+	docs, scores, err := DecodeDocMax(b)
+	if err != nil || docs[0] != 2 || scores[0] != -0.75 {
+		t.Errorf("negative finite score rejected: %v %v %v", docs, scores, err)
+	}
+}
+
+// TestConceptMeta checks that a registered concept's summary matches
+// the best-member-word-wins rule of ConceptList, document by document.
+func TestConceptMeta(t *testing.T) {
+	ix := New()
+	ix.AddText(0, "lenovo makes laptops")
+	ix.AddText(1, "dell and lenovo both make laptops")
+	ix.AddText(2, "nothing relevant here")
+	ix.AddText(3, "dell only")
+	c := ix.Compact()
+	concept := Concept{"lenovo": 1, "dell": 0.5}
+
+	if _, _, ok := c.ConceptMeta(concept); ok {
+		t.Fatal("unregistered concept reported metadata")
+	}
+	c.AddConceptMeta(concept)
+	docs, maxScore, ok := c.ConceptMeta(concept)
+	if !ok {
+		t.Fatal("registered concept reported no metadata")
+	}
+	wantDocs, wantMax := []int{0, 1, 3}, []float64{1, 1, 0.5}
+	if !reflect.DeepEqual(docs, wantDocs) || !reflect.DeepEqual(maxScore, wantMax) {
+		t.Fatalf("meta docs=%v max=%v, want %v %v", docs, maxScore, wantDocs, wantMax)
+	}
+	// The summary must agree with the decoded match lists.
+	for i, d := range docs {
+		list := c.ConceptList(d, concept)
+		best := list[0].Score
+		for _, m := range list {
+			if m.Score > best {
+				best = m.Score
+			}
+		}
+		if best != maxScore[i] {
+			t.Errorf("doc %d: meta max %v, list max %v", d, maxScore[i], best)
+		}
+	}
+	if c.ConceptMetaCount() != 1 {
+		t.Errorf("ConceptMetaCount = %d, want 1", c.ConceptMetaCount())
+	}
+}
+
+// TestConceptMetaPersistence round-trips metadata through
+// Marshal/LoadCompact and confirms pre-metadata buffers still load.
+func TestConceptMetaPersistence(t *testing.T) {
+	ix := New()
+	ix.AddText(0, "alpha beta")
+	ix.AddText(1, "beta gamma")
+	c := ix.Compact()
+	plain := c.Marshal() // no metadata section
+
+	concept := Concept{"alpha": 0.9, "gamma": 0.4}
+	c.AddConceptMeta(concept)
+	withMeta := c.Marshal()
+	if len(withMeta) <= len(plain) {
+		t.Fatal("metadata section did not grow the buffer")
+	}
+
+	loaded, err := LoadCompact(withMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, maxScore, ok := loaded.ConceptMeta(concept)
+	if !ok || !reflect.DeepEqual(docs, []int{0, 1}) || !reflect.DeepEqual(maxScore, []float64{0.9, 0.4}) {
+		t.Fatalf("reloaded meta: ok=%v docs=%v max=%v", ok, docs, maxScore)
+	}
+
+	old, err := LoadCompact(plain)
+	if err != nil {
+		t.Fatalf("pre-metadata buffer rejected: %v", err)
+	}
+	if _, _, ok := old.ConceptMeta(concept); ok {
+		t.Fatal("pre-metadata buffer reported metadata")
+	}
+
+	// Corrupt metadata must fail the load, not query time: a valid
+	// index followed by a meta section whose summary has a NaN score.
+	nanMeta := append(binary.AppendUvarint(nil, 1),
+		append(binary.AppendUvarint(nil, 0),
+			binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN()))...)...)
+	hostile := append([]byte(nil), plain...)
+	hostile = binary.AppendUvarint(hostile, 1)
+	hostile = binary.LittleEndian.AppendUint64(hostile, 12345)
+	hostile = binary.AppendUvarint(hostile, uint64(len(nanMeta)))
+	hostile = append(hostile, nanMeta...)
+	if _, err := LoadCompact(hostile); err == nil {
+		t.Fatal("LoadCompact accepted NaN concept metadata")
+	}
+}

@@ -13,7 +13,11 @@ import (
 // Layout: varint(docs), varint(#terms), then per term (sorted by stem
 // for determinism) varint(len(stem)) stem varint(len(postings))
 // postings — where postings is the already-varint-packed posting
-// buffer of compress.go.
+// buffer of compress.go. When concept max-score metadata is
+// registered (meta.go), a trailing section follows: varint(#concepts),
+// then per concept (sorted by key) uint64le(key) varint(len(meta))
+// meta. A buffer that ends after the terms section simply has no
+// metadata, so pre-metadata buffers still load.
 
 // Marshal serializes the compacted index.
 func (c *Compact) Marshal() []byte {
@@ -30,6 +34,21 @@ func (c *Compact) Marshal() []byte {
 		p := c.postings[s]
 		buf = binary.AppendUvarint(buf, uint64(len(p)))
 		buf = append(buf, p...)
+	}
+	if len(c.meta) == 0 {
+		return buf
+	}
+	keys := make([]uint64, 0, len(c.meta))
+	for k := range c.meta {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		m := c.meta[k]
+		buf = binary.AppendUvarint(buf, uint64(len(m)))
+		buf = append(buf, m...)
 	}
 	return buf
 }
@@ -75,6 +94,40 @@ func LoadCompact(b []byte) (*Compact, error) {
 			return nil, fmt.Errorf("index: invalid postings for %q: %v", stem, err)
 		}
 		c.postings[stem] = postings
+	}
+	if len(b) == 0 {
+		return c, nil // pre-metadata buffer: no concept section
+	}
+	nMeta, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt concept-meta count")
+	}
+	b = b[n:]
+	// Each concept costs at least 9 bytes (8-byte key, length byte).
+	if nMeta > uint64(len(b))/9 {
+		return nil, fmt.Errorf("index: concept-meta count %d exceeds buffer", nMeta)
+	}
+	c.meta = make(map[uint64][]byte, nMeta)
+	for i := uint64(0); i < nMeta; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("index: truncated concept-meta key %d", i)
+		}
+		key := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		mlen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < mlen {
+			return nil, fmt.Errorf("index: corrupt concept meta %d", i)
+		}
+		b = b[n:]
+		meta := make([]byte, mlen)
+		copy(meta, b[:mlen])
+		b = b[mlen:]
+		// Validate eagerly, like postings: ConceptMeta treats decode
+		// failure as memory corruption and panics.
+		if _, _, err := DecodeDocMax(meta); err != nil {
+			return nil, fmt.Errorf("index: invalid concept meta %d: %v", i, err)
+		}
+		c.meta[key] = meta
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("index: %d trailing bytes", len(b))

@@ -1,0 +1,46 @@
+package join
+
+import "bestjoin/internal/scorefn"
+
+// UpperBounded is the optional kernel capability behind the engine's
+// lossless top-k pruning: a kernel that can cap, from per-list maximum
+// match scores alone, the score any matchset of a document could
+// attain under its current scoring function. The engine probes a
+// query's kernel for this interface; when present (and pruning is
+// enabled) it skips the join for every candidate document whose cap is
+// strictly below the current top-k floor.
+//
+// Contract: for any instance whose list maxima are perListMax,
+// ScoreUpperBound must be ≥ the score Join would return — including
+// under restrictions that only shrink the feasible matchset space,
+// such as the duplicate-avoidance wrapper. Never-prune-on-equality is
+// the engine's side of the bargain; the kernel's bound only has to
+// dominate, not to be tight.
+type UpperBounded interface {
+	ScoreUpperBound(perListMax []float64) float64
+}
+
+// ScoreUpperBound caps the WIN score of any matchset drawn from lists
+// with the given per-list maxima (scorefn.UpperBoundWIN under the
+// kernel's current scoring function).
+func (k *WINKernel) ScoreUpperBound(perListMax []float64) float64 {
+	return scorefn.UpperBoundWIN(k.fn, perListMax)
+}
+
+// ScoreUpperBound caps the MED score of any matchset drawn from lists
+// with the given per-list maxima.
+func (k *MEDKernel) ScoreUpperBound(perListMax []float64) float64 {
+	return scorefn.UpperBoundMED(k.fn, perListMax)
+}
+
+// ScoreUpperBound caps the MAX score of any matchset drawn from lists
+// with the given per-list maxima.
+func (k *MAXKernel) ScoreUpperBound(perListMax []float64) float64 {
+	return scorefn.UpperBoundMAX(k.fn, perListMax)
+}
+
+var (
+	_ UpperBounded = (*WINKernel)(nil)
+	_ UpperBounded = (*MEDKernel)(nil)
+	_ UpperBounded = (*MAXKernel)(nil)
+)

@@ -1,0 +1,67 @@
+package scorefn
+
+// Score upper bounds: for each family, the highest score any matchset
+// drawn from lists with the given per-list maximum match scores could
+// possibly attain. The proximity term is capped at its best case — a
+// zero-length window for WIN, zero distance to the median for MED,
+// zero distance to the reference location for MAX — and every match
+// score at its list's maximum, so the bound dominates every concrete
+// matchset by the families' own monotonicity contracts (Definitions 3,
+// 5 and 7). These are the per-document score caps that make
+// threshold-style top-k pruning (Fagin et al.'s TA) lossless: a
+// document whose bound is strictly below the current top-k floor can
+// be skipped without ever running its best-join.
+//
+// Soundness per family, for any matchset M with score(m_j) ≤ max_j:
+//
+//   - WIN: every g_j is increasing, so Σ g_j(score(m_j)) ≤ Σ g_j(max_j);
+//     f is increasing in the g-total and decreasing in the window, and
+//     window(M) ≥ 0, hence score(M) ≤ f(Σ g_j(max_j), 0).
+//   - MED: each contribution g_j(score(m_j)) − |loc(m_j) − median(M)|
+//     is at most g_j(max_j); f is increasing.
+//   - MAX: c_j is increasing in score and decreasing in distance, so
+//     c_j(m_j, l) ≤ c_j(max_j, 0) for every reference location l — the
+//     bound dominates the supremum over all locations, not just the
+//     match locations, so it is sound for general MAX functions too.
+//
+// The bounds are tight at zero proximity penalty: a matchset whose
+// matches all carry their list's maximum score and share one location
+// scores exactly the bound (every floating-point operation is applied
+// to identical inputs in identical order). CheckUpperBoundWIN/MED/MAX
+// probe the domination property on randomized instances.
+
+// UpperBound is the engine-facing shape of the hooks below: a
+// per-document score cap computed from the per-list maximum match
+// scores of one candidate document.
+type UpperBound func(perListMax []float64) float64
+
+// UpperBoundWIN returns the WIN score cap f(Σ g_j(max_j), 0): the best
+// possible transformed-score total combined with a zero-length window.
+func UpperBoundWIN(fn WIN, perListMax []float64) float64 {
+	gsum := 0.0
+	for j, m := range perListMax {
+		gsum += fn.G(j, m)
+	}
+	return fn.F(gsum, 0)
+}
+
+// UpperBoundMED returns the MED score cap f(Σ g_j(max_j)): every match
+// at its list's maximum score sitting exactly on the median.
+func UpperBoundMED(fn MED, perListMax []float64) float64 {
+	total := 0.0
+	for j, m := range perListMax {
+		total += fn.G(j, m)
+	}
+	return fn.F(total)
+}
+
+// UpperBoundMAX returns the MAX score cap f(Σ c_j(max_j, 0)): every
+// match at its list's maximum score sitting exactly on the reference
+// location.
+func UpperBoundMAX(fn MAX, perListMax []float64) float64 {
+	total := 0.0
+	for j, m := range perListMax {
+		total += fn.Contribution(j, m, 0)
+	}
+	return fn.F(total)
+}

@@ -1,0 +1,163 @@
+// Upper-bound contract tests (external test package so they can
+// cross-check against internal/naive, which itself imports scorefn):
+// for each family and both concrete instances — exponential decay and
+// linear — the bound computed from per-list maxima must dominate the
+// true best-join score of every enumerable instance, and must be
+// attained exactly when the proximity penalty is zero.
+package scorefn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/match"
+	"bestjoin/internal/naive"
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// perListMax extracts the maximum match score of each list — the
+// quantity the engine's pruning layer feeds into the bounds.
+func perListMax(lists match.Lists) []float64 {
+	out := make([]float64, len(lists))
+	for j, l := range lists {
+		out[j] = l[0].Score
+		for _, m := range l {
+			if m.Score > out[j] {
+				out[j] = m.Score
+			}
+		}
+	}
+	return out
+}
+
+// randLists draws a random complete instance with 1–4 matches per
+// list, ties allowed (shared locations are exactly the zero-penalty
+// regime the bounds must stay sound in).
+func randLists(rng *rand.Rand, terms int) match.Lists {
+	return randinst.Lists(rng, randinst.Config{
+		Terms: terms, MaxPerList: 4, MaxLoc: 40, AllowTies: true,
+	})
+}
+
+func TestUpperBoundWINDominatesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fns := []scorefn.WIN{scorefn.ExpWIN{Alpha: 0.1}, scorefn.LinearWIN{Scale: 0.3}}
+	for trial := 0; trial < 400; trial++ {
+		fn := fns[trial%len(fns)]
+		lists := randLists(rng, 1+rng.Intn(3))
+		best, score, ok := naive.WIN(fn, lists)
+		if !ok {
+			t.Fatal("naive found no matchset on a complete instance")
+		}
+		if bound := scorefn.UpperBoundWIN(fn, perListMax(lists)); score > bound {
+			t.Fatalf("trial %d: naive WIN score %v exceeds bound %v (best %v, lists %v)",
+				trial, score, bound, best, lists)
+		}
+	}
+}
+
+func TestUpperBoundMEDDominatesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fns := []scorefn.MED{scorefn.ExpMED{Alpha: 0.1}, scorefn.LinearMED{Scale: 0.3}}
+	for trial := 0; trial < 400; trial++ {
+		fn := fns[trial%len(fns)]
+		lists := randLists(rng, 1+rng.Intn(3))
+		best, score, ok := naive.MED(fn, lists)
+		if !ok {
+			t.Fatal("naive found no matchset on a complete instance")
+		}
+		if bound := scorefn.UpperBoundMED(fn, perListMax(lists)); score > bound {
+			t.Fatalf("trial %d: naive MED score %v exceeds bound %v (best %v, lists %v)",
+				trial, score, bound, best, lists)
+		}
+	}
+}
+
+func TestUpperBoundMAXDominatesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fns := []scorefn.MAX{scorefn.SumMAX{Alpha: 0.1}, scorefn.ProdMAX{Alpha: 0.1}}
+	for trial := 0; trial < 400; trial++ {
+		fn := fns[trial%len(fns)]
+		lists := randLists(rng, 1+rng.Intn(3))
+		best, score, ok := naive.MAX(fn, lists)
+		if !ok {
+			t.Fatal("naive found no matchset on a complete instance")
+		}
+		if bound := scorefn.UpperBoundMAX(fn, perListMax(lists)); score > bound {
+			t.Fatalf("trial %d: naive MAX score %v exceeds bound %v (best %v, lists %v)",
+				trial, score, bound, best, lists)
+		}
+	}
+}
+
+// TestUpperBoundTightAtZeroPenalty plants every list's maximum at one
+// shared location: the best join then pays no proximity penalty, so
+// the bound must be achieved exactly (not merely approached).
+func TestUpperBoundTightAtZeroPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		terms := 1 + rng.Intn(3)
+		shared := 5 + rng.Intn(20)
+		lists := make(match.Lists, terms)
+		maxima := make([]float64, terms)
+		for j := range lists {
+			maxima[j] = 0.5 + rng.Float64()/2
+			lists[j] = match.List{{Loc: shared, Score: maxima[j]}}
+			// Extra strictly weaker matches elsewhere must not matter.
+			for e := rng.Intn(3); e > 0; e-- {
+				lists[j] = append(lists[j], match.Match{Loc: shared + 1 + rng.Intn(10), Score: maxima[j] / 2})
+			}
+			lists[j].Sort()
+		}
+		winFn := scorefn.ExpWIN{Alpha: 0.1}
+		if _, score, _ := naive.WIN(winFn, lists); score != scorefn.UpperBoundWIN(winFn, maxima) {
+			t.Fatalf("trial %d: WIN bound not tight: best %v, bound %v",
+				trial, score, scorefn.UpperBoundWIN(winFn, maxima))
+		}
+		medFn := scorefn.LinearMED{Scale: 0.3}
+		if _, score, _ := naive.MED(medFn, lists); score != scorefn.UpperBoundMED(medFn, maxima) {
+			t.Fatalf("trial %d: MED bound not tight: best %v, bound %v",
+				trial, score, scorefn.UpperBoundMED(medFn, maxima))
+		}
+		maxFn := scorefn.SumMAX{Alpha: 0.1}
+		if _, score, _ := naive.MAX(maxFn, lists); score != scorefn.UpperBoundMAX(maxFn, maxima) {
+			t.Fatalf("trial %d: MAX bound not tight: best %v, bound %v",
+				trial, score, scorefn.UpperBoundMAX(maxFn, maxima))
+		}
+	}
+}
+
+// TestCheckUpperBound runs the in-package contract checkers over every
+// concrete instance, including the per-term weighted wrappers.
+func TestCheckUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	weights := []float64{1.5, 0.5, 2}
+	for _, fn := range []scorefn.WIN{
+		scorefn.ExpWIN{Alpha: 0.1},
+		scorefn.LinearWIN{Scale: 0.3},
+		scorefn.WeightedWIN{Base: scorefn.LinearWIN{Scale: 0.3}, Weights: weights},
+	} {
+		if err := scorefn.CheckUpperBoundWIN(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+	for _, fn := range []scorefn.MED{
+		scorefn.ExpMED{Alpha: 0.1},
+		scorefn.LinearMED{Scale: 0.3},
+		scorefn.WeightedMED{Base: scorefn.LinearMED{Scale: 0.3}, Weights: weights},
+	} {
+		if err := scorefn.CheckUpperBoundMED(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+	for _, fn := range []scorefn.MAX{
+		scorefn.SumMAX{Alpha: 0.1},
+		scorefn.ProdMAX{Alpha: 0.1},
+		scorefn.MEDAsMAX{MED: scorefn.LinearMED{Scale: 0.3}},
+	} {
+		if err := scorefn.CheckUpperBoundMAX(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package scorefn
 import (
 	"fmt"
 	"math/rand"
+
+	"bestjoin/internal/match"
 )
 
 // CheckWIN probes a WIN scoring function against the Definition 3
@@ -109,6 +111,95 @@ func CheckAtMostOneCrossing(fn MAX, terms int, n int, lo, hi int, rng *rand.Rand
 		}
 		if changes > 1 {
 			return fmt.Errorf("scorefn: contributions of (%v@%d) and (%v@%d) cross %d times", s1, l1, s2, l2, changes)
+		}
+	}
+	return nil
+}
+
+// CheckUpperBoundWIN probes the score-upper-bound contract of a WIN
+// scoring function on n randomized enumerable instances: for every
+// matchset of a small random instance, ScoreWIN must not exceed
+// UpperBoundWIN of the per-list maxima; and a matchset carrying every
+// list's maximum score at one shared location must score exactly the
+// bound (tightness at zero proximity penalty). It returns the first
+// violation found, or nil.
+func CheckUpperBoundWIN(fn WIN, terms int, n int, rng *rand.Rand) error {
+	return checkUpperBound(terms, n, rng,
+		func(maxima []float64) float64 { return UpperBoundWIN(fn, maxima) },
+		func(s match.Set) float64 { return ScoreWIN(fn, s) },
+		"WIN")
+}
+
+// CheckUpperBoundMED is CheckUpperBoundWIN for the MED family.
+func CheckUpperBoundMED(fn MED, terms int, n int, rng *rand.Rand) error {
+	return checkUpperBound(terms, n, rng,
+		func(maxima []float64) float64 { return UpperBoundMED(fn, maxima) },
+		func(s match.Set) float64 { return ScoreMED(fn, s) },
+		"MED")
+}
+
+// CheckUpperBoundMAX is CheckUpperBoundWIN for the MAX family
+// (maximized-at-match evaluation, the regime the join algorithms and
+// the engine operate in).
+func CheckUpperBoundMAX(fn MAX, terms int, n int, rng *rand.Rand) error {
+	return checkUpperBound(terms, n, rng,
+		func(maxima []float64) float64 { return UpperBoundMAX(fn, maxima) },
+		func(s match.Set) float64 { v, _ := ScoreMAX(fn, s); return v },
+		"MAX")
+}
+
+// checkUpperBound enumerates the cross product of small random match
+// lists and verifies bound domination plus zero-penalty tightness.
+func checkUpperBound(terms, n int, rng *rand.Rand,
+	bound func([]float64) float64, score func(match.Set) float64, family string) error {
+	for i := 0; i < n; i++ {
+		// Random instance: 1–3 matches per list, locations in [0, 30).
+		lists := make([]match.List, terms)
+		maxima := make([]float64, terms)
+		for j := range lists {
+			m := 1 + rng.Intn(3)
+			for k := 0; k < m; k++ {
+				lists[j] = append(lists[j], match.Match{Loc: rng.Intn(30), Score: randScore(rng)})
+			}
+			lists[j].Sort()
+			maxima[j] = lists[j][0].Score
+			for _, mm := range lists[j] {
+				if mm.Score > maxima[j] {
+					maxima[j] = mm.Score
+				}
+			}
+		}
+		b := bound(maxima)
+		// Domination over the full cross product.
+		idx := make([]int, terms)
+		set := make(match.Set, terms)
+		for {
+			for j := range set {
+				set[j] = lists[j][idx[j]]
+			}
+			if v := score(set); v > b {
+				return fmt.Errorf("scorefn: %s upper bound %v below matchset score %v for %v", family, b, v, set)
+			}
+			j := terms - 1
+			for ; j >= 0; j-- {
+				idx[j]++
+				if idx[j] < len(lists[j]) {
+					break
+				}
+				idx[j] = 0
+			}
+			if j < 0 {
+				break
+			}
+		}
+		// Tightness: all maxima at one shared location scores the bound.
+		tight := make(match.Set, terms)
+		loc := rng.Intn(30)
+		for j := range tight {
+			tight[j] = match.Match{Loc: loc, Score: maxima[j]}
+		}
+		if v := score(tight); v != b {
+			return fmt.Errorf("scorefn: %s upper bound %v not tight at zero proximity penalty (got %v)", family, b, v)
 		}
 	}
 	return nil

@@ -18,20 +18,27 @@ echo "== go test -bench=BenchmarkEngine -benchmem (benchtime=$BENCHTIME) =="
 go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines to JSON.
+# Custom b.ReportMetric units (pruneddocs/op, joins/op from the
+# pruning benchmark) ride along when present.
 bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = ""
+        ns = bytes = allocs = pruned = joins = ""
         for (i = 2; i <= NF; i++) {
-            if ($i == "ns/op")     ns = $(i - 1)
-            if ($i == "B/op")      bytes = $(i - 1)
-            if ($i == "allocs/op") allocs = $(i - 1)
+            if ($i == "ns/op")          ns = $(i - 1)
+            if ($i == "B/op")           bytes = $(i - 1)
+            if ($i == "allocs/op")      allocs = $(i - 1)
+            if ($i == "pruneddocs/op")  pruned = $(i - 1)
+            if ($i == "joins/op")       joins = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
-        out = out sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                          name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+        rec = sprintf("\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s",
+                      name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+        if (pruned != "") rec = rec sprintf(", \"pruneddocs_per_op\": %s", pruned)
+        if (joins != "")  rec = rec sprintf(", \"joins_per_op\": %s", joins)
+        out = out rec "}"
     }
     END { printf "[%s\n  ]", out }
     ' "$1"

@@ -16,6 +16,32 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Coverage gate: the packages carrying the pruning machinery must not
+# silently lose test coverage. Floors are set a few points below the
+# measured values at the time each floor was recorded (engine 94.9%,
+# scorefn 91.8%, index 94.3%); raise them when coverage rises.
+echo "== coverage floors =="
+check_cover() {
+    pkg="$1"
+    floor="$2"
+    pct="$(go test -count=1 -cover "$pkg" | awk '{
+        for (i = 1; i <= NF; i++)
+            if ($i == "coverage:") { sub(/%$/, "", $(i + 1)); print $(i + 1) }
+    }')"
+    if [ -z "$pct" ]; then
+        echo "coverage: no figure reported for $pkg" >&2
+        exit 1
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage: $pkg at ${pct}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "coverage: $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/engine/  90.0
+check_cover ./internal/scorefn/ 87.0
+check_cover ./internal/index/   90.0
+
 # Optional: refresh BENCH_engine.json (slow; off by default so the
 # gate stays fast). Enable with CHECK_BENCH=1 make check.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then
