@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate every change must pass.
 
-.PHONY: check test cover bench bench-json fuzz
+.PHONY: check test cover bench bench-json fuzz chaos
 
 check:
 	./scripts/check.sh
@@ -28,3 +28,12 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzDecodePostings -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzDecodeDocMax -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzLoadCompact -fuzztime=30s ./internal/index/
+	go test -run=Fuzz -fuzz=FuzzLoadFile -fuzztime=30s ./internal/index/
+
+# Fault-injection chaos suite: the faultinject build tag arms the
+# injection sites, and -race proves the recovery paths (kernel
+# rebuild, degraded decode, cache repopulation) are data-race-free.
+# scripts/check.sh runs this too; the target exists for quick local
+# iteration on the fault-tolerance layer.
+chaos:
+	go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/

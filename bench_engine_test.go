@@ -9,11 +9,13 @@ package bestjoin_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -207,6 +209,43 @@ func BenchmarkEngineWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineAdmission measures admission control under
+// saturation: parallel goroutines hammer a cached engine capped at
+// MaxInFlight=2 with the shed policy, so most arrivals take the
+// rejection fast path. ns/op blends admitted and shed queries;
+// shed/op records the rejection rate so BENCH_engine.json shows what
+// load shedding costs (a channel try-send) and how much it triggers.
+func BenchmarkEngineAdmission(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	e := bestjoin.NewEngine(c, bestjoin.EngineConfig{
+		CacheLists:  1 << 14,
+		MaxInFlight: 2,
+		Overload:    bestjoin.OverloadShed,
+	})
+	if _, err := e.Search(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	var unexpected atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4) // 4×GOMAXPROCS goroutines: saturation even on small hosts
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, err := e.Search(context.Background(), q)
+			if err != nil && !errors.Is(err, bestjoin.ErrOverloaded) {
+				unexpected.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := unexpected.Load(); n > 0 {
+		b.Fatalf("%d queries failed with an error other than ErrOverloaded", n)
+	}
+	st := e.Stats()
+	b.ReportMetric(float64(st.Shed)/float64(b.N), "shed/op")
 }
 
 // TestEnginePublicAPI drives the whole public engine surface once:

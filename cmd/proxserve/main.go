@@ -20,6 +20,19 @@
 // Every query runs under -timeout; queries that exceed it return their
 // best-so-far answer marked partial.
 //
+// The server is built to stay up under abuse and partial failure:
+// every HTTP timeout is set (slow-loris connections are cut), request
+// bodies are capped, and -max-inflight bounds concurrently admitted
+// queries — at the cap the engine queues briefly or, with -shed, fails
+// fast, and either way an overloaded query maps to HTTP 429 with a
+// Retry-After header rather than unbounded latency.
+//
+// With -index the server loads a checksummed index file written by
+// -save (or CompactIndex.SaveFile) instead of indexing a corpus, and
+// SIGHUP hot-reloads that file: in-flight queries finish on the old
+// index, new queries see the new one, and a corrupt or torn file is
+// rejected — the server keeps serving the index it already has.
+//
 // In HTTP mode the server shuts down gracefully on SIGINT or SIGTERM:
 // the listener closes immediately and in-flight requests get up to
 // -drain to finish; a second signal kills the process at once.
@@ -61,22 +74,28 @@ func main() {
 		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
+
+		inflight = flag.Int("max-inflight", 64, "maximum concurrently admitted queries (0 = unlimited)")
+		shed     = flag.Bool("shed", false, "at the in-flight cap, shed queries immediately instead of queueing")
+		idxPath  = flag.String("index", "", "serve this saved index file instead of indexing a corpus (SIGHUP reloads it)")
+		savePath = flag.String("save", "", "after indexing, save the checksummed index to this path")
 	)
 	flag.Parse()
 
-	corpus, err := loadCorpus(flag.Args(), *synth)
+	compact, err := buildIndex(flag.Args(), *synth, *idxPath, *savePath)
 	if err != nil {
 		log.Fatalf("proxserve: %v", err)
 	}
-	ix := bestjoin.NewIndex()
-	for d, body := range corpus {
-		ix.AddText(d, body)
+	overload := bestjoin.OverloadBlock
+	if *shed {
+		overload = bestjoin.OverloadShed
 	}
-	compact := ix.Compact()
 	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{
 		Workers:        *workers,
 		CacheLists:     *cache,
 		DisablePruning: *noprune,
+		MaxInFlight:    *inflight,
+		Overload:       overload,
 	})
 	if err := eng.Publish("bestjoin.engine"); err != nil {
 		log.Printf("proxserve: %v", err)
@@ -94,13 +113,101 @@ func main() {
 	if *httpad != "" {
 		http.HandleFunc("/query", srv.handleQuery)
 		http.HandleFunc("/stats", srv.handleStats)
+		if *idxPath != "" {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go watchReload(hup, func() error {
+				c, err := bestjoin.LoadCompactIndexFile(*idxPath)
+				if err != nil {
+					return err
+				}
+				eng.SwapIndex(c)
+				return nil
+			})
+		}
 		fmt.Printf("serving on %s (try /query?terms=lenovo,nba,partnership and /debug/vars)\n", *httpad)
-		if err := runServer(&http.Server{Addr: *httpad}, nil, *drain); err != nil {
+		if err := runServer(newHTTPServer(*httpad, nil), nil, *drain); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	srv.repl(os.Stdin, os.Stdout)
+}
+
+// buildIndex resolves the -index/-save/corpus flags into a compacted
+// index: a saved index file when -index is given, otherwise the corpus
+// (files, synthetic, or embedded demo), optionally persisted with
+// crash-safe SaveFile semantics when -save is given.
+func buildIndex(files []string, synth int, idxPath, savePath string) (*bestjoin.CompactIndex, error) {
+	if idxPath != "" {
+		return bestjoin.LoadCompactIndexFile(idxPath)
+	}
+	corpus, err := loadCorpus(files, synth)
+	if err != nil {
+		return nil, err
+	}
+	ix := bestjoin.NewIndex()
+	for d, body := range corpus {
+		ix.AddText(d, body)
+	}
+	compact := ix.Compact()
+	if savePath != "" {
+		if err := compact.SaveFile(savePath); err != nil {
+			return nil, err
+		}
+	}
+	return compact, nil
+}
+
+// watchReload applies reload for every signal on ch — the SIGHUP
+// hot-reload loop. A failed reload (missing, torn, or corrupt index
+// file) is logged and otherwise ignored: the server keeps serving the
+// index it already has, because a stale answer beats no answer.
+func watchReload(ch <-chan os.Signal, reload func() error) {
+	for range ch {
+		if err := reload(); err != nil {
+			log.Printf("proxserve: reload failed, keeping current index: %v", err)
+			continue
+		}
+		log.Printf("proxserve: index reloaded")
+	}
+}
+
+// maxBodyBytes caps HTTP request bodies. The API is GET-shaped, so any
+// sizeable body is either a mistake or an attack; 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// newHTTPServer wraps the handler (nil = http.DefaultServeMux) in the
+// server hardening layer: every timeout set, so slow-loris headers,
+// dribbled bodies, stalled response reads, and idle keep-alive
+// connections all get cut, and request bodies are capped.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	if h == nil {
+		h = http.DefaultServeMux
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           limitBody(h),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// limitBody rejects requests whose declared body exceeds maxBodyBytes
+// with 413 up front and caps undeclared (chunked) bodies with
+// http.MaxBytesReader, so no handler can be made to buffer an
+// unbounded body.
+func limitBody(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.ContentLength > maxBodyBytes {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		h.ServeHTTP(w, r)
+	})
 }
 
 // runServer serves hs until it fails or the process receives SIGINT or
@@ -250,6 +357,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.query(terms, k)
 	if err != nil {
+		// Overload is the client's cue to back off and retry, not a bad
+		// request: 429 plus Retry-After, the contract load balancers and
+		// well-behaved clients already understand.
+		if errors.Is(err, bestjoin.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "engine overloaded, retry later", http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,7 +9,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -168,5 +171,199 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	// The port must be closed once runServer returns.
 	if _, err := http.Get("http://" + ln.Addr().String() + "/slow"); err == nil {
 		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestNewHTTPServerTimeouts pins the server hardening contract: every
+// timeout set, so no connection class can hold the server forever.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	hs := newHTTPServer("127.0.0.1:0", nil)
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-loris headers hold connections forever")
+	}
+	if hs.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: dribbled bodies hold connections forever")
+	}
+	if hs.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset: stalled readers hold connections forever")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alives hold connections forever")
+	}
+	if hs.Handler == nil {
+		t.Error("nil handler not defaulted")
+	}
+}
+
+// TestLimitBody pins both body caps: a declared oversize body is
+// rejected up front with 413, and an undeclared (chunked) oversize
+// body is cut mid-read by MaxBytesReader.
+func TestLimitBody(t *testing.T) {
+	var readErr error
+	h := limitBody(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, readErr = io.Copy(io.Discard, r.Body)
+	}))
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/query", strings.NewReader("x"))
+	req.ContentLength = maxBodyBytes + 1
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("declared oversize body: status %d, want 413", rec.Code)
+	}
+
+	readErr = nil
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/query", strings.NewReader(strings.Repeat("a", maxBodyBytes+16)))
+	req.ContentLength = -1 // chunked: length unknown up front
+	h.ServeHTTP(rec, req)
+	if readErr == nil {
+		t.Error("oversize chunked body read to completion; MaxBytesReader did not cut it")
+	}
+}
+
+// TestHandleQueryOverloaded drives the admission-control path end to
+// end: with MaxInFlight=1 and the shed policy, a query arriving while
+// the only slot is blocked inside a kernel gets HTTP 429 with
+// Retry-After — and once the slot frees, the same query succeeds.
+func TestHandleQueryOverloaded(t *testing.T) {
+	s := demoServer(t)
+	ix := bestjoin.NewIndex()
+	for d, body := range demoCorpus {
+		ix.AddText(d, body)
+	}
+	s.eng = bestjoin.NewEngine(ix.Compact(), bestjoin.EngineConfig{
+		Workers:     1,
+		MaxInFlight: 1,
+		Overload:    bestjoin.OverloadShed,
+	})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blocking := bestjoin.KernelFactory(func() bestjoin.JoinKernel {
+		return bestjoin.JoinKernelFunc(func(ls bestjoin.MatchLists) (bestjoin.Matchset, float64, bool) {
+			once.Do(func() { close(entered) })
+			<-release
+			return nil, 0, false
+		})
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.eng.Search(context.Background(), bestjoin.EngineQuery{
+			Concepts: []bestjoin.Concept{{"lenovo": 1}},
+			Join:     blocking,
+			K:        1,
+		})
+	}()
+	<-entered
+
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("GET", "/query?terms=lenovo", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded engine: status %d, want 429 (body %q)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	if st := s.eng.Stats(); st.Shed == 0 {
+		t.Error("shed query not counted in Stats().Shed")
+	}
+
+	close(release)
+	<-done
+	rec = httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("GET", "/query?terms=lenovo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after slot freed: status %d, want 200 (body %q)", rec.Code, rec.Body)
+	}
+}
+
+// TestWatchReload pins the hot-reload loop: every signal triggers one
+// reload attempt, a failing reload does not stop the loop, and closing
+// the channel ends it.
+func TestWatchReload(t *testing.T) {
+	ch := make(chan os.Signal)
+	attempted := make(chan int)
+	calls := 0
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		watchReload(ch, func() error {
+			calls++
+			attempted <- calls
+			if calls == 2 {
+				return fmt.Errorf("simulated corrupt index")
+			}
+			return nil
+		})
+	}()
+	for i := 1; i <= 3; i++ {
+		ch <- syscall.SIGHUP
+		if got := <-attempted; got != i {
+			t.Fatalf("reload attempt %d recorded as %d", i, got)
+		}
+	}
+	close(ch)
+	select {
+	case <-finished:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchReload did not exit when the signal channel closed")
+	}
+}
+
+// TestBuildIndexAndReloadSwap covers the -save/-index/SIGHUP pipeline
+// without a process: save an index, serve it, fail a reload on corrupt
+// bytes (old index stays live), then reload a new version.
+func TestBuildIndexAndReloadSwap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.idx")
+
+	ix := bestjoin.NewIndex()
+	ix.AddText(0, "alpha beta gamma")
+	if err := ix.Compact().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	compact, err := buildIndex(nil, 0, path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{Workers: 1})
+	reload := func() error {
+		c, err := bestjoin.LoadCompactIndexFile(path)
+		if err != nil {
+			return err
+		}
+		eng.SwapIndex(c)
+		return nil
+	}
+
+	// Corrupt file on disk: reload must fail and keep the old index.
+	if err := os.WriteFile(path, []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := reload(); err == nil {
+		t.Fatal("reload of corrupt index file succeeded")
+	}
+	if eng.Index().Docs() != 1 {
+		t.Fatalf("old index lost after failed reload: %d docs", eng.Index().Docs())
+	}
+
+	// New version on disk: reload must swap it in.
+	ix2 := bestjoin.NewIndex()
+	ix2.AddText(0, "alpha beta")
+	ix2.AddText(1, "gamma delta")
+	if err := ix2.Compact().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reload(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Index().Docs() != 2 {
+		t.Fatalf("reload did not swap: %d docs, want 2", eng.Index().Docs())
+	}
+	if st := eng.Stats(); st.IndexReloads != 1 {
+		t.Errorf("IndexReloads = %d, want 1", st.IndexReloads)
 	}
 }

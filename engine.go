@@ -25,8 +25,19 @@ type CompactIndex = index.Compact
 
 // LoadCompactIndex deserializes a CompactIndex.Marshal buffer,
 // validating every posting list eagerly so corrupt or adversarial
-// bytes fail here rather than at query time.
+// bytes fail here rather than at query time. Both the framed
+// (checksummed) and the pre-framing legacy layout are accepted.
 func LoadCompactIndex(b []byte) (*CompactIndex, error) { return index.LoadCompact(b) }
+
+// ErrCorruptIndex tags every corruption error from index loading —
+// bad magic, truncation, checksum mismatch, or invalid postings.
+// Test with errors.Is.
+var ErrCorruptIndex = index.ErrCorrupt
+
+// LoadCompactIndexFile reads and verifies an index file written by
+// CompactIndex.SaveFile. Truncated or bit-rotted files fail with an
+// error wrapping ErrCorruptIndex; they are never served as query data.
+func LoadCompactIndexFile(path string) (*CompactIndex, error) { return index.LoadFile(path) }
 
 // Concept is a scored disjunction of words: the specific terms whose
 // inverted lists together form the match list of one general query
@@ -48,9 +59,32 @@ type Concept = index.Concept
 // EngineConfig.DisablePruning for the exhaustive baseline.
 type Engine = engine.Engine
 
-// EngineConfig sizes an Engine: worker count, cache capacities, and
-// the DisablePruning switch (pruning is on by default).
+// The engine degrades instead of dying under partial failure: kernel
+// panics are isolated to single documents (Result.Degraded),
+// MaxInFlight admission control bounds concurrency (ErrOverloaded),
+// and SwapIndex hot-reloads the live index without draining queries.
+// See DESIGN.md "Failure model & graceful degradation".
+
+// EngineConfig sizes an Engine: worker count, cache capacities, the
+// DisablePruning switch (pruning is on by default), and the admission
+// control knobs MaxInFlight and Overload.
 type EngineConfig = engine.Config
+
+// ErrOverloaded is returned by Engine.Search when admission control
+// rejects the query; servers should map it to a retryable status.
+var ErrOverloaded = engine.ErrOverloaded
+
+// OverloadPolicy selects what Search does at the MaxInFlight cap:
+// block until the caller's context expires, or shed immediately.
+type OverloadPolicy = engine.OverloadPolicy
+
+const (
+	// OverloadBlock waits for a free slot until the query's context is
+	// done (the default policy).
+	OverloadBlock = engine.OverloadBlock
+	// OverloadShed fails fast with ErrOverloaded, never queueing.
+	OverloadShed = engine.OverloadShed
+)
 
 // EngineQuery is one retrieval request: concepts, a joiner, and K.
 type EngineQuery = engine.Query

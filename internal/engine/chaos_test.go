@@ -1,0 +1,236 @@
+//go:build faultinject
+
+package engine
+
+// Chaos differential harness: only compiled with -tags faultinject
+// (`make chaos` runs it under -race). Deterministic faults — kernel
+// panics, corrupt-decode panics, decode latency, cache-miss storms —
+// are injected into live queries, and every outcome is held to the
+// fault-tolerance contract:
+//
+//   - no query ever returns an error or crashes the process;
+//   - a non-degraded, non-partial result is bitwise identical to the
+//     fault-free baseline;
+//   - a degraded result is a sound subset of the baseline's full
+//     ranking — documents may be dropped, never mis-scored;
+//   - the engine is fully healthy again once injection stops.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bestjoin/internal/faultinject"
+	"bestjoin/internal/scorefn"
+)
+
+// chaosFaults enumerates the injected fault profiles of the matrix.
+func chaosFaults() []struct {
+	name string
+	cfg  faultinject.Config
+} {
+	return []struct {
+		name string
+		cfg  faultinject.Config
+	}{
+		{"kernel-panic", faultinject.Config{
+			Rates: map[faultinject.Site]float64{faultinject.KernelJoin: 0.3},
+		}},
+		{"decode-corrupt", faultinject.Config{
+			Rates: map[faultinject.Site]float64{faultinject.ConceptDecode: 0.5},
+		}},
+		{"latency", faultinject.Config{
+			Rates:   map[faultinject.Site]float64{faultinject.DecodeLatency: 1},
+			Latency: 200 * time.Microsecond,
+		}},
+		{"cache-miss-storm", faultinject.Config{
+			Rates: map[faultinject.Site]float64{
+				faultinject.ListCacheMiss:    1,
+				faultinject.ConceptCacheMiss: 1,
+			},
+		}},
+		{"everything-at-once", faultinject.Config{
+			Rates: map[faultinject.Site]float64{
+				faultinject.KernelJoin:       0.2,
+				faultinject.ConceptDecode:    0.2,
+				faultinject.DecodeLatency:    0.5,
+				faultinject.ListCacheMiss:    0.3,
+				faultinject.ConceptCacheMiss: 0.3,
+			},
+			Latency: 100 * time.Microsecond,
+		}},
+	}
+}
+
+// TestChaosDifferential is the core of the harness: the full fault ×
+// worker-count × pruning matrix, three seeds and three queries per
+// cell (cold then cached paths), each outcome checked against the
+// fault-free baseline.
+func TestChaosDifferential(t *testing.T) {
+	c := buildCompact(t, testCorpus(120, 41))
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	const k = 8
+	baseline := bruteForce(c, testConcepts(), jn, k)
+	fullRanking := bruteForce(c, testConcepts(), jn, c.Docs())
+
+	for _, fault := range chaosFaults() {
+		for _, workers := range []int{1, 4} {
+			for _, noprune := range []bool{false, true} {
+				label := fmt.Sprintf("%s/workers=%d/noprune=%v", fault.name, workers, noprune)
+				t.Run(label, func(t *testing.T) {
+					e := New(c, Config{Workers: workers, DisablePruning: noprune})
+					for seed := int64(1); seed <= 3; seed++ {
+						cfg := fault.cfg
+						cfg.Seed = seed
+						faultinject.Activate(cfg)
+						for round := 0; round < 3; round++ {
+							res, err := e.Search(context.Background(),
+								Query{Concepts: testConcepts(), Join: jn, K: k})
+							if err != nil {
+								t.Fatalf("seed %d round %d: injected faults must never error: %v", seed, round, err)
+							}
+							if res.Partial {
+								t.Fatalf("seed %d round %d: no deadline set, yet Partial: %+v", seed, round, res)
+							}
+							if res.Degraded {
+								assertSoundSubset(t, label, res.Docs, fullRanking)
+								if res.Failed == 0 && res.Candidates > 0 {
+									t.Fatalf("seed %d round %d: Degraded with zero Failed and %d candidates",
+										seed, round, res.Candidates)
+								}
+							} else {
+								if len(res.Docs) != len(baseline) {
+									t.Fatalf("seed %d round %d: non-degraded result has %d docs, baseline %d",
+										seed, round, len(res.Docs), len(baseline))
+								}
+								for i := range baseline {
+									g, w := res.Docs[i], baseline[i]
+									if g.Doc != w.Doc || g.Score != w.Score {
+										t.Fatalf("seed %d round %d rank %d: got doc %d score %v, baseline doc %d score %v",
+											seed, round, i, g.Doc, g.Score, w.Doc, w.Score)
+									}
+								}
+							}
+						}
+						faultinject.Deactivate()
+					}
+
+					// Injection off: the engine must be fully healthy, its
+					// caches unpoisoned by whatever just happened.
+					res, err := e.Search(context.Background(),
+						Query{Concepts: testConcepts(), Join: jn, K: k})
+					if err != nil || res.Degraded || res.Partial {
+						t.Fatalf("engine unhealthy after chaos: %v %+v", err, res)
+					}
+					if len(res.Docs) != len(baseline) {
+						t.Fatalf("post-chaos result has %d docs, baseline %d", len(res.Docs), len(baseline))
+					}
+					for i := range baseline {
+						if res.Docs[i].Doc != baseline[i].Doc || res.Docs[i].Score != baseline[i].Score {
+							t.Fatalf("post-chaos rank %d: %+v, baseline %+v", i, res.Docs[i], baseline[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosCountersMatchInjections ties the observability surface to
+// the injection registry: every injected kernel panic shows up in
+// Stats().JoinPanics, every injected decode panic in DecodeFailures.
+func TestChaosCountersMatchInjections(t *testing.T) {
+	c := buildCompact(t, testCorpus(100, 43))
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	e := New(c, Config{Workers: 2})
+	faultinject.Activate(faultinject.Config{
+		Seed: 7,
+		Rates: map[faultinject.Site]float64{
+			faultinject.KernelJoin:    0.4,
+			faultinject.ConceptDecode: 0.3,
+		},
+	})
+	for round := 0; round < 4; round++ {
+		if _, err := e.Search(context.Background(),
+			Query{Concepts: testConcepts(), Join: jn, K: 5}); err != nil {
+			t.Fatal(err)
+		}
+		e.ResetCache() // force fresh decodes so ConceptDecode keeps firing
+	}
+	kernelFired := faultinject.Fired(faultinject.KernelJoin)
+	decodeFired := faultinject.Fired(faultinject.ConceptDecode)
+	faultinject.Deactivate()
+	st := e.Stats()
+	if kernelFired == 0 || decodeFired == 0 {
+		t.Fatalf("injection did not fire: kernel %d, decode %d — rates or seed too timid", kernelFired, decodeFired)
+	}
+	if st.JoinPanics != kernelFired {
+		t.Errorf("Stats().JoinPanics = %d, injected %d", st.JoinPanics, kernelFired)
+	}
+	if st.DecodeFailures != decodeFired {
+		t.Errorf("Stats().DecodeFailures = %d, injected %d", st.DecodeFailures, decodeFired)
+	}
+	if st.DegradedResults == 0 {
+		t.Error("no query counted as degraded despite recovered faults")
+	}
+}
+
+// TestChaosConcurrentQueries runs the everything-at-once profile from
+// many goroutines at once; under `make chaos` this executes with -race,
+// so it proves the recovery paths (kernel rebuild, cd.failed, cache
+// repopulation) are data-race-free, not just crash-free.
+func TestChaosConcurrentQueries(t *testing.T) {
+	c := buildCompact(t, testCorpus(100, 47))
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	e := New(c, Config{Workers: 4, MaxInFlight: 6})
+	fullRanking := bruteForce(c, testConcepts(), jn, c.Docs())
+	faultinject.Activate(faultinject.Config{
+		Seed: 11,
+		Rates: map[faultinject.Site]float64{
+			faultinject.KernelJoin:       0.2,
+			faultinject.ConceptDecode:    0.1,
+			faultinject.DecodeLatency:    0.5,
+			faultinject.ListCacheMiss:    0.3,
+			faultinject.ConceptCacheMiss: 0.3,
+		},
+		Latency: 50 * time.Microsecond,
+	})
+	defer faultinject.Deactivate()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*6)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				res, err := e.Search(context.Background(),
+					Query{Concepts: testConcepts(), Join: jn, K: 5})
+				if err != nil {
+					errs <- fmt.Errorf("round %d: %v", round, err)
+					return
+				}
+				for _, d := range res.Docs {
+					found := false
+					for _, w := range fullRanking {
+						if w.Doc == d.Doc && w.Score == d.Score {
+							found = true
+							break
+						}
+					}
+					if !found {
+						errs <- fmt.Errorf("round %d: doc %d score %v not in healthy ranking", round, d.Doc, d.Score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -18,11 +18,32 @@
 // KernelFactory, each worker builds one kernel from it and reuses that
 // kernel's scratch for every candidate document it evaluates, so the
 // cached query path performs almost no per-document allocation.
+//
+// The engine is built to degrade, not die, under partial failure
+// (DESIGN.md "Failure model & graceful degradation"):
+//
+//   - Panic isolation: kernels run user-supplied scoring closures, so
+//     every kernel invocation is wrapped in recover(). A panicking
+//     join poisons only that kernel — the worker discards it, rebuilds
+//     one from the query's factory, drops that single document, and
+//     the query completes with Result.Degraded set instead of taking
+//     the process down. Recovered panics are counted in
+//     Stats().JoinPanics.
+//   - Admission control: Config.MaxInFlight bounds concurrently
+//     admitted queries; at the cap, Search either waits for a slot
+//     until the context expires (OverloadBlock) or fails fast
+//     (OverloadShed), returning ErrOverloaded either way. Shed load is
+//     counted in Stats().Shed.
+//   - Hot index swap: SwapIndex atomically replaces the live index;
+//     in-flight queries finish on the snapshot they started with, and
+//     the caches are epoch-keyed so a swap can never serve stale
+//     entries to new queries.
 package engine
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -31,6 +52,7 @@ import (
 	"time"
 
 	"bestjoin/internal/dedup"
+	"bestjoin/internal/faultinject"
 	"bestjoin/internal/index"
 	"bestjoin/internal/join"
 	"bestjoin/internal/match"
@@ -42,6 +64,29 @@ const (
 	DefaultK             = 10
 	DefaultCacheLists    = 4096
 	DefaultCacheConcepts = 256
+	DefaultQueueDepth    = 64
+)
+
+// ErrOverloaded is returned by Search when admission control rejects
+// the query: the engine is at Config.MaxInFlight and either the policy
+// is OverloadShed or the context expired while waiting for a slot.
+// Servers should map it to a retryable status (HTTP 429 + Retry-After)
+// rather than an internal error.
+var ErrOverloaded = errors.New("engine: overloaded")
+
+// OverloadPolicy selects what Search does when Config.MaxInFlight
+// queries are already in flight.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock (the default) waits for a slot until the query's
+	// context is done, then returns ErrOverloaded. Callers get
+	// backpressure shaped by their own deadlines.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed fails fast with ErrOverloaded, never queueing.
+	// Under sustained overload this keeps latency flat for the queries
+	// that are admitted.
+	OverloadShed
 )
 
 // Config sizes the engine.
@@ -61,19 +106,42 @@ type Config struct {
 	// return identical results — so the switch exists for that harness
 	// and for measuring the pruning win, not for correctness.
 	DisablePruning bool
+	// MaxInFlight caps concurrently admitted queries; ≤ 0 means
+	// unlimited (no admission control).
+	MaxInFlight int
+	// Overload picks the behavior at the MaxInFlight cap:
+	// OverloadBlock (zero value) or OverloadShed.
+	Overload OverloadPolicy
+	// QueueDepth caps each worker's candidate job queue; ≤ 0 means
+	// DefaultQueueDepth. Smaller queues bound the dispatcher's
+	// lead over the workers (and the memory pinned by assembled match
+	// lists); they never change results.
+	QueueDepth int
 }
 
 // Engine answers top-k queries over one compacted index. It is safe
-// for concurrent use; all mutable state is the two caches and the
-// stats counters, each with its own synchronization.
+// for concurrent use; all mutable state is the snapshot pointer, the
+// two caches, and the stats counters, each with its own
+// synchronization.
 type Engine struct {
-	idx      *index.Compact
+	snap     atomic.Pointer[snapshot]
 	workers  int
 	prune    bool
+	queue    int
+	sem      chan struct{} // admission semaphore; nil = unlimited
+	shed     bool          // true = OverloadShed
 	lists    *lruCache[listKey, match.List]
-	concepts *lruCache[uint64, conceptEntry]
+	concepts *lruCache[conceptKey, conceptEntry]
 	counters counters
 	latency  histogram
+}
+
+// snapshot pairs a live index with its reload epoch. Queries load one
+// snapshot at admission and use it throughout, so SwapIndex never
+// mixes two indexes inside one query.
+type snapshot struct {
+	idx   *index.Compact
+	epoch uint64
 }
 
 // conceptEntry is the cached corpus-wide summary of one concept: the
@@ -85,11 +153,20 @@ type conceptEntry struct {
 	maxSc []float64
 }
 
-// listKey identifies one decoded match list: a document and a concept
-// fingerprint.
+// conceptKey identifies one cached concept summary under one index
+// epoch: entries cached against a swapped-out index are unreachable
+// by construction.
+type conceptKey struct {
+	epoch uint64
+	fp    uint64
+}
+
+// listKey identifies one decoded match list: an index epoch, a
+// document, and a concept fingerprint.
 type listKey struct {
-	doc int
-	fp  uint64
+	epoch uint64
+	doc   int
+	fp    uint64
 }
 
 // New builds an engine over a compacted index.
@@ -103,14 +180,40 @@ func New(idx *index.Compact, cfg Config) *Engine {
 	if cfg.CacheConcepts <= 0 {
 		cfg.CacheConcepts = DefaultCacheConcepts
 	}
-	return &Engine{
-		idx:      idx,
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	e := &Engine{
 		workers:  cfg.Workers,
 		prune:    !cfg.DisablePruning,
+		queue:    cfg.QueueDepth,
+		shed:     cfg.Overload == OverloadShed,
 		lists:    newLRU[listKey, match.List](cfg.CacheLists),
-		concepts: newLRU[uint64, conceptEntry](cfg.CacheConcepts),
+		concepts: newLRU[conceptKey, conceptEntry](cfg.CacheConcepts),
 	}
+	if cfg.MaxInFlight > 0 {
+		e.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	e.snap.Store(&snapshot{idx: idx})
+	return e
 }
+
+// SwapIndex atomically replaces the engine's live index — the
+// hot-reload path (proxserve triggers it on SIGHUP). Queries already
+// in flight finish on the snapshot they started with; queries admitted
+// after the swap see only the new index, because the caches are keyed
+// by reload epoch (stale entries age out of the LRUs, and both caches
+// are dropped eagerly to give the new index the full capacity).
+func (e *Engine) SwapIndex(idx *index.Compact) {
+	old := e.snap.Load()
+	e.snap.Store(&snapshot{idx: idx, epoch: old.epoch + 1})
+	e.counters.indexReloads.Add(1)
+	e.lists.Reset()
+	e.concepts.Reset()
+}
+
+// Index returns the engine's current live index.
+func (e *Engine) Index() *index.Compact { return e.snap.Load().idx }
 
 // ResetCache drops both caches, restoring the cold-query path.
 // Benchmarks use it to compare cold and cached latency.
@@ -188,20 +291,50 @@ type Result struct {
 	// Pruned candidates never make a result Partial: pruning is
 	// lossless, so a fully pruned+evaluated query is a complete answer.
 	Partial bool
+	// Degraded is true when part of the query's work failed and was
+	// isolated — a kernel panicked on some document, or a concept's
+	// postings could not be decoded. Every document in Docs still
+	// carries its true score (failed documents are dropped, never
+	// mis-scored), so a degraded answer is a sound subset of the
+	// healthy answer; Failed counts the dropped candidates.
+	Degraded bool
 	// Candidates is the number of documents containing every concept;
 	// Evaluated is how many of them were actually joined; Pruned is
 	// how many were skipped because their score upper bound could not
-	// beat the top-k floor.
+	// beat the top-k floor; Failed is how many were dropped by
+	// recovered faults.
 	Candidates int
 	Evaluated  int
 	Pruned     int
+	Failed     int
 	// Elapsed is the wall-clock time the query took.
 	Elapsed time.Duration
 }
 
+// queryState is the per-query fault and cancellation context threaded
+// through candidate generation and the worker pool. degraded and
+// failed are touched by workers concurrently; cancelled only by the
+// dispatcher goroutine.
+type queryState struct {
+	ctx       context.Context
+	idx       *index.Compact
+	epoch     uint64
+	cancelled bool
+	degraded  atomic.Bool
+	failed    atomic.Int64
+}
+
+// fail records one candidate document dropped by a recovered fault.
+func (qs *queryState) fail() {
+	qs.failed.Add(1)
+	qs.degraded.Store(true)
+}
+
 // Search evaluates the query document-at-a-time. It returns an error
-// only for malformed queries; a context deadline or cancellation
-// instead yields the best-so-far Result with Partial set.
+// for malformed queries and for admission rejection (ErrOverloaded); a
+// context deadline or cancellation instead yields the best-so-far
+// Result with Partial set, and recovered faults yield a Result with
+// Degraded set — never a panic escaping to the caller.
 func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	if len(q.Concepts) == 0 {
 		return nil, errors.New("engine: query has no concepts")
@@ -213,26 +346,57 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	if k <= 0 {
 		k = DefaultK
 	}
+
+	// Admission control: at the in-flight cap, shed immediately or
+	// wait until the caller's context gives up.
+	if e.sem != nil {
+		if e.shed {
+			select {
+			case e.sem <- struct{}{}:
+			default:
+				e.counters.shed.Add(1)
+				return nil, ErrOverloaded
+			}
+		} else {
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				e.counters.shed.Add(1)
+				return nil, fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+			}
+		}
+		defer func() { <-e.sem }()
+	}
+
 	start := time.Now()
 	e.counters.queries.Add(1)
 	defer func() { e.latency.observe(time.Since(start)) }()
 
+	snap := e.snap.Load()
+	qs := &queryState{ctx: ctx, idx: snap.idx, epoch: snap.epoch}
+
 	// Candidate generation: materialize each concept's documents
 	// (cache-assisted) and intersect, carrying each concept's
-	// per-document maximum match score alongside the ids.
+	// per-document maximum match score alongside the ids. Large
+	// decodes check the context, so a cancelled query stops burning
+	// CPU here instead of merging postings nobody will read.
 	cds := make([]*conceptData, len(q.Concepts))
 	for j, c := range q.Concepts {
-		cds[j] = e.conceptData(c)
+		cds[j] = e.conceptData(qs, c)
+		if qs.cancelled {
+			return e.finish(qs, &Result{Docs: []DocResult{}}, start), nil
+		}
 	}
 	candidates, perListMax := intersectMax(cds)
 
 	// No candidate contains every concept: the answer is empty and
-	// final, so skip the worker pool entirely.
+	// final, so skip the worker pool entirely. (A concept whose decode
+	// failed has an empty candidate list, so degraded queries take
+	// this path with Degraded set — an empty but sound answer.)
 	res := &Result{Candidates: len(candidates)}
 	if len(candidates) == 0 {
 		res.Docs = []DocResult{}
-		res.Elapsed = time.Since(start)
-		return res, nil
+		return e.finish(qs, res, start), nil
 	}
 
 	// Max-score pruning setup: when the query's kernel can cap a
@@ -241,20 +405,14 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	// descending (ties keep ascending document order). Processing the
 	// most promising documents first drives the top-k floor up
 	// quickly, so later, weaker candidates are skipped before their
-	// join — or even before their match lists are assembled.
+	// join — or even before their match lists are assembled. A factory
+	// or bound that panics here downgrades the query to the unpruned
+	// (still correct) path.
 	nc := len(cds)
 	var bounds []float64
 	var order []int // candidate indices in dispatch order; nil = as-is
 	if e.prune && perListMax != nil {
-		if ub, ok := q.Join().(join.UpperBounded); ok {
-			bounds = make([]float64, len(candidates))
-			order = make([]int, len(candidates))
-			for i := range candidates {
-				bounds[i] = ub.ScoreUpperBound(perListMax[i*nc : (i+1)*nc])
-				order[i] = i
-			}
-			sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
-		}
+		bounds, order = e.planPruning(q.Join, candidates, perListMax, nc)
 	}
 
 	// Sharded worker pool: each worker owns one job channel; documents
@@ -263,7 +421,9 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	// caches single-threaded); workers only run joins and offer
 	// results to the shared top-k heap. Each worker builds one kernel
 	// from the query's factory and reuses its scratch for every
-	// document it evaluates.
+	// document it evaluates; a kernel that panics is discarded and
+	// rebuilt, so one poisoned join cannot corrupt the next document's
+	// evaluation.
 	workers := e.workers
 	if workers > len(candidates) {
 		workers = len(candidates)
@@ -273,12 +433,13 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	chans := make([]chan docJob, workers)
 	var wg sync.WaitGroup
 	for w := range chans {
-		chans[w] = make(chan docJob, 64)
+		chans[w] = make(chan docJob, e.queue)
 		wg.Add(1)
 		go func(jobs <-chan docJob) {
 			defer wg.Done()
-			kern := q.Join()
+			kern := buildKernel(q.Join, e)
 			for jb := range jobs {
+				e.counters.queueDepth.Add(-1)
 				// Drain without evaluating once the query is out of
 				// time; those documents count as unevaluated.
 				if ctx.Err() != nil {
@@ -293,10 +454,22 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 					e.counters.prunedDocs.Add(1)
 					continue
 				}
-				e.counters.docsEvaluated.Add(1)
-				kern.Reset(nil, jb.lists)
-				set, score, ok := kern.Join()
+				if kern == nil { // last build panicked: retry per job
+					kern = buildKernel(q.Join, e)
+					if kern == nil {
+						qs.fail()
+						continue
+					}
+				}
+				set, score, ok, panicked := safeJoin(kern, jb.lists)
 				e.counters.joinsRun.Add(1)
+				if panicked {
+					e.counters.joinPanics.Add(1)
+					qs.fail()
+					kern = nil // poisoned scratch: rebuild before reuse
+					continue
+				}
+				e.counters.docsEvaluated.Add(1)
 				evaluated.Add(1)
 				if ok && !math.IsNaN(score) {
 					top.offer(jb.doc, score, set)
@@ -310,6 +483,11 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	backing := make(match.Lists, len(candidates)*nc)
 dispatch:
 	for oi := 0; oi < len(candidates); oi++ {
+		// Stop assembling (and possibly decoding) lists for a query
+		// nobody is waiting on anymore.
+		if oi&31 == 0 && ctx.Err() != nil {
+			break dispatch
+		}
 		i := oi
 		bound := math.Inf(1)
 		if order != nil {
@@ -327,11 +505,26 @@ dispatch:
 		}
 		doc := candidates[i]
 		lists := backing[i*nc : (i+1)*nc : (i+1)*nc]
+		assembled := true
 		for j, cd := range cds {
-			lists[j] = e.list(cd, doc)
+			l, ok := e.list(qs, cd, doc)
+			if !ok {
+				if qs.cancelled {
+					break dispatch
+				}
+				// Decode failure: drop this document, keep the query.
+				qs.fail()
+				assembled = false
+				break
+			}
+			lists[j] = l
+		}
+		if !assembled {
+			continue
 		}
 		select {
 		case chans[doc%workers] <- docJob{doc: doc, bound: bound, lists: lists}:
+			e.counters.queueDepth.Add(1)
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -344,15 +537,80 @@ dispatch:
 	res.Docs = top.results()
 	res.Evaluated = int(evaluated.Load())
 	res.Pruned = int(pruned.Load())
-	res.Partial = res.Evaluated+res.Pruned != res.Candidates
+	return e.finish(qs, res, start), nil
+}
+
+// finish folds the query state into the result and updates the
+// outcome counters.
+func (e *Engine) finish(qs *queryState, res *Result, start time.Time) *Result {
+	res.Failed = int(qs.failed.Load())
+	res.Degraded = qs.degraded.Load()
+	res.Partial = res.Evaluated+res.Pruned+res.Failed != res.Candidates || qs.cancelled
+	if res.Degraded {
+		e.counters.degraded.Add(1)
+	}
 	if res.Partial {
 		e.counters.partials.Add(1)
 	}
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+	if errors.Is(qs.ctx.Err(), context.DeadlineExceeded) {
 		e.counters.deadlineHits.Add(1)
 	}
 	res.Elapsed = time.Since(start)
-	return res, nil
+	return res
+}
+
+// planPruning probes the query's kernel for score upper bounds and
+// computes the bound-descending dispatch order. Any panic — in the
+// factory or in a bound evaluation — is recovered and disables
+// pruning for this query: running unpruned is always sound.
+func (e *Engine) planPruning(f KernelFactory, candidates []int, perListMax []float64, nc int) (bounds []float64, order []int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.joinPanics.Add(1)
+			bounds, order = nil, nil
+		}
+	}()
+	ub, ok := f().(join.UpperBounded)
+	if !ok {
+		return nil, nil
+	}
+	bounds = make([]float64, len(candidates))
+	order = make([]int, len(candidates))
+	for i := range candidates {
+		bounds[i] = ub.ScoreUpperBound(perListMax[i*nc : (i+1)*nc])
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
+	return bounds, order
+}
+
+// buildKernel calls the query's factory, recovering a panicking
+// factory to nil so one hostile factory cannot kill a worker (and
+// with it the whole query's WaitGroup).
+func buildKernel(f KernelFactory, e *Engine) (kern join.Kernel) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.joinPanics.Add(1)
+			kern = nil
+		}
+	}()
+	return f()
+}
+
+// safeJoin runs one kernel invocation under recover: a panic in
+// Reset, in Join, or injected at the KernelJoin site is contained to
+// this one document. The kernel must be treated as poisoned after a
+// panic — its scratch may be mid-mutation.
+func safeJoin(kern join.Kernel, lists match.Lists) (set match.Set, score float64, ok, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			set, score, ok, panicked = nil, 0, false, true
+		}
+	}()
+	faultinject.MaybePanic(faultinject.KernelJoin)
+	kern.Reset(nil, lists)
+	set, score, ok = kern.Join()
+	return
 }
 
 // docJob is one unit of worker work: a candidate document, its score
@@ -368,6 +626,7 @@ type docJob struct {
 type conceptData struct {
 	concept index.Concept
 	fp      uint64
+	failed  bool      // decode failed: the concept poisons its queries
 	docs    []int     // sorted ids of documents containing the concept
 	maxSc   []float64 // aligned with docs: max match score per document
 	// local holds this query's freshly decoded lists; nil until the
@@ -381,38 +640,65 @@ type conceptData struct {
 // costs a doc-level decode instead of a full posting decode — and by
 // decoding postings otherwise. Hits and misses land in the
 // concept-cache counters.
-func (e *Engine) conceptData(c index.Concept) *conceptData {
+func (e *Engine) conceptData(qs *queryState, c index.Concept) *conceptData {
 	cd := &conceptData{concept: c, fp: index.ConceptKey(c)}
-	if ce, ok := e.concepts.Get(cd.fp); ok {
+	if ce, ok := e.concepts.Get(conceptKey{epoch: qs.epoch, fp: cd.fp}); ok &&
+		!faultinject.ForceMiss(faultinject.ConceptCacheMiss) {
 		e.counters.conceptHits.Add(1)
 		cd.docs, cd.maxSc = ce.docs, ce.maxSc
 		return cd
 	}
 	e.counters.conceptMisses.Add(1)
-	if docs, maxSc, ok := e.idx.ConceptMeta(c); ok {
+	if docs, maxSc, ok := e.conceptMeta(qs, cd, c); ok {
 		cd.docs, cd.maxSc = docs, maxSc
-		e.concepts.Put(cd.fp, conceptEntry{docs: docs, maxSc: maxSc})
+		e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxSc})
 		return cd
 	}
-	e.decode(cd)
+	if cd.failed {
+		return cd
+	}
+	e.decode(qs, cd)
 	return cd
+}
+
+// conceptMeta looks up precomputed concept metadata under recover:
+// index.Compact.ConceptMeta panics on corrupt metadata, and a corrupt
+// index must degrade the query, not the process.
+func (e *Engine) conceptMeta(qs *queryState, cd *conceptData, c index.Concept) (docs []int, maxSc []float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.decodeFailures.Add(1)
+			qs.degraded.Store(true)
+			cd.failed = true
+			docs, maxSc, ok = nil, nil, false
+		}
+	}()
+	return qs.idx.ConceptMeta(c)
 }
 
 // list fetches the match list of one concept in one document: from
 // this query's decoded state, else the LRU, else by decoding the
 // concept's postings (which fills both). Hits and misses land in the
-// list-cache counters.
-func (e *Engine) list(cd *conceptData, doc int) match.List {
-	if cd.local != nil {
-		return cd.local[doc]
+// list-cache counters. ok is false when the concept's decode failed
+// or was cancelled; the caller must then drop the document (or the
+// query), never join against a half-decoded list.
+func (e *Engine) list(qs *queryState, cd *conceptData, doc int) (match.List, bool) {
+	if cd.failed {
+		return nil, false
 	}
-	if l, ok := e.lists.Get(listKey{doc: doc, fp: cd.fp}); ok {
+	if cd.local != nil {
+		return cd.local[doc], true
+	}
+	if l, ok := e.lists.Get(listKey{epoch: qs.epoch, doc: doc, fp: cd.fp}); ok &&
+		!faultinject.ForceMiss(faultinject.ListCacheMiss) {
 		e.counters.listHits.Add(1)
-		return l
+		return l, true
 	}
 	e.counters.listMisses.Add(1)
-	e.decode(cd)
-	return cd.local[doc]
+	if !e.decode(qs, cd) {
+		return nil, false
+	}
+	return cd.local[doc], true
 }
 
 // decode materializes a concept across the whole corpus: a k-way merge
@@ -426,7 +712,27 @@ func (e *Engine) list(cd *conceptData, doc int) match.List {
 // allocations instead of two map levels plus one slice and one sort
 // per document. Results populate the query-local state and both
 // caches.
-func (e *Engine) decode(cd *conceptData) {
+//
+// Two failure modes are contained here. Corrupt posting bytes
+// (index.Compact.Postings panics on them, and the ConceptDecode
+// injection site simulates them) are recovered: the concept is marked
+// failed, the query degrades, the process survives. And the merge
+// checks the context every few thousand postings, so a cancelled
+// query abandons the decode promptly instead of finishing a merge
+// nobody will read; an abandoned decode caches nothing for the
+// concept and marks the query cancelled.
+func (e *Engine) decode(qs *queryState, cd *conceptData) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.decodeFailures.Add(1)
+			qs.degraded.Store(true)
+			cd.failed = true
+			cd.docs, cd.maxSc, cd.local = nil, nil, nil
+			ok = false
+		}
+	}()
+	faultinject.MaybeSleep(faultinject.DecodeLatency)
+	faultinject.MaybePanic(faultinject.ConceptDecode)
 	type source struct {
 		ps    []index.Posting
 		score float64
@@ -435,7 +741,7 @@ func (e *Engine) decode(cd *conceptData) {
 	srcs := make([]source, 0, len(cd.concept))
 	total := 0
 	for word, score := range cd.concept {
-		if ps := e.idx.Postings(word); len(ps) > 0 {
+		if ps := qs.idx.Postings(word); len(ps) > 0 {
 			srcs = append(srcs, source{ps: ps, score: score})
 			total += len(ps)
 		}
@@ -454,11 +760,21 @@ func (e *Engine) decode(cd *conceptData) {
 		cd.local[curDoc] = l
 		docs = append(docs, curDoc)
 		maxs = append(maxs, curMax)
-		e.lists.Put(listKey{doc: curDoc, fp: cd.fp}, l)
+		e.lists.Put(listKey{epoch: qs.epoch, doc: curDoc, fp: cd.fp}, l)
 		begin = len(flat)
 		curMax = math.Inf(-1)
 	}
+	merged := 0
 	for {
+		// A multi-million-posting merge must not outlive its query:
+		// poll the context on a coarse stride (flush boundaries are
+		// irregular, a posting count is steady).
+		if merged&0x0fff == 0 && qs.ctx.Err() != nil {
+			cd.local = nil
+			qs.cancelled = true
+			return false
+		}
+		merged++
 		min := -1
 		for s := range srcs {
 			if srcs[s].next == len(srcs[s].ps) {
@@ -498,7 +814,8 @@ func (e *Engine) decode(cd *conceptData) {
 	}
 	flush()
 	cd.docs, cd.maxSc = docs, maxs
-	e.concepts.Put(cd.fp, conceptEntry{docs: docs, maxSc: maxs})
+	e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxs})
+	return true
 }
 
 // intersectMax returns the documents present in every concept's

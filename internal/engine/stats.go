@@ -28,6 +28,15 @@ type counters struct {
 	listMisses    atomic.Uint64
 	deadlineHits  atomic.Uint64
 	partials      atomic.Uint64
+	// Robustness counters: recovered faults, degraded answers, load
+	// shedding, and hot reloads. queueDepth is a gauge — jobs currently
+	// sitting in worker queues — not a cumulative count.
+	joinPanics     atomic.Uint64
+	decodeFailures atomic.Uint64
+	degraded       atomic.Uint64
+	shed           atomic.Uint64
+	indexReloads   atomic.Uint64
+	queueDepth     atomic.Int64
 }
 
 // histBuckets is the number of latency buckets: bucket i counts
@@ -109,8 +118,22 @@ type Stats struct {
 	ListMisses     uint64 // match-list cache misses (each decodes postings)
 	DeadlineHits   uint64 // queries cut short by a context deadline
 	PartialResults uint64 // queries returning Partial results
-	CachedLists    int    // current entries in the match-list cache
-	QueryLatency   LatencyHistogram
+	// Robustness surface. JoinPanics counts kernel (and kernel-factory)
+	// panics recovered by the panic-isolation layer; DecodeFailures
+	// counts concept decodes that hit corrupt bytes; DegradedResults
+	// counts queries that returned with Result.Degraded set. Shed counts
+	// queries rejected by admission control (ErrOverloaded). InFlight
+	// and QueueDepth are gauges: queries currently admitted, and jobs
+	// currently queued for join workers.
+	JoinPanics      uint64
+	DecodeFailures  uint64
+	DegradedResults uint64
+	Shed            uint64
+	IndexReloads    uint64 // SwapIndex hot reloads since creation
+	InFlight        int
+	QueueDepth      int
+	CachedLists     int // current entries in the match-list cache
+	QueryLatency    LatencyHistogram
 }
 
 // Stats returns a consistent-enough snapshot of the engine's counters.
@@ -125,19 +148,26 @@ func (e *Engine) Stats() Stats {
 		fraction = float64(pruned) / float64(pruned+evaluated)
 	}
 	return Stats{
-		Queries:        e.counters.queries.Load(),
-		DocsEvaluated:  evaluated,
-		JoinsRun:       e.counters.joinsRun.Load(),
-		PrunedDocs:     pruned,
-		PrunedFraction: fraction,
-		ConceptHits:    e.counters.conceptHits.Load(),
-		ConceptMisses:  e.counters.conceptMisses.Load(),
-		ListHits:       e.counters.listHits.Load(),
-		ListMisses:     e.counters.listMisses.Load(),
-		DeadlineHits:   e.counters.deadlineHits.Load(),
-		PartialResults: e.counters.partials.Load(),
-		CachedLists:    e.lists.Len(),
-		QueryLatency:   e.latency.snapshot(),
+		Queries:         e.counters.queries.Load(),
+		DocsEvaluated:   evaluated,
+		JoinsRun:        e.counters.joinsRun.Load(),
+		PrunedDocs:      pruned,
+		PrunedFraction:  fraction,
+		ConceptHits:     e.counters.conceptHits.Load(),
+		ConceptMisses:   e.counters.conceptMisses.Load(),
+		ListHits:        e.counters.listHits.Load(),
+		ListMisses:      e.counters.listMisses.Load(),
+		DeadlineHits:    e.counters.deadlineHits.Load(),
+		PartialResults:  e.counters.partials.Load(),
+		JoinPanics:      e.counters.joinPanics.Load(),
+		DecodeFailures:  e.counters.decodeFailures.Load(),
+		DegradedResults: e.counters.degraded.Load(),
+		Shed:            e.counters.shed.Load(),
+		IndexReloads:    e.counters.indexReloads.Load(),
+		InFlight:        len(e.sem),
+		QueueDepth:      int(e.counters.queueDepth.Load()),
+		CachedLists:     e.lists.Len(),
+		QueryLatency:    e.latency.snapshot(),
 	}
 }
 

@@ -1,0 +1,83 @@
+// Package faultinject provides deterministic, seedable fault-injection
+// points for the retrieval engine's chaos tests. Each injection site
+// names one place where production systems really fail — a
+// user-supplied scoring kernel panicking, an index block decoding to
+// garbage, a slow disk, a cache eviction storm — and the engine calls
+// the matching hook (MaybePanic, MaybeSleep, ForceMiss) at that spot.
+//
+// The hooks are compiled in two shapes, selected by the `faultinject`
+// build tag:
+//
+//   - Default builds (off.go): every hook is an empty function the
+//     compiler inlines away, so production binaries carry zero
+//     injection overhead and no way to trigger faults.
+//   - Test builds with -tags faultinject (on.go): hooks consult the
+//     plan installed by Activate. Firing is pseudo-random but fully
+//     determined by (seed, site, per-site call ordinal), so a failing
+//     chaos run replays with the same seed.
+//
+// The chaos differential harness (internal/engine/chaos_test.go, run
+// by `make chaos`) activates these sites and asserts the engine never
+// crashes, stays race-clean, returns bitwise-identical results when
+// not degraded, and returns a sound subset when degraded.
+package faultinject
+
+import "time"
+
+// Site identifies one injection point in the engine.
+type Site uint8
+
+const (
+	// KernelJoin fires just before a worker runs a best-join kernel;
+	// a firing panics, simulating a hostile user-supplied scorefn.
+	KernelJoin Site = iota
+	// ConceptDecode fires at the start of a corpus-wide concept
+	// decode; a firing panics the way index.Compact.Postings does on
+	// corrupt posting bytes.
+	ConceptDecode
+	// DecodeLatency fires at the same spot but sleeps instead of
+	// panicking, simulating a slow or contended storage layer.
+	DecodeLatency
+	// ListCacheMiss forces a (document, concept) match-list cache hit
+	// to be treated as a miss — an eviction storm.
+	ListCacheMiss
+	// ConceptCacheMiss forces a concept-cache hit to be treated as a
+	// miss.
+	ConceptCacheMiss
+
+	numSites
+)
+
+// String names the site for logs and test labels.
+func (s Site) String() string {
+	switch s {
+	case KernelJoin:
+		return "kernel-join-panic"
+	case ConceptDecode:
+		return "concept-decode-corrupt"
+	case DecodeLatency:
+		return "decode-latency"
+	case ListCacheMiss:
+		return "list-cache-miss"
+	case ConceptCacheMiss:
+		return "concept-cache-miss"
+	}
+	return "unknown-site"
+}
+
+// Config is one injection plan: a seed making every firing decision
+// reproducible, a firing rate per site (0 = never, 1 = always), and
+// the latency injected when DecodeLatency fires.
+type Config struct {
+	Seed    int64
+	Rates   map[Site]float64
+	Latency time.Duration
+}
+
+// Panic is the value injected panics carry, so recovery layers and
+// tests can tell an injected fault from a genuine bug.
+type Panic struct {
+	Site Site
+}
+
+func (p Panic) String() string { return "faultinject: " + p.Site.String() }

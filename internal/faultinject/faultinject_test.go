@@ -1,0 +1,17 @@
+package faultinject
+
+import "testing"
+
+func TestSiteNames(t *testing.T) {
+	for s := Site(0); s < numSites; s++ {
+		if s.String() == "unknown-site" {
+			t.Fatalf("site %d has no name", s)
+		}
+	}
+	if numSites.String() != "unknown-site" {
+		t.Fatal("out-of-range site must be unknown")
+	}
+	if got := (Panic{Site: KernelJoin}).String(); got != "faultinject: kernel-join-panic" {
+		t.Fatalf("Panic.String() = %q", got)
+	}
+}

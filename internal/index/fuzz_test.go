@@ -3,6 +3,8 @@ package index
 import (
 	"encoding/binary"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -112,11 +114,13 @@ func FuzzDecodeDocMax(f *testing.F) {
 	})
 }
 
-// FuzzLoadCompact ensures index deserialization never panics.
+// FuzzLoadCompact ensures index deserialization never panics, on
+// both the framed and the legacy layout.
 func FuzzLoadCompact(f *testing.F) {
 	ix := New()
 	ix.AddText(0, "alpha beta gamma")
 	f.Add(ix.Compact().Marshal())
+	f.Add(ix.Compact().marshalLegacy())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := LoadCompact(data)
@@ -126,5 +130,44 @@ func FuzzLoadCompact(f *testing.F) {
 		// A loaded index must be queryable without panicking.
 		_ = c.Postings("alpha")
 		_ = c.Docs()
+	})
+}
+
+// FuzzLoadFile drives arbitrary bytes through the checksummed file
+// loader: it must never panic, and whatever it accepts must re-marshal
+// to bytes it accepts again (load∘save is a fixpoint).
+func FuzzLoadFile(f *testing.F) {
+	ix := New()
+	ix.AddText(0, "alpha beta gamma")
+	ix.AddText(2, "beta delta")
+	c := ix.Compact()
+	c.AddConceptMeta(Concept{"alpha": 1, "beta": 0.5})
+	f.Add(c.Marshal())
+	f.Add(c.marshalLegacy())
+	f.Add([]byte(frameMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.idx")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Skip()
+		}
+		loaded, err := LoadFile(path)
+		if err != nil {
+			return
+		}
+		// Accepted files must round-trip through SaveFile/LoadFile.
+		again := filepath.Join(dir, "again.idx")
+		if err := loaded.SaveFile(again); err != nil {
+			t.Fatalf("re-save of accepted index failed: %v", err)
+		}
+		re, err := LoadFile(again)
+		if err != nil {
+			t.Fatalf("re-load of accepted index failed: %v", err)
+		}
+		if re.Docs() != loaded.Docs() || re.ConceptMetaCount() != loaded.ConceptMetaCount() {
+			t.Fatalf("round trip changed the index: docs %d/%d meta %d/%d",
+				re.Docs(), loaded.Docs(), re.ConceptMetaCount(), loaded.ConceptMetaCount())
+		}
 	})
 }

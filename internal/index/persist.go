@@ -2,7 +2,9 @@ package index
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 )
 
@@ -10,17 +12,78 @@ import (
 // byte buffer (and back) so precomputed indexes can be stored on disk
 // or shipped between processes.
 //
-// Layout: varint(docs), varint(#terms), then per term (sorted by stem
-// for determinism) varint(len(stem)) stem varint(len(postings))
-// postings — where postings is the already-varint-packed posting
-// buffer of compress.go. When concept max-score metadata is
-// registered (meta.go), a trailing section follows: varint(#concepts),
-// then per concept (sorted by key) uint64le(key) varint(len(meta))
-// meta. A buffer that ends after the terms section simply has no
-// metadata, so pre-metadata buffers still load.
+// Since the crash-safety work the on-disk form is framed: a 4-byte
+// magic, a format version, and a sequence of sections, each carrying
+// its own CRC32-C (Castagnoli) checksum so truncation and bit-rot are
+// detected at load time instead of surfacing as silently wrong query
+// results. Layout:
+//
+//	"BJIX" version(1) varint(#sections)
+//	per section: id(1) varint(len) payload crc32c(payload, 4 bytes LE)
+//
+// Section 1 holds the posting payload — varint(docs), varint(#terms),
+// then per term (sorted by stem for determinism) varint(len(stem))
+// stem varint(len(postings)) postings, where postings is the
+// varint-packed buffer of compress.go. Section 2, present only when
+// concept max-score metadata is registered (meta.go), holds
+// varint(#concepts), then per concept (sorted by key) uint64le(key)
+// varint(len(meta)) meta.
+//
+// LoadCompact still accepts the pre-framing layout (the two payloads
+// concatenated with no magic, no checksums), so indexes marshaled
+// before the framing change keep loading. Marshal always emits the
+// framed form.
 
-// Marshal serializes the compacted index.
+// Framing constants. The version byte lets the layout evolve without
+// breaking old readers loudly: an unknown version is rejected with a
+// precise error instead of being misparsed.
+const (
+	frameMagic   = "BJIX"
+	frameVersion = 1
+
+	secPostings = 1 // posting payload: docs header + term table
+	secMeta     = 2 // optional concept max-score metadata
+)
+
+// castagnoli is the CRC32-C polynomial table — the checksum flavor
+// with hardware support on both amd64 and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt tags every framed-index validation failure: bad magic,
+// unsupported version, truncated sections, checksum mismatches,
+// trailing bytes. errors.Is(err, ErrCorrupt) distinguishes "the bytes
+// are damaged" from I/O errors when loading from disk.
+var ErrCorrupt = errors.New("index: corrupt framed index")
+
+// Marshal serializes the compacted index in the framed, checksummed
+// form.
 func (c *Compact) Marshal() []byte {
+	postings := c.marshalPostings()
+	meta := c.marshalMeta()
+	buf := append(make([]byte, 0, len(postings)+len(meta)+32), frameMagic...)
+	buf = append(buf, frameVersion)
+	nsec := uint64(1)
+	if meta != nil {
+		nsec = 2
+	}
+	buf = binary.AppendUvarint(buf, nsec)
+	buf = appendSection(buf, secPostings, postings)
+	if meta != nil {
+		buf = appendSection(buf, secMeta, meta)
+	}
+	return buf
+}
+
+// appendSection frames one payload: id, length, bytes, CRC32-C.
+func appendSection(buf []byte, id byte, payload []byte) []byte {
+	buf = append(buf, id)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+// marshalPostings builds the posting payload (section 1).
+func (c *Compact) marshalPostings() []byte {
 	stems := make([]string, 0, len(c.postings))
 	for s := range c.postings {
 		stems = append(stems, s)
@@ -35,15 +98,21 @@ func (c *Compact) Marshal() []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(p)))
 		buf = append(buf, p...)
 	}
+	return buf
+}
+
+// marshalMeta builds the concept-metadata payload (section 2), nil
+// when no metadata is registered.
+func (c *Compact) marshalMeta() []byte {
 	if len(c.meta) == 0 {
-		return buf
+		return nil
 	}
 	keys := make([]uint64, 0, len(c.meta))
 	for k := range c.meta {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
 	for _, k := range keys {
 		buf = binary.LittleEndian.AppendUint64(buf, k)
 		m := c.meta[k]
@@ -53,36 +122,155 @@ func (c *Compact) Marshal() []byte {
 	return buf
 }
 
-// LoadCompact deserializes a Marshal buffer.
+// marshalLegacy emits the pre-framing layout: the two payloads
+// concatenated bare. Kept (unexported) so tests can pin that
+// LoadCompact still reads indexes marshaled before the framing change.
+func (c *Compact) marshalLegacy() []byte {
+	return append(c.marshalPostings(), c.marshalMeta()...)
+}
+
+// framed reports whether a buffer starts with the framing magic.
+func framed(b []byte) bool {
+	return len(b) >= len(frameMagic) && string(b[:len(frameMagic)]) == frameMagic
+}
+
+// LoadCompact deserializes a Marshal buffer: the framed form when the
+// magic is present, the pre-framing legacy form otherwise. Both paths
+// validate every posting list and metadata buffer eagerly, so corrupt
+// or adversarial bytes fail here rather than at query time.
 func LoadCompact(b []byte) (*Compact, error) {
+	if framed(b) {
+		return loadFramed(b)
+	}
+	return loadLegacy(b)
+}
+
+// loadFramed verifies the framing — magic, version, section structure,
+// per-section checksums, no trailing bytes — then parses the payloads.
+func loadFramed(b []byte) (*Compact, error) {
+	b = b[len(frameMagic):]
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: truncated before version", ErrCorrupt)
+	}
+	if b[0] != frameVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, b[0], frameVersion)
+	}
+	b = b[1:]
+	nsec, n := binary.Uvarint(b)
+	if n <= 0 || nsec == 0 || nsec > 2 {
+		return nil, fmt.Errorf("%w: bad section count", ErrCorrupt)
+	}
+	b = b[n:]
+	var postings, meta []byte
+	prevID := byte(0)
+	for i := uint64(0); i < nsec; i++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("%w: truncated before section %d", ErrCorrupt, i)
+		}
+		id := b[0]
+		b = b[1:]
+		if id <= prevID || id > secMeta {
+			return nil, fmt.Errorf("%w: bad section id %d", ErrCorrupt, id)
+		}
+		prevID = id
+		plen, n := binary.Uvarint(b)
+		// Compare without computing plen+4: a hostile length near
+		// MaxUint64 would wrap the sum and pass the check.
+		if n <= 0 || plen > uint64(len(b[n:])) || uint64(len(b[n:]))-plen < 4 {
+			return nil, fmt.Errorf("%w: truncated section %d", ErrCorrupt, id)
+		}
+		b = b[n:]
+		payload := b[:plen]
+		b = b[plen:]
+		stored := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if sum := crc32.Checksum(payload, castagnoli); sum != stored {
+			return nil, fmt.Errorf("%w: checksum mismatch in section %d (stored %08x, computed %08x)",
+				ErrCorrupt, id, stored, sum)
+		}
+		switch id {
+		case secPostings:
+			postings = payload
+		case secMeta:
+			meta = payload
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b))
+	}
+	if postings == nil {
+		return nil, fmt.Errorf("%w: no posting section", ErrCorrupt)
+	}
+	c, rest, err := parsePostings(postings)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in posting section", ErrCorrupt, len(rest))
+	}
+	if meta != nil {
+		rest, err := parseMeta(c, meta)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in meta section", ErrCorrupt, len(rest))
+		}
+	}
+	return c, nil
+}
+
+// loadLegacy parses the pre-framing layout: posting payload followed
+// directly by the optional metadata payload.
+func loadLegacy(b []byte) (*Compact, error) {
+	c, rest, err := parsePostings(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) == 0 {
+		return c, nil // pre-metadata buffer: no concept section
+	}
+	rest, err = parseMeta(c, rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes", len(rest))
+	}
+	return c, nil
+}
+
+// parsePostings decodes the posting payload — docs header plus term
+// table — returning the unconsumed remainder.
+func parsePostings(b []byte) (*Compact, []byte, error) {
 	docs, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("index: corrupt docs header")
+		return nil, nil, fmt.Errorf("index: corrupt docs header")
 	}
 	b = b[n:]
 	nTerms, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("index: corrupt term count")
+		return nil, nil, fmt.Errorf("index: corrupt term count")
 	}
 	b = b[n:]
 	// Each term costs at least 3 bytes (stem length, one stem byte,
 	// posting length); reject counts the buffer cannot hold so corrupt
 	// input cannot drive huge allocations.
 	if nTerms > uint64(len(b))/3+1 {
-		return nil, fmt.Errorf("index: term count %d exceeds buffer", nTerms)
+		return nil, nil, fmt.Errorf("index: term count %d exceeds buffer", nTerms)
 	}
 	c := &Compact{postings: make(map[string][]byte, nTerms), docs: int(docs)}
 	for i := uint64(0); i < nTerms; i++ {
 		slen, n := binary.Uvarint(b)
 		if n <= 0 || uint64(len(b[n:])) < slen {
-			return nil, fmt.Errorf("index: corrupt stem %d", i)
+			return nil, nil, fmt.Errorf("index: corrupt stem %d", i)
 		}
 		b = b[n:]
 		stem := string(b[:slen])
 		b = b[slen:]
 		plen, n := binary.Uvarint(b)
 		if n <= 0 || uint64(len(b[n:])) < plen {
-			return nil, fmt.Errorf("index: corrupt postings for %q", stem)
+			return nil, nil, fmt.Errorf("index: corrupt postings for %q", stem)
 		}
 		b = b[n:]
 		postings := make([]byte, plen)
@@ -91,13 +279,16 @@ func LoadCompact(b []byte) (*Compact, error) {
 		// Validate eagerly so a corrupt load fails here, not at query
 		// time.
 		if _, err := DecodePostings(postings); err != nil {
-			return nil, fmt.Errorf("index: invalid postings for %q: %v", stem, err)
+			return nil, nil, fmt.Errorf("index: invalid postings for %q: %v", stem, err)
 		}
 		c.postings[stem] = postings
 	}
-	if len(b) == 0 {
-		return c, nil // pre-metadata buffer: no concept section
-	}
+	return c, b, nil
+}
+
+// parseMeta decodes the concept-metadata payload into c, returning
+// the unconsumed remainder.
+func parseMeta(c *Compact, b []byte) ([]byte, error) {
 	nMeta, n := binary.Uvarint(b)
 	if n <= 0 {
 		return nil, fmt.Errorf("index: corrupt concept-meta count")
@@ -129,8 +320,5 @@ func LoadCompact(b []byte) (*Compact, error) {
 		}
 		c.meta[key] = meta
 	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("index: %d trailing bytes", len(b))
-	}
-	return c, nil
+	return b, nil
 }

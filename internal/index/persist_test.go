@@ -1,6 +1,10 @@
 package index
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+)
 
 func TestMarshalLoadRoundTrip(t *testing.T) {
 	ix := New()
@@ -50,5 +54,109 @@ func TestLoadCompactCorrupt(t *testing.T) {
 	}
 	if _, err := LoadCompact(append(append([]byte{}, valid...), 9)); err == nil {
 		t.Error("trailing byte loaded without error")
+	}
+}
+
+// framedTestIndex builds a small index with concept metadata, so its
+// Marshal carries both sections.
+func framedTestIndex(t *testing.T) *Compact {
+	t.Helper()
+	ix := New()
+	ix.AddText(0, "lenovo partners with the nba in a new deal")
+	ix.AddText(1, "dell announced a partnership with the olympics")
+	ix.AddText(3, "the nba finals drew a record basketball audience")
+	c := ix.Compact()
+	c.AddConceptMeta(Concept{"lenovo": 1, "dell": 0.9})
+	c.AddConceptMeta(Concept{"nba": 1, "olympics": 0.8, "basketball": 0.7})
+	return c
+}
+
+// TestMarshalIsFramed pins the on-disk format: magic, version, and a
+// meta section when metadata is registered.
+func TestMarshalIsFramed(t *testing.T) {
+	c := framedTestIndex(t)
+	b := c.Marshal()
+	if !framed(b) {
+		t.Fatal("Marshal output does not start with the framing magic")
+	}
+	if b[4] != frameVersion {
+		t.Fatalf("version byte %d, want %d", b[4], frameVersion)
+	}
+	loaded, err := LoadCompact(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ConceptMetaCount() != c.ConceptMetaCount() {
+		t.Fatalf("meta count %d, want %d", loaded.ConceptMetaCount(), c.ConceptMetaCount())
+	}
+	docs, maxSc, ok := loaded.ConceptMeta(Concept{"lenovo": 1, "dell": 0.9})
+	if !ok || len(docs) == 0 || len(docs) != len(maxSc) {
+		t.Fatalf("concept meta did not survive the round trip: ok=%v docs=%v", ok, docs)
+	}
+}
+
+// TestLoadCompactLegacy pins backward compatibility: buffers written
+// before the framing change (no magic, no checksums) must still load.
+func TestLoadCompactLegacy(t *testing.T) {
+	c := framedTestIndex(t)
+	legacy := c.marshalLegacy()
+	if framed(legacy) {
+		t.Fatal("legacy marshal unexpectedly framed")
+	}
+	loaded, err := LoadCompact(legacy)
+	if err != nil {
+		t.Fatalf("legacy buffer rejected: %v", err)
+	}
+	if loaded.Docs() != c.Docs() || loaded.ConceptMetaCount() != c.ConceptMetaCount() {
+		t.Fatalf("legacy round trip lost data: docs %d/%d meta %d/%d",
+			loaded.Docs(), c.Docs(), loaded.ConceptMetaCount(), c.ConceptMetaCount())
+	}
+}
+
+// TestFramedRejectsEveryBitFlip is the bit-rot acceptance test:
+// flipping any single bit of a framed index must make LoadCompact
+// fail — the CRC32-C sections leave no byte unprotected except the
+// frame structure itself, whose damage is caught structurally.
+func TestFramedRejectsEveryBitFlip(t *testing.T) {
+	valid := framedTestIndex(t).Marshal()
+	for i := range valid {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= 1 << bit
+			if _, err := LoadCompact(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d loaded without error", i, bit)
+			}
+		}
+	}
+}
+
+// TestFramedChecksumError pins that payload damage surfaces as a
+// checksum error tagged ErrCorrupt, with the section identified.
+func TestFramedChecksumError(t *testing.T) {
+	valid := framedTestIndex(t).Marshal()
+	// Flip a byte deep inside the posting payload (well past the
+	// header) so the frame structure stays intact.
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0x40
+	_, err := LoadCompact(mut)
+	if err == nil {
+		t.Fatal("corrupt payload loaded")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("error %q does not name the checksum", err)
+	}
+}
+
+// TestFramedUnsupportedVersion pins the versioning story: a future
+// format version is rejected loudly, not misparsed.
+func TestFramedUnsupportedVersion(t *testing.T) {
+	b := framedTestIndex(t).Marshal()
+	b[4] = frameVersion + 1
+	_, err := LoadCompact(b)
+	if err == nil || !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("future version: err = %v", err)
 	}
 }

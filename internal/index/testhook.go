@@ -1,0 +1,17 @@
+package index
+
+import "bestjoin/internal/text"
+
+// CorruptPostingsForTest overwrites the compressed posting bytes of
+// word with an undecodable buffer, simulating in-memory corruption of
+// a live index. Compact.Postings panics on such bytes by design;
+// robustness tests in other packages use this hook to prove the query
+// engine contains that panic (degraded result, process survives).
+// Not for production use.
+func CorruptPostingsForTest(c *Compact, word string) {
+	// A 10-byte varint encoding an absurd posting count followed by no
+	// payload: rejected by every DecodePostings validation layer.
+	c.postings[text.Stem(word)] = []byte{
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+	}
+}

@@ -16,6 +16,22 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Chaos gate: the same engine tests plus the fault-injection harness,
+# with the injection sites armed by the faultinject build tag, still
+# under -race. Injected kernel panics, corrupt decodes, latency, and
+# cache-miss storms must never crash, race, or mis-score a document.
+echo "== go test -race -tags faultinject (chaos) =="
+go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/
+
+# Known-vulnerability scan, when the tool is installed (the CI image
+# may not ship it; the gate must not fail on a missing scanner).
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck =="
+    govulncheck ./...
+else
+    echo "== govulncheck not installed; skipping =="
+fi
+
 # Coverage gate: the packages carrying the pruning machinery must not
 # silently lose test coverage. Floors are set a few points below the
 # measured values at the time each floor was recorded (engine 94.9%,
