@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate every change must pass.
 
-.PHONY: check test cover bench bench-json fuzz chaos
+.PHONY: check test cover bench bench-json fuzz chaos profile
 
 check:
 	./scripts/check.sh
@@ -29,6 +29,15 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzDecodeDocMax -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzLoadCompact -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzLoadFile -fuzztime=30s ./internal/index/
+	go test -run=Fuzz -fuzz=FuzzDecodeBlocks -fuzztime=30s ./internal/index/
+
+# CPU and heap profiles of the cold/cached engine benchmark, for
+# digging into the block-max skip layer with `go tool pprof cpu.prof`
+# (or heap.prof). Profiles land in the repo root and are gitignored.
+profile:
+	go test -run='^$$' -bench=BenchmarkEngineColdVsCached -benchmem \
+		-cpuprofile=cpu.prof -memprofile=heap.prof .
+	@echo "wrote cpu.prof and heap.prof; inspect with: go tool pprof cpu.prof"
 
 # Fault-injection chaos suite: the faultinject build tag arms the
 # injection sites, and -race proves the recovery paths (kernel

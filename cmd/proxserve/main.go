@@ -14,6 +14,7 @@
 //	GET /query?terms=a,b&k=5     top-k documents as JSON
 //	GET /stats                   engine stats as JSON
 //	GET /debug/vars              expvar (includes bestjoin.engine)
+//	GET /debug/pprof/...         profiling endpoints (only with -pprof)
 //
 // Query terms are expanded into concepts through the embedded lexical
 // graph (exact stem = 1.0, one edge = 0.7, …), mirroring proxquery.
@@ -43,13 +44,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	_ "expvar"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -69,6 +71,7 @@ func main() {
 		k       = flag.Int("k", 5, "number of documents to return per query")
 		workers = flag.Int("workers", 0, "join workers per query (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", 0, "match-list cache capacity in entries (0 = default)")
+		cacheB  = flag.Int64("cache-bytes", 0, "additionally bound the match-list cache to this many bytes (0 = entries only)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
 		noprune = flag.Bool("noprune", false, "disable lossless max-score pruning (baseline mode)")
 		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
@@ -79,6 +82,7 @@ func main() {
 		shed     = flag.Bool("shed", false, "at the in-flight cap, shed queries immediately instead of queueing")
 		idxPath  = flag.String("index", "", "serve this saved index file instead of indexing a corpus (SIGHUP reloads it)")
 		savePath = flag.String("save", "", "after indexing, save the checksummed index to this path")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof (debug only)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,7 @@ func main() {
 	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{
 		Workers:        *workers,
 		CacheLists:     *cache,
+		CacheBytes:     *cacheB,
 		DisablePruning: *noprune,
 		MaxInFlight:    *inflight,
 		Overload:       overload,
@@ -111,8 +116,7 @@ func main() {
 	fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
 
 	if *httpad != "" {
-		http.HandleFunc("/query", srv.handleQuery)
-		http.HandleFunc("/stats", srv.handleStats)
+		mux := newMux(srv, *pprofOn)
 		if *idxPath != "" {
 			hup := make(chan os.Signal, 1)
 			signal.Notify(hup, syscall.SIGHUP)
@@ -126,7 +130,7 @@ func main() {
 			})
 		}
 		fmt.Printf("serving on %s (try /query?terms=lenovo,nba,partnership and /debug/vars)\n", *httpad)
-		if err := runServer(newHTTPServer(*httpad, nil), nil, *drain); err != nil {
+		if err := runServer(newHTTPServer(*httpad, mux), nil, *drain); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -171,6 +175,28 @@ func watchReload(ch <-chan os.Signal, reload func() error) {
 		}
 		log.Printf("proxserve: index reloaded")
 	}
+}
+
+// newMux builds proxserve's HTTP routing table explicitly rather than
+// through http.DefaultServeMux, so nothing an imported package
+// registers globally is exposed by accident. /debug/vars is always on
+// (it only reads counters). The pprof profiling handlers are mounted
+// only when -pprof is set: they are a debug-only surface — profiles
+// reveal internals and cost CPU while running — so production
+// deployments keep the flag off (the default).
+func newMux(srv *server, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // maxBodyBytes caps HTTP request bodies. The API is GET-shaped, so any

@@ -174,6 +174,41 @@ func TestRunServerGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestNewMuxRoutes pins the explicit routing table: the query, stats,
+// and expvar endpoints are always served, while the pprof profiling
+// surface exists only when the -pprof flag opted in — off by default,
+// a profiling endpoint on a production port is an information leak.
+func TestNewMuxRoutes(t *testing.T) {
+	s := demoServer(t)
+	get := func(mux http.Handler, path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	off := newMux(s, false)
+	if rec := get(off, "/query?terms=lenovo&k=1"); rec.Code != 200 {
+		t.Errorf("/query: status %d, want 200 (body %q)", rec.Code, rec.Body)
+	}
+	if rec := get(off, "/stats"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "Queries") {
+		t.Errorf("/stats: status %d body %q", rec.Code, rec.Body)
+	}
+	if rec := get(off, "/debug/vars"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "cmdline") {
+		t.Errorf("/debug/vars: status %d, want expvar JSON", rec.Code)
+	}
+	if rec := get(off, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof served without -pprof: status %d, want 404", rec.Code)
+	}
+
+	on := newMux(s, true)
+	if rec := get(on, "/debug/pprof/"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index with -pprof: status %d", rec.Code)
+	}
+	if rec := get(on, "/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Errorf("pprof cmdline with -pprof: status %d", rec.Code)
+	}
+}
+
 // TestNewHTTPServerTimeouts pins the server hardening contract: every
 // timeout set, so no connection class can hold the server forever.
 func TestNewHTTPServerTimeouts(t *testing.T) {

@@ -83,9 +83,16 @@
 // whose score upper bound (ScoreUpperBoundWIN/MED/MAX over per-concept
 // maximum match scores) cannot beat the current top-k floor are
 // skipped without joining, with output identical to the exhaustive
-// engine; EngineConfig.DisablePruning turns it off. The implementation
-// lives in internal/engine; see cmd/proxserve for a runnable server
-// and examples/engine for a walkthrough.
+// engine; EngineConfig.DisablePruning turns it off. Registering
+// block-partitioned postings on the index
+// (CompactIndex.AddConceptBlocks) moves the same pruning below the
+// decode: candidate generation walks per-block skip tables, blocks
+// are decoded lazily and in parallel on the worker pool, and blocks
+// whose block-max score bound cannot beat the top-k floor are skipped
+// without touching their bytes — still with output identical to the
+// flat path. The implementation lives in internal/engine; see
+// cmd/proxserve for a runnable server and examples/engine for a
+// walkthrough.
 //
 // # From text to match lists
 //

@@ -57,6 +57,14 @@ type Concept = index.Concept
 // with output guaranteed identical to the exhaustive engine — see
 // DESIGN.md "Score-upper-bound pruning". Set
 // EngineConfig.DisablePruning for the exhaustive baseline.
+//
+// Concepts with block-partitioned postings registered on the index
+// (CompactIndex.AddConceptBlocks) additionally prune below the
+// decode: candidates come from per-block skip tables, posting blocks
+// are decoded lazily and in parallel on the worker pool, and blocks
+// whose block-max bound cannot beat the floor are never decoded at
+// all — output stays identical to the flat path. See DESIGN.md
+// "Block-max skip layer".
 type Engine = engine.Engine
 
 // The engine degrades instead of dying under partial failure: kernel

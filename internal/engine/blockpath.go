@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"bestjoin/internal/faultinject"
+	"bestjoin/internal/index"
+	"bestjoin/internal/match"
+)
+
+// The block-max skip layer: when a concept has block-partitioned
+// postings registered (index.Compact.AddConceptBlocks), the engine
+// serves it without ever materializing its corpus-wide doc-set or
+// match lists. Candidate generation walks the skip table — whole
+// blocks are galloped over by their (FirstDoc, LastDoc) range, and a
+// block's document directory (a few varints) is decoded only when the
+// intersection actually needs ids inside it. Match areas are decoded
+// lazily, per block, by the join workers — in parallel, which is what
+// finally breaks the serial-decode bottleneck of the flat path — and
+// only for blocks that still matter when a worker reaches them: a
+// candidate block whose block-max score upper bound has fallen
+// strictly below the top-k floor is pruned below decode, its bytes
+// never touched. Stats().BlocksSkipped counts those;
+// Stats().BlockDecodes counts the blocks that were decoded.
+//
+// Soundness mirrors the flat pruning argument (DESIGN.md): a block's
+// MaxScore is ≥ every per-document maximum inside it, the UpperBound
+// hooks are monotone non-decreasing in each per-list maximum, and the
+// floor only rises — so a block-max bound strictly below the floor
+// proves every document in the block loses. Equality never prunes,
+// preserving the document-id tie-break. The differential suite
+// (TestDifferentialBlocksVsFlat) proves block-served and flat-served
+// engines return bitwise-identical results.
+
+// blockSet is the cached per-(epoch, concept) block state: the
+// decoded skip table plus a memo of decoded block directories. The
+// directory memo is shared by every query on the epoch (it lives in
+// the concept cache), so it is written through atomic pointers; a
+// racing double-decode is benign — both goroutines store equal
+// slices.
+type blockSet struct {
+	bt   *index.BlockTable
+	dirs []atomic.Pointer[[]int]
+}
+
+// setBlocks puts a concept's per-query state into block mode, sizing
+// the candidate and fetched bitsets (one bit per block).
+func (cd *conceptData) setBlocks(bs *blockSet) {
+	cd.blocks = bs
+	words := (bs.bt.NumBlocks() + 63) / 64
+	cd.cand = make([]uint64, words)
+	cd.fetched = make([]atomic.Uint64, words)
+}
+
+// conceptBlocks resolves a concept's block table under recover:
+// index.Compact.ConceptBlocks panics on corrupt bytes, and a corrupt
+// index must degrade the query, not the process. ok is false both
+// when the concept has no blocks registered (fall through to the flat
+// path) and when the lookup failed (cd.failed is then set).
+func (e *Engine) conceptBlocks(qs *queryState, cd *conceptData) (bs *blockSet, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.decodeFailures.Add(1)
+			qs.degraded.Store(true)
+			cd.failed = true
+			bs, ok = nil, false
+		}
+	}()
+	bt, found := qs.idx.ConceptBlocks(cd.concept)
+	if !found {
+		return nil, false
+	}
+	return &blockSet{bt: bt, dirs: make([]atomic.Pointer[[]int], bt.NumBlocks())}, true
+}
+
+// ensureDir returns block blk's document directory, decoding and
+// memoizing it on first need. A decode failure (corrupt in-memory
+// bytes) fails the concept; the intersection then stops extending the
+// candidate list — a sound subset, like every other degraded path.
+func (e *Engine) ensureDir(qs *queryState, cd *conceptData, blk int) ([]int, bool) {
+	if p := cd.blocks.dirs[blk].Load(); p != nil {
+		return *p, true
+	}
+	docs, err := cd.blocks.bt.DecodeDocs(blk)
+	if err != nil {
+		e.counters.decodeFailures.Add(1)
+		qs.degraded.Store(true)
+		cd.failed = true
+		return nil, false
+	}
+	cd.blocks.dirs[blk].Store(&docs)
+	return docs, true
+}
+
+// listCursor iterates one concept's documents in ascending order for
+// the intersection walk, over either representation. Flat concepts
+// walk their materialized doc slice; block concepts walk the skip
+// table, passing whole blocks by range without touching their bytes
+// and decoding a directory only when the walk needs ids inside it.
+type listCursor struct {
+	cd *conceptData
+	i  int // flat mode: index into cd.docs
+	// Block mode. dir is nil until the current block's directory is
+	// actually needed: a seek that lands on a block's FirstDoc answers
+	// straight from the skip entry.
+	blk int
+	dir []int
+	di  int
+}
+
+// seek positions the cursor at the first document ≥ d and returns it;
+// ok is false when the concept is exhausted (or failed).
+func (cu *listCursor) seek(e *Engine, qs *queryState, d int) (int, bool) {
+	cd := cu.cd
+	if cd.blocks == nil {
+		for cu.i < len(cd.docs) && cd.docs[cu.i] < d {
+			cu.i++
+		}
+		if cu.i == len(cd.docs) {
+			return 0, false
+		}
+		return cd.docs[cu.i], true
+	}
+	if cd.failed {
+		return 0, false
+	}
+	infos := cd.blocks.bt.Infos
+	for {
+		if cu.blk == len(infos) {
+			return 0, false
+		}
+		info := &infos[cu.blk]
+		if info.LastDoc < d {
+			cu.blk++
+			cu.dir = nil
+			continue
+		}
+		if cu.dir == nil {
+			if d <= info.FirstDoc {
+				return info.FirstDoc, true
+			}
+			dir, ok := e.ensureDir(qs, cd, cu.blk)
+			if !ok {
+				return 0, false
+			}
+			cu.dir, cu.di = dir, 0
+		}
+		for cu.di < len(cu.dir) && cu.dir[cu.di] < d {
+			cu.di++
+		}
+		if cu.di == len(cu.dir) {
+			cu.blk++
+			cu.dir = nil
+			continue
+		}
+		return cu.dir[cu.di], true
+	}
+}
+
+// maxAt returns the current document's per-list maximum match score:
+// exact for flat concepts, the containing block's MaxScore for block
+// concepts. The block max is coarser but still an upper bound on the
+// document's true maximum, so every bound built from it stays sound —
+// and keeping bounds constant across a block is exactly what makes
+// whole-block skipping possible.
+func (cu *listCursor) maxAt() float64 {
+	if cu.cd.blocks == nil {
+		return cu.cd.maxSc[cu.i]
+	}
+	return cu.cd.blocks.bt.Infos[cu.blk].MaxScore
+}
+
+// mark records the current block as a candidate block (it contributed
+// at least one candidate document). Candidate blocks never fetched by
+// a worker were pruned below decode.
+func (cu *listCursor) mark() {
+	if cu.cd.blocks != nil {
+		cu.cd.cand[cu.blk/64] |= 1 << (cu.blk % 64)
+	}
+}
+
+// intersectCursors returns the documents present in every concept by
+// a leapfrog walk over cursors, together with the per-list maximum
+// match scores of every surviving document, flattened document-major:
+// perListMax[i*len(cds)+j] is concept j's maximum (or block maximum)
+// for the i-th candidate. perListMax is nil when any flat concept
+// lacks maxima. Unlike the pre-block intersection, no concept's
+// corpus-wide doc-set is ever materialized here.
+func (e *Engine) intersectCursors(qs *queryState, cds []*conceptData) (docs []int, perListMax []float64) {
+	n := len(cds)
+	withMax := true
+	for _, cd := range cds {
+		if cd.failed {
+			return nil, nil
+		}
+		if cd.blocks == nil && cd.maxSc == nil && len(cd.docs) > 0 {
+			withMax = false
+		}
+	}
+	curs := make([]listCursor, n)
+	for j := range curs {
+		curs[j].cd = cds[j]
+	}
+	d, matched, j := 0, 0, 0
+	for {
+		doc, ok := curs[j].seek(e, qs, d)
+		if !ok {
+			return docs, perListMax
+		}
+		if doc > d {
+			d, matched = doc, 1
+		} else {
+			matched++
+		}
+		if matched == n {
+			docs = append(docs, d)
+			if withMax {
+				for jj := range curs {
+					perListMax = append(perListMax, curs[jj].maxAt())
+				}
+			}
+			for jj := range curs {
+				curs[jj].mark()
+			}
+			// Poll the context on a coarse stride: a cancelled query
+			// stops generating candidates nobody will read.
+			if len(docs)&0x3ff == 0 && qs.ctx.Err() != nil {
+				qs.cancelled = true
+				return docs, perListMax
+			}
+			d++
+			matched = 0
+		}
+		if j++; j == n {
+			j = 0
+		}
+	}
+}
+
+// blockFetch memoizes one worker's most recent block per concept:
+// bound-tied documents keep ascending id order through dispatch, so
+// consecutive jobs usually share a block and skip even the cache Get.
+type blockFetch struct {
+	blk   int
+	docs  []int
+	lists []match.List
+}
+
+// fillBlockLists completes a job's match lists for block-served
+// concepts: locate the document's block, fetch its decoded form
+// (worker memo → list cache → decode), and slot the document's list
+// into the job. Flat concepts were already assembled by the
+// dispatcher. false means a decode failed and the document must be
+// dropped.
+func (e *Engine) fillBlockLists(qs *queryState, cds []*conceptData, jb docJob, fetch []blockFetch) bool {
+	for j, cd := range cds {
+		if cd.blocks == nil {
+			continue
+		}
+		f := &fetch[j]
+		blk := cd.blocks.bt.FindBlock(jb.doc)
+		if blk < 0 {
+			return false // unreachable for a generated candidate
+		}
+		if f.blk != blk {
+			docs, lists, ok := e.fetchBlock(qs, cd, blk)
+			if !ok {
+				return false
+			}
+			f.blk, f.docs, f.lists = blk, docs, lists
+		}
+		di := sort.SearchInts(f.docs, jb.doc)
+		if di == len(f.docs) || f.docs[di] != jb.doc {
+			return false
+		}
+		jb.lists[j] = f.lists[di]
+	}
+	return true
+}
+
+// fetchBlock returns one decoded block via the list cache (block-mode
+// entries are keyed by block index in the listKey doc field — a
+// concept is served by exactly one representation per epoch, so the
+// key spaces cannot collide). The fetched bit records that the block
+// was needed; candidate blocks with the bit still clear at query end
+// were pruned below decode.
+func (e *Engine) fetchBlock(qs *queryState, cd *conceptData, blk int) (docs []int, lists []match.List, ok bool) {
+	key := listKey{epoch: qs.epoch, doc: blk, fp: cd.fp}
+	if ent, hit := e.lists.Get(key); hit && !faultinject.ForceMiss(faultinject.ListCacheMiss) {
+		e.counters.listHits.Add(1)
+		cd.fetched[blk/64].Or(1 << (blk % 64))
+		return ent.docs, ent.lists, true
+	}
+	e.counters.listMisses.Add(1)
+	docs, lists, ok = e.decodeBlock(qs, cd, blk)
+	if !ok {
+		return nil, nil, false
+	}
+	cd.fetched[blk/64].Or(1 << (blk % 64))
+	e.lists.Put(key, listEntry{docs: docs, lists: lists})
+	return docs, lists, true
+}
+
+// decodeBlock decodes one block's match area under recover (the
+// ConceptDecode injection site simulates corrupt bytes here too). A
+// failure drops only the documents that needed this block, never the
+// query — and never writes conceptData fields, which belong to the
+// dispatcher goroutine.
+func (e *Engine) decodeBlock(qs *queryState, cd *conceptData, blk int) (docs []int, lists []match.List, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.decodeFailures.Add(1)
+			qs.degraded.Store(true)
+			docs, lists, ok = nil, nil, false
+		}
+	}()
+	faultinject.MaybeSleep(faultinject.DecodeLatency)
+	faultinject.MaybePanic(faultinject.ConceptDecode)
+	d, l, err := cd.blocks.bt.DecodeBlock(blk)
+	if err != nil {
+		e.counters.decodeFailures.Add(1)
+		qs.degraded.Store(true)
+		return nil, nil, false
+	}
+	e.counters.blockDecodes.Add(1)
+	return d, l, true
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"bestjoin/internal/scorefn"
+)
+
+// TestLRUByteBound pins the byte-cost mode: the accounted total never
+// exceeds the bound (it is hard — even a just-inserted oversized
+// entry is evicted), refreshes re-account the delta, and Reset zeroes
+// the accounting.
+func TestLRUByteBound(t *testing.T) {
+	cost := func(v []byte) int64 { return int64(len(v)) }
+	c := newLRUBytes[int, []byte](100, 10, cost)
+	c.Put(1, make([]byte, 4))
+	c.Put(2, make([]byte, 4))
+	if got := c.Bytes(); got != 8 {
+		t.Fatalf("Bytes = %d, want 8", got)
+	}
+	c.Put(3, make([]byte, 4)) // 12 > 10: evicts LRU entry 1
+	if got := c.Bytes(); got != 8 {
+		t.Fatalf("after eviction Bytes = %d, want 8", got)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("entry 1 survived byte eviction")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("entry 2 evicted prematurely")
+	}
+	// Refresh entry 2 with a bigger value: delta accounted, then the
+	// bound enforced (2 was just touched, so 3 goes first).
+	c.Put(2, make([]byte, 8))
+	if got := c.Bytes(); got > 10 {
+		t.Fatalf("after refresh Bytes = %d, exceeds bound", got)
+	}
+	// An entry larger than the whole bound cannot be cached at all.
+	c.Put(4, make([]byte, 64))
+	if _, ok := c.Get(4); ok {
+		t.Fatal("oversized entry was cached past the bound")
+	}
+	if got, n := c.Bytes(), c.Len(); got > 10 || got < 0 {
+		t.Fatalf("after oversized Put: Bytes = %d (len %d)", got, n)
+	}
+	c.Reset()
+	if c.Bytes() != 0 || c.Len() != 0 {
+		t.Fatalf("Reset left Bytes=%d Len=%d", c.Bytes(), c.Len())
+	}
+	// Entry-count mode reports zero cost: nothing to account with.
+	plain := newLRU[int, []byte](2)
+	plain.Put(1, make([]byte, 4))
+	if plain.Bytes() != 0 {
+		t.Fatalf("entry-count mode Bytes = %d, want 0", plain.Bytes())
+	}
+}
+
+// TestEngineCacheBytes pins the engine wiring: with Config.CacheBytes
+// set, repeated queries stay correct, Stats().CacheBytes reports a
+// positive total within the bound, and the default config keeps the
+// entry-count-only behavior (CacheBytes reads zero).
+func TestEngineCacheBytes(t *testing.T) {
+	compact := buildCompact(t, testCorpus(120, 11))
+	concepts := testConcepts()
+	// One block-served concept: byte accounting must price block
+	// entries (docs + per-doc lists) as well as flat single-list ones.
+	compact.AddConceptBlocks(concepts[0])
+	factory := WINJoiner(scorefn.ExpWIN{Alpha: 0.07})
+	const bound = 8 << 10
+
+	bounded := New(compact, Config{Workers: 2, CacheBytes: bound})
+	def := New(compact, Config{Workers: 2})
+	q := Query{Concepts: concepts, Join: factory, K: 5}
+	for i := 0; i < 3; i++ {
+		rb, err := bounded.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := def.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "cache-bytes", rb, rd)
+	}
+	st := bounded.Stats()
+	if st.CacheBytes <= 0 || st.CacheBytes > bound {
+		t.Fatalf("CacheBytes = %d, want in (0, %d]", st.CacheBytes, bound)
+	}
+	if got := def.Stats().CacheBytes; got != 0 {
+		t.Fatalf("default config CacheBytes = %d, want 0", got)
+	}
+}
+
+// TestResetCacheClearsBlockState pins ResetCache against the block
+// path: the caches empty (CachedLists, CacheBytes), and the repeated
+// query — re-resolving skip tables and re-decoding blocks from
+// scratch — returns the identical answer.
+func TestResetCacheClearsBlockState(t *testing.T) {
+	compact := buildCompact(t, testCorpus(120, 9))
+	for _, c := range testConcepts() {
+		compact.AddConceptBlocks(c)
+	}
+	e := New(compact, Config{Workers: 2, CacheBytes: 1 << 20})
+	q := Query{Concepts: testConcepts(), Join: WINJoiner(scorefn.ExpWIN{Alpha: 0.07}), K: 5}
+	r1, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetCache()
+	if st := e.Stats(); st.CachedLists != 0 || st.CacheBytes != 0 {
+		t.Fatalf("ResetCache left CachedLists=%d CacheBytes=%d", st.CachedLists, st.CacheBytes)
+	}
+	misses := e.Stats().ConceptMisses
+	r2, err := e.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "post-reset", r2, r1)
+	if e.Stats().ConceptMisses == misses {
+		t.Fatal("post-reset query did not re-resolve concepts")
+	}
+}
+
+// TestEngineCachedAllocCeiling is the decode-path regression gate
+// scripts/check.sh runs: a warm-cache query must stay under a fixed
+// allocation budget, so any change that sneaks per-document or
+// per-posting allocation back into the cached path fails fast. The
+// budget (150) has headroom over the measured value (~125, dominated
+// by per-query goroutine and channel setup), but far below the
+// thousands a decode regression would add.
+func TestEngineCachedAllocCeiling(t *testing.T) {
+	compact := buildCompact(t, testCorpus(400, 12))
+	for _, c := range testConcepts() {
+		compact.AddConceptBlocks(c)
+	}
+	e := New(compact, Config{Workers: 2})
+	q := Query{Concepts: testConcepts(), Join: WINJoiner(scorefn.ExpWIN{Alpha: 0.07}), K: 10}
+	if _, err := e.Search(context.Background(), q); err != nil {
+		t.Fatal(err) // warm the caches
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := e.Search(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 150 {
+		t.Fatalf("cached query costs %.0f allocs/op, ceiling is 150", allocs)
+	}
+}

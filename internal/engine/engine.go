@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -100,6 +101,13 @@ type Config struct {
 	// CacheConcepts caps the concept → candidate-documents LRU in
 	// entries; ≤ 0 means DefaultCacheConcepts.
 	CacheConcepts int
+	// CacheBytes additionally bounds the match-list cache by the total
+	// byte cost of its entries — decoded match lists vary by orders of
+	// magnitude, so an entry-count cap alone can pin anywhere from
+	// kilobytes to gigabytes. ≤ 0 keeps the default entry-count-only
+	// behavior; > 0 is a hard bound (Stats().CacheBytes reports the
+	// accounted size).
+	CacheBytes int64
 	// DisablePruning turns off max-score top-k pruning; the zero
 	// Config prunes (the knob defaults to on). Pruning is lossless —
 	// the differential harness proves pruned and unpruned engines
@@ -130,7 +138,7 @@ type Engine struct {
 	queue    int
 	sem      chan struct{} // admission semaphore; nil = unlimited
 	shed     bool          // true = OverloadShed
-	lists    *lruCache[listKey, match.List]
+	lists    *lruCache[listKey, listEntry]
 	concepts *lruCache[conceptKey, conceptEntry]
 	counters counters
 	latency  histogram
@@ -144,13 +152,40 @@ type snapshot struct {
 	epoch uint64
 }
 
-// conceptEntry is the cached corpus-wide summary of one concept: the
-// sorted candidate documents and, aligned with them, the maximum match
-// score the concept attains in each — the per-list caps the pruning
-// layer feeds into the kernel's score upper bound.
+// conceptEntry is the cached corpus-wide summary of one concept:
+// either the sorted candidate documents with, aligned, the maximum
+// match score the concept attains in each (flat mode), or the
+// concept's block skip table (block mode) — which replaces both, at
+// block granularity, without materializing per-document state.
 type conceptEntry struct {
+	docs   []int
+	maxSc  []float64
+	blocks *blockSet
+}
+
+// listEntry is one match-list cache value: a single document's list
+// for flat-served concepts, or a whole decoded block (document ids
+// plus aligned lists) for block-served ones.
+type listEntry struct {
+	list  match.List
 	docs  []int
-	maxSc []float64
+	lists []match.List
+}
+
+// matchBytes is the in-memory size of one match.Match (int + float64)
+// for byte-cost cache accounting.
+const matchBytes = 16
+
+// listEntryCost estimates one cache entry's resident bytes: match
+// storage plus slice headers plus fixed LRU bookkeeping. Block-mode
+// lists are disjoint subslices of one flat backing, so summing their
+// lengths counts each match once.
+func listEntryCost(v listEntry) int64 {
+	n := int64(len(v.list))*matchBytes + int64(len(v.docs))*8 + int64(len(v.lists))*24
+	for _, l := range v.lists {
+		n += int64(len(l)) * matchBytes
+	}
+	return n + 64
 }
 
 // conceptKey identifies one cached concept summary under one index
@@ -161,8 +196,11 @@ type conceptKey struct {
 	fp    uint64
 }
 
-// listKey identifies one decoded match list: an index epoch, a
-// document, and a concept fingerprint.
+// listKey identifies one decoded match-list cache entry: an index
+// epoch, a concept fingerprint, and doc — a document id for
+// flat-served concepts, a block index for block-served ones (a
+// concept is served by exactly one representation per epoch, so the
+// two uses cannot collide).
 type listKey struct {
 	epoch uint64
 	doc   int
@@ -183,12 +221,16 @@ func New(idx *index.Compact, cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	lists := newLRU[listKey, listEntry](cfg.CacheLists)
+	if cfg.CacheBytes > 0 {
+		lists = newLRUBytes[listKey, listEntry](cfg.CacheLists, cfg.CacheBytes, listEntryCost)
+	}
 	e := &Engine{
 		workers:  cfg.Workers,
 		prune:    !cfg.DisablePruning,
 		queue:    cfg.QueueDepth,
 		shed:     cfg.Overload == OverloadShed,
-		lists:    newLRU[listKey, match.List](cfg.CacheLists),
+		lists:    lists,
 		concepts: newLRU[conceptKey, conceptEntry](cfg.CacheConcepts),
 	}
 	if cfg.MaxInFlight > 0 {
@@ -375,9 +417,11 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	snap := e.snap.Load()
 	qs := &queryState{ctx: ctx, idx: snap.idx, epoch: snap.epoch}
 
-	// Candidate generation: materialize each concept's documents
-	// (cache-assisted) and intersect, carrying each concept's
-	// per-document maximum match score alongside the ids. Large
+	// Candidate generation: resolve each concept (cache-assisted) and
+	// intersect by a cursor walk. Flat concepts materialize their
+	// corpus-wide doc-set; block-served concepts never do — the walk
+	// gallops over block doc-ranges from the skip table, decoding only
+	// the block directories the intersection actually enters. Large
 	// decodes check the context, so a cancelled query stops burning
 	// CPU here instead of merging postings nobody will read.
 	cds := make([]*conceptData, len(q.Concepts))
@@ -387,7 +431,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 			return e.finish(qs, &Result{Docs: []DocResult{}}, start), nil
 		}
 	}
-	candidates, perListMax := intersectMax(cds)
+	candidates, perListMax := e.intersectCursors(qs, cds)
 
 	// No candidate contains every concept: the answer is empty and
 	// final, so skip the worker pool entirely. (A concept whose decode
@@ -415,78 +459,122 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		bounds, order = e.planPruning(q.Join, candidates, perListMax, nc)
 	}
 
-	// Sharded worker pool: each worker owns one job channel; documents
-	// are sharded by id, so a given document always lands on the same
-	// worker. The dispatcher assembles match lists (touching the
-	// caches single-threaded); workers only run joins and offer
-	// results to the shared top-k heap. Each worker builds one kernel
-	// from the query's factory and reuses its scratch for every
-	// document it evaluates; a kernel that panics is discarded and
-	// rebuilt, so one poisoned join cannot corrupt the next document's
-	// evaluation.
+	// Worker pool: candidates flow through one shared channel in
+	// dispatchChunk batches, so channel operations and top-k floor
+	// loads amortize across a chunk instead of costing one each per
+	// document (the flat-worker-scaling fix). The dispatcher assembles
+	// flat-concept match lists (touching the caches single-threaded);
+	// workers fill block-concept lists themselves — lazy per-block
+	// decode fanned out across the pool — run joins, and offer results
+	// to the shared top-k heap. The heap's result is insertion-order
+	// independent (ties break on document id, and the floor only
+	// rises), so unsharded dispatch cannot change answers. Each worker
+	// builds one kernel from the query's factory and reuses its
+	// scratch for every document it evaluates; a kernel that panics is
+	// discarded and rebuilt, so one poisoned join cannot corrupt the
+	// next document's evaluation.
 	workers := e.workers
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
 	top := newTopK(k)
 	var evaluated, pruned atomic.Int64
-	chans := make([]chan docJob, workers)
+	chunkCap := workers * e.queue / dispatchChunk
+	if chunkCap < 1 {
+		chunkCap = 1
+	}
+	jobs := make(chan []docJob, chunkCap)
 	var wg sync.WaitGroup
-	for w := range chans {
-		chans[w] = make(chan docJob, e.queue)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(jobs <-chan docJob) {
+		go func() {
 			defer wg.Done()
 			kern := buildKernel(q.Join, e)
-			for jb := range jobs {
-				e.counters.queueDepth.Add(-1)
-				// Drain without evaluating once the query is out of
-				// time; those documents count as unevaluated.
-				if ctx.Err() != nil {
-					continue
-				}
-				// Re-screen against the floor: it may have risen since
-				// the dispatcher enqueued this document. Strictly
-				// below only — a bound equal to the floor can still
-				// win its tie-break on document id.
-				if jb.bound < top.Floor() {
-					pruned.Add(1)
-					e.counters.prunedDocs.Add(1)
-					continue
-				}
-				if kern == nil { // last build panicked: retry per job
-					kern = buildKernel(q.Join, e)
-					if kern == nil {
+			fetch := make([]blockFetch, nc)
+			for i := range fetch {
+				fetch[i].blk = -1
+			}
+			for chunk := range jobs {
+				e.counters.queueDepth.Add(-int64(len(chunk)))
+				// The floor is loaded once per chunk and refreshed only
+				// after an offer could have raised it. A stale floor is
+				// sound: the floor only rises, so staleness prunes
+				// less, never more. Strictly-below only — a bound equal
+				// to the floor can still win its tie-break on document
+				// id.
+				floor := top.Floor()
+				for _, jb := range chunk {
+					// Drain without evaluating once the query is out of
+					// time; those documents count as unevaluated.
+					if ctx.Err() != nil {
+						continue
+					}
+					if jb.bound < floor {
+						pruned.Add(1)
+						e.counters.prunedDocs.Add(1)
+						continue
+					}
+					if !e.fillBlockLists(qs, cds, jb, fetch) {
+						// Block decode failure: drop this document only.
 						qs.fail()
 						continue
 					}
-				}
-				set, score, ok, panicked := safeJoin(kern, jb.lists)
-				e.counters.joinsRun.Add(1)
-				if panicked {
-					e.counters.joinPanics.Add(1)
-					qs.fail()
-					kern = nil // poisoned scratch: rebuild before reuse
-					continue
-				}
-				e.counters.docsEvaluated.Add(1)
-				evaluated.Add(1)
-				if ok && !math.IsNaN(score) {
-					top.offer(jb.doc, score, set)
+					if kern == nil { // last build panicked: retry per job
+						kern = buildKernel(q.Join, e)
+						if kern == nil {
+							qs.fail()
+							continue
+						}
+					}
+					set, score, ok, panicked := safeJoin(kern, jb.lists)
+					e.counters.joinsRun.Add(1)
+					if panicked {
+						e.counters.joinPanics.Add(1)
+						qs.fail()
+						kern = nil // poisoned scratch: rebuild before reuse
+						continue
+					}
+					e.counters.docsEvaluated.Add(1)
+					evaluated.Add(1)
+					if ok && !math.IsNaN(score) {
+						top.offer(jb.doc, score, set)
+						floor = top.Floor()
+					}
 				}
 			}
-		}(chans[w])
+		}()
 	}
 
-	// One flat backing array for every job's lists header: per-document
-	// jobs slice into it instead of allocating.
+	// One flat backing array for every job's lists header, and one for
+	// the jobs themselves: chunks are subslices of jobsBacking (which
+	// never grows past its capacity), so dispatch allocates nothing
+	// per chunk and the slices workers receive are never reallocated
+	// under them.
 	backing := make(match.Lists, len(candidates)*nc)
+	jobsBacking := make([]docJob, 0, len(candidates))
+	pending := 0 // jobs appended but not yet shipped
+	ship := func() bool {
+		chunk := jobsBacking[len(jobsBacking)-pending:]
+		select {
+		case jobs <- chunk:
+			e.counters.queueDepth.Add(int64(len(chunk)))
+			pending = 0
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	flushFloor := top.Floor()
 dispatch:
 	for oi := 0; oi < len(candidates); oi++ {
-		// Stop assembling (and possibly decoding) lists for a query
-		// nobody is waiting on anymore.
-		if oi&31 == 0 && ctx.Err() != nil {
-			break dispatch
+		if oi&31 == 0 {
+			// Stop assembling (and possibly decoding) lists for a
+			// query nobody is waiting on anymore, and refresh the
+			// dispatcher's floor on the same coarse stride.
+			if ctx.Err() != nil {
+				break dispatch
+			}
+			flushFloor = top.Floor()
 		}
 		i := oi
 		bound := math.Inf(1)
@@ -497,7 +585,7 @@ dispatch:
 			// is strictly below the current floor cannot displace any
 			// kept document (the floor only rises), so skipping its
 			// join — and its match-list assembly — loses nothing.
-			if bound < top.Floor() {
+			if bound < flushFloor {
 				pruned.Add(1)
 				e.counters.prunedDocs.Add(1)
 				continue
@@ -507,6 +595,9 @@ dispatch:
 		lists := backing[i*nc : (i+1)*nc : (i+1)*nc]
 		assembled := true
 		for j, cd := range cds {
+			if cd.blocks != nil {
+				continue // workers fill block-served lists lazily
+			}
 			l, ok := e.list(qs, cd, doc)
 			if !ok {
 				if qs.cancelled {
@@ -522,23 +613,43 @@ dispatch:
 		if !assembled {
 			continue
 		}
-		select {
-		case chans[doc%workers] <- docJob{doc: doc, bound: bound, lists: lists}:
-			e.counters.queueDepth.Add(1)
-		case <-ctx.Done():
-			break dispatch
+		jobsBacking = append(jobsBacking, docJob{doc: doc, bound: bound, lists: lists})
+		if pending++; pending == dispatchChunk {
+			if !ship() {
+				break dispatch
+			}
 		}
 	}
-	for _, ch := range chans {
-		close(ch)
+	if pending > 0 {
+		ship()
 	}
+	close(jobs)
 	wg.Wait()
+
+	// Candidate blocks no worker ever fetched were pruned below
+	// decode: their bytes were never touched.
+	for _, cd := range cds {
+		if cd.blocks == nil {
+			continue
+		}
+		skipped := 0
+		for w := range cd.cand {
+			skipped += bits.OnesCount64(cd.cand[w] &^ cd.fetched[w].Load())
+		}
+		e.counters.blocksSkipped.Add(uint64(skipped))
+	}
 
 	res.Docs = top.results()
 	res.Evaluated = int(evaluated.Load())
 	res.Pruned = int(pruned.Load())
 	return e.finish(qs, res, start), nil
 }
+
+// dispatchChunk is the dispatcher's batching factor: candidates ship
+// to workers this many at a time. Large enough to amortize channel
+// and atomic-floor costs, small enough that the floor the workers
+// hold never goes badly stale.
+const dispatchChunk = 32
 
 // finish folds the query state into the result and updates the
 // outcome counters.
@@ -632,23 +743,44 @@ type conceptData struct {
 	// local holds this query's freshly decoded lists; nil until the
 	// concept has been decoded (cache hits avoid it entirely).
 	local map[int]match.List
+	// Block mode (blockpath.go): blocks replaces docs/maxSc/local
+	// entirely. cand marks blocks that contributed candidates (written
+	// only by the dispatcher goroutine during intersection); fetched
+	// marks blocks some worker actually obtained (hit or decode) —
+	// atomics, because workers race on them.
+	blocks  *blockSet
+	cand    []uint64
+	fetched []atomic.Uint64
 }
 
-// conceptData resolves a concept to its candidate documents and
-// per-document maxima: from the concept cache when possible, from
-// precomputed index metadata (index.Compact.ConceptMeta) next — which
-// costs a doc-level decode instead of a full posting decode — and by
-// decoding postings otherwise. Hits and misses land in the
-// concept-cache counters.
+// conceptData resolves a concept for this query: from the concept
+// cache when possible; else its block skip table
+// (index.Compact.ConceptBlocks) — the representation that defers all
+// match decoding to the workers; else precomputed doc-max metadata
+// (index.Compact.ConceptMeta), which costs a doc-level decode instead
+// of a full posting decode; else by decoding postings corpus-wide.
+// Hits and misses land in the concept-cache counters.
 func (e *Engine) conceptData(qs *queryState, c index.Concept) *conceptData {
 	cd := &conceptData{concept: c, fp: index.ConceptKey(c)}
 	if ce, ok := e.concepts.Get(conceptKey{epoch: qs.epoch, fp: cd.fp}); ok &&
 		!faultinject.ForceMiss(faultinject.ConceptCacheMiss) {
 		e.counters.conceptHits.Add(1)
-		cd.docs, cd.maxSc = ce.docs, ce.maxSc
+		if ce.blocks != nil {
+			cd.setBlocks(ce.blocks)
+		} else {
+			cd.docs, cd.maxSc = ce.docs, ce.maxSc
+		}
 		return cd
 	}
 	e.counters.conceptMisses.Add(1)
+	if bs, ok := e.conceptBlocks(qs, cd); ok {
+		cd.setBlocks(bs)
+		e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{blocks: bs})
+		return cd
+	}
+	if cd.failed {
+		return cd
+	}
 	if docs, maxSc, ok := e.conceptMeta(qs, cd, c); ok {
 		cd.docs, cd.maxSc = docs, maxSc
 		e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxSc})
@@ -689,10 +821,10 @@ func (e *Engine) list(qs *queryState, cd *conceptData, doc int) (match.List, boo
 	if cd.local != nil {
 		return cd.local[doc], true
 	}
-	if l, ok := e.lists.Get(listKey{epoch: qs.epoch, doc: doc, fp: cd.fp}); ok &&
+	if ent, ok := e.lists.Get(listKey{epoch: qs.epoch, doc: doc, fp: cd.fp}); ok &&
 		!faultinject.ForceMiss(faultinject.ListCacheMiss) {
 		e.counters.listHits.Add(1)
-		return l, true
+		return ent.list, true
 	}
 	e.counters.listMisses.Add(1)
 	if !e.decode(qs, cd) {
@@ -760,7 +892,7 @@ func (e *Engine) decode(qs *queryState, cd *conceptData) (ok bool) {
 		cd.local[curDoc] = l
 		docs = append(docs, curDoc)
 		maxs = append(maxs, curMax)
-		e.lists.Put(listKey{epoch: qs.epoch, doc: curDoc, fp: cd.fp}, l)
+		e.lists.Put(listKey{epoch: qs.epoch, doc: curDoc, fp: cd.fp}, listEntry{list: l})
 		begin = len(flat)
 		curMax = math.Inf(-1)
 	}
@@ -818,60 +950,3 @@ func (e *Engine) decode(qs *queryState, cd *conceptData) (ok bool) {
 	return true
 }
 
-// intersectMax returns the documents present in every concept's
-// candidate list by a k-pointer walk over the sorted lists, together
-// with the per-list maximum match scores of every surviving document,
-// flattened document-major: perListMax[i*len(cds)+j] is concept j's
-// maximum score in the i-th candidate. perListMax is nil when any
-// concept lacks maxima.
-func intersectMax(cds []*conceptData) (docs []int, perListMax []float64) {
-	if len(cds) == 0 {
-		return nil, nil
-	}
-	withMax := true
-	for _, cd := range cds {
-		if cd.maxSc == nil && len(cd.docs) > 0 {
-			withMax = false
-			break
-		}
-	}
-	ptrs := make([]int, len(cds))
-	i0 := 0
-	first := cds[0].docs
-	for i0 < len(first) {
-		d := first[i0]
-		aligned := true
-		for j := 1; j < len(cds); j++ {
-			dj := cds[j].docs
-			p := ptrs[j]
-			for p < len(dj) && dj[p] < d {
-				p++
-			}
-			ptrs[j] = p
-			if p == len(dj) {
-				return docs, perListMax // some list exhausted: done
-			}
-			if dj[p] != d {
-				// d is missing from list j; fast-forward the first
-				// list to j's current document and restart the row.
-				for i0 < len(first) && first[i0] < dj[p] {
-					i0++
-				}
-				aligned = false
-				break
-			}
-		}
-		if !aligned {
-			continue
-		}
-		docs = append(docs, d)
-		if withMax {
-			perListMax = append(perListMax, cds[0].maxSc[i0])
-			for j := 1; j < len(cds); j++ {
-				perListMax = append(perListMax, cds[j].maxSc[ptrs[j]])
-			}
-		}
-		i0++
-	}
-	return docs, perListMax
-}

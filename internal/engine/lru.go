@@ -10,11 +10,21 @@ import (
 // per-concept candidate document sets. Both are read and written from
 // Search, which may run concurrently from many goroutines, so every
 // operation takes the lock.
+//
+// Eviction is by entry count (cap) and, when a cost function is
+// installed (newLRUBytes), additionally by total cost: cached match
+// lists vary by orders of magnitude in size, so an entry-count cap
+// alone can pin anywhere from kilobytes to gigabytes. The byte bound
+// is hard — eviction runs until the total fits, even if that evicts
+// the entry just inserted — so the cache can never exceed it.
 type lruCache[K comparable, V any] struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recently used
-	items map[K]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64         // 0 = unbounded (entry-count mode only)
+	cost     func(V) int64 // nil when maxBytes == 0
+	bytes    int64         // current total cost
+	order    *list.List    // front = most recently used
+	items    map[K]*list.Element
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -30,6 +40,15 @@ func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
 	}
 }
 
+// newLRUBytes is newLRU with an additional total-cost bound: cost is
+// charged per value on insert and refunded on eviction.
+func newLRUBytes[K comparable, V any](capacity int, maxBytes int64, cost func(V) int64) *lruCache[K, V] {
+	c := newLRU[K, V](capacity)
+	c.maxBytes = maxBytes
+	c.cost = cost
+	return c
+}
+
 // Get returns the cached value and marks it most recently used.
 func (c *lruCache[K, V]) Get(k K) (V, bool) {
 	c.mu.Lock()
@@ -43,21 +62,39 @@ func (c *lruCache[K, V]) Get(k K) (V, bool) {
 	return el.Value.(*lruEntry[K, V]).val, true
 }
 
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when over capacity.
+// Put inserts or refreshes a value, evicting least recently used
+// entries while over the entry cap or the byte bound.
 func (c *lruCache[K, V]) Put(k K, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
-		el.Value.(*lruEntry[K, V]).val = v
+		ent := el.Value.(*lruEntry[K, V])
+		if c.cost != nil {
+			c.bytes += c.cost(v) - c.cost(ent.val)
+		}
+		ent.val = v
 		c.order.MoveToFront(el)
+		c.evict()
 		return
 	}
+	if c.cost != nil {
+		c.bytes += c.cost(v)
+	}
 	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
-	for c.order.Len() > c.cap {
+	c.evict()
+}
+
+// evict drops least-recently-used entries until both bounds hold.
+// Called with mu held.
+func (c *lruCache[K, V]) evict() {
+	for c.order.Len() > 0 && (c.order.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+		ent := oldest.Value.(*lruEntry[K, V])
+		if c.cost != nil {
+			c.bytes -= c.cost(ent.val)
+		}
+		delete(c.items, ent.key)
 	}
 }
 
@@ -68,10 +105,19 @@ func (c *lruCache[K, V]) Len() int {
 	return c.order.Len()
 }
 
+// Bytes returns the current total cost of cached entries; always 0 in
+// entry-count mode (no cost function to account with).
+func (c *lruCache[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Reset drops every entry (used by benchmarks to measure cold paths).
 func (c *lruCache[K, V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.order.Init()
 	clear(c.items)
+	c.bytes = 0
 }

@@ -37,6 +37,11 @@ type counters struct {
 	shed           atomic.Uint64
 	indexReloads   atomic.Uint64
 	queueDepth     atomic.Int64
+	// Block-max skip layer: blockDecodes counts posting blocks actually
+	// decoded by workers; blocksSkipped counts candidate blocks whose
+	// block-max bound let the query finish without ever decoding them.
+	blockDecodes  atomic.Uint64
+	blocksSkipped atomic.Uint64
 }
 
 // histBuckets is the number of latency buckets: bucket i counts
@@ -133,7 +138,16 @@ type Stats struct {
 	InFlight        int
 	QueueDepth      int
 	CachedLists     int // current entries in the match-list cache
-	QueryLatency    LatencyHistogram
+	// Block-max skip layer. BlockDecodes counts posting blocks decoded
+	// by join workers (the lazy per-block decode path); BlocksSkipped
+	// counts candidate blocks never decoded because their block-max
+	// score upper bound fell strictly below the top-k floor. CacheBytes
+	// is the match-list cache's accounted size — non-zero only when
+	// Config.CacheBytes puts the cache in byte-cost mode.
+	BlockDecodes  uint64
+	BlocksSkipped uint64
+	CacheBytes    int64
+	QueryLatency  LatencyHistogram
 }
 
 // Stats returns a consistent-enough snapshot of the engine's counters.
@@ -167,6 +181,9 @@ func (e *Engine) Stats() Stats {
 		InFlight:        len(e.sem),
 		QueueDepth:      int(e.counters.queueDepth.Load()),
 		CachedLists:     e.lists.Len(),
+		BlockDecodes:    e.counters.blockDecodes.Load(),
+		BlocksSkipped:   e.counters.blocksSkipped.Load(),
+		CacheBytes:      e.lists.Bytes(),
 		QueryLatency:    e.latency.snapshot(),
 	}
 }

@@ -139,6 +139,7 @@ func DecodePostings(b []byte) ([]Posting, error) {
 type Compact struct {
 	postings map[string][]byte
 	meta     map[uint64][]byte // ConceptKey → EncodeDocMax buffer
+	blocks   map[uint64][]byte // ConceptKey → EncodeBlocks buffer
 	docs     int
 }
 

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"bestjoin/internal/match"
 )
 
 // FuzzDecodePostings ensures posting decompression never panics on
@@ -114,6 +116,101 @@ func FuzzDecodeDocMax(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBlocks ensures the block-partitioned posting decode path
+// never panics on arbitrary bytes, that accepted tables respect every
+// documented invariant (ascending disjoint block ranges, bounded ids
+// and positions, finite ascending palette, truthful block maxima —
+// the soundness-critical one for block-max pruning), and that
+// accepted content round-trips through EncodeBlocks.
+func FuzzDecodeBlocks(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBlocks([]int{0}, []match.List{{{Loc: 0, Score: 1}}}, 0))
+	f.Add(EncodeBlocks(
+		[]int{1, 2, 5, 9},
+		[]match.List{
+			{{Loc: 3, Score: 0.5}, {Loc: 7, Score: 1.0}},
+			{{Loc: 1, Score: 0.5}},
+			{{Loc: 2, Score: 1.0}},
+			{{Loc: 4, Score: -0.25}, {Loc: 5, Score: 0.5}},
+		}, 2))
+	// Crafted overflow: a palette count of MaxUint64 must be bounded
+	// before it can drive a huge allocation.
+	f.Add(binary.AppendUvarint(nil, math.MaxUint64))
+	// NaN palette bits: must be rejected, never compared against.
+	nan := binary.AppendUvarint(nil, 1)
+	f.Add(binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.NaN())))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bt, err := DecodeBlocks(data)
+		if err != nil || bt == nil {
+			return
+		}
+		prevLast := -1
+		var docs []int
+		var lists []match.List
+		for i := range bt.Infos {
+			info := bt.Infos[i]
+			if info.FirstDoc <= prevLast || info.FirstDoc > info.LastDoc || info.LastDoc > MaxDocID {
+				t.Fatalf("block %d range invalid: %+v after last %d", i, info, prevLast)
+			}
+			prevLast = info.LastDoc
+			d, l, err := bt.DecodeBlock(i)
+			if err != nil {
+				continue // skip-table ok but payload hostile: rejected, fine
+			}
+			max := math.Inf(-1)
+			prevDoc := info.FirstDoc - 1
+			for j := range d {
+				if d[j] <= prevDoc || d[j] > info.LastDoc {
+					t.Fatalf("block %d doc %d out of order or range", i, d[j])
+				}
+				prevDoc = d[j]
+				prevPos := -1
+				for _, m := range l[j] {
+					if m.Loc <= prevPos || m.Loc > MaxPosition {
+						t.Fatalf("block %d doc %d positions invalid", i, d[j])
+					}
+					prevPos = m.Loc
+					if math.IsNaN(m.Score) || math.IsInf(m.Score, 0) {
+						t.Fatalf("non-finite score accepted")
+					}
+					if m.Score > max {
+						max = m.Score
+					}
+				}
+			}
+			if max != info.MaxScore {
+				t.Fatalf("block %d MaxScore %v disagrees with content max %v", i, info.MaxScore, max)
+			}
+			docs = append(docs, d...)
+			lists = append(lists, l...)
+		}
+		if bt.Validate() != nil {
+			return // some block rejected above: no round-trip contract
+		}
+		// Fully valid tables must round-trip through the encoder.
+		again, err := DecodeBlocks(EncodeBlocks(docs, lists, BlockSize))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var docsAgain []int
+		for i := range again.Infos {
+			d, _, err := again.DecodeBlock(i)
+			if err != nil {
+				t.Fatalf("re-decode block %d: %v", i, err)
+			}
+			docsAgain = append(docsAgain, d...)
+		}
+		if len(docsAgain) != len(docs) {
+			t.Fatalf("round trip changed doc count: %d vs %d", len(docsAgain), len(docs))
+		}
+		for i := range docs {
+			if docs[i] != docsAgain[i] {
+				t.Fatalf("round trip changed doc %d", i)
+			}
+		}
+	})
+}
+
 // FuzzLoadCompact ensures index deserialization never panics, on
 // both the framed and the legacy layout.
 func FuzzLoadCompact(f *testing.F) {
@@ -142,6 +239,7 @@ func FuzzLoadFile(f *testing.F) {
 	ix.AddText(2, "beta delta")
 	c := ix.Compact()
 	c.AddConceptMeta(Concept{"alpha": 1, "beta": 0.5})
+	c.AddConceptBlocks(Concept{"alpha": 1, "beta": 0.5})
 	f.Add(c.Marshal())
 	f.Add(c.marshalLegacy())
 	f.Add([]byte(frameMagic))
@@ -165,9 +263,11 @@ func FuzzLoadFile(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-load of accepted index failed: %v", err)
 		}
-		if re.Docs() != loaded.Docs() || re.ConceptMetaCount() != loaded.ConceptMetaCount() {
-			t.Fatalf("round trip changed the index: docs %d/%d meta %d/%d",
-				re.Docs(), loaded.Docs(), re.ConceptMetaCount(), loaded.ConceptMetaCount())
+		if re.Docs() != loaded.Docs() || re.ConceptMetaCount() != loaded.ConceptMetaCount() ||
+			re.ConceptBlocksCount() != loaded.ConceptBlocksCount() {
+			t.Fatalf("round trip changed the index: docs %d/%d meta %d/%d blocks %d/%d",
+				re.Docs(), loaded.Docs(), re.ConceptMetaCount(), loaded.ConceptMetaCount(),
+				re.ConceptBlocksCount(), loaded.ConceptBlocksCount())
 		}
 	})
 }

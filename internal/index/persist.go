@@ -27,7 +27,9 @@ import (
 // varint-packed buffer of compress.go. Section 2, present only when
 // concept max-score metadata is registered (meta.go), holds
 // varint(#concepts), then per concept (sorted by key) uint64le(key)
-// varint(len(meta)) meta.
+// varint(len(meta)) meta. Section 3, present only when
+// block-partitioned concept postings are registered (blocks.go), has
+// the same per-concept shape with EncodeBlocks buffers as values.
 //
 // LoadCompact still accepts the pre-framing layout (the two payloads
 // concatenated with no magic, no checksums), so indexes marshaled
@@ -43,6 +45,7 @@ const (
 
 	secPostings = 1 // posting payload: docs header + term table
 	secMeta     = 2 // optional concept max-score metadata
+	secBlocks   = 3 // optional block-partitioned concept postings
 )
 
 // castagnoli is the CRC32-C polynomial table — the checksum flavor
@@ -60,16 +63,23 @@ var ErrCorrupt = errors.New("index: corrupt framed index")
 func (c *Compact) Marshal() []byte {
 	postings := c.marshalPostings()
 	meta := c.marshalMeta()
-	buf := append(make([]byte, 0, len(postings)+len(meta)+32), frameMagic...)
+	blocks := c.marshalBlocks()
+	buf := append(make([]byte, 0, len(postings)+len(meta)+len(blocks)+32), frameMagic...)
 	buf = append(buf, frameVersion)
 	nsec := uint64(1)
 	if meta != nil {
-		nsec = 2
+		nsec++
+	}
+	if blocks != nil {
+		nsec++
 	}
 	buf = binary.AppendUvarint(buf, nsec)
 	buf = appendSection(buf, secPostings, postings)
 	if meta != nil {
 		buf = appendSection(buf, secMeta, meta)
+	}
+	if blocks != nil {
+		buf = appendSection(buf, secBlocks, blocks)
 	}
 	return buf
 }
@@ -122,6 +132,29 @@ func (c *Compact) marshalMeta() []byte {
 	return buf
 }
 
+// marshalBlocks builds the block-partitioned-postings payload
+// (section 3), nil when no concept blocks are registered. Same shape
+// as the metadata section: varint(#concepts), then per concept
+// (sorted by key for determinism) uint64le(key) varint(len) buffer.
+func (c *Compact) marshalBlocks() []byte {
+	if len(c.blocks) == 0 {
+		return nil
+	}
+	keys := make([]uint64, 0, len(c.blocks))
+	for k := range c.blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		b := c.blocks[k]
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
 // marshalLegacy emits the pre-framing layout: the two payloads
 // concatenated bare. Kept (unexported) so tests can pin that
 // LoadCompact still reads indexes marshaled before the framing change.
@@ -157,11 +190,11 @@ func loadFramed(b []byte) (*Compact, error) {
 	}
 	b = b[1:]
 	nsec, n := binary.Uvarint(b)
-	if n <= 0 || nsec == 0 || nsec > 2 {
+	if n <= 0 || nsec == 0 || nsec > 3 {
 		return nil, fmt.Errorf("%w: bad section count", ErrCorrupt)
 	}
 	b = b[n:]
-	var postings, meta []byte
+	var postings, meta, blocks []byte
 	prevID := byte(0)
 	for i := uint64(0); i < nsec; i++ {
 		if len(b) == 0 {
@@ -169,7 +202,7 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		id := b[0]
 		b = b[1:]
-		if id <= prevID || id > secMeta {
+		if id <= prevID || id > secBlocks {
 			return nil, fmt.Errorf("%w: bad section id %d", ErrCorrupt, id)
 		}
 		prevID = id
@@ -193,6 +226,8 @@ func loadFramed(b []byte) (*Compact, error) {
 			postings = payload
 		case secMeta:
 			meta = payload
+		case secBlocks:
+			blocks = payload
 		}
 	}
 	if len(b) != 0 {
@@ -215,6 +250,15 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in meta section", ErrCorrupt, len(rest))
+		}
+	}
+	if blocks != nil {
+		rest, err := parseBlocks(c, blocks)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in blocks section", ErrCorrupt, len(rest))
 		}
 	}
 	return c, nil
@@ -319,6 +363,51 @@ func parseMeta(c *Compact, b []byte) ([]byte, error) {
 			return nil, fmt.Errorf("index: invalid concept meta %d: %v", i, err)
 		}
 		c.meta[key] = meta
+	}
+	return b, nil
+}
+
+// parseBlocks decodes the block-partitioned-postings payload into c,
+// returning the unconsumed remainder. Every block of every concept is
+// fully decoded here — the same eager-validation stance as postings
+// and metadata, so ConceptBlocks can treat decode failure as memory
+// corruption.
+func parseBlocks(c *Compact, b []byte) ([]byte, error) {
+	nBlk, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt concept-blocks count")
+	}
+	b = b[n:]
+	// Each concept costs at least 9 bytes (8-byte key, length byte).
+	if nBlk > uint64(len(b))/9 {
+		return nil, fmt.Errorf("index: concept-blocks count %d exceeds buffer", nBlk)
+	}
+	c.blocks = make(map[uint64][]byte, nBlk)
+	for i := uint64(0); i < nBlk; i++ {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("index: truncated concept-blocks key %d", i)
+		}
+		key := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		blen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < blen {
+			return nil, fmt.Errorf("index: corrupt concept blocks %d", i)
+		}
+		b = b[n:]
+		blk := make([]byte, blen)
+		copy(blk, b[:blen])
+		b = b[blen:]
+		bt, err := DecodeBlocks(blk)
+		if err != nil {
+			return nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
+		}
+		if err := bt.Validate(); err != nil {
+			return nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
+		}
+		if bt == nil {
+			continue // zero-length buffer: nothing to serve
+		}
+		c.blocks[key] = blk
 	}
 	return b, nil
 }

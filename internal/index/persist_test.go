@@ -57,8 +57,9 @@ func TestLoadCompactCorrupt(t *testing.T) {
 	}
 }
 
-// framedTestIndex builds a small index with concept metadata, so its
-// Marshal carries both sections.
+// framedTestIndex builds a small index with concept metadata and
+// block-partitioned concept postings, so its Marshal carries all
+// three sections.
 func framedTestIndex(t *testing.T) *Compact {
 	t.Helper()
 	ix := New()
@@ -68,6 +69,8 @@ func framedTestIndex(t *testing.T) *Compact {
 	c := ix.Compact()
 	c.AddConceptMeta(Concept{"lenovo": 1, "dell": 0.9})
 	c.AddConceptMeta(Concept{"nba": 1, "olympics": 0.8, "basketball": 0.7})
+	c.AddConceptBlocksSized(Concept{"lenovo": 1, "dell": 0.9}, 2)
+	c.AddConceptBlocks(Concept{"nba": 1, "olympics": 0.8, "basketball": 0.7})
 	return c
 }
 
@@ -92,6 +95,17 @@ func TestMarshalIsFramed(t *testing.T) {
 	docs, maxSc, ok := loaded.ConceptMeta(Concept{"lenovo": 1, "dell": 0.9})
 	if !ok || len(docs) == 0 || len(docs) != len(maxSc) {
 		t.Fatalf("concept meta did not survive the round trip: ok=%v docs=%v", ok, docs)
+	}
+	if loaded.ConceptBlocksCount() != c.ConceptBlocksCount() {
+		t.Fatalf("blocks count %d, want %d", loaded.ConceptBlocksCount(), c.ConceptBlocksCount())
+	}
+	bt, ok := loaded.ConceptBlocks(Concept{"lenovo": 1, "dell": 0.9})
+	if !ok || bt.NumBlocks() == 0 {
+		t.Fatalf("concept blocks did not survive the round trip: ok=%v", ok)
+	}
+	want, _ := c.ConceptBlocks(Concept{"lenovo": 1, "dell": 0.9})
+	if bt.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("blocks changed across the round trip: %d vs %d", bt.NumBlocks(), want.NumBlocks())
 	}
 }
 

@@ -15,3 +15,30 @@ func CorruptPostingsForTest(c *Compact, word string) {
 		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
 	}
 }
+
+// CorruptConceptBlocksForTest replaces a concept's registered block
+// buffer with bytes DecodeBlocks rejects, so ConceptBlocks panics —
+// the in-memory corruption the engine's block-table lookup must
+// contain. Not for production use.
+func CorruptConceptBlocksForTest(c *Compact, concept Concept) {
+	c.blocks[ConceptKey(concept)] = []byte{
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+	}
+}
+
+// CorruptConceptBlockPayloadForTest overwrites the payload area of a
+// concept's registered block buffer while leaving the palette and
+// skip table intact: ConceptBlocks still succeeds, but any per-block
+// directory or match-area decode fails. Exercises the engine's lazy
+// per-block failure paths. Not for production use.
+func CorruptConceptBlockPayloadForTest(c *Compact, concept Concept) {
+	b := c.blocks[ConceptKey(concept)]
+	bt, err := DecodeBlocks(b)
+	if err != nil || bt == nil {
+		panic("CorruptConceptBlockPayloadForTest: buffer must start valid")
+	}
+	last := bt.Infos[len(bt.Infos)-1]
+	for i := len(b) - (last.Off + last.Len); i < len(b); i++ {
+		b[i] = 0xff
+	}
+}

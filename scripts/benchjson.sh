@@ -22,22 +22,25 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines to JSON.
 # Custom b.ReportMetric units ride along when present: pruneddocs/op
 # and joins/op from the pruning benchmark, shed/op from the admission
-# control benchmark. The cached BenchmarkEngine path doubles as the
-# panic-recovery overhead gauge — the recover() wrappers sit on every
-# join, so any regression shows up directly against the baseline (the
-# budget is <1%).
+# control benchmark, and blocksskipped/op + blockdecodes/op from the
+# cold benchmark (the block-max skip layer's decode-avoidance rate).
+# The cached BenchmarkEngine path doubles as the panic-recovery
+# overhead gauge — the recover() wrappers sit on every join, so any
+# regression shows up directly against the baseline (the budget is <1%).
 bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = ""
         for (i = 2; i <= NF; i++) {
-            if ($i == "ns/op")          ns = $(i - 1)
-            if ($i == "B/op")           bytes = $(i - 1)
-            if ($i == "allocs/op")      allocs = $(i - 1)
-            if ($i == "pruneddocs/op")  pruned = $(i - 1)
-            if ($i == "joins/op")       joins = $(i - 1)
-            if ($i == "shed/op")        shed = $(i - 1)
+            if ($i == "ns/op")             ns = $(i - 1)
+            if ($i == "B/op")              bytes = $(i - 1)
+            if ($i == "allocs/op")         allocs = $(i - 1)
+            if ($i == "pruneddocs/op")     pruned = $(i - 1)
+            if ($i == "joins/op")          joins = $(i - 1)
+            if ($i == "shed/op")           shed = $(i - 1)
+            if ($i == "blocksskipped/op")  bskip = $(i - 1)
+            if ($i == "blockdecodes/op")   bdec = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -46,6 +49,8 @@ bench_to_json() {
         if (pruned != "") rec = rec sprintf(", \"pruneddocs_per_op\": %s", pruned)
         if (joins != "")  rec = rec sprintf(", \"joins_per_op\": %s", joins)
         if (shed != "")   rec = rec sprintf(", \"shed_per_op\": %s", shed)
+        if (bskip != "")  rec = rec sprintf(", \"blocksskipped_per_op\": %s", bskip)
+        if (bdec != "")   rec = rec sprintf(", \"blockdecodes_per_op\": %s", bdec)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }

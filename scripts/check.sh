@@ -23,6 +23,13 @@ go test -race ./...
 echo "== go test -race -tags faultinject (chaos) =="
 go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/
 
+# Allocation ceiling: the warm-cache query path must stay under a
+# fixed allocs/op budget (testing.AllocsPerRun inside the test). Run
+# without -race — the race runtime adds allocations of its own and
+# would make the ceiling meaningless.
+echo "== cached-path allocation ceiling =="
+go test -count=1 -run TestEngineCachedAllocCeiling ./internal/engine/
+
 # Known-vulnerability scan, when the tool is installed (the CI image
 # may not ship it; the gate must not fail on a missing scanner).
 if command -v govulncheck >/dev/null 2>&1; then
