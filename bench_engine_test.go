@@ -303,3 +303,82 @@ func TestEnginePublicAPI(t *testing.T) {
 		t.Errorf("stats: %+v", st)
 	}
 }
+
+// engineBenchUnionQuery evaluates the main benchmark query's concepts
+// as a ranked union: any concept may match, so the candidate space is
+// near the whole corpus — exactly the regime where WAND pivot skipping
+// pays or the union path drowns in joins. The family is the additive
+// SumMAX: under the product families a single strong list caps every
+// union bound at ~its own maximum, so no pivot can fall below a floor
+// built from multi-concept matches and WAND degenerates to exhaustive
+// (soundly, but with nothing to measure). Additive scoring is where
+// the bound separates partial matches from full ones.
+func engineBenchUnionQuery() bestjoin.EngineQuery {
+	q := engineBenchQuery()
+	q.Mode = bestjoin.ModeOR
+	q.Join = bestjoin.JoinMAX(bestjoin.SumMAX{Alpha: 0.1})
+	return q
+}
+
+// BenchmarkEngineUnion measures the disjunctive (block-max WAND) path:
+// the ranked union pruned vs exhaustive, plus an m-of-n middle point.
+// pivotskips/op and unioncandidates/op land in BENCH_engine.json via
+// scripts/benchjson.sh, so the skip rate is tracked across changes the
+// same way the conjunctive layer tracks pruneddocs/op.
+func BenchmarkEngineUnion(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchUnionQuery()
+
+	// Gate: the pruned union must be bitwise identical to the
+	// exhaustive one before its latency means anything.
+	pe := bestjoin.NewEngine(c, bestjoin.EngineConfig{})
+	ue := bestjoin.NewEngine(c, bestjoin.EngineConfig{DisablePruning: true})
+	rp, err := pe.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ru, err := ue.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rp.Docs) != len(ru.Docs) {
+		b.Fatalf("pruned union returned %d docs, unpruned %d", len(rp.Docs), len(ru.Docs))
+	}
+	for i := range rp.Docs {
+		if rp.Docs[i].Doc != ru.Docs[i].Doc || rp.Docs[i].Score != ru.Docs[i].Score {
+			b.Fatalf("rank %d differs: pruned (%d, %v) vs unpruned (%d, %v)", i,
+				rp.Docs[i].Doc, rp.Docs[i].Score, ru.Docs[i].Doc, ru.Docs[i].Score)
+		}
+	}
+
+	m2 := q
+	m2.MinMatch = 2
+	for _, bench := range []struct {
+		name string
+		cfg  bestjoin.EngineConfig
+		q    bestjoin.EngineQuery
+	}{
+		{"or/pruned", bestjoin.EngineConfig{CacheLists: 1 << 14}, q},
+		{"or/unpruned", bestjoin.EngineConfig{CacheLists: 1 << 14, DisablePruning: true}, q},
+		{"m2/pruned", bestjoin.EngineConfig{CacheLists: 1 << 14}, m2},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			e := bestjoin.NewEngine(c, bench.cfg)
+			if _, err := e.Search(context.Background(), bench.q); err != nil {
+				b.Fatal(err)
+			}
+			base := e.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Search(context.Background(), bench.q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := e.Stats()
+			b.ReportMetric(float64(st.PivotSkips-base.PivotSkips)/float64(b.N), "pivotskips/op")
+			b.ReportMetric(float64(st.UnionCandidates-base.UnionCandidates)/float64(b.N), "unioncandidates/op")
+		})
+	}
+}

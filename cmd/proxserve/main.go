@@ -12,6 +12,8 @@
 // ":quit" exits. With -http it serves HTTP instead:
 //
 //	GET /query?terms=a,b&k=5     top-k documents as JSON
+//	GET /query?terms=a,b&mode=or top-k ranked union (any term may match)
+//	GET /query?terms=a,b,c&m=2   m-of-n: documents matching ≥ 2 concepts
 //	GET /stats                   engine stats as JSON
 //	GET /debug/vars              expvar (includes bestjoin.engine)
 //	GET /debug/pprof/...         profiling endpoints (only with -pprof)
@@ -26,7 +28,10 @@
 // bodies are capped, and -max-inflight bounds concurrently admitted
 // queries — at the cap the engine queues briefly or, with -shed, fails
 // fast, and either way an overloaded query maps to HTTP 429 with a
-// Retry-After header rather than unbounded latency.
+// Retry-After header rather than unbounded latency. The Retry-After
+// value is derived from the current backlog and the observed query
+// drain rate (bounded to 1–30 seconds), so clients back off roughly
+// as long as the queue actually needs to clear.
 //
 // With -index the server loads a checksummed index file written by
 // -save (or CompactIndex.SaveFile) instead of indexing a corpus, and
@@ -48,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -56,6 +62,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -74,6 +81,8 @@ func main() {
 		cacheB  = flag.Int64("cache-bytes", 0, "additionally bound the match-list cache to this many bytes (0 = entries only)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
 		noprune = flag.Bool("noprune", false, "disable lossless max-score pruning (baseline mode)")
+		mode    = flag.String("mode", "and", "default query mode: and (every concept must match) or or (ranked union)")
+		minm    = flag.Int("min-match", 0, "disjunctive threshold: require at least this many concepts to match (0 = mode default)")
 		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
@@ -94,6 +103,10 @@ func main() {
 	if *shed {
 		overload = bestjoin.OverloadShed
 	}
+	qmode, err := parseMode(*mode)
+	if err != nil {
+		log.Fatalf("proxserve: %v", err)
+	}
 	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{
 		Workers:        *workers,
 		CacheLists:     *cache,
@@ -101,17 +114,20 @@ func main() {
 		DisablePruning: *noprune,
 		MaxInFlight:    *inflight,
 		Overload:       overload,
+		Mode:           qmode,
 	})
 	if err := eng.Publish("bestjoin.engine"); err != nil {
 		log.Printf("proxserve: %v", err)
 	}
 	srv := &server{
-		eng:     eng,
-		lex:     bestjoin.BuiltinLexicon(),
-		fn:      *fn,
-		alpha:   *alpha,
-		k:       *k,
-		timeout: *timeout,
+		eng:      eng,
+		lex:      bestjoin.BuiltinLexicon(),
+		fn:       *fn,
+		alpha:    *alpha,
+		k:        *k,
+		timeout:  *timeout,
+		mode:     qmode,
+		minMatch: *minm,
 	}
 	fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
 
@@ -280,16 +296,33 @@ func runServer(hs *http.Server, ln net.Listener, drain time.Duration) error {
 }
 
 type server struct {
-	eng     *bestjoin.Engine
-	lex     *bestjoin.Lexicon
-	fn      string
-	alpha   float64
-	k       int
-	timeout time.Duration
+	eng      *bestjoin.Engine
+	lex      *bestjoin.Lexicon
+	fn       string
+	alpha    float64
+	k        int
+	timeout  time.Duration
+	mode     bestjoin.QueryMode
+	minMatch int
+	done     drainRate
 }
 
-// query answers one comma-separated term list.
-func (s *server) query(terms string, k int) (*bestjoin.EngineResult, error) {
+// parseMode maps the -mode flag (and the mode HTTP parameter) onto a
+// QueryMode.
+func parseMode(s string) (bestjoin.QueryMode, error) {
+	switch s {
+	case "", "and":
+		return bestjoin.ModeAND, nil
+	case "or":
+		return bestjoin.ModeOR, nil
+	}
+	return bestjoin.ModeDefault, fmt.Errorf("unknown query mode %q (want and or or)", s)
+}
+
+// query answers one comma-separated term list under the given mode and
+// m-of-n threshold; successful completions feed the drain-rate
+// estimate behind Retry-After.
+func (s *server) query(terms string, k int, mode bestjoin.QueryMode, minMatch int) (*bestjoin.EngineResult, error) {
 	var concepts []bestjoin.Concept
 	for _, t := range strings.Split(terms, ",") {
 		t = strings.TrimSpace(t)
@@ -303,7 +336,76 @@ func (s *server) query(terms string, k int) (*bestjoin.EngineResult, error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
 	defer cancel()
-	return s.eng.Search(ctx, bestjoin.EngineQuery{Concepts: concepts, Join: s.joiner(), K: k})
+	res, err := s.eng.Search(ctx, bestjoin.EngineQuery{
+		Concepts: concepts, Join: s.joiner(), K: k, Mode: mode, MinMatch: minMatch,
+	})
+	if err == nil {
+		s.done.note(time.Now())
+	}
+	return res, err
+}
+
+// drainRate records the timestamps of recent query completions — a
+// small ring, lock-held only for the copy — so the server can estimate
+// how quickly the engine clears work.
+type drainRate struct {
+	mu   sync.Mutex
+	ring [32]time.Time
+	n    int
+}
+
+func (d *drainRate) note(t time.Time) {
+	d.mu.Lock()
+	d.ring[d.n%len(d.ring)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// interval returns the mean spacing between retained completions, or 0
+// when fewer than two have been observed (no estimate yet).
+func (d *drainRate) interval() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n < 2 {
+		return 0
+	}
+	k := d.n
+	if k > len(d.ring) {
+		k = len(d.ring)
+	}
+	newest := d.ring[(d.n-1)%len(d.ring)]
+	oldest := d.ring[(d.n-k)%len(d.ring)]
+	if !newest.After(oldest) {
+		return 0
+	}
+	return newest.Sub(oldest) / time.Duration(k-1)
+}
+
+// retryAfterSecs turns a backlog (queries admitted plus queued) and an
+// observed per-query drain interval into a Retry-After hint: roughly
+// how long the backlog needs to clear, bounded to [1, 30] seconds so
+// clients neither hammer an overloaded server (a flat "1" invites an
+// immediate stampede) nor abandon one that is seconds from healthy.
+// With no estimate yet the floor of 1 applies.
+func retryAfterSecs(backlog int, interval time.Duration) int {
+	if backlog <= 0 || interval <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil((time.Duration(backlog) * interval).Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
+// retryAfter derives the Retry-After header value from the engine's
+// current backlog and the observed drain rate.
+func (s *server) retryAfter() int {
+	st := s.eng.Stats()
+	return retryAfterSecs(st.InFlight+st.QueueDepth, s.done.interval())
 }
 
 // concept expands one query term through the lexical graph: the term
@@ -340,7 +442,7 @@ func (s *server) repl(in *os.File, out *os.File) {
 			b, _ := json.MarshalIndent(s.eng.Stats(), "", "  ")
 			fmt.Fprintln(out, string(b))
 		default:
-			res, err := s.query(line, s.k)
+			res, err := s.query(line, s.k, s.mode, s.minMatch)
 			if err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 				break
@@ -362,7 +464,7 @@ func printResult(out *os.File, res *bestjoin.EngineResult) {
 		fmt.Fprintf(out, "#%d doc %d  score %.4f  matchset %v\n", rank+1, d.Doc, d.Score, d.Set)
 	}
 	if len(res.Docs) == 0 {
-		fmt.Fprintln(out, "no documents contain every term")
+		fmt.Fprintln(out, "no documents matched the query")
 	}
 }
 
@@ -381,13 +483,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	res, err := s.query(terms, k)
+	mode := s.mode
+	if mq := r.URL.Query().Get("mode"); mq != "" {
+		m, err := parseMode(mq)
+		if err != nil {
+			http.Error(w, "bad mode parameter (want and or or)", http.StatusBadRequest)
+			return
+		}
+		mode = m
+	}
+	minMatch := s.minMatch
+	if mm := r.URL.Query().Get("m"); mm != "" {
+		n, err := strconv.Atoi(mm)
+		if err != nil || n < 0 {
+			http.Error(w, "bad m parameter", http.StatusBadRequest)
+			return
+		}
+		minMatch = n
+	}
+	res, err := s.query(terms, k, mode, minMatch)
 	if err != nil {
 		// Overload is the client's cue to back off and retry, not a bad
 		// request: 429 plus Retry-After, the contract load balancers and
-		// well-behaved clients already understand.
+		// well-behaved clients already understand. The hint scales with
+		// the backlog and the observed drain rate.
 		if errors.Is(err, bestjoin.ErrOverloaded) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			http.Error(w, "engine overloaded, retry later", http.StatusTooManyRequests)
 			return
 		}

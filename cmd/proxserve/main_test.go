@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -37,7 +38,7 @@ func demoServer(t *testing.T) *server {
 
 func TestQueryRanksDemoCorpus(t *testing.T) {
 	s := demoServer(t)
-	res, err := s.query("lenovo,nba,partnership", 3)
+	res, err := s.query("lenovo,nba,partnership", 3, s.mode, s.minMatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestQueryRanksDemoCorpus(t *testing.T) {
 	if res.Docs[0].Doc != 0 {
 		t.Errorf("top document %d, want 0", res.Docs[0].Doc)
 	}
-	if _, err := s.query(" , ", 3); err == nil {
+	if _, err := s.query(" , ", 3, s.mode, s.minMatch); err == nil {
 		t.Error("empty term list did not error")
 	}
 }
@@ -88,7 +89,7 @@ func TestREPLCommands(t *testing.T) {
 	// The REPL reads *os.File; exercise the command dispatch through
 	// query/stats directly plus a pipe-backed round trip.
 	s := demoServer(t)
-	if _, err := s.query("lenovo", 1); err != nil {
+	if _, err := s.query("lenovo", 1, s.mode, s.minMatch); err != nil {
 		t.Fatal(err)
 	}
 	st := s.eng.Stats()
@@ -114,7 +115,7 @@ func TestSynthCorpusDeterministicAndQueryable(t *testing.T) {
 	}
 	s := demoServer(t)
 	s.eng = bestjoin.NewEngine(ix.Compact(), bestjoin.EngineConfig{})
-	res, err := s.query("lenovo,nba,partnership", 5)
+	res, err := s.query("lenovo,nba,partnership", 5, s.mode, s.minMatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,5 +401,205 @@ func TestBuildIndexAndReloadSwap(t *testing.T) {
 	}
 	if st := eng.Stats(); st.IndexReloads != 1 {
 		t.Errorf("IndexReloads = %d, want 1", st.IndexReloads)
+	}
+}
+
+// TestRetryAfterSecs pins the backlog/drain-rate → Retry-After
+// mapping and its [1, 30] bounds.
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		backlog  int
+		interval time.Duration
+		want     int
+	}{
+		{0, time.Second, 1},            // nothing queued: immediate retry
+		{5, 0, 1},                      // no drain estimate yet: floor
+		{1, 10 * time.Millisecond, 1},  // sub-second clear: floor
+		{3, 500 * time.Millisecond, 2}, // 1.5s rounded up
+		{4, 2 * time.Second, 8},
+		{100, time.Second, 30}, // deep backlog: capped, not 100s
+		{-1, time.Second, 1},
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.backlog, c.interval); got != c.want {
+			t.Errorf("retryAfterSecs(%d, %v) = %d, want %d", c.backlog, c.interval, got, c.want)
+		}
+	}
+}
+
+// TestDrainRateInterval pins the completion-ring estimator, including
+// wraparound past the ring size.
+func TestDrainRateInterval(t *testing.T) {
+	var d drainRate
+	if got := d.interval(); got != 0 {
+		t.Fatalf("empty ring interval %v, want 0", got)
+	}
+	base := time.Unix(1000, 0)
+	d.note(base)
+	if got := d.interval(); got != 0 {
+		t.Fatalf("single completion interval %v, want 0", got)
+	}
+	d.note(base.Add(2 * time.Second))
+	if got := d.interval(); got != 2*time.Second {
+		t.Fatalf("two completions 2s apart: interval %v", got)
+	}
+	// 40 completions one second apart: the ring retains the last 32,
+	// spanning 31 seconds over 31 gaps.
+	d = drainRate{}
+	for i := 0; i < 40; i++ {
+		d.note(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := d.interval(); got != time.Second {
+		t.Fatalf("steady 1/s completions: interval %v, want 1s", got)
+	}
+}
+
+// TestHandleQueryRetryAfterDerived drives both overload policies end
+// to end and checks the Retry-After header reflects the seeded drain
+// rate instead of the old hardcoded "1".
+func TestHandleQueryRetryAfterDerived(t *testing.T) {
+	for _, policy := range []struct {
+		name     string
+		overload bestjoin.OverloadPolicy
+	}{
+		{"shed", bestjoin.OverloadShed},
+		{"block", bestjoin.OverloadBlock},
+	} {
+		t.Run(policy.name, func(t *testing.T) {
+			s := demoServer(t)
+			ix := bestjoin.NewIndex()
+			for d, body := range demoCorpus {
+				ix.AddText(d, body)
+			}
+			s.eng = bestjoin.NewEngine(ix.Compact(), bestjoin.EngineConfig{
+				Workers:     1,
+				MaxInFlight: 1,
+				Overload:    policy.overload,
+			})
+			// Block waits for a slot until the query's context expires;
+			// keep the handler's deadline short so the test stays fast.
+			s.timeout = 100 * time.Millisecond
+			// Seed the drain estimate: recent queries completed 3s
+			// apart, so one blocked slot should hint ~3s, not 1.
+			base := time.Unix(2000, 0)
+			s.done.note(base)
+			s.done.note(base.Add(3 * time.Second))
+
+			entered := make(chan struct{})
+			release := make(chan struct{})
+			var once sync.Once
+			blocking := bestjoin.KernelFactory(func() bestjoin.JoinKernel {
+				return bestjoin.JoinKernelFunc(func(ls bestjoin.MatchLists) (bestjoin.Matchset, float64, bool) {
+					once.Do(func() { close(entered) })
+					<-release
+					return nil, 0, false
+				})
+			})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				s.eng.Search(context.Background(), bestjoin.EngineQuery{
+					Concepts: []bestjoin.Concept{{"lenovo": 1}},
+					Join:     blocking,
+					K:        1,
+				})
+			}()
+			<-entered
+			defer func() { close(release); <-done }()
+
+			rec := httptest.NewRecorder()
+			s.handleQuery(rec, httptest.NewRequest("GET", "/query?terms=lenovo", nil))
+			if rec.Code != http.StatusTooManyRequests {
+				t.Fatalf("status %d, want 429 (body %q)", rec.Code, rec.Body)
+			}
+			ra := rec.Header().Get("Retry-After")
+			secs, err := strconv.Atoi(ra)
+			if err != nil {
+				t.Fatalf("Retry-After %q not an integer", ra)
+			}
+			if secs < 3 || secs > 30 {
+				t.Fatalf("Retry-After %d with a 3s drain interval and one blocked slot, want within [3, 30]", secs)
+			}
+		})
+	}
+}
+
+// TestHandleQueryModes drives the mode and m parameters: OR rescues a
+// query whose extra term is absent from the corpus, AND keeps the
+// conjunctive contract, and malformed values are 400s.
+func TestHandleQueryModes(t *testing.T) {
+	s := demoServer(t)
+
+	get := func(url string) (*httptest.ResponseRecorder, *bestjoin.EngineResult) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != http.StatusOK {
+			return rec, nil
+		}
+		var res bestjoin.EngineResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatalf("%s: bad JSON: %v", url, err)
+		}
+		return rec, &res
+	}
+
+	// "zzzunknownzzz" appears nowhere: conjunctive finds nothing,
+	// the ranked union still returns the lenovo documents.
+	rec, and := get("/query?terms=lenovo,zzzunknownzzz")
+	if and == nil {
+		t.Fatalf("AND query failed: %d %q", rec.Code, rec.Body)
+	}
+	if len(and.Docs) != 0 {
+		t.Fatalf("conjunctive query with an unknown term returned %d docs", len(and.Docs))
+	}
+	rec, or := get("/query?terms=lenovo,zzzunknownzzz&mode=or")
+	if or == nil {
+		t.Fatalf("OR query failed: %d %q", rec.Code, rec.Body)
+	}
+	if len(or.Docs) == 0 {
+		t.Fatal("ranked union returned nothing despite lenovo matches")
+	}
+
+	// m=2 of three terms: answerable from documents holding two.
+	rec, mofn := get("/query?terms=lenovo,nba,zzzunknownzzz&m=2")
+	if mofn == nil {
+		t.Fatalf("m-of-n query failed: %d %q", rec.Code, rec.Body)
+	}
+	if len(mofn.Docs) == 0 {
+		t.Fatal("m=2 union returned nothing despite lenovo+nba documents")
+	}
+
+	for _, bad := range []string{
+		"/query?terms=lenovo&mode=maybe",
+		"/query?terms=lenovo&m=-1",
+		"/query?terms=lenovo&m=x",
+	} {
+		rec := httptest.NewRecorder()
+		s.handleQuery(rec, httptest.NewRequest("GET", bad, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+
+	// m larger than the concept count is the engine's range error,
+	// surfaced as a 400 rather than a 500 or a silent clamp.
+	rec = httptest.NewRecorder()
+	s.handleQuery(rec, httptest.NewRequest("GET", "/query?terms=lenovo&m=5", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("m>n: status %d, want 400", rec.Code)
+	}
+}
+
+// TestParseMode pins the flag/parameter mapping.
+func TestParseMode(t *testing.T) {
+	if m, err := parseMode("and"); err != nil || m != bestjoin.ModeAND {
+		t.Errorf("parseMode(and) = %v, %v", m, err)
+	}
+	if m, err := parseMode("or"); err != nil || m != bestjoin.ModeOR {
+		t.Errorf("parseMode(or) = %v, %v", m, err)
+	}
+	if _, err := parseMode("xor"); err == nil {
+		t.Error("parseMode(xor) accepted")
 	}
 }

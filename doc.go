@@ -90,9 +90,13 @@
 // are decoded lazily and in parallel on the worker pool, and blocks
 // whose block-max score bound cannot beat the top-k floor are skipped
 // without touching their bytes — still with output identical to the
-// flat path. The implementation lives in internal/engine; see
-// cmd/proxserve for a runnable server and examples/engine for a
-// walkthrough.
+// flat path. Queries are conjunctive by default; EngineQuery.Mode =
+// ModeOR (with an optional m-of-n EngineQuery.MinMatch threshold)
+// instead ranks the union of documents matching at least m concepts
+// through a block-max WAND pivot walk, pruned by a union score bound
+// that remains sound for the paper's product-form scorers. The
+// implementation lives in internal/engine; see cmd/proxserve for a
+// runnable server and examples/engine for a walkthrough.
 //
 // # From text to match lists
 //

@@ -94,8 +94,26 @@ const (
 	OverloadShed = engine.OverloadShed
 )
 
-// EngineQuery is one retrieval request: concepts, a joiner, and K.
+// EngineQuery is one retrieval request: concepts, a joiner, K, and —
+// for disjunctive retrieval — the query Mode and MinMatch threshold.
 type EngineQuery = engine.Query
+
+// QueryMode selects conjunctive (AND, every concept must match) or
+// disjunctive (OR, ranked union) evaluation. Disjunctive queries run a
+// block-max WAND pivot walk and support m-of-n thresholds through
+// EngineQuery.MinMatch; see DESIGN.md "Disjunctive retrieval & WAND
+// soundness" for the pruning-bound contract.
+type QueryMode = engine.QueryMode
+
+const (
+	// ModeDefault defers to EngineConfig.Mode (itself defaulting to AND).
+	ModeDefault = engine.ModeDefault
+	// ModeAND requires every concept to match (the classic best-join).
+	ModeAND = engine.ModeAND
+	// ModeOR ranks the union of documents matching at least
+	// EngineQuery.MinMatch concepts (1 when unset).
+	ModeOR = engine.ModeOR
+)
 
 // EngineResult is a query's outcome: top-k documents plus the Partial
 // flag and evaluation counts.

@@ -71,3 +71,14 @@ func (k *Kernel) ScoreUpperBound(perListMax []float64) float64 {
 	}
 	return math.Inf(1)
 }
+
+// ScoreUnionUpperBound forwards the disjunctive (m-of-n) bound to the
+// inner kernel by the same subset argument as ScoreUpperBound: the
+// duplicate-avoidance constraint only shrinks the feasible matchset
+// space, so the inner kernel's unrestricted union cap stays sound.
+func (k *Kernel) ScoreUnionUpperBound(perListMax []float64, minMatch int) float64 {
+	if ub, ok := k.inner.(join.UnionBounded); ok {
+		return ub.ScoreUnionUpperBound(perListMax, minMatch)
+	}
+	return math.Inf(1)
+}

@@ -114,6 +114,14 @@ type listCursor struct {
 func (cu *listCursor) seek(e *Engine, qs *queryState, d int) (int, bool) {
 	cd := cu.cd
 	if cd.blocks == nil {
+		// The failed check matters on the flat path too: the union
+		// dispatcher interleaves match-list decodes with cursor seeks,
+		// and a failed decode nils cd.docs under a cursor that has
+		// already advanced — the cursor must read as exhausted, not
+		// index the vanished slice.
+		if cd.failed {
+			return 0, false
+		}
 		for cu.i < len(cd.docs) && cd.docs[cu.i] < d {
 			cu.i++
 		}

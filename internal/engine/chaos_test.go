@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"bestjoin/internal/faultinject"
+	"bestjoin/internal/index"
 	"bestjoin/internal/scorefn"
 )
 
@@ -94,6 +95,7 @@ func TestChaosDifferential(t *testing.T) {
 							if res.Partial {
 								t.Fatalf("seed %d round %d: no deadline set, yet Partial: %+v", seed, round, res)
 							}
+							assertResultInvariants(t, fmt.Sprintf("%s seed %d round %d", label, seed, round), res)
 							if res.Degraded {
 								assertSoundSubset(t, label, res.Docs, fullRanking)
 								if res.Failed == 0 && res.Candidates > 0 {
@@ -232,5 +234,113 @@ func TestChaosConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// appearsInSomeSubset reports whether one returned document carries
+// the exact healthy score and matchset it would have under at least
+// one non-empty subset of the query concepts.
+func appearsInSomeSubset(d DocResult, fulls [][]DocResult) bool {
+subsets:
+	for _, full := range fulls {
+		for _, w := range full {
+			if w.Doc != d.Doc {
+				continue
+			}
+			if w.Score != d.Score || len(w.Set) != len(d.Set) {
+				continue subsets
+			}
+			for j := range d.Set {
+				if d.Set[j] != w.Set[j] {
+					continue subsets
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosDifferentialUnion extends the chaos contract to the
+// disjunctive path. Union degradation is subtler than conjunctive: a
+// concept whose decode fails mid-walk is dropped from that point on,
+// so documents emitted before the failure were scored over the full
+// concept set and later ones over the survivors. No single subset
+// ranking describes the whole result — the contract is per document:
+// every returned (doc, score, matchset) must be the exact healthy
+// union score of that document over SOME non-empty subset of the
+// query concepts (the ones that actually contributed), scores must
+// still be ranked, and a healthy result must be bitwise identical to
+// the fault-free union baseline.
+func TestChaosDifferentialUnion(t *testing.T) {
+	c := buildCompact(t, testCorpus(120, 43))
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	const k = 8
+	concepts := testConcepts()
+	baseline := bruteForceUnion(c, concepts, jn, k, 1)
+
+	// Healthy full union rankings for every non-empty concept subset —
+	// the candidate references a degraded result may soundly shrink to.
+	var fulls [][]DocResult
+	for bits := 1; bits < 1<<len(concepts); bits++ {
+		var sub []index.Concept
+		for i := range concepts {
+			if bits&(1<<i) != 0 {
+				sub = append(sub, concepts[i])
+			}
+		}
+		fulls = append(fulls, bruteForceUnion(c, sub, jn, c.Docs(), 1))
+	}
+
+	for _, fault := range chaosFaults() {
+		for _, workers := range []int{1, 4} {
+			for _, noprune := range []bool{false, true} {
+				label := fmt.Sprintf("%s/workers=%d/noprune=%v", fault.name, workers, noprune)
+				t.Run(label, func(t *testing.T) {
+					e := New(c, Config{Workers: workers, DisablePruning: noprune})
+					for seed := int64(1); seed <= 3; seed++ {
+						cfg := fault.cfg
+						cfg.Seed = seed
+						faultinject.Activate(cfg)
+						for round := 0; round < 3; round++ {
+							res, err := e.Search(context.Background(),
+								Query{Concepts: testConcepts(), Join: jn, K: k, Mode: ModeOR})
+							if err != nil {
+								t.Fatalf("seed %d round %d: injected faults must never error: %v", seed, round, err)
+							}
+							if res.Partial {
+								t.Fatalf("seed %d round %d: no deadline set, yet Partial: %+v", seed, round, res)
+							}
+							assertResultInvariants(t, fmt.Sprintf("%s seed %d round %d", label, seed, round), res)
+							if res.Degraded {
+								for i, d := range res.Docs {
+									if !appearsInSomeSubset(d, fulls) {
+										t.Fatalf("seed %d round %d: degraded doc %d score %v matches no concept subset's healthy scoring",
+											seed, round, d.Doc, d.Score)
+									}
+									if i > 0 {
+										prev := res.Docs[i-1]
+										if d.Score > prev.Score || (d.Score == prev.Score && d.Doc < prev.Doc) {
+											t.Fatalf("seed %d round %d: degraded result out of rank order at %d: %+v", seed, round, i, res.Docs)
+										}
+									}
+								}
+							} else {
+								assertSameDocs(t, fmt.Sprintf("%s seed %d round %d", label, seed, round), res.Docs, baseline)
+							}
+						}
+						faultinject.Deactivate()
+					}
+
+					// Injection off: healthy and bitwise back to baseline.
+					res, err := e.Search(context.Background(),
+						Query{Concepts: testConcepts(), Join: jn, K: k, Mode: ModeOR})
+					if err != nil || res.Degraded || res.Partial {
+						t.Fatalf("engine unhealthy after chaos: %v %+v", err, res)
+					}
+					assertSameDocs(t, "post-chaos", res.Docs, baseline)
+				})
+			}
+		}
 	}
 }

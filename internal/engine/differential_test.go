@@ -89,6 +89,8 @@ func diffConcepts(rng *rand.Rand) []index.Concept {
 // agree bit for bit, not approximately.
 func assertIdentical(t *testing.T, label string, pruned, unpruned *Result) {
 	t.Helper()
+	assertResultInvariants(t, label+" pruned", pruned)
+	assertResultInvariants(t, label+" unpruned", unpruned)
 	if pruned.Partial != unpruned.Partial {
 		t.Fatalf("%s: Partial %v (pruned) vs %v (unpruned)", label, pruned.Partial, unpruned.Partial)
 	}

@@ -125,6 +125,10 @@ type Config struct {
 	// lead over the workers (and the memory pinned by assembled match
 	// lists); they never change results.
 	QueueDepth int
+	// Mode is the default query mode for queries that leave Query.Mode
+	// unset: ModeAND (the zero value, conjunctive intersection) or
+	// ModeOR (ranked union). See QueryMode.
+	Mode QueryMode
 }
 
 // Engine answers top-k queries over one compacted index. It is safe
@@ -136,6 +140,7 @@ type Engine struct {
 	workers  int
 	prune    bool
 	queue    int
+	mode     QueryMode
 	sem      chan struct{} // admission semaphore; nil = unlimited
 	shed     bool          // true = OverloadShed
 	lists    *lruCache[listKey, listEntry]
@@ -229,6 +234,7 @@ func New(idx *index.Compact, cfg Config) *Engine {
 		workers:  cfg.Workers,
 		prune:    !cfg.DisablePruning,
 		queue:    cfg.QueueDepth,
+		mode:     cfg.Mode,
 		shed:     cfg.Overload == OverloadShed,
 		lists:    lists,
 		concepts: newLRU[conceptKey, conceptEntry](cfg.CacheConcepts),
@@ -314,6 +320,17 @@ type Query struct {
 	Join     KernelFactory
 	// K is the number of documents to return; ≤ 0 means DefaultK.
 	K int
+	// Mode selects conjunctive (ModeAND) or disjunctive (ModeOR)
+	// candidate generation; ModeDefault (the zero value) uses the
+	// engine's configured Config.Mode.
+	Mode QueryMode
+	// MinMatch is the m-of-n knob: a candidate document must match at
+	// least MinMatch of the query's concepts. 0 means the resolved
+	// mode's default — len(Concepts) for AND, 1 for OR. Any explicit
+	// value in [1, len(Concepts)] selects the disjunctive evaluation
+	// path, so MinMatch = len(Concepts) is AND semantics evaluated by
+	// ranked union. Values < 0 or > len(Concepts) are errors.
+	MinMatch int
 }
 
 // DocResult is one ranked document: its id, best matchset, and score.
@@ -388,6 +405,28 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	if k <= 0 {
 		k = DefaultK
 	}
+	mode := q.Mode
+	if mode == ModeDefault {
+		mode = e.mode
+	}
+	n := len(q.Concepts)
+	if q.MinMatch < 0 || q.MinMatch > n {
+		return nil, fmt.Errorf("engine: MinMatch %d out of range [0, %d]", q.MinMatch, n)
+	}
+	minMatch := q.MinMatch
+	if minMatch == 0 {
+		minMatch = n
+		if mode == ModeOR {
+			minMatch = 1
+		}
+	}
+	// An explicit MinMatch always takes the disjunctive path, even at
+	// m = n: AND-by-ranked-union is how the equivalence tests keep the
+	// union evaluator honest against the intersection evaluator.
+	union := mode == ModeOR || q.MinMatch > 0
+	if union && n > 64 {
+		return nil, fmt.Errorf("engine: disjunctive queries support at most 64 concepts, got %d", n)
+	}
 
 	// Admission control: at the in-flight cap, shed immediately or
 	// wait until the caller's context gives up.
@@ -430,6 +469,9 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 		if qs.cancelled {
 			return e.finish(qs, &Result{Docs: []DocResult{}}, start), nil
 		}
+	}
+	if union {
+		return e.searchUnion(qs, q, cds, minMatch, k, start), nil
 	}
 	candidates, perListMax := e.intersectCursors(qs, cds)
 
@@ -485,65 +527,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
 	}
 	jobs := make(chan []docJob, chunkCap)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			kern := buildKernel(q.Join, e)
-			fetch := make([]blockFetch, nc)
-			for i := range fetch {
-				fetch[i].blk = -1
-			}
-			for chunk := range jobs {
-				e.counters.queueDepth.Add(-int64(len(chunk)))
-				// The floor is loaded once per chunk and refreshed only
-				// after an offer could have raised it. A stale floor is
-				// sound: the floor only rises, so staleness prunes
-				// less, never more. Strictly-below only — a bound equal
-				// to the floor can still win its tie-break on document
-				// id.
-				floor := top.Floor()
-				for _, jb := range chunk {
-					// Drain without evaluating once the query is out of
-					// time; those documents count as unevaluated.
-					if ctx.Err() != nil {
-						continue
-					}
-					if jb.bound < floor {
-						pruned.Add(1)
-						e.counters.prunedDocs.Add(1)
-						continue
-					}
-					if !e.fillBlockLists(qs, cds, jb, fetch) {
-						// Block decode failure: drop this document only.
-						qs.fail()
-						continue
-					}
-					if kern == nil { // last build panicked: retry per job
-						kern = buildKernel(q.Join, e)
-						if kern == nil {
-							qs.fail()
-							continue
-						}
-					}
-					set, score, ok, panicked := safeJoin(kern, jb.lists)
-					e.counters.joinsRun.Add(1)
-					if panicked {
-						e.counters.joinPanics.Add(1)
-						qs.fail()
-						kern = nil // poisoned scratch: rebuild before reuse
-						continue
-					}
-					e.counters.docsEvaluated.Add(1)
-					evaluated.Add(1)
-					if ok && !math.IsNaN(score) {
-						top.offer(jb.doc, score, set)
-						floor = top.Floor()
-					}
-				}
-			}
-		}()
-	}
+	e.joinWorkers(qs, q.Join, cds, workers, jobs, top, &evaluated, &pruned, &wg)
 
 	// One flat backing array for every job's lists header, and one for
 	// the jobs themselves: chunks are subslices of jobsBacking (which
@@ -628,16 +612,7 @@ dispatch:
 
 	// Candidate blocks no worker ever fetched were pruned below
 	// decode: their bytes were never touched.
-	for _, cd := range cds {
-		if cd.blocks == nil {
-			continue
-		}
-		skipped := 0
-		for w := range cd.cand {
-			skipped += bits.OnesCount64(cd.cand[w] &^ cd.fetched[w].Load())
-		}
-		e.counters.blocksSkipped.Add(uint64(skipped))
-	}
+	e.countSkippedBlocks(cds)
 
 	res.Docs = top.results()
 	res.Evaluated = int(evaluated.Load())
@@ -650,6 +625,93 @@ dispatch:
 // and atomic-floor costs, small enough that the floor the workers
 // hold never goes badly stale.
 const dispatchChunk = 32
+
+// joinWorkers spawns the join worker pool shared by the conjunctive
+// and disjunctive paths. Workers drain job chunks, re-check each job's
+// bound against the risen floor, complete block-served match lists
+// (lazy per-block decode), run the kernel under panic isolation, and
+// offer results to the shared top-k heap. The floor is loaded once per
+// chunk and refreshed only after an offer could have raised it; a
+// stale floor is sound — the floor only rises, so staleness prunes
+// less, never more. Strictly-below only: a bound equal to the floor
+// can still win its tie-break on document id. Conjunctive jobs
+// (mask == 0) carry full-width list slices; disjunctive jobs carry a
+// concept bitmask with one compacted list slot per set bit. The caller
+// closes jobs and waits on wg.
+func (e *Engine) joinWorkers(qs *queryState, factory KernelFactory, cds []*conceptData,
+	workers int, jobs <-chan []docJob, top *topK, evaluated, pruned *atomic.Int64, wg *sync.WaitGroup) {
+	nc := len(cds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kern := buildKernel(factory, e)
+			fetch := make([]blockFetch, nc)
+			for i := range fetch {
+				fetch[i].blk = -1
+			}
+			for chunk := range jobs {
+				e.counters.queueDepth.Add(-int64(len(chunk)))
+				floor := top.Floor()
+				for _, jb := range chunk {
+					// Drain without evaluating once the query is out of
+					// time; those documents count as unevaluated.
+					if qs.ctx.Err() != nil {
+						continue
+					}
+					if jb.bound < floor {
+						pruned.Add(1)
+						e.counters.prunedDocs.Add(1)
+						continue
+					}
+					filled := jb.mask == 0 && e.fillBlockLists(qs, cds, jb, fetch) ||
+						jb.mask != 0 && e.fillUnionLists(qs, cds, jb, fetch)
+					if !filled {
+						// Block decode failure: drop this document only.
+						qs.fail()
+						continue
+					}
+					if kern == nil { // last build panicked: retry per job
+						kern = buildKernel(factory, e)
+						if kern == nil {
+							qs.fail()
+							continue
+						}
+					}
+					set, score, ok, panicked := safeJoin(kern, jb.lists)
+					e.counters.joinsRun.Add(1)
+					if panicked {
+						e.counters.joinPanics.Add(1)
+						qs.fail()
+						kern = nil // poisoned scratch: rebuild before reuse
+						continue
+					}
+					e.counters.docsEvaluated.Add(1)
+					evaluated.Add(1)
+					if ok && !math.IsNaN(score) {
+						top.offer(jb.doc, score, set)
+						floor = top.Floor()
+					}
+				}
+			}
+		}()
+	}
+}
+
+// countSkippedBlocks tallies candidate blocks no worker ever fetched —
+// pruned below decode, their bytes never touched.
+func (e *Engine) countSkippedBlocks(cds []*conceptData) {
+	for _, cd := range cds {
+		if cd.blocks == nil {
+			continue
+		}
+		skipped := 0
+		for w := range cd.cand {
+			skipped += bits.OnesCount64(cd.cand[w] &^ cd.fetched[w].Load())
+		}
+		e.counters.blocksSkipped.Add(uint64(skipped))
+	}
+}
 
 // finish folds the query state into the result and updates the
 // outcome counters.
@@ -726,10 +788,14 @@ func safeJoin(kern join.Kernel, lists match.Lists) (set match.Set, score float64
 
 // docJob is one unit of worker work: a candidate document, its score
 // upper bound (+Inf when the query has no bound), and its assembled
-// join instance.
+// join instance. Conjunctive jobs leave mask zero and size lists to
+// the full query width; disjunctive jobs set the bit of every matched
+// concept and size lists to the match count, slots in set-bit order
+// (fillUnionLists completes the block-served slots).
 type docJob struct {
 	doc   int
 	bound float64
+	mask  uint64
 	lists match.Lists
 }
 
@@ -949,4 +1015,3 @@ func (e *Engine) decode(qs *queryState, cd *conceptData) (ok bool) {
 	e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxs})
 	return true
 }
-

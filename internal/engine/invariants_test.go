@@ -1,0 +1,29 @@
+package engine
+
+import "testing"
+
+// assertResultInvariants checks the Result accounting contract shared
+// by every evaluation path, the audit behind the Partial derivation in
+// finish(): each confirmed candidate is evaluated, pruned, or failed
+// at most once — the sum can never exceed Candidates — and a result
+// claiming to be complete (!Partial) accounted for every candidate
+// exactly once. Partial ⇔ shortfall or cancellation; cancellation is
+// not observable from a Result alone, so the reverse direction asserts
+// only that a non-partial result has no shortfall. Keeping finish()'s
+// `!=` comparison (rather than `<`) means a double-count would surface
+// here as an over-full complete result, not vanish into Partial.
+func assertResultInvariants(t *testing.T, label string, res *Result) {
+	t.Helper()
+	if res.Evaluated < 0 || res.Pruned < 0 || res.Failed < 0 || res.Candidates < 0 {
+		t.Fatalf("%s: negative accounting: %+v", label, res)
+	}
+	sum := res.Evaluated + res.Pruned + res.Failed
+	if sum > res.Candidates {
+		t.Fatalf("%s: Evaluated(%d)+Pruned(%d)+Failed(%d) = %d exceeds Candidates %d — a document was double-counted",
+			label, res.Evaluated, res.Pruned, res.Failed, sum, res.Candidates)
+	}
+	if !res.Partial && sum != res.Candidates {
+		t.Fatalf("%s: complete result with accounting shortfall: Evaluated(%d)+Pruned(%d)+Failed(%d) = %d != Candidates %d",
+			label, res.Evaluated, res.Pruned, res.Failed, sum, res.Candidates)
+	}
+}

@@ -42,6 +42,13 @@ type counters struct {
 	// block-max bound let the query finish without ever decoding them.
 	blockDecodes  atomic.Uint64
 	blocksSkipped atomic.Uint64
+	// Disjunctive (ranked-union) path: unionCandidates counts confirmed
+	// pivots — documents verified to match at least MinMatch concepts —
+	// and pivotSkips the subset whose aggregate union bound fell
+	// strictly below the top-k floor, skipped before any match list was
+	// assembled.
+	pivotSkips      atomic.Uint64
+	unionCandidates atomic.Uint64
 }
 
 // histBuckets is the number of latency buckets: bucket i counts
@@ -147,7 +154,14 @@ type Stats struct {
 	BlockDecodes  uint64
 	BlocksSkipped uint64
 	CacheBytes    int64
-	QueryLatency  LatencyHistogram
+	// Disjunctive (ranked-union) path. UnionCandidates counts confirmed
+	// WAND pivots — documents verified to match at least MinMatch
+	// concepts; PivotSkips counts the subset skipped because their
+	// aggregate union bound fell strictly below the top-k floor, before
+	// any match list was assembled.
+	UnionCandidates uint64
+	PivotSkips      uint64
+	QueryLatency    LatencyHistogram
 }
 
 // Stats returns a consistent-enough snapshot of the engine's counters.
@@ -184,6 +198,8 @@ func (e *Engine) Stats() Stats {
 		BlockDecodes:    e.counters.blockDecodes.Load(),
 		BlocksSkipped:   e.counters.blocksSkipped.Load(),
 		CacheBytes:      e.lists.Bytes(),
+		UnionCandidates: e.counters.unionCandidates.Load(),
+		PivotSkips:      e.counters.pivotSkips.Load(),
 		QueryLatency:    e.latency.snapshot(),
 	}
 }

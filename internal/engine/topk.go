@@ -45,15 +45,28 @@ func (t *topK) Floor() float64 {
 }
 
 // offer proposes a scored document. Ties are broken toward smaller
-// document ids so concurrent schedules produce the same top-k. set may
-// alias the worker's kernel-owned buffer, so offer clones it — but
-// only once the document actually enters the heap; rejected offers
-// (the common case) stay allocation-free.
+// document ids so concurrent schedules produce the same top-k.
+//
+// The hot path is the losing offer, so it is screened against the
+// atomic floor before the mutex: a score strictly below the floor can
+// never enter, and because the floor is monotone non-decreasing the
+// lock-free read can only be more permissive than the state under the
+// lock — never the reverse. Equal scores must still take the lock (a
+// smaller doc id displaces the weakest kept entry). Offers that pass
+// the screen clone the set before locking: set may alias the worker's
+// kernel-owned buffer, and cloning outside the critical section keeps
+// the allocation off the serialized path. A clone is wasted only when
+// the offer loses a tie-break or a concurrent offer raises the floor
+// past it — both rare.
 func (t *topK) offer(doc int, score float64, set match.Set) {
+	if score < t.Floor() {
+		return
+	}
+	cloned := set.Clone()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.h) < t.k {
-		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: set.Clone()})
+		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: cloned})
 		if len(t.h) == t.k {
 			t.floor.Store(math.Float64bits(t.h[0].Score))
 		}
@@ -61,7 +74,7 @@ func (t *topK) offer(doc int, score float64, set match.Set) {
 	}
 	worst := t.h[0]
 	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
-		t.h[0] = DocResult{Doc: doc, Score: score, Set: set.Clone()}
+		t.h[0] = DocResult{Doc: doc, Score: score, Set: cloned}
 		heap.Fix(&t.h, 0)
 		t.floor.Store(math.Float64bits(t.h[0].Score))
 	}

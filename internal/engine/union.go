@@ -1,0 +1,466 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+)
+
+// Disjunctive (OR / weak-AND / m-of-n) retrieval: a ranked-union
+// evaluation path that advances the same leapfrog listCursors the
+// conjunctive intersection uses, but in a WAND-style pivot loop over
+// Fagin-threshold bounds. The walk repeatedly takes the m-th smallest
+// cursor position as the pivot: cursors below it can never assemble m
+// matches at their current documents, so they seek forward; once none
+// sit below the pivot, at least m cursors sit exactly at the minimum —
+// a confirmed candidate. Its aggregate score bound is the kernel's
+// disjunctive cap (join.UnionBounded) over the matched cursors'
+// per-list maxima — exact document maxima for flat concepts, block-max
+// table entries for block-served ones. A pivot whose bound is strictly
+// below the atomic top-k floor is skipped without assembling a single
+// match list (never on equality: an equal-bound document can still win
+// its tie-break on document id), and the walk then tries to jump the
+// matched cursors over the whole remaining block range in one seek
+// (see advance). Documents that survive the bound go to the shared
+// worker pool, where block match areas are decoded lazily — only for
+// documents that also survive the floor re-check at evaluation time.
+//
+// Soundness (DESIGN.md "Disjunctive retrieval & WAND soundness"): the
+// per-cursor maxima dominate every match score the document can
+// contribute, the union bound dominates the join over any subset of
+// ≥ m matched lists, and the floor is monotone non-decreasing — so a
+// pivot skipped against today's floor is rejected a fortiori by every
+// later one. The differential suite (union_diff_test.go) proves the
+// pruned union path bitwise-identical to the exhaustive ranked union.
+
+// QueryMode selects how many of a query's concepts a candidate
+// document must contain.
+type QueryMode int
+
+const (
+	// ModeDefault defers to the engine's configured Config.Mode (which
+	// itself defaults to ModeAND).
+	ModeDefault QueryMode = iota
+	// ModeAND requires every concept — conjunctive intersection, the
+	// engine's historical behavior.
+	ModeAND
+	// ModeOR requires at least one concept (ranked union); combine
+	// with Query.MinMatch for m-of-n weak-AND semantics. Concepts
+	// absent from the corpus degrade the query to its surviving terms
+	// instead of emptying the result.
+	ModeOR
+)
+
+// unionCursor wraps a listCursor for the pivot walk: ci is the
+// concept's position in the query (the bit it owns in docJob.mask),
+// doc the cursor's current document (−1 once exhausted), suf a flat
+// concept's suffix maxima (suf[i] = max over cd.maxSc[i:]), the range
+// bound block jumps need.
+type unionCursor struct {
+	listCursor
+	ci  int
+	doc int
+	suf []float64
+}
+
+// unionBounder wraps a kernel's disjunctive bound with panic
+// containment: a bound that panics poisons only the bounding — the
+// query continues unpruned, which is always sound.
+type unionBounder struct {
+	e      *Engine
+	ub     join.UnionBounded
+	failed bool
+}
+
+// unionBounderFor probes the query's kernel for join.UnionBounded,
+// recovering a panicking factory to nil (no bound, exhaustive union).
+func (e *Engine) unionBounderFor(factory KernelFactory) (b *unionBounder) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.joinPanics.Add(1)
+			b = nil
+		}
+	}()
+	if ub, ok := factory().(join.UnionBounded); ok {
+		return &unionBounder{e: e, ub: ub}
+	}
+	return nil
+}
+
+// bound evaluates the kernel's disjunctive cap; a panic flips failed
+// and yields +Inf, which never prunes.
+func (b *unionBounder) bound(perListMax []float64, minMatch int) (v float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.e.counters.joinPanics.Add(1)
+			b.failed = true
+			v = math.Inf(1)
+		}
+	}()
+	return b.ub.ScoreUnionUpperBound(perListMax, minMatch)
+}
+
+// searchUnion evaluates a disjunctive query: candidates are documents
+// matching at least minMatch concepts, scored by the kernel over their
+// matched lists only (compacted in concept order).
+func (e *Engine) searchUnion(qs *queryState, q Query, cds []*conceptData, minMatch, k int, start time.Time) *Result {
+	res := &Result{}
+
+	// One cursor per living concept. A failed concept (corrupt
+	// postings — the query is already Degraded) and an unknown concept
+	// (no postings at all) alike contribute no cursor: the union
+	// degrades to the surviving terms instead of returning nothing,
+	// which is the point of disjunctive evaluation.
+	bounding := e.prune
+	alive := make([]*unionCursor, 0, len(cds))
+	for ci, cd := range cds {
+		if cd.failed {
+			continue
+		}
+		if cd.blocks == nil {
+			if len(cd.docs) == 0 {
+				continue
+			}
+			if cd.maxSc == nil {
+				bounding = false
+			}
+		}
+		cu := &unionCursor{ci: ci}
+		cu.cd = cd
+		doc, ok := cu.seek(e, qs, 0)
+		if !ok {
+			continue
+		}
+		cu.doc = doc
+		alive = append(alive, cu)
+	}
+	// Fewer surviving concepts than the match requirement: no document
+	// can qualify. The answer is empty and complete (Degraded when a
+	// concept failed rather than being absent).
+	if len(alive) < minMatch {
+		res.Docs = []DocResult{}
+		return e.finish(qs, res, start)
+	}
+
+	// Probe the kernel for the disjunctive bound. Without one — or
+	// with pruning disabled — every pivot carries a +Inf bound and the
+	// loop degenerates to the exhaustive ranked union, which is always
+	// sound (and is the differential baseline's evaluation order).
+	var ub *unionBounder
+	if bounding {
+		if ub = e.unionBounderFor(q.Join); ub == nil {
+			bounding = false
+		}
+	}
+	if bounding {
+		for _, cu := range alive {
+			if cu.cd.blocks == nil {
+				cu.suf = suffixMax(cu.cd.maxSc)
+			}
+		}
+	}
+
+	top := newTopK(k)
+	var evaluated, pruned atomic.Int64
+	chunkCap := e.workers * e.queue / dispatchChunk
+	if chunkCap < 1 {
+		chunkCap = 1
+	}
+	jobs := make(chan []docJob, chunkCap)
+	var wg sync.WaitGroup
+	e.joinWorkers(qs, q.Join, cds, e.workers, jobs, top, &evaluated, &pruned, &wg)
+
+	// The pivot walk. Unlike the conjunctive path the candidate count
+	// is unknown upfront, so chunks are freshly allocated slices (the
+	// workers may still hold shipped ones).
+	chunk := make([]docJob, 0, dispatchChunk)
+	ship := func() bool {
+		select {
+		case jobs <- chunk:
+			e.counters.queueDepth.Add(int64(len(chunk)))
+			chunk = make([]docJob, 0, dispatchChunk)
+			return true
+		case <-qs.ctx.Done():
+			qs.cancelled = true
+			return false
+		}
+	}
+	flushFloor := top.Floor()
+	scratch := make([]float64, 0, len(alive))
+	atDoc := make([]*unionCursor, 0, len(alive))
+	steps := 0
+pivots:
+	for len(alive) >= minMatch {
+		if steps&31 == 0 {
+			// Poll the context and refresh the dispatcher's floor on a
+			// coarse stride, like the conjunctive dispatch loop.
+			if qs.ctx.Err() != nil {
+				qs.cancelled = true
+				break pivots
+			}
+			flushFloor = top.Floor()
+		}
+		steps++
+		d := mthSmallestDoc(alive, minMatch)
+		progressed := false
+		for i := 0; i < len(alive); {
+			cu := alive[i]
+			if cu.doc < d {
+				progressed = true
+				doc, ok := cu.seek(e, qs, d)
+				if !ok {
+					alive = append(alive[:i], alive[i+1:]...)
+					continue
+				}
+				cu.doc = doc
+			}
+			i++
+		}
+		if progressed {
+			continue
+		}
+		// Aligned: d is the minimum position and at least minMatch
+		// cursors sit exactly on it — d provably matches ≥ m concepts,
+		// and no cursor below d means no other concept can contribute.
+		atDoc = atDoc[:0]
+		for _, cu := range alive {
+			if cu.doc == d {
+				atDoc = append(atDoc, cu)
+			}
+		}
+		bound := math.Inf(1)
+		if bounding {
+			scratch = scratch[:0]
+			for _, cu := range atDoc {
+				scratch = append(scratch, cu.maxAt())
+			}
+			bound = ub.bound(scratch, minMatch)
+			if ub.failed {
+				bounding = false
+				bound = math.Inf(1)
+			}
+		}
+		res.Candidates++
+		e.counters.unionCandidates.Add(1)
+		if bound < flushFloor {
+			// Pivot skip: the matched cursors' aggregate bound cannot
+			// beat the floor, so d is pruned before a single match list
+			// is assembled — and the walk may clear a whole block range
+			// in the same move.
+			pruned.Add(1)
+			e.counters.prunedDocs.Add(1)
+			e.counters.pivotSkips.Add(1)
+			e.advanceUnion(qs, &alive, atDoc, d, flushFloor, minMatch, ub, scratch)
+			continue
+		}
+		// Surviving candidate: assemble flat-served lists here (the
+		// caches are touched single-threaded, as in conjunctive
+		// dispatch); workers fill block-served slots lazily.
+		var mask uint64
+		lists := make(match.Lists, len(atDoc))
+		ok := true
+		for s, cu := range atDoc {
+			mask |= 1 << uint(cu.ci)
+			if cu.cd.blocks != nil {
+				cu.mark()
+				continue
+			}
+			l, lok := e.list(qs, cu.cd, d)
+			if !lok {
+				if qs.cancelled {
+					break pivots
+				}
+				// Decode failure: drop this document, keep the query.
+				qs.fail()
+				ok = false
+				break
+			}
+			lists[s] = l
+		}
+		if ok {
+			chunk = append(chunk, docJob{doc: d, bound: bound, mask: mask, lists: lists})
+			if len(chunk) == dispatchChunk && !ship() {
+				break pivots
+			}
+		}
+		seekUnion(e, qs, &alive, atDoc, d+1)
+	}
+	if len(chunk) > 0 {
+		ship()
+	}
+	close(jobs)
+	wg.Wait()
+
+	e.countSkippedBlocks(cds)
+
+	res.Docs = top.results()
+	res.Evaluated = int(evaluated.Load())
+	res.Pruned = int(pruned.Load())
+	return e.finish(qs, res, start)
+}
+
+// advanceUnion moves the matched cursors past a skipped pivot — and,
+// when the range bound allows, past the whole remaining block range in
+// one seek. Over the range (d, jumpEnd], with jumpEnd capped by every
+// matched block cursor's block end and by the first unmatched cursor's
+// position, the matched cursors' range maxima (block MaxScore; flat
+// suffix max past the current position) are constant upper bounds and
+// no other concept can join. If even their union bound sits strictly
+// below the floor, every document in the range loses a fortiori, so
+// the walk seeks straight to jumpEnd+1 without confirming membership
+// of anything in between — whole blocks pass with their match areas,
+// and even their document directories, untouched. A pure-flat aligned
+// set with no unmatched cursors has an unbounded range: a failing
+// suffix bound there is Fagin-style early termination of the whole
+// walk.
+func (e *Engine) advanceUnion(qs *queryState, alive *[]*unionCursor, atDoc []*unionCursor,
+	d int, floor float64, minMatch int, ub *unionBounder, scratch []float64) {
+	target := d + 1
+	if ub != nil && !ub.failed {
+		jumpEnd := math.MaxInt
+		for _, cu := range *alive {
+			if cu.doc > d && cu.doc-1 < jumpEnd {
+				jumpEnd = cu.doc - 1
+			}
+		}
+		for _, cu := range atDoc {
+			if cu.cd.blocks != nil {
+				if last := cu.cd.blocks.bt.Infos[cu.blk].LastDoc; last < jumpEnd {
+					jumpEnd = last
+				}
+			}
+		}
+		if jumpEnd > d {
+			scratch = scratch[:0]
+			for _, cu := range atDoc {
+				if cu.cd.blocks != nil {
+					scratch = append(scratch, cu.cd.blocks.bt.Infos[cu.blk].MaxScore)
+				} else if v := cu.suf[cu.i+1]; !math.IsInf(v, -1) {
+					// An exhausted-after-d flat cursor contributes no
+					// document in the range; dropping its slot only
+					// shrinks the bound's subset space, which is sound.
+					scratch = append(scratch, v)
+				}
+			}
+			// Jump when too few concepts can even appear in the range,
+			// or when the range bound falls strictly below the floor.
+			jump := len(scratch) < minMatch
+			if !jump {
+				jump = ub.bound(scratch, minMatch) < floor && !ub.failed
+			}
+			if jump {
+				if target = jumpEnd + 1; jumpEnd == math.MaxInt {
+					target = math.MaxInt // no overflow; exhausts the cursors
+				}
+			}
+		}
+	}
+	seekUnion(e, qs, alive, atDoc, target)
+}
+
+// seekUnion advances every cursor in atDoc to the first document
+// ≥ target, compacting exhausted cursors out of alive.
+func seekUnion(e *Engine, qs *queryState, alive *[]*unionCursor, atDoc []*unionCursor, target int) {
+	dropped := false
+	for _, cu := range atDoc {
+		doc, ok := cu.seek(e, qs, target)
+		if !ok {
+			cu.doc = -1
+			dropped = true
+			continue
+		}
+		cu.doc = doc
+	}
+	if !dropped {
+		return
+	}
+	live := (*alive)[:0]
+	for _, cu := range *alive {
+		if cu.doc >= 0 {
+			live = append(live, cu)
+		}
+	}
+	*alive = live
+}
+
+// mthSmallestDoc returns the m-th smallest current document over the
+// alive cursors (1 ≤ m ≤ len). Queries hold at most 64 cursors, so a
+// bounded insertion scan beats sorting machinery.
+func mthSmallestDoc(alive []*unionCursor, m int) int {
+	var buf [8]int
+	small := buf[:0]
+	if m > len(buf) {
+		small = make([]int, 0, m)
+	}
+	for _, cu := range alive {
+		d := cu.doc
+		switch {
+		case len(small) < m:
+			small = append(small, d)
+		case d < small[m-1]:
+			small[m-1] = d
+		default:
+			continue
+		}
+		for i := len(small) - 1; i > 0 && small[i-1] > small[i]; i-- {
+			small[i-1], small[i] = small[i], small[i-1]
+		}
+	}
+	return small[m-1]
+}
+
+// suffixMax returns suf with suf[i] = max(maxSc[i:]) and a trailing
+// −Inf sentinel: the tightest constant upper bound on a flat concept's
+// remaining documents, used for range bounds during block jumps.
+func suffixMax(maxSc []float64) []float64 {
+	suf := make([]float64, len(maxSc)+1)
+	suf[len(maxSc)] = math.Inf(-1)
+	for i := len(maxSc) - 1; i >= 0; i-- {
+		suf[i] = maxSc[i]
+		if suf[i+1] > suf[i] {
+			suf[i] = suf[i+1]
+		}
+	}
+	return suf
+}
+
+// fillUnionLists completes a disjunctive job on a worker: jb.lists
+// holds one slot per set bit of jb.mask (ascending concept order), the
+// dispatcher already filled flat-served slots, and block-served slots
+// are fetched here through the same per-worker block memo as the
+// conjunctive path. false means a decode failed and the document must
+// be dropped.
+func (e *Engine) fillUnionLists(qs *queryState, cds []*conceptData, jb docJob, fetch []blockFetch) bool {
+	s := 0
+	for j, cd := range cds {
+		if jb.mask&(1<<uint(j)) == 0 {
+			continue
+		}
+		if cd.blocks != nil {
+			f := &fetch[j]
+			blk := cd.blocks.bt.FindBlock(jb.doc)
+			if blk < 0 {
+				return false // unreachable for a confirmed pivot
+			}
+			if f.blk != blk {
+				docs, lists, ok := e.fetchBlock(qs, cd, blk)
+				if !ok {
+					return false
+				}
+				f.blk, f.docs, f.lists = blk, docs, lists
+			}
+			di := sort.SearchInts(f.docs, jb.doc)
+			if di == len(f.docs) || f.docs[di] != jb.doc {
+				return false
+			}
+			jb.lists[s] = f.lists[di]
+		}
+		s++
+	}
+	return true
+}

@@ -1,0 +1,427 @@
+package engine
+
+// Differential harness for disjunctive (ranked-union / m-of-n)
+// retrieval: WAND pivot skipping is supposed to be invisible — the
+// only observable difference between the pruned union path and the
+// exhaustive ranked union is how many pivots were bounded away. This
+// property test builds random corpora and random queries and asserts
+// the pruned engine's output — document ids, scores (bit for bit),
+// matchsets, tie-break order, and the Partial flag — is identical to
+// the unpruned engine's AND to an independent exhaustive baseline,
+// across all scoring families, with and without duplicate avoidance,
+// one and several workers, every minMatch in [1, n], and all candidate
+// representations (flat decode, doc-max metadata, two block sizes).
+// scripts/check.sh runs it under -race.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bestjoin/internal/index"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// bruteForceUnion ranks every document matching at least minMatch
+// concepts by re-deriving its lists from the compacted index and
+// joining only the matched (non-empty) lists, compacted in concept
+// order — the independent exhaustive ranked-union reference the WAND
+// path must agree with bit for bit.
+func bruteForceUnion(c *index.Compact, concepts []index.Concept, jn KernelFactory, k, minMatch int) []DocResult {
+	var out []DocResult
+	kern := jn()
+	for d := 0; d < c.Docs(); d++ {
+		lists := c.QueryLists(d, concepts)
+		sub := make(match.Lists, 0, len(lists))
+		for _, l := range lists {
+			if len(l) > 0 {
+				sub = append(sub, l)
+			}
+		}
+		if len(sub) < minMatch {
+			continue
+		}
+		kern.Reset(nil, sub)
+		set, score, ok := kern.Join()
+		if ok && !math.IsNaN(score) {
+			out = append(out, DocResult{Doc: d, Score: score, Set: set.Clone()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// assertUnionIdentical is assertIdentical minus the Candidates
+// comparison: the WAND walk legitimately confirms fewer pivots than
+// the exhaustive union enumerates (block jumps skip documents without
+// ever establishing membership), so only the observable answer —
+// docs, scores, matchsets, order, Partial — must match.
+func assertUnionIdentical(t *testing.T, label string, pruned, unpruned *Result) {
+	t.Helper()
+	if pruned.Partial != unpruned.Partial {
+		t.Fatalf("%s: Partial %v (pruned) vs %v (unpruned)", label, pruned.Partial, unpruned.Partial)
+	}
+	assertSameDocs(t, label, pruned.Docs, unpruned.Docs)
+}
+
+// assertSameDocs compares two rankings bit for bit.
+func assertSameDocs(t *testing.T, label string, got, want []DocResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d docs, want %d\ngot:  %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Doc != w.Doc {
+			t.Fatalf("%s: rank %d doc %d, want %d\ngot:  %+v\nwant: %+v", label, i, g.Doc, w.Doc, got, want)
+		}
+		if g.Score != w.Score {
+			t.Fatalf("%s: rank %d (doc %d) score %v, want %v", label, i, g.Doc, g.Score, w.Score)
+		}
+		if len(g.Set) != len(w.Set) {
+			t.Fatalf("%s: rank %d (doc %d) matchset sizes %d vs %d", label, i, g.Doc, len(g.Set), len(w.Set))
+		}
+		for j := range g.Set {
+			if g.Set[j] != w.Set[j] {
+				t.Fatalf("%s: rank %d (doc %d) matchset %v, want %v", label, i, g.Doc, g.Set, w.Set)
+			}
+		}
+	}
+}
+
+func TestDifferentialUnionWANDVsExhaustive(t *testing.T) {
+	trials := 24
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(6000 + int64(trial)))
+		corpus := diffCorpus(rng)
+		concepts := diffConcepts(rng)
+		idx := buildCompact(t, corpus)
+		// Rotate the candidate representation: flat posting decode,
+		// precomputed doc-max metadata, and two block sizes (tiny so
+		// walks cross many block boundaries, mid so several documents
+		// share a block and block jumps have room).
+		blockSize := 0
+		switch trial % 4 {
+		case 1:
+			for _, c := range concepts {
+				idx.AddConceptMeta(c)
+			}
+		case 2:
+			blockSize = 16
+		case 3:
+			blockSize = 3
+		}
+		if blockSize > 0 {
+			for _, c := range concepts {
+				idx.AddConceptBlocksSized(c, blockSize)
+			}
+		}
+		k := 1 + rng.Intn(6)
+		for minMatch := 1; minMatch <= len(concepts); minMatch++ {
+			for _, workers := range []int{1, 4} {
+				for _, fam := range diffFamilies() {
+					pruned := New(idx, Config{Workers: workers})
+					unpruned := New(idx, Config{Workers: workers, DisablePruning: true})
+					q := Query{Concepts: concepts, Join: fam.factory, K: k, Mode: ModeOR, MinMatch: minMatch}
+					rp, err := pruned.Search(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ru, err := unpruned.Search(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("trial %d %s workers=%d k=%d m=%d bs=%d",
+						trial, fam.name, workers, k, minMatch, blockSize)
+					assertResultInvariants(t, label+" pruned", rp)
+					assertResultInvariants(t, label+" unpruned", ru)
+					assertUnionIdentical(t, label, rp, ru)
+					want := bruteForceUnion(idx, concepts, fam.factory, k, minMatch)
+					assertSameDocs(t, label+" vs baseline", rp.Docs, want)
+					// The exhaustive union confirms every qualifying
+					// document; the WAND walk never confirms more.
+					if ru.Candidates > 0 && rp.Candidates > ru.Candidates {
+						t.Fatalf("%s: pruned confirmed %d pivots, exhaustive %d", label, rp.Candidates, ru.Candidates)
+					}
+					st := pruned.Stats()
+					if st.UnionCandidates != uint64(rp.Candidates) {
+						t.Fatalf("%s: stats UnionCandidates %d != Result.Candidates %d",
+							label, st.UnionCandidates, rp.Candidates)
+					}
+					if up := unpruned.Stats().PivotSkips; up != 0 {
+						t.Fatalf("%s: unpruned engine skipped %d pivots", label, up)
+					}
+					// Repeat on warm caches: identical again.
+					rp2, err := pruned.Search(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertUnionIdentical(t, label+" cached", rp2, ru)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionUnknownConceptDegradesToSurvivors pins the headline OR
+// semantics: a query naming one concept absent from the corpus must
+// rank by the surviving concepts — identical to the same query without
+// the unknown term — not return empty (the conjunctive behavior) and
+// not report Degraded (nothing failed; the term simply has no
+// postings).
+func TestUnionUnknownConceptDegradesToSurvivors(t *testing.T) {
+	c := buildCompact(t, testCorpus(80, 13))
+	jn := WINJoiner(scorefn.ExpWIN{Alpha: 0.1})
+	known := []index.Concept{
+		{"lenovo": 1, "dell": 0.9, "hewlett": 0.8},
+		{"nba": 1, "olympics": 0.9},
+	}
+	unknown := index.Concept{"xylophone": 1, "glockenspiel": 0.5}
+	e := New(c, Config{Workers: 2})
+
+	or, err := e.Search(context.Background(), Query{
+		Concepts: append(append([]index.Concept{}, known...), unknown),
+		Join:     jn, K: 5, Mode: ModeOR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Search(context.Background(), Query{Concepts: known, Join: jn, K: 5, Mode: ModeOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(or.Docs) == 0 {
+		t.Fatal("union query with one unknown concept returned nothing")
+	}
+	if or.Degraded {
+		t.Fatal("an absent concept is not a failure: Degraded must stay false")
+	}
+	assertSameDocs(t, "unknown-among-known", or.Docs, want.Docs)
+	assertResultInvariants(t, "unknown-among-known", or)
+
+	// Contrast: the conjunctive mode on the same concepts finds no
+	// document containing the unknown term.
+	and, err := e.Search(context.Background(), Query{
+		Concepts: append(append([]index.Concept{}, known...), unknown),
+		Join:     jn, K: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(and.Docs) != 0 {
+		t.Fatalf("conjunctive query with an unknown concept returned %d docs", len(and.Docs))
+	}
+}
+
+// TestUnionAllConceptsUnknown: nothing survives, so the answer is
+// empty, complete, and healthy.
+func TestUnionAllConceptsUnknown(t *testing.T) {
+	c := buildCompact(t, testCorpus(40, 17))
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	e := New(c, Config{})
+	res, err := e.Search(context.Background(), Query{
+		Concepts: []index.Concept{{"xylophone": 1}, {"glockenspiel": 1}},
+		Join:     jn, K: 5, Mode: ModeOR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 0 || res.Partial || res.Degraded || res.Candidates != 0 {
+		t.Fatalf("all-unknown union: %+v, want empty complete healthy", res)
+	}
+	assertResultInvariants(t, "all-unknown", res)
+}
+
+// TestUnionSingleConceptMatchesAND: with one concept, OR and AND are
+// the same query; the ranked answers must agree bit for bit.
+func TestUnionSingleConceptMatchesAND(t *testing.T) {
+	c := buildCompact(t, testCorpus(90, 19))
+	concepts := []index.Concept{{"lenovo": 1, "dell": 0.9, "hewlett": 0.8}}
+	for _, fam := range diffFamilies() {
+		e := New(c, Config{Workers: 4})
+		and, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 6, Mode: ModeOR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameDocs(t, "single-concept "+fam.name, or.Docs, and.Docs)
+		assertResultInvariants(t, "single-concept "+fam.name, or)
+	}
+}
+
+// TestUnionMinMatchBoundaries pins the m-of-n edges: MinMatch = n must
+// reproduce the conjunctive answer exactly (AND evaluated by ranked
+// union), and MinMatch = 1 must be plain OR.
+func TestUnionMinMatchBoundaries(t *testing.T) {
+	c := buildCompact(t, testCorpus(100, 23))
+	concepts := testConcepts()
+	n := len(concepts)
+	for _, fam := range diffFamilies() {
+		e := New(c, Config{Workers: 4})
+		and, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaUnion, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 5, MinMatch: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameDocs(t, "m=n "+fam.name, viaUnion.Docs, and.Docs)
+		if viaUnion.Partial != and.Partial {
+			t.Fatalf("m=n %s: Partial %v vs %v", fam.name, viaUnion.Partial, and.Partial)
+		}
+
+		or, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 5, Mode: ModeOR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, err := e.Search(context.Background(), Query{Concepts: concepts, Join: fam.factory, K: 5, Mode: ModeOR, MinMatch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameDocs(t, "m=1 "+fam.name, m1.Docs, or.Docs)
+	}
+	// Out-of-range MinMatch values are errors, not silent clamps.
+	e := New(c, Config{})
+	if _, err := e.Search(context.Background(), Query{Concepts: concepts, Join: diffFamilies()[0].factory, MinMatch: n + 1}); err == nil {
+		t.Fatal("MinMatch > n accepted")
+	}
+	if _, err := e.Search(context.Background(), Query{Concepts: concepts, Join: diffFamilies()[0].factory, MinMatch: -1}); err == nil {
+		t.Fatal("negative MinMatch accepted")
+	}
+}
+
+// TestUnionConfigModeDefault: Config.Mode = ModeOR makes OR the
+// engine-wide default, and an explicit Query.Mode = ModeAND overrides
+// it back.
+func TestUnionConfigModeDefault(t *testing.T) {
+	c := buildCompact(t, testCorpus(60, 29))
+	concepts := testConcepts()
+	jn := MAXJoiner(scorefn.SumMAX{Alpha: 0.1})
+	orEngine := New(c, Config{Workers: 2, Mode: ModeOR})
+	andEngine := New(c, Config{Workers: 2})
+
+	viaDefault, err := orEngine.Search(context.Background(), Query{Concepts: concepts, Join: jn, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := andEngine.Search(context.Background(), Query{Concepts: concepts, Join: jn, K: 5, Mode: ModeOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDocs(t, "config-default-or", viaDefault.Docs, explicit.Docs)
+
+	overridden, err := orEngine.Search(context.Background(), Query{Concepts: concepts, Join: jn, K: 5, Mode: ModeAND})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainAND, err := andEngine.Search(context.Background(), Query{Concepts: concepts, Join: jn, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDocs(t, "query-overrides-config", overridden.Docs, plainAND.Docs)
+}
+
+// TestUnionNeverPruneOnEquality mirrors the conjunctive equality tests
+// for the pivot loop: when every document scores exactly the pruning
+// bound, the floor ties the bound for every later pivot, and any skip
+// on equality would break the document-id tie-break order.
+func TestUnionNeverPruneOnEquality(t *testing.T) {
+	docs := make([]string, 12)
+	for i := range docs {
+		docs[i] = "amber"
+	}
+	concepts := []index.Concept{{"amber": 1}, {"basalt": 1}}
+	for _, blocked := range []bool{false, true} {
+		compact := buildCompact(t, docs)
+		if blocked {
+			for _, c := range concepts {
+				compact.AddConceptBlocksSized(c, 2)
+			}
+		}
+		e := New(compact, Config{Workers: 1})
+		res, err := e.Search(context.Background(), Query{
+			Concepts: concepts, Join: diffFamilies()[0].factory, K: 4, Mode: ModeOR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Docs) != 4 {
+			t.Fatalf("blocked=%v: got %d docs, want 4", blocked, len(res.Docs))
+		}
+		for i, dr := range res.Docs {
+			if dr.Doc != i {
+				t.Fatalf("blocked=%v: rank %d is doc %d, want %d (tie-break by id broken)", blocked, i, dr.Doc, i)
+			}
+		}
+		if got := e.Stats().PivotSkips; got != 0 {
+			t.Fatalf("blocked=%v: %d pivots skipped on an all-ties query", blocked, got)
+		}
+		assertResultInvariants(t, "equality", res)
+	}
+}
+
+// TestUnionPivotSkipsCounted pins that the union pruning machinery
+// actually fires: one dominant document and k=1 must leave a trail of
+// skipped pivots (and, in block mode, undecoded blocks). SumMAX is the
+// family here because it is additive — matching the heavy second
+// concept strictly raises the score — whereas the product families can
+// legitimately rank a partial match above a full one.
+func TestUnionPivotSkipsCounted(t *testing.T) {
+	// Sizing makes the skip deterministic rather than scheduler-luck:
+	// QueueDepth 1 with one worker gives an unbuffered job channel, so
+	// shipping the second 32-job chunk cannot return before the worker
+	// finished the first (which contains the dominant doc 0 and raises
+	// the floor), and every pivot after the next stride-32 floor
+	// refresh — guaranteed to exist with 200 documents — must skip.
+	docs := make([]string, 200)
+	for i := range docs {
+		docs[i] = "amber cedar"
+	}
+	docs[0] = "amber basalt" // the only doc with the heavy second concept
+	concepts := []index.Concept{{"amber": 0.1}, {"basalt": 1}}
+	for _, blocked := range []bool{false, true} {
+		compact := buildCompact(t, docs)
+		if blocked {
+			for _, c := range concepts {
+				compact.AddConceptBlocksSized(c, 4)
+			}
+		}
+		e := New(compact, Config{Workers: 1, QueueDepth: 1})
+		res, err := e.Search(context.Background(), Query{
+			Concepts: concepts, Join: MAXJoiner(scorefn.SumMAX{Alpha: 0.1}), K: 1, Mode: ModeOR,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Docs[0].Doc != 0 {
+			t.Fatalf("blocked=%v: top doc %d, want 0", blocked, res.Docs[0].Doc)
+		}
+		st := e.Stats()
+		if st.PivotSkips == 0 {
+			t.Fatalf("blocked=%v: no pivot skips on a skewed corpus (pruned=%d)", blocked, res.Pruned)
+		}
+		if blocked && st.BlocksSkipped == 0 {
+			t.Fatal("block mode: expected candidate blocks pruned below decode")
+		}
+		assertResultInvariants(t, "skew", res)
+	}
+}

@@ -39,8 +39,50 @@ func (k *MAXKernel) ScoreUpperBound(perListMax []float64) float64 {
 	return scorefn.UpperBoundMAX(k.fn, perListMax)
 }
 
+// UnionBounded is the optional kernel capability behind the engine's
+// disjunctive (ranked-union / m-of-n) pruning: a cap on the score any
+// matchset drawn from ANY subset of at least minMatch of the lists
+// could attain. The conjunctive ScoreUpperBound is not reusable there
+// — for product-style scoring functions adding a list lowers the
+// bound, so a full-set cap does not dominate partial matches.
+//
+// Contract: for any document whose per-list maximum match scores are
+// perListMax, ScoreUnionUpperBound must be ≥ the score Join would
+// return on the match lists of ANY subset of ≥ minMatch lists,
+// compacted in order (the engine passes workers only the matched
+// lists, re-indexed from 0). The implementations below satisfy this
+// only for term-exchangeable scoring functions — G (or Contribution)
+// independent of the term index — which holds for every shipped
+// unweighted instance. Queries scoring with term-dependent transforms
+// (scorefn.WeightedWIN/WeightedMED) must run with pruning disabled.
+type UnionBounded interface {
+	ScoreUnionUpperBound(perListMax []float64, minMatch int) float64
+}
+
+// ScoreUnionUpperBound caps the WIN score of any matchset drawn from
+// at least minMatch of the lists (scorefn.UnionUpperBoundWIN under the
+// kernel's current scoring function).
+func (k *WINKernel) ScoreUnionUpperBound(perListMax []float64, minMatch int) float64 {
+	return scorefn.UnionUpperBoundWIN(k.fn, perListMax, minMatch)
+}
+
+// ScoreUnionUpperBound caps the MED score of any matchset drawn from
+// at least minMatch of the lists.
+func (k *MEDKernel) ScoreUnionUpperBound(perListMax []float64, minMatch int) float64 {
+	return scorefn.UnionUpperBoundMED(k.fn, perListMax, minMatch)
+}
+
+// ScoreUnionUpperBound caps the MAX score of any matchset drawn from
+// at least minMatch of the lists.
+func (k *MAXKernel) ScoreUnionUpperBound(perListMax []float64, minMatch int) float64 {
+	return scorefn.UnionUpperBoundMAX(k.fn, perListMax, minMatch)
+}
+
 var (
 	_ UpperBounded = (*WINKernel)(nil)
 	_ UpperBounded = (*MEDKernel)(nil)
 	_ UpperBounded = (*MAXKernel)(nil)
+	_ UnionBounded = (*WINKernel)(nil)
+	_ UnionBounded = (*MEDKernel)(nil)
+	_ UnionBounded = (*MAXKernel)(nil)
 )

@@ -1,5 +1,10 @@
 package scorefn
 
+import (
+	"math"
+	"sort"
+)
+
 // Score upper bounds: for each family, the highest score any matchset
 // drawn from lists with the given per-list maximum match scores could
 // possibly attain. The proximity term is capped at its best case — a
@@ -64,4 +69,96 @@ func UpperBoundMAX(fn MAX, perListMax []float64) float64 {
 		total += fn.Contribution(j, m, 0)
 	}
 	return fn.F(total)
+}
+
+// Union (disjunctive) upper bounds: the highest score any matchset
+// drawn from ANY subset of at least minMatch of the given lists could
+// attain. The conjunctive bounds above are not reusable here — for
+// product-style instances g_j(x) = ln(x) is negative on scores in
+// (0,1], so adding a list LOWERS the transformed-score total: with two
+// lists of maximum 0.5, the full-set WIN bound is f(ln 0.5 + ln 0.5, 0)
+// = 0.25, while a document matching only the first list legitimately
+// scores up to 0.5. A sound disjunctive bound must therefore maximize
+// over the admissible subset sizes.
+//
+// The functions below sort the per-list maxima descending and evaluate
+// the family's zero-proximity cap on every prefix of size
+// s ∈ [minMatch, len], returning the largest. That dominates the best
+// join over any admissible subset PROVIDED the per-term transform is
+// term-exchangeable — G(j, x) (or Contribution(j, x, d)) does not
+// depend on j — because then the score of a size-s subset depends only
+// on the multiset of its match scores, each of which is dominated
+// element-wise by the s largest list maxima. Every shipped unweighted
+// instance (ExpWIN, LinearWIN, ExpMED, LinearMED, ProdMAX, SumMAX) is
+// term-exchangeable; WeightedWIN/WeightedMED are not, and callers
+// scoring with term-dependent transforms must not use these bounds
+// (disable pruning instead). CheckUnionUpperBound* probe the
+// domination property on randomized instances and subsets.
+//
+// minMatch values outside [1, len(perListMax)] are clamped; an empty
+// perListMax yields -Inf (no admissible matchset).
+
+// unionPrefixMax sorts maxima descending into scratch and returns the
+// max over admissible prefix sizes of cap(prefix). cap receives the
+// prefix length s and the sorted maxima; it must fold the first s.
+func unionPrefixMax(perListMax []float64, minMatch int, cap func(s int, sorted []float64) float64) float64 {
+	n := len(perListMax)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	if minMatch < 1 {
+		minMatch = 1
+	}
+	if minMatch > n {
+		minMatch = n
+	}
+	sorted := append(make([]float64, 0, n), perListMax...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	best := math.Inf(-1)
+	for s := minMatch; s <= n; s++ {
+		if v := cap(s, sorted); v > best || math.IsNaN(v) {
+			best = v
+		}
+	}
+	return best
+}
+
+// UnionUpperBoundWIN returns the disjunctive WIN score cap
+// max over s ∈ [minMatch, n] of f(Σ_{i<s} g(sorted_i), 0), with the
+// per-list maxima sorted descending. Sound for term-exchangeable G.
+func UnionUpperBoundWIN(fn WIN, perListMax []float64, minMatch int) float64 {
+	gsums := 0.0
+	last := 0
+	return unionPrefixMax(perListMax, minMatch, func(s int, sorted []float64) float64 {
+		for ; last < s; last++ {
+			gsums += fn.G(last, sorted[last])
+		}
+		return fn.F(gsums, 0)
+	})
+}
+
+// UnionUpperBoundMED returns the disjunctive MED score cap; see
+// UnionUpperBoundWIN.
+func UnionUpperBoundMED(fn MED, perListMax []float64, minMatch int) float64 {
+	total := 0.0
+	last := 0
+	return unionPrefixMax(perListMax, minMatch, func(s int, sorted []float64) float64 {
+		for ; last < s; last++ {
+			total += fn.G(last, sorted[last])
+		}
+		return fn.F(total)
+	})
+}
+
+// UnionUpperBoundMAX returns the disjunctive MAX score cap; see
+// UnionUpperBoundWIN.
+func UnionUpperBoundMAX(fn MAX, perListMax []float64, minMatch int) float64 {
+	total := 0.0
+	last := 0
+	return unionPrefixMax(perListMax, minMatch, func(s int, sorted []float64) float64 {
+		for ; last < s; last++ {
+			total += fn.Contribution(last, sorted[last], 0)
+		}
+		return fn.F(total)
+	})
 }

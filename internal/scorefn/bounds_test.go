@@ -128,6 +128,50 @@ func TestUpperBoundTightAtZeroPenalty(t *testing.T) {
 	}
 }
 
+// TestUnionUpperBoundDominatesPartialMatches is the regression the
+// conjunctive bounds would fail: under product-style scoring a subset
+// join can exceed the full-set cap (two lists of max 0.5 give an ExpWIN
+// full-set bound of 0.25 while a single-list match scores 0.5), so the
+// disjunctive bound must maximize over admissible subset sizes. The
+// in-package checkers enumerate every subset of ≥ minMatch lists.
+func TestUnionUpperBoundDominatesPartialMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, fn := range []scorefn.WIN{scorefn.ExpWIN{Alpha: 0.1}, scorefn.LinearWIN{Scale: 0.3}} {
+		if err := scorefn.CheckUnionUpperBoundWIN(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+	for _, fn := range []scorefn.MED{scorefn.ExpMED{Alpha: 0.1}, scorefn.LinearMED{Scale: 0.3}} {
+		if err := scorefn.CheckUnionUpperBoundMED(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+	for _, fn := range []scorefn.MAX{scorefn.SumMAX{Alpha: 0.1}, scorefn.ProdMAX{Alpha: 0.1}} {
+		if err := scorefn.CheckUnionUpperBoundMAX(fn, 3, 60, rng); err != nil {
+			t.Errorf("%#v: %v", fn, err)
+		}
+	}
+}
+
+// TestUnionUpperBoundSingleListRegime pins the concrete counterexample
+// above: the union bound with minMatch=1 must be at least the best
+// single-list score, where the conjunctive full-set bound is not.
+func TestUnionUpperBoundSingleListRegime(t *testing.T) {
+	fn := scorefn.ExpWIN{Alpha: 0.1}
+	maxima := []float64{0.5, 0.5}
+	conj := scorefn.UpperBoundWIN(fn, maxima)
+	if conj >= 0.5 {
+		t.Fatalf("premise broken: conjunctive bound %v should sit below the single-list score 0.5", conj)
+	}
+	if got := scorefn.UnionUpperBoundWIN(fn, maxima, 1); got < 0.5 {
+		t.Fatalf("union bound %v below the single-list score 0.5", got)
+	}
+	// m=n degenerates to the conjunctive cap.
+	if got := scorefn.UnionUpperBoundWIN(fn, maxima, 2); got != conj {
+		t.Fatalf("union bound at m=n is %v, want conjunctive cap %v", got, conj)
+	}
+}
+
 // TestCheckUpperBound runs the in-package contract checkers over every
 // concrete instance, including the per-term weighted wrappers.
 func TestCheckUpperBound(t *testing.T) {

@@ -205,6 +205,98 @@ func checkUpperBound(terms, n int, rng *rand.Rand,
 	return nil
 }
 
+// CheckUnionUpperBoundWIN probes the disjunctive-bound contract of a
+// term-exchangeable WIN scoring function on n randomized enumerable
+// instances: for every subset of at least minMatch lists and every
+// matchset drawn from it (compacted to term indices 0..s−1, exactly
+// how the engine hands partial matches to kernels), ScoreWIN must not
+// exceed UnionUpperBoundWIN of the full per-list maxima. It returns
+// the first violation found, or nil.
+func CheckUnionUpperBoundWIN(fn WIN, terms int, n int, rng *rand.Rand) error {
+	return checkUnionUpperBound(terms, n, rng,
+		func(maxima []float64, m int) float64 { return UnionUpperBoundWIN(fn, maxima, m) },
+		func(s match.Set) float64 { return ScoreWIN(fn, s) },
+		"WIN")
+}
+
+// CheckUnionUpperBoundMED is CheckUnionUpperBoundWIN for the MED
+// family.
+func CheckUnionUpperBoundMED(fn MED, terms int, n int, rng *rand.Rand) error {
+	return checkUnionUpperBound(terms, n, rng,
+		func(maxima []float64, m int) float64 { return UnionUpperBoundMED(fn, maxima, m) },
+		func(s match.Set) float64 { return ScoreMED(fn, s) },
+		"MED")
+}
+
+// CheckUnionUpperBoundMAX is CheckUnionUpperBoundWIN for the MAX
+// family (maximized-at-match evaluation).
+func CheckUnionUpperBoundMAX(fn MAX, terms int, n int, rng *rand.Rand) error {
+	return checkUnionUpperBound(terms, n, rng,
+		func(maxima []float64, m int) float64 { return UnionUpperBoundMAX(fn, maxima, m) },
+		func(s match.Set) float64 { v, _ := ScoreMAX(fn, s); return v },
+		"MAX")
+}
+
+// checkUnionUpperBound enumerates every subset of ≥ minMatch lists of
+// small random instances and verifies the union bound dominates every
+// matchset of every subset.
+func checkUnionUpperBound(terms, n int, rng *rand.Rand,
+	bound func([]float64, int) float64, score func(match.Set) float64, family string) error {
+	for i := 0; i < n; i++ {
+		lists := make([]match.List, terms)
+		maxima := make([]float64, terms)
+		for j := range lists {
+			m := 1 + rng.Intn(3)
+			for k := 0; k < m; k++ {
+				lists[j] = append(lists[j], match.Match{Loc: rng.Intn(30), Score: randScore(rng)})
+			}
+			lists[j].Sort()
+			maxima[j] = lists[j][0].Score
+			for _, mm := range lists[j] {
+				if mm.Score > maxima[j] {
+					maxima[j] = mm.Score
+				}
+			}
+		}
+		minMatch := 1 + rng.Intn(terms)
+		b := bound(maxima, minMatch)
+		for mask := 1; mask < 1<<terms; mask++ {
+			var sub []match.List
+			for j := 0; j < terms; j++ {
+				if mask&(1<<j) != 0 {
+					sub = append(sub, lists[j])
+				}
+			}
+			if len(sub) < minMatch {
+				continue
+			}
+			idx := make([]int, len(sub))
+			set := make(match.Set, len(sub))
+			for {
+				for j := range set {
+					set[j] = sub[j][idx[j]]
+				}
+				if v := score(set); v > b {
+					return fmt.Errorf("scorefn: %s union bound %v (m=%d) below subset %b matchset score %v for %v",
+						family, b, minMatch, mask, v, set)
+				}
+				j := len(sub) - 1
+				for ; j >= 0; j-- {
+					idx[j]++
+					if idx[j] < len(sub[j]) {
+						break
+					}
+					idx[j] = 0
+				}
+				if j < 0 {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func randScore(rng *rand.Rand) float64 {
 	// Uniform over (0,1]: the paper's individual-match-score regime.
 	return 1 - rng.Float64()

@@ -23,7 +23,9 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # Custom b.ReportMetric units ride along when present: pruneddocs/op
 # and joins/op from the pruning benchmark, shed/op from the admission
 # control benchmark, and blocksskipped/op + blockdecodes/op from the
-# cold benchmark (the block-max skip layer's decode-avoidance rate).
+# cold benchmark (the block-max skip layer's decode-avoidance rate),
+# and pivotskips/op + unioncandidates/op from the disjunctive union
+# benchmark (the WAND layer's skip rate).
 # The cached BenchmarkEngine path doubles as the panic-recovery
 # overhead gauge — the recover() wrappers sit on every join, so any
 # regression shows up directly against the baseline (the budget is <1%).
@@ -31,7 +33,7 @@ bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = ""
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")             ns = $(i - 1)
             if ($i == "B/op")              bytes = $(i - 1)
@@ -41,6 +43,8 @@ bench_to_json() {
             if ($i == "shed/op")           shed = $(i - 1)
             if ($i == "blocksskipped/op")  bskip = $(i - 1)
             if ($i == "blockdecodes/op")   bdec = $(i - 1)
+            if ($i == "pivotskips/op")     pskip = $(i - 1)
+            if ($i == "unioncandidates/op") ucand = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -51,6 +55,8 @@ bench_to_json() {
         if (shed != "")   rec = rec sprintf(", \"shed_per_op\": %s", shed)
         if (bskip != "")  rec = rec sprintf(", \"blocksskipped_per_op\": %s", bskip)
         if (bdec != "")   rec = rec sprintf(", \"blockdecodes_per_op\": %s", bdec)
+        if (pskip != "")  rec = rec sprintf(", \"pivotskips_per_op\": %s", pskip)
+        if (ucand != "")  rec = rec sprintf(", \"unioncandidates_per_op\": %s", ucand)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }
