@@ -382,3 +382,69 @@ func BenchmarkEngineUnion(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngineSharded measures the scatter-gather tier on the warm
+// path: the same query on a single engine and on 1/2/4-shard
+// coordinators, each shard with its own caches and the scatter sharing
+// one pruning floor. shardqueries/op and mergedcandidates/op land in
+// BENCH_engine.json via scripts/benchjson.sh, so the fan-out cost and
+// the merge width are tracked across changes. The sharded answer is
+// gated bitwise against the single engine's before timing starts.
+func BenchmarkEngineSharded(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	cfg := bestjoin.EngineConfig{CacheLists: 1 << 14}
+
+	single := bestjoin.NewEngine(c, cfg)
+	want, err := single.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("single", func(b *testing.B) {
+		e := bestjoin.NewEngine(c, cfg)
+		if _, err := e.Search(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Search(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			coord, err := bestjoin.NewShardedEngine(c, shards, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := coord.Search(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Docs) != len(want.Docs) {
+				b.Fatalf("sharded returned %d docs, single %d", len(got.Docs), len(want.Docs))
+			}
+			for i := range got.Docs {
+				if got.Docs[i].Doc != want.Docs[i].Doc || got.Docs[i].Score != want.Docs[i].Score {
+					b.Fatalf("rank %d differs: sharded (%d, %v) vs single (%d, %v)", i,
+						got.Docs[i].Doc, got.Docs[i].Score, want.Docs[i].Doc, want.Docs[i].Score)
+				}
+			}
+			base := coord.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Search(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := coord.Stats()
+			b.ReportMetric(float64(st.ShardQueries-base.ShardQueries)/float64(b.N), "shardqueries/op")
+			b.ReportMetric(float64(st.MergedCandidates-base.MergedCandidates)/float64(b.N), "mergedcandidates/op")
+		})
+	}
+}

@@ -15,6 +15,7 @@
 //	GET /query?terms=a,b&mode=or top-k ranked union (any term may match)
 //	GET /query?terms=a,b,c&m=2   m-of-n: documents matching ≥ 2 concepts
 //	GET /stats                   engine stats as JSON
+//	GET /healthz                 readiness: index epoch + per-shard rows
 //	GET /debug/vars              expvar (includes bestjoin.engine)
 //	GET /debug/pprof/...         profiling endpoints (only with -pprof)
 //
@@ -32,6 +33,14 @@
 // value is derived from the current backlog and the observed query
 // drain rate (bounded to 1–30 seconds), so clients back off roughly
 // as long as the queue actually needs to clear.
+//
+// With -shards N the corpus is partitioned by document id across N
+// child engines behind a scatter-gather coordinator: every query fans
+// out to all shards under one shared pruning floor and the per-shard
+// answers rank-merge into results bitwise identical to the single
+// engine's. /healthz then reports one readiness row per shard, /stats
+// rolls the fleet up (per-shard snapshots ride along), and reloads
+// roll shard by shard with zero downtime.
 //
 // With -index the server loads a checksummed index file written by
 // -save (or CompactIndex.SaveFile) instead of indexing a corpus, and
@@ -87,6 +96,7 @@ func main() {
 		synth   = flag.Int("synth", 0, "index a synthetic corpus of this many documents instead of files")
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
 
+		shards   = flag.Int("shards", 1, "doc-partitioned shards behind a scatter-gather coordinator (1 = single engine)")
 		inflight = flag.Int("max-inflight", 64, "maximum concurrently admitted queries (0 = unlimited)")
 		shed     = flag.Bool("shed", false, "at the in-flight cap, shed queries immediately instead of queueing")
 		idxPath  = flag.String("index", "", "serve this saved index file instead of indexing a corpus (SIGHUP reloads it)")
@@ -107,7 +117,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("proxserve: %v", err)
 	}
-	eng := bestjoin.NewEngine(compact, bestjoin.EngineConfig{
+	ecfg := bestjoin.EngineConfig{
 		Workers:        *workers,
 		CacheLists:     *cache,
 		CacheBytes:     *cacheB,
@@ -115,8 +125,22 @@ func main() {
 		MaxInFlight:    *inflight,
 		Overload:       overload,
 		Mode:           qmode,
-	})
-	if err := eng.Publish("bestjoin.engine"); err != nil {
+	}
+	// The server is written against the Searcher contract, so a sharded
+	// fleet and a single engine are interchangeable from here on.
+	var eng bestjoin.Searcher
+	var publish func(string) error
+	if *shards > 1 {
+		coord, err := bestjoin.NewShardedEngine(compact, *shards, ecfg)
+		if err != nil {
+			log.Fatalf("proxserve: %v", err)
+		}
+		eng, publish = coord, coord.Publish
+	} else {
+		e := bestjoin.NewEngine(compact, ecfg)
+		eng, publish = e, e.Publish
+	}
+	if err := publish("bestjoin.engine"); err != nil {
 		log.Printf("proxserve: %v", err)
 	}
 	srv := &server{
@@ -129,7 +153,12 @@ func main() {
 		mode:     qmode,
 		minMatch: *minm,
 	}
-	fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
+	if *shards > 1 {
+		fmt.Printf("indexed %d documents (%d bytes compressed) across %d shards\n",
+			compact.Docs(), compact.Bytes(), *shards)
+	} else {
+		fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
+	}
 
 	if *httpad != "" {
 		mux := newMux(srv, *pprofOn)
@@ -204,6 +233,7 @@ func newMux(srv *server, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -296,7 +326,7 @@ func runServer(hs *http.Server, ln net.Listener, drain time.Duration) error {
 }
 
 type server struct {
-	eng      *bestjoin.Engine
+	eng      bestjoin.Searcher
 	lex      *bestjoin.Lexicon
 	fn       string
 	alpha    float64
@@ -519,7 +549,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.eng.Stats())
+	st := s.eng.Stats()
+	out := struct {
+		bestjoin.EngineStats
+		Note string `json:",omitempty"`
+	}{EngineStats: st}
+	if st.UnionUnpruned > 0 {
+		out.Note = fmt.Sprintf("%d disjunctive queries ran without union pruning "+
+			"(no usable score bound for the deployed kernel); results are correct but slower — see UnionUnpruned",
+			st.UnionUnpruned)
+	}
+	writeJSON(w, out)
+}
+
+// handleHealthz reports the Searcher's readiness: the current index
+// epoch, the corpus size, and — when serving a sharded fleet — one
+// row per shard. Ready maps to 200, anything else to 503, so load
+// balancers can use the endpoint unmodified.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.eng.Health()
+	if !h.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -194,6 +194,9 @@ func TestNewMuxRoutes(t *testing.T) {
 	if rec := get(off, "/stats"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "Queries") {
 		t.Errorf("/stats: status %d body %q", rec.Code, rec.Body)
 	}
+	if rec := get(off, "/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ready") {
+		t.Errorf("/healthz: status %d body %q", rec.Code, rec.Body)
+	}
 	if rec := get(off, "/debug/vars"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "cmdline") {
 		t.Errorf("/debug/vars: status %d, want expvar JSON", rec.Code)
 	}
@@ -601,5 +604,155 @@ func TestParseMode(t *testing.T) {
 	}
 	if _, err := parseMode("xor"); err == nil {
 		t.Error("parseMode(xor) accepted")
+	}
+}
+
+// shardedServer builds a server backed by a ShardedEngine over the
+// demo corpus — the -shards path without a process.
+func shardedServer(t *testing.T, shards int) *server {
+	t.Helper()
+	ix := bestjoin.NewIndex()
+	for d, body := range demoCorpus {
+		ix.AddText(d, body)
+	}
+	coord, err := bestjoin.NewShardedEngine(ix.Compact(), shards, bestjoin.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{
+		eng:     coord,
+		lex:     bestjoin.BuiltinLexicon(),
+		fn:      "med",
+		alpha:   0.1,
+		k:       3,
+		timeout: 5 * time.Second,
+	}
+}
+
+// TestShardedQueryMatchesSingle drives the -shards path through the
+// HTTP handler: the sharded server's answer must match the single
+// engine's document for document, score for score.
+func TestShardedQueryMatchesSingle(t *testing.T) {
+	single := demoServer(t)
+	sharded := shardedServer(t, 3)
+	for _, url := range []string{
+		"/query?terms=lenovo,nba,partnership",
+		"/query?terms=lenovo,nba&mode=or",
+		"/query?terms=lenovo,nba,partnership&m=2",
+	} {
+		recS := httptest.NewRecorder()
+		single.handleQuery(recS, httptest.NewRequest("GET", url, nil))
+		recC := httptest.NewRecorder()
+		sharded.handleQuery(recC, httptest.NewRequest("GET", url, nil))
+		if recS.Code != 200 || recC.Code != 200 {
+			t.Fatalf("%s: status %d (single) vs %d (sharded)", url, recS.Code, recC.Code)
+		}
+		var rs, rc bestjoin.EngineResult
+		if err := json.Unmarshal(recS.Body.Bytes(), &rs); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(recC.Body.Bytes(), &rc); err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Docs) != len(rc.Docs) {
+			t.Fatalf("%s: %d docs (single) vs %d (sharded)", url, len(rs.Docs), len(rc.Docs))
+		}
+		for i := range rs.Docs {
+			if rs.Docs[i].Doc != rc.Docs[i].Doc || rs.Docs[i].Score != rc.Docs[i].Score {
+				t.Fatalf("%s: rank %d differs: %+v vs %+v", url, i, rs.Docs[i], rc.Docs[i])
+			}
+		}
+	}
+}
+
+// TestHandleHealthz pins the readiness endpoint on both serving
+// shapes: a ready single engine reports its epoch with no shard rows,
+// a sharded fleet reports one row per shard, and epochs move on
+// reload.
+func TestHandleHealthz(t *testing.T) {
+	s := demoServer(t)
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("single-engine /healthz: status %d (%s)", rec.Code, rec.Body)
+	}
+	var h bestjoin.EngineHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz is not EngineHealth JSON: %v", err)
+	}
+	if !h.Ready || h.Epoch != 0 || h.Docs != len(demoCorpus) || len(h.Shards) != 0 {
+		t.Fatalf("single-engine health = %+v", h)
+	}
+
+	sh := shardedServer(t, 3)
+	rec = httptest.NewRecorder()
+	sh.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("sharded /healthz: status %d (%s)", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || len(h.Shards) != 3 || h.Docs != len(demoCorpus) {
+		t.Fatalf("sharded health = %+v", h)
+	}
+	for i, row := range h.Shards {
+		if row.Shard != i || !row.Ready || row.Epoch != 0 {
+			t.Fatalf("shard row %d = %+v", i, row)
+		}
+	}
+
+	// A rolling reload moves the fleet epoch and every shard's epoch.
+	ix := bestjoin.NewIndex()
+	ix.AddText(0, "alpha beta")
+	sh.eng.SwapIndex(ix.Compact())
+	rec = httptest.NewRecorder()
+	sh.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Epoch != 1 || h.Docs != 1 {
+		t.Fatalf("post-reload health = %+v", h)
+	}
+	for _, row := range h.Shards {
+		if row.Epoch != 1 {
+			t.Fatalf("post-reload shard row = %+v", row)
+		}
+	}
+}
+
+// TestHandleStatsUnionNote pins the /stats degradation note: absent
+// while every disjunctive query pruned, present once a kernel without
+// a union bound forces an exhaustive union walk.
+func TestHandleStatsUnionNote(t *testing.T) {
+	s := demoServer(t)
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	if strings.Contains(rec.Body.String(), "Note") {
+		t.Fatalf("fresh /stats already carries the union note: %s", rec.Body)
+	}
+
+	// A bare KernelFunc offers no union bound, so a pruning engine must
+	// run the disjunction exhaustively and count it.
+	unbounded := bestjoin.KernelFactory(func() bestjoin.JoinKernel {
+		return bestjoin.JoinKernelFunc(func(ls bestjoin.MatchLists) (bestjoin.Matchset, float64, bool) {
+			return nil, 1, true
+		})
+	})
+	if _, err := s.eng.Search(context.Background(), bestjoin.EngineQuery{
+		Concepts: []bestjoin.Concept{{"lenovo": 1}, {"nba": 1}},
+		Join:     unbounded,
+		K:        2,
+		Mode:     bestjoin.ModeOR,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.eng.Stats(); st.UnionUnpruned == 0 {
+		t.Fatal("unbounded disjunctive query not counted in UnionUnpruned")
+	}
+	rec = httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest("GET", "/stats", nil))
+	if !strings.Contains(rec.Body.String(), "without union pruning") {
+		t.Fatalf("/stats missing the union-unpruned note: %s", rec.Body)
 	}
 }

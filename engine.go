@@ -3,6 +3,7 @@ package bestjoin
 import (
 	"bestjoin/internal/engine"
 	"bestjoin/internal/index"
+	"bestjoin/internal/shard"
 )
 
 // This file is the public surface of the retrieval-engine slice: the
@@ -133,6 +134,34 @@ type Joiner = engine.Joiner
 
 // NewEngine builds an engine over a compacted index.
 func NewEngine(idx *CompactIndex, cfg EngineConfig) *Engine { return engine.New(idx, cfg) }
+
+// Searcher is the serving contract shared by Engine and ShardedEngine:
+// Search, Stats, zero-downtime SwapIndex, and Health. Servers written
+// against it cannot tell a single engine from a sharded fleet.
+type Searcher = engine.Searcher
+
+// EngineHealth is a Searcher's readiness snapshot: overall readiness,
+// the current index epoch (incremented by every SwapIndex / completed
+// rolling reload), the corpus size, and — for a sharded fleet — one
+// row per shard.
+type EngineHealth = engine.Health
+
+// ShardHealth is one shard's row in EngineHealth.Shards.
+type ShardHealth = engine.ShardHealth
+
+// ShardedEngine scatter-gathers queries over N doc-partitioned child
+// engines and rank-merges their top-k heaps into the global answer —
+// bitwise identical to a single Engine over the unsplit index, with
+// pruning shared across shards through a fleet-wide floor and rolling
+// zero-downtime reloads. See DESIGN.md "Sharded scatter-gather tier".
+type ShardedEngine = shard.Coordinator
+
+// NewShardedEngine partitions the index by document id into shards
+// pieces (shards ≤ 1 keeps one child) and builds a ShardedEngine over
+// them; cfg configures every child engine identically.
+func NewShardedEngine(idx *CompactIndex, shards int, cfg EngineConfig) (*ShardedEngine, error) {
+	return shard.New(idx, shard.Config{Shards: shards, Engine: cfg})
+}
 
 // JoinWIN builds a Joiner from a WIN scoring function.
 func JoinWIN(fn WIN) Joiner { return engine.WINJoiner(fn) }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"bestjoin/internal/match"
+)
+
+// The worker pool shared by the conjunctive and disjunctive
+// evaluation paths: chunked job dispatch, per-worker kernel reuse,
+// lazy block decode, and floor-checked joins.
+
+// dispatchChunk is the dispatcher's batching factor: candidates ship
+// to workers this many at a time. Large enough to amortize channel
+// and atomic-floor costs, small enough that the floor the workers
+// hold never goes badly stale.
+const dispatchChunk = 32
+
+// docJob is one unit of worker work: a candidate document, its score
+// upper bound (+Inf when the query has no bound), and its assembled
+// join instance. Conjunctive jobs leave mask zero and size lists to
+// the full query width; disjunctive jobs set the bit of every matched
+// concept and size lists to the match count, slots in set-bit order
+// (fillUnionLists completes the block-served slots).
+type docJob struct {
+	doc   int
+	bound float64
+	mask  uint64
+	lists match.Lists
+}
+
+// joinWorkers spawns the join worker pool shared by the conjunctive
+// and disjunctive paths. Workers drain job chunks, re-check each job's
+// bound against the risen floor, complete block-served match lists
+// (lazy per-block decode), run the kernel under panic isolation, and
+// offer results to the shared top-k heap. The floor is loaded once per
+// chunk and refreshed only after an offer could have raised it; a
+// stale floor is sound — the floor only rises, so staleness prunes
+// less, never more. Strictly-below only: a bound equal to the floor
+// can still win its tie-break on document id. Conjunctive jobs
+// (mask == 0) carry full-width list slices; disjunctive jobs carry a
+// concept bitmask with one compacted list slot per set bit. The caller
+// closes jobs and waits on wg.
+func (e *Engine) joinWorkers(qs *queryState, factory KernelFactory, cds []*conceptData,
+	workers int, jobs <-chan []docJob, top *topK, evaluated, pruned *atomic.Int64, wg *sync.WaitGroup) {
+	nc := len(cds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kern := buildKernel(factory, e)
+			fetch := make([]blockFetch, nc)
+			for i := range fetch {
+				fetch[i].blk = -1
+			}
+			for chunk := range jobs {
+				e.counters.queueDepth.Add(-int64(len(chunk)))
+				floor := top.Floor()
+				for _, jb := range chunk {
+					// Drain without evaluating once the query is out of
+					// time; those documents count as unevaluated.
+					if qs.ctx.Err() != nil {
+						continue
+					}
+					if jb.bound < floor {
+						pruned.Add(1)
+						e.counters.prunedDocs.Add(1)
+						continue
+					}
+					filled := jb.mask == 0 && e.fillBlockLists(qs, cds, jb, fetch) ||
+						jb.mask != 0 && e.fillUnionLists(qs, cds, jb, fetch)
+					if !filled {
+						// Block decode failure: drop this document only.
+						qs.fail()
+						continue
+					}
+					if kern == nil { // last build panicked: retry per job
+						kern = buildKernel(factory, e)
+						if kern == nil {
+							qs.fail()
+							continue
+						}
+					}
+					set, score, ok, panicked := safeJoin(kern, jb.lists)
+					e.counters.joinsRun.Add(1)
+					if panicked {
+						e.counters.joinPanics.Add(1)
+						qs.fail()
+						kern = nil // poisoned scratch: rebuild before reuse
+						continue
+					}
+					e.counters.docsEvaluated.Add(1)
+					evaluated.Add(1)
+					if ok && !math.IsNaN(score) {
+						top.offer(jb.doc, score, set)
+						floor = top.Floor()
+					}
+				}
+			}
+		}()
+	}
+}
+
+// countSkippedBlocks tallies candidate blocks no worker ever fetched —
+// pruned below decode, their bytes never touched.
+func (e *Engine) countSkippedBlocks(cds []*conceptData) {
+	for _, cd := range cds {
+		if cd.blocks == nil {
+			continue
+		}
+		skipped := 0
+		for w := range cd.cand {
+			skipped += bits.OnesCount64(cd.cand[w] &^ cd.fetched[w].Load())
+		}
+		e.counters.blocksSkipped.Add(uint64(skipped))
+	}
+}

@@ -38,26 +38,21 @@
 //     in-flight queries finish on the snapshot they started with, and
 //     the caches are epoch-keyed so a swap can never serve stale
 //     entries to new queries.
+//
+// The engine is also the unit of horizontal scale: Searcher
+// (searcher.go) abstracts its query surface so internal/shard can
+// scatter one query across N doc-partitioned child engines and
+// rank-merge their heaps, with Query.Floor sharing one pruning floor
+// across the whole partition and SearchSnapshot pinning each child to
+// a coordinator-chosen epoch.
 package engine
 
 import (
-	"context"
-	"errors"
-	"fmt"
-	"math"
-	"math/bits"
 	"runtime"
-	"sort"
-	"sync"
 	"sync/atomic"
-	"time"
 
-	"bestjoin/internal/dedup"
-	"bestjoin/internal/faultinject"
 	"bestjoin/internal/index"
-	"bestjoin/internal/join"
 	"bestjoin/internal/match"
-	"bestjoin/internal/scorefn"
 )
 
 // Defaults for Config and Query zero values.
@@ -66,28 +61,6 @@ const (
 	DefaultCacheLists    = 4096
 	DefaultCacheConcepts = 256
 	DefaultQueueDepth    = 64
-)
-
-// ErrOverloaded is returned by Search when admission control rejects
-// the query: the engine is at Config.MaxInFlight and either the policy
-// is OverloadShed or the context expired while waiting for a slot.
-// Servers should map it to a retryable status (HTTP 429 + Retry-After)
-// rather than an internal error.
-var ErrOverloaded = errors.New("engine: overloaded")
-
-// OverloadPolicy selects what Search does when Config.MaxInFlight
-// queries are already in flight.
-type OverloadPolicy int
-
-const (
-	// OverloadBlock (the default) waits for a slot until the query's
-	// context is done, then returns ErrOverloaded. Callers get
-	// backpressure shaped by their own deadlines.
-	OverloadBlock OverloadPolicy = iota
-	// OverloadShed fails fast with ErrOverloaded, never queueing.
-	// Under sustained overload this keeps latency flat for the queries
-	// that are admitted.
-	OverloadShed
 )
 
 // Config sizes the engine.
@@ -141,20 +114,11 @@ type Engine struct {
 	prune    bool
 	queue    int
 	mode     QueryMode
-	sem      chan struct{} // admission semaphore; nil = unlimited
-	shed     bool          // true = OverloadShed
+	admit    admitter
 	lists    *lruCache[listKey, listEntry]
 	concepts *lruCache[conceptKey, conceptEntry]
 	counters counters
 	latency  histogram
-}
-
-// snapshot pairs a live index with its reload epoch. Queries load one
-// snapshot at admission and use it throughout, so SwapIndex never
-// mixes two indexes inside one query.
-type snapshot struct {
-	idx   *index.Compact
-	epoch uint64
 }
 
 // conceptEntry is the cached corpus-wide summary of one concept:
@@ -235,783 +199,17 @@ func New(idx *index.Compact, cfg Config) *Engine {
 		prune:    !cfg.DisablePruning,
 		queue:    cfg.QueueDepth,
 		mode:     cfg.Mode,
-		shed:     cfg.Overload == OverloadShed,
+		admit:    newAdmitter(cfg.MaxInFlight, cfg.Overload),
 		lists:    lists,
 		concepts: newLRU[conceptKey, conceptEntry](cfg.CacheConcepts),
-	}
-	if cfg.MaxInFlight > 0 {
-		e.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	e.snap.Store(&snapshot{idx: idx})
 	return e
 }
-
-// SwapIndex atomically replaces the engine's live index — the
-// hot-reload path (proxserve triggers it on SIGHUP). Queries already
-// in flight finish on the snapshot they started with; queries admitted
-// after the swap see only the new index, because the caches are keyed
-// by reload epoch (stale entries age out of the LRUs, and both caches
-// are dropped eagerly to give the new index the full capacity).
-func (e *Engine) SwapIndex(idx *index.Compact) {
-	old := e.snap.Load()
-	e.snap.Store(&snapshot{idx: idx, epoch: old.epoch + 1})
-	e.counters.indexReloads.Add(1)
-	e.lists.Reset()
-	e.concepts.Reset()
-}
-
-// Index returns the engine's current live index.
-func (e *Engine) Index() *index.Compact { return e.snap.Load().idx }
 
 // ResetCache drops both caches, restoring the cold-query path.
 // Benchmarks use it to compare cold and cached latency.
 func (e *Engine) ResetCache() {
 	e.lists.Reset()
 	e.concepts.Reset()
-}
-
-// KernelFactory builds one reusable join kernel. The factory itself
-// must be safe for concurrent use (Search calls it once per worker);
-// the kernels it returns need not be — each worker owns its kernel
-// exclusively and reuses its scratch across the documents it
-// evaluates. Adapt a plain one-shot function with join.KernelFunc.
-type KernelFactory func() join.Kernel
-
-// Joiner is the former name of KernelFactory, kept as an alias for
-// call sites predating the kernel refactor.
-type Joiner = KernelFactory
-
-// WINJoiner joins under a WIN scoring function (Algorithm 1).
-func WINJoiner(fn scorefn.WIN) KernelFactory {
-	return func() join.Kernel { return join.NewWINKernel(fn) }
-}
-
-// MEDJoiner joins under a MED scoring function (Algorithm 2).
-func MEDJoiner(fn scorefn.MED) KernelFactory {
-	return func() join.Kernel { return join.NewMEDKernel(fn) }
-}
-
-// MAXJoiner joins under an efficient MAX scoring function.
-func MAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
-	return func() join.Kernel { return join.NewMAXKernel(fn) }
-}
-
-// ValidWINJoiner is WINJoiner restricted to valid matchsets (no token
-// answers two query terms at once, the paper's Section VI).
-func ValidWINJoiner(fn scorefn.WIN) KernelFactory {
-	return func() join.Kernel { return dedup.Wrap(join.NewWINKernel(fn)) }
-}
-
-// ValidMEDJoiner is MEDJoiner restricted to valid matchsets.
-func ValidMEDJoiner(fn scorefn.MED) KernelFactory {
-	return func() join.Kernel { return dedup.Wrap(join.NewMEDKernel(fn)) }
-}
-
-// ValidMAXJoiner is MAXJoiner restricted to valid matchsets.
-func ValidMAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
-	return func() join.Kernel { return dedup.Wrap(join.NewMAXKernel(fn)) }
-}
-
-// Query is one retrieval request: candidate documents are those
-// containing at least one match for every concept, each is joined
-// with Join, and the K best are returned.
-type Query struct {
-	Concepts []index.Concept
-	Join     KernelFactory
-	// K is the number of documents to return; ≤ 0 means DefaultK.
-	K int
-	// Mode selects conjunctive (ModeAND) or disjunctive (ModeOR)
-	// candidate generation; ModeDefault (the zero value) uses the
-	// engine's configured Config.Mode.
-	Mode QueryMode
-	// MinMatch is the m-of-n knob: a candidate document must match at
-	// least MinMatch of the query's concepts. 0 means the resolved
-	// mode's default — len(Concepts) for AND, 1 for OR. Any explicit
-	// value in [1, len(Concepts)] selects the disjunctive evaluation
-	// path, so MinMatch = len(Concepts) is AND semantics evaluated by
-	// ranked union. Values < 0 or > len(Concepts) are errors.
-	MinMatch int
-}
-
-// DocResult is one ranked document: its id, best matchset, and score.
-type DocResult struct {
-	Doc   int
-	Score float64
-	Set   match.Set
-}
-
-// Result is a query's outcome.
-type Result struct {
-	// Docs holds the top-k documents, best first.
-	Docs []DocResult
-	// Partial is true when the context expired before every candidate
-	// was evaluated or pruned; Docs then ranks only the documents
-	// evaluated so far (the best-so-far answer), not the full corpus.
-	// Pruned candidates never make a result Partial: pruning is
-	// lossless, so a fully pruned+evaluated query is a complete answer.
-	Partial bool
-	// Degraded is true when part of the query's work failed and was
-	// isolated — a kernel panicked on some document, or a concept's
-	// postings could not be decoded. Every document in Docs still
-	// carries its true score (failed documents are dropped, never
-	// mis-scored), so a degraded answer is a sound subset of the
-	// healthy answer; Failed counts the dropped candidates.
-	Degraded bool
-	// Candidates is the number of documents containing every concept;
-	// Evaluated is how many of them were actually joined; Pruned is
-	// how many were skipped because their score upper bound could not
-	// beat the top-k floor; Failed is how many were dropped by
-	// recovered faults.
-	Candidates int
-	Evaluated  int
-	Pruned     int
-	Failed     int
-	// Elapsed is the wall-clock time the query took.
-	Elapsed time.Duration
-}
-
-// queryState is the per-query fault and cancellation context threaded
-// through candidate generation and the worker pool. degraded and
-// failed are touched by workers concurrently; cancelled only by the
-// dispatcher goroutine.
-type queryState struct {
-	ctx       context.Context
-	idx       *index.Compact
-	epoch     uint64
-	cancelled bool
-	degraded  atomic.Bool
-	failed    atomic.Int64
-}
-
-// fail records one candidate document dropped by a recovered fault.
-func (qs *queryState) fail() {
-	qs.failed.Add(1)
-	qs.degraded.Store(true)
-}
-
-// Search evaluates the query document-at-a-time. It returns an error
-// for malformed queries and for admission rejection (ErrOverloaded); a
-// context deadline or cancellation instead yields the best-so-far
-// Result with Partial set, and recovered faults yield a Result with
-// Degraded set — never a panic escaping to the caller.
-func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
-	if len(q.Concepts) == 0 {
-		return nil, errors.New("engine: query has no concepts")
-	}
-	if q.Join == nil {
-		return nil, errors.New("engine: query has no kernel factory")
-	}
-	k := q.K
-	if k <= 0 {
-		k = DefaultK
-	}
-	mode := q.Mode
-	if mode == ModeDefault {
-		mode = e.mode
-	}
-	n := len(q.Concepts)
-	if q.MinMatch < 0 || q.MinMatch > n {
-		return nil, fmt.Errorf("engine: MinMatch %d out of range [0, %d]", q.MinMatch, n)
-	}
-	minMatch := q.MinMatch
-	if minMatch == 0 {
-		minMatch = n
-		if mode == ModeOR {
-			minMatch = 1
-		}
-	}
-	// An explicit MinMatch always takes the disjunctive path, even at
-	// m = n: AND-by-ranked-union is how the equivalence tests keep the
-	// union evaluator honest against the intersection evaluator.
-	union := mode == ModeOR || q.MinMatch > 0
-	if union && n > 64 {
-		return nil, fmt.Errorf("engine: disjunctive queries support at most 64 concepts, got %d", n)
-	}
-
-	// Admission control: at the in-flight cap, shed immediately or
-	// wait until the caller's context gives up.
-	if e.sem != nil {
-		if e.shed {
-			select {
-			case e.sem <- struct{}{}:
-			default:
-				e.counters.shed.Add(1)
-				return nil, ErrOverloaded
-			}
-		} else {
-			select {
-			case e.sem <- struct{}{}:
-			case <-ctx.Done():
-				e.counters.shed.Add(1)
-				return nil, fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
-			}
-		}
-		defer func() { <-e.sem }()
-	}
-
-	start := time.Now()
-	e.counters.queries.Add(1)
-	defer func() { e.latency.observe(time.Since(start)) }()
-
-	snap := e.snap.Load()
-	qs := &queryState{ctx: ctx, idx: snap.idx, epoch: snap.epoch}
-
-	// Candidate generation: resolve each concept (cache-assisted) and
-	// intersect by a cursor walk. Flat concepts materialize their
-	// corpus-wide doc-set; block-served concepts never do — the walk
-	// gallops over block doc-ranges from the skip table, decoding only
-	// the block directories the intersection actually enters. Large
-	// decodes check the context, so a cancelled query stops burning
-	// CPU here instead of merging postings nobody will read.
-	cds := make([]*conceptData, len(q.Concepts))
-	for j, c := range q.Concepts {
-		cds[j] = e.conceptData(qs, c)
-		if qs.cancelled {
-			return e.finish(qs, &Result{Docs: []DocResult{}}, start), nil
-		}
-	}
-	if union {
-		return e.searchUnion(qs, q, cds, minMatch, k, start), nil
-	}
-	candidates, perListMax := e.intersectCursors(qs, cds)
-
-	// No candidate contains every concept: the answer is empty and
-	// final, so skip the worker pool entirely. (A concept whose decode
-	// failed has an empty candidate list, so degraded queries take
-	// this path with Degraded set — an empty but sound answer.)
-	res := &Result{Candidates: len(candidates)}
-	if len(candidates) == 0 {
-		res.Docs = []DocResult{}
-		return e.finish(qs, res, start), nil
-	}
-
-	// Max-score pruning setup: when the query's kernel can cap a
-	// document's score from its per-list maxima, compute every
-	// candidate's upper bound and order candidates by bound,
-	// descending (ties keep ascending document order). Processing the
-	// most promising documents first drives the top-k floor up
-	// quickly, so later, weaker candidates are skipped before their
-	// join — or even before their match lists are assembled. A factory
-	// or bound that panics here downgrades the query to the unpruned
-	// (still correct) path.
-	nc := len(cds)
-	var bounds []float64
-	var order []int // candidate indices in dispatch order; nil = as-is
-	if e.prune && perListMax != nil {
-		bounds, order = e.planPruning(q.Join, candidates, perListMax, nc)
-	}
-
-	// Worker pool: candidates flow through one shared channel in
-	// dispatchChunk batches, so channel operations and top-k floor
-	// loads amortize across a chunk instead of costing one each per
-	// document (the flat-worker-scaling fix). The dispatcher assembles
-	// flat-concept match lists (touching the caches single-threaded);
-	// workers fill block-concept lists themselves — lazy per-block
-	// decode fanned out across the pool — run joins, and offer results
-	// to the shared top-k heap. The heap's result is insertion-order
-	// independent (ties break on document id, and the floor only
-	// rises), so unsharded dispatch cannot change answers. Each worker
-	// builds one kernel from the query's factory and reuses its
-	// scratch for every document it evaluates; a kernel that panics is
-	// discarded and rebuilt, so one poisoned join cannot corrupt the
-	// next document's evaluation.
-	workers := e.workers
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	top := newTopK(k)
-	var evaluated, pruned atomic.Int64
-	chunkCap := workers * e.queue / dispatchChunk
-	if chunkCap < 1 {
-		chunkCap = 1
-	}
-	jobs := make(chan []docJob, chunkCap)
-	var wg sync.WaitGroup
-	e.joinWorkers(qs, q.Join, cds, workers, jobs, top, &evaluated, &pruned, &wg)
-
-	// One flat backing array for every job's lists header, and one for
-	// the jobs themselves: chunks are subslices of jobsBacking (which
-	// never grows past its capacity), so dispatch allocates nothing
-	// per chunk and the slices workers receive are never reallocated
-	// under them.
-	backing := make(match.Lists, len(candidates)*nc)
-	jobsBacking := make([]docJob, 0, len(candidates))
-	pending := 0 // jobs appended but not yet shipped
-	ship := func() bool {
-		chunk := jobsBacking[len(jobsBacking)-pending:]
-		select {
-		case jobs <- chunk:
-			e.counters.queueDepth.Add(int64(len(chunk)))
-			pending = 0
-			return true
-		case <-ctx.Done():
-			return false
-		}
-	}
-	flushFloor := top.Floor()
-dispatch:
-	for oi := 0; oi < len(candidates); oi++ {
-		if oi&31 == 0 {
-			// Stop assembling (and possibly decoding) lists for a
-			// query nobody is waiting on anymore, and refresh the
-			// dispatcher's floor on the same coarse stride.
-			if ctx.Err() != nil {
-				break dispatch
-			}
-			flushFloor = top.Floor()
-		}
-		i := oi
-		bound := math.Inf(1)
-		if order != nil {
-			i = order[oi]
-			bound = bounds[i]
-			// Screen before assembling lists: a document whose bound
-			// is strictly below the current floor cannot displace any
-			// kept document (the floor only rises), so skipping its
-			// join — and its match-list assembly — loses nothing.
-			if bound < flushFloor {
-				pruned.Add(1)
-				e.counters.prunedDocs.Add(1)
-				continue
-			}
-		}
-		doc := candidates[i]
-		lists := backing[i*nc : (i+1)*nc : (i+1)*nc]
-		assembled := true
-		for j, cd := range cds {
-			if cd.blocks != nil {
-				continue // workers fill block-served lists lazily
-			}
-			l, ok := e.list(qs, cd, doc)
-			if !ok {
-				if qs.cancelled {
-					break dispatch
-				}
-				// Decode failure: drop this document, keep the query.
-				qs.fail()
-				assembled = false
-				break
-			}
-			lists[j] = l
-		}
-		if !assembled {
-			continue
-		}
-		jobsBacking = append(jobsBacking, docJob{doc: doc, bound: bound, lists: lists})
-		if pending++; pending == dispatchChunk {
-			if !ship() {
-				break dispatch
-			}
-		}
-	}
-	if pending > 0 {
-		ship()
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Candidate blocks no worker ever fetched were pruned below
-	// decode: their bytes were never touched.
-	e.countSkippedBlocks(cds)
-
-	res.Docs = top.results()
-	res.Evaluated = int(evaluated.Load())
-	res.Pruned = int(pruned.Load())
-	return e.finish(qs, res, start), nil
-}
-
-// dispatchChunk is the dispatcher's batching factor: candidates ship
-// to workers this many at a time. Large enough to amortize channel
-// and atomic-floor costs, small enough that the floor the workers
-// hold never goes badly stale.
-const dispatchChunk = 32
-
-// joinWorkers spawns the join worker pool shared by the conjunctive
-// and disjunctive paths. Workers drain job chunks, re-check each job's
-// bound against the risen floor, complete block-served match lists
-// (lazy per-block decode), run the kernel under panic isolation, and
-// offer results to the shared top-k heap. The floor is loaded once per
-// chunk and refreshed only after an offer could have raised it; a
-// stale floor is sound — the floor only rises, so staleness prunes
-// less, never more. Strictly-below only: a bound equal to the floor
-// can still win its tie-break on document id. Conjunctive jobs
-// (mask == 0) carry full-width list slices; disjunctive jobs carry a
-// concept bitmask with one compacted list slot per set bit. The caller
-// closes jobs and waits on wg.
-func (e *Engine) joinWorkers(qs *queryState, factory KernelFactory, cds []*conceptData,
-	workers int, jobs <-chan []docJob, top *topK, evaluated, pruned *atomic.Int64, wg *sync.WaitGroup) {
-	nc := len(cds)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			kern := buildKernel(factory, e)
-			fetch := make([]blockFetch, nc)
-			for i := range fetch {
-				fetch[i].blk = -1
-			}
-			for chunk := range jobs {
-				e.counters.queueDepth.Add(-int64(len(chunk)))
-				floor := top.Floor()
-				for _, jb := range chunk {
-					// Drain without evaluating once the query is out of
-					// time; those documents count as unevaluated.
-					if qs.ctx.Err() != nil {
-						continue
-					}
-					if jb.bound < floor {
-						pruned.Add(1)
-						e.counters.prunedDocs.Add(1)
-						continue
-					}
-					filled := jb.mask == 0 && e.fillBlockLists(qs, cds, jb, fetch) ||
-						jb.mask != 0 && e.fillUnionLists(qs, cds, jb, fetch)
-					if !filled {
-						// Block decode failure: drop this document only.
-						qs.fail()
-						continue
-					}
-					if kern == nil { // last build panicked: retry per job
-						kern = buildKernel(factory, e)
-						if kern == nil {
-							qs.fail()
-							continue
-						}
-					}
-					set, score, ok, panicked := safeJoin(kern, jb.lists)
-					e.counters.joinsRun.Add(1)
-					if panicked {
-						e.counters.joinPanics.Add(1)
-						qs.fail()
-						kern = nil // poisoned scratch: rebuild before reuse
-						continue
-					}
-					e.counters.docsEvaluated.Add(1)
-					evaluated.Add(1)
-					if ok && !math.IsNaN(score) {
-						top.offer(jb.doc, score, set)
-						floor = top.Floor()
-					}
-				}
-			}
-		}()
-	}
-}
-
-// countSkippedBlocks tallies candidate blocks no worker ever fetched —
-// pruned below decode, their bytes never touched.
-func (e *Engine) countSkippedBlocks(cds []*conceptData) {
-	for _, cd := range cds {
-		if cd.blocks == nil {
-			continue
-		}
-		skipped := 0
-		for w := range cd.cand {
-			skipped += bits.OnesCount64(cd.cand[w] &^ cd.fetched[w].Load())
-		}
-		e.counters.blocksSkipped.Add(uint64(skipped))
-	}
-}
-
-// finish folds the query state into the result and updates the
-// outcome counters.
-func (e *Engine) finish(qs *queryState, res *Result, start time.Time) *Result {
-	res.Failed = int(qs.failed.Load())
-	res.Degraded = qs.degraded.Load()
-	res.Partial = res.Evaluated+res.Pruned+res.Failed != res.Candidates || qs.cancelled
-	if res.Degraded {
-		e.counters.degraded.Add(1)
-	}
-	if res.Partial {
-		e.counters.partials.Add(1)
-	}
-	if errors.Is(qs.ctx.Err(), context.DeadlineExceeded) {
-		e.counters.deadlineHits.Add(1)
-	}
-	res.Elapsed = time.Since(start)
-	return res
-}
-
-// planPruning probes the query's kernel for score upper bounds and
-// computes the bound-descending dispatch order. Any panic — in the
-// factory or in a bound evaluation — is recovered and disables
-// pruning for this query: running unpruned is always sound.
-func (e *Engine) planPruning(f KernelFactory, candidates []int, perListMax []float64, nc int) (bounds []float64, order []int) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.counters.joinPanics.Add(1)
-			bounds, order = nil, nil
-		}
-	}()
-	ub, ok := f().(join.UpperBounded)
-	if !ok {
-		return nil, nil
-	}
-	bounds = make([]float64, len(candidates))
-	order = make([]int, len(candidates))
-	for i := range candidates {
-		bounds[i] = ub.ScoreUpperBound(perListMax[i*nc : (i+1)*nc])
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
-	return bounds, order
-}
-
-// buildKernel calls the query's factory, recovering a panicking
-// factory to nil so one hostile factory cannot kill a worker (and
-// with it the whole query's WaitGroup).
-func buildKernel(f KernelFactory, e *Engine) (kern join.Kernel) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.counters.joinPanics.Add(1)
-			kern = nil
-		}
-	}()
-	return f()
-}
-
-// safeJoin runs one kernel invocation under recover: a panic in
-// Reset, in Join, or injected at the KernelJoin site is contained to
-// this one document. The kernel must be treated as poisoned after a
-// panic — its scratch may be mid-mutation.
-func safeJoin(kern join.Kernel, lists match.Lists) (set match.Set, score float64, ok, panicked bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			set, score, ok, panicked = nil, 0, false, true
-		}
-	}()
-	faultinject.MaybePanic(faultinject.KernelJoin)
-	kern.Reset(nil, lists)
-	set, score, ok = kern.Join()
-	return
-}
-
-// docJob is one unit of worker work: a candidate document, its score
-// upper bound (+Inf when the query has no bound), and its assembled
-// join instance. Conjunctive jobs leave mask zero and size lists to
-// the full query width; disjunctive jobs set the bit of every matched
-// concept and size lists to the match count, slots in set-bit order
-// (fillUnionLists completes the block-served slots).
-type docJob struct {
-	doc   int
-	bound float64
-	mask  uint64
-	lists match.Lists
-}
-
-// conceptData is the per-query working state for one concept.
-type conceptData struct {
-	concept index.Concept
-	fp      uint64
-	failed  bool      // decode failed: the concept poisons its queries
-	docs    []int     // sorted ids of documents containing the concept
-	maxSc   []float64 // aligned with docs: max match score per document
-	// local holds this query's freshly decoded lists; nil until the
-	// concept has been decoded (cache hits avoid it entirely).
-	local map[int]match.List
-	// Block mode (blockpath.go): blocks replaces docs/maxSc/local
-	// entirely. cand marks blocks that contributed candidates (written
-	// only by the dispatcher goroutine during intersection); fetched
-	// marks blocks some worker actually obtained (hit or decode) —
-	// atomics, because workers race on them.
-	blocks  *blockSet
-	cand    []uint64
-	fetched []atomic.Uint64
-}
-
-// conceptData resolves a concept for this query: from the concept
-// cache when possible; else its block skip table
-// (index.Compact.ConceptBlocks) — the representation that defers all
-// match decoding to the workers; else precomputed doc-max metadata
-// (index.Compact.ConceptMeta), which costs a doc-level decode instead
-// of a full posting decode; else by decoding postings corpus-wide.
-// Hits and misses land in the concept-cache counters.
-func (e *Engine) conceptData(qs *queryState, c index.Concept) *conceptData {
-	cd := &conceptData{concept: c, fp: index.ConceptKey(c)}
-	if ce, ok := e.concepts.Get(conceptKey{epoch: qs.epoch, fp: cd.fp}); ok &&
-		!faultinject.ForceMiss(faultinject.ConceptCacheMiss) {
-		e.counters.conceptHits.Add(1)
-		if ce.blocks != nil {
-			cd.setBlocks(ce.blocks)
-		} else {
-			cd.docs, cd.maxSc = ce.docs, ce.maxSc
-		}
-		return cd
-	}
-	e.counters.conceptMisses.Add(1)
-	if bs, ok := e.conceptBlocks(qs, cd); ok {
-		cd.setBlocks(bs)
-		e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{blocks: bs})
-		return cd
-	}
-	if cd.failed {
-		return cd
-	}
-	if docs, maxSc, ok := e.conceptMeta(qs, cd, c); ok {
-		cd.docs, cd.maxSc = docs, maxSc
-		e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxSc})
-		return cd
-	}
-	if cd.failed {
-		return cd
-	}
-	e.decode(qs, cd)
-	return cd
-}
-
-// conceptMeta looks up precomputed concept metadata under recover:
-// index.Compact.ConceptMeta panics on corrupt metadata, and a corrupt
-// index must degrade the query, not the process.
-func (e *Engine) conceptMeta(qs *queryState, cd *conceptData, c index.Concept) (docs []int, maxSc []float64, ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.counters.decodeFailures.Add(1)
-			qs.degraded.Store(true)
-			cd.failed = true
-			docs, maxSc, ok = nil, nil, false
-		}
-	}()
-	return qs.idx.ConceptMeta(c)
-}
-
-// list fetches the match list of one concept in one document: from
-// this query's decoded state, else the LRU, else by decoding the
-// concept's postings (which fills both). Hits and misses land in the
-// list-cache counters. ok is false when the concept's decode failed
-// or was cancelled; the caller must then drop the document (or the
-// query), never join against a half-decoded list.
-func (e *Engine) list(qs *queryState, cd *conceptData, doc int) (match.List, bool) {
-	if cd.failed {
-		return nil, false
-	}
-	if cd.local != nil {
-		return cd.local[doc], true
-	}
-	if ent, ok := e.lists.Get(listKey{epoch: qs.epoch, doc: doc, fp: cd.fp}); ok &&
-		!faultinject.ForceMiss(faultinject.ListCacheMiss) {
-		e.counters.listHits.Add(1)
-		return ent.list, true
-	}
-	e.counters.listMisses.Add(1)
-	if !e.decode(qs, cd) {
-		return nil, false
-	}
-	return cd.local[doc], true
-}
-
-// decode materializes a concept across the whole corpus: a k-way merge
-// of the member words' posting lists in (document, position) order,
-// keeping the best score per (document, position) — the same merge as
-// index.Compact.ConceptList, but for all documents at once instead of
-// re-decoding per document. Because each word's postings are already
-// sorted by (doc, pos), the merge emits every match in final order
-// directly into one flat backing list; per-document lists are capped
-// subslices of it, so the whole corpus-wide decode costs a handful of
-// allocations instead of two map levels plus one slice and one sort
-// per document. Results populate the query-local state and both
-// caches.
-//
-// Two failure modes are contained here. Corrupt posting bytes
-// (index.Compact.Postings panics on them, and the ConceptDecode
-// injection site simulates them) are recovered: the concept is marked
-// failed, the query degrades, the process survives. And the merge
-// checks the context every few thousand postings, so a cancelled
-// query abandons the decode promptly instead of finishing a merge
-// nobody will read; an abandoned decode caches nothing for the
-// concept and marks the query cancelled.
-func (e *Engine) decode(qs *queryState, cd *conceptData) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.counters.decodeFailures.Add(1)
-			qs.degraded.Store(true)
-			cd.failed = true
-			cd.docs, cd.maxSc, cd.local = nil, nil, nil
-			ok = false
-		}
-	}()
-	faultinject.MaybeSleep(faultinject.DecodeLatency)
-	faultinject.MaybePanic(faultinject.ConceptDecode)
-	type source struct {
-		ps    []index.Posting
-		score float64
-		next  int
-	}
-	srcs := make([]source, 0, len(cd.concept))
-	total := 0
-	for word, score := range cd.concept {
-		if ps := qs.idx.Postings(word); len(ps) > 0 {
-			srcs = append(srcs, source{ps: ps, score: score})
-			total += len(ps)
-		}
-	}
-	flat := make(match.List, 0, total)
-	cd.local = make(map[int]match.List)
-	var docs []int
-	var maxs []float64
-	curDoc, begin := -1, 0
-	curMax := math.Inf(-1)
-	flush := func() {
-		if curDoc < 0 {
-			return
-		}
-		l := flat[begin:len(flat):len(flat)]
-		cd.local[curDoc] = l
-		docs = append(docs, curDoc)
-		maxs = append(maxs, curMax)
-		e.lists.Put(listKey{epoch: qs.epoch, doc: curDoc, fp: cd.fp}, listEntry{list: l})
-		begin = len(flat)
-		curMax = math.Inf(-1)
-	}
-	merged := 0
-	for {
-		// A multi-million-posting merge must not outlive its query:
-		// poll the context on a coarse stride (flush boundaries are
-		// irregular, a posting count is steady).
-		if merged&0x0fff == 0 && qs.ctx.Err() != nil {
-			cd.local = nil
-			qs.cancelled = true
-			return false
-		}
-		merged++
-		min := -1
-		for s := range srcs {
-			if srcs[s].next == len(srcs[s].ps) {
-				continue
-			}
-			if min < 0 {
-				min = s
-				continue
-			}
-			p, q := srcs[s].ps[srcs[s].next], srcs[min].ps[srcs[min].next]
-			if p.Doc < q.Doc || (p.Doc == q.Doc && p.Pos < q.Pos) {
-				min = s
-			}
-		}
-		if min < 0 {
-			break
-		}
-		src := &srcs[min]
-		p := src.ps[src.next]
-		src.next++
-		if p.Doc != curDoc {
-			flush()
-			curDoc = p.Doc
-		}
-		// Words of one concept can share a (doc, pos); duplicates are
-		// adjacent in merge order, and the best member-word score wins.
-		if src.score > curMax {
-			curMax = src.score
-		}
-		if n := len(flat); n > begin && flat[n-1].Loc == p.Pos {
-			if src.score > flat[n-1].Score {
-				flat[n-1].Score = src.score
-			}
-			continue
-		}
-		flat = append(flat, match.Match{Loc: p.Pos, Score: src.score})
-	}
-	flush()
-	cd.docs, cd.maxSc = docs, maxs
-	e.concepts.Put(conceptKey{epoch: qs.epoch, fp: cd.fp}, conceptEntry{docs: docs, maxSc: maxs})
-	return true
 }

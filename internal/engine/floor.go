@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// GlobalFloor is a monotone pruning floor shared by several top-k
+// heaps — the cross-shard half of the engine's lossless pruning story
+// (Query.Floor documents the soundness argument). It only ever rises:
+// Raise keeps the maximum of everything offered, so every consumer's
+// strictly-below-floor skip is justified by real kept documents
+// somewhere in the fleet, exactly as with a query-local floor.
+type GlobalFloor struct {
+	bits atomic.Uint64 // math.Float64bits of the current floor
+}
+
+// NewGlobalFloor returns a floor at -Inf: the state in which nothing
+// prunes.
+func NewGlobalFloor() *GlobalFloor {
+	g := &GlobalFloor{}
+	g.bits.Store(math.Float64bits(math.Inf(-1)))
+	return g
+}
+
+// Load returns the current floor.
+func (g *GlobalFloor) Load() float64 {
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Raise lifts the floor to f if f is higher; lower or equal offers
+// are no-ops. Concurrent raises linearize on a CAS loop, so the floor
+// is monotone non-decreasing under any interleaving.
+func (g *GlobalFloor) Raise(f float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= f {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(f)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"bestjoin/internal/dedup"
+	"bestjoin/internal/faultinject"
+	"bestjoin/internal/join"
+	"bestjoin/internal/match"
+	"bestjoin/internal/scorefn"
+)
+
+// Kernel plumbing: the factory surface queries supply, the stock
+// factories for the paper's scoring families, and the panic-isolation
+// wrappers that keep user-supplied scoring closures from taking the
+// process down.
+
+// KernelFactory builds one reusable join kernel. The factory itself
+// must be safe for concurrent use (Search calls it once per worker);
+// the kernels it returns need not be — each worker owns its kernel
+// exclusively and reuses its scratch across the documents it
+// evaluates. Adapt a plain one-shot function with join.KernelFunc.
+type KernelFactory func() join.Kernel
+
+// Joiner is the former name of KernelFactory, kept as an alias for
+// call sites predating the kernel refactor.
+type Joiner = KernelFactory
+
+// WINJoiner joins under a WIN scoring function (Algorithm 1).
+func WINJoiner(fn scorefn.WIN) KernelFactory {
+	return func() join.Kernel { return join.NewWINKernel(fn) }
+}
+
+// MEDJoiner joins under a MED scoring function (Algorithm 2).
+func MEDJoiner(fn scorefn.MED) KernelFactory {
+	return func() join.Kernel { return join.NewMEDKernel(fn) }
+}
+
+// MAXJoiner joins under an efficient MAX scoring function.
+func MAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
+	return func() join.Kernel { return join.NewMAXKernel(fn) }
+}
+
+// ValidWINJoiner is WINJoiner restricted to valid matchsets (no token
+// answers two query terms at once, the paper's Section VI).
+func ValidWINJoiner(fn scorefn.WIN) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewWINKernel(fn)) }
+}
+
+// ValidMEDJoiner is MEDJoiner restricted to valid matchsets.
+func ValidMEDJoiner(fn scorefn.MED) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewMEDKernel(fn)) }
+}
+
+// ValidMAXJoiner is MAXJoiner restricted to valid matchsets.
+func ValidMAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
+	return func() join.Kernel { return dedup.Wrap(join.NewMAXKernel(fn)) }
+}
+
+// buildKernel calls the query's factory, recovering a panicking
+// factory to nil so one hostile factory cannot kill a worker (and
+// with it the whole query's WaitGroup).
+func buildKernel(f KernelFactory, e *Engine) (kern join.Kernel) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.counters.joinPanics.Add(1)
+			kern = nil
+		}
+	}()
+	return f()
+}
+
+// safeJoin runs one kernel invocation under recover: a panic in
+// Reset, in Join, or injected at the KernelJoin site is contained to
+// this one document. The kernel must be treated as poisoned after a
+// panic — its scratch may be mid-mutation.
+func safeJoin(kern join.Kernel, lists match.Lists) (set match.Set, score float64, ok, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			set, score, ok, panicked = nil, 0, false, true
+		}
+	}()
+	faultinject.MaybePanic(faultinject.KernelJoin)
+	kern.Reset(nil, lists)
+	set, score, ok = kern.Join()
+	return
+}

@@ -49,6 +49,12 @@ type counters struct {
 	// assembled.
 	pivotSkips      atomic.Uint64
 	unionCandidates atomic.Uint64
+	// unionUnpruned counts disjunctive queries a pruning engine had to
+	// run exhaustively anyway — the kernel offered no disjunctive
+	// bound (e.g. the Weighted* scorefn families), a concept lacked
+	// maxima, or a bound panicked mid-walk. Still correct, silently
+	// slower; the counter makes the degradation visible.
+	unionUnpruned atomic.Uint64
 }
 
 // histBuckets is the number of latency buckets: bucket i counts
@@ -161,7 +167,21 @@ type Stats struct {
 	// any match list was assembled.
 	UnionCandidates uint64
 	PivotSkips      uint64
-	QueryLatency    LatencyHistogram
+	// UnionUnpruned counts disjunctive queries a pruning engine ran
+	// exhaustively because no sound bound was available — correct
+	// results, silently degraded latency. A non-zero value usually
+	// means the deployed scoring family has no UnionBounded hook.
+	UnionUnpruned uint64
+	QueryLatency  LatencyHistogram
+	// Sharded serving (internal/shard). ShardQueries counts child
+	// engine searches issued by a coordinator (N per coordinator
+	// query); MergedCandidates counts per-shard result rows entering
+	// the coordinator's rank-merge. Shards holds each child engine's
+	// own Stats, in shard order. All three are zero/empty on a plain
+	// Engine.
+	ShardQueries     uint64  `json:",omitempty"`
+	MergedCandidates uint64  `json:",omitempty"`
+	Shards           []Stats `json:",omitempty"`
 }
 
 // Stats returns a consistent-enough snapshot of the engine's counters.
@@ -192,7 +212,7 @@ func (e *Engine) Stats() Stats {
 		DegradedResults: e.counters.degraded.Load(),
 		Shed:            e.counters.shed.Load(),
 		IndexReloads:    e.counters.indexReloads.Load(),
-		InFlight:        len(e.sem),
+		InFlight:        e.admit.inFlight(),
 		QueueDepth:      int(e.counters.queueDepth.Load()),
 		CachedLists:     e.lists.Len(),
 		BlockDecodes:    e.counters.blockDecodes.Load(),
@@ -200,6 +220,7 @@ func (e *Engine) Stats() Stats {
 		CacheBytes:      e.lists.Bytes(),
 		UnionCandidates: e.counters.unionCandidates.Load(),
 		PivotSkips:      e.counters.pivotSkips.Load(),
+		UnionUnpruned:   e.counters.unionUnpruned.Load(),
 		QueryLatency:    e.latency.snapshot(),
 	}
 }
@@ -208,17 +229,25 @@ func (e *Engine) Stats() Stats {
 // so we check-then-publish under a package lock.
 var expvarMu sync.Mutex
 
-// Publish exposes the engine's Stats snapshot as an expvar variable
-// under the given name (conventionally "bestjoin.engine"), making it
-// visible at /debug/vars on any server importing net/http/pprof or
-// expvar. Publishing the same name twice — including by two engines —
-// returns an error instead of panicking.
-func (e *Engine) Publish(name string) error {
+// PublishFunc exposes a Stats source as an expvar variable under the
+// given name, making it visible at /debug/vars on any server importing
+// net/http/pprof or expvar. Publishing the same name twice — by any
+// mix of engines and coordinators — returns an error instead of
+// panicking. Engine.Publish and shard.Coordinator.Publish both route
+// through here so they share the duplicate-name guard.
+func PublishFunc(name string, stats func() Stats) error {
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
 	if expvar.Get(name) != nil {
 		return fmt.Errorf("engine: expvar %q already published", name)
 	}
-	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	expvar.Publish(name, expvar.Func(func() any { return stats() }))
 	return nil
+}
+
+// Publish exposes the engine's Stats snapshot as an expvar variable
+// under the given name (conventionally "bestjoin.engine"); see
+// PublishFunc.
+func (e *Engine) Publish(name string) error {
+	return PublishFunc(name, e.Stats)
 }

@@ -27,21 +27,34 @@ type topK struct {
 	k     int
 	h     docHeap
 	floor atomic.Uint64 // math.Float64bits of the current floor
+	// shared, when non-nil, couples this heap to a fleet-wide floor
+	// (Query.Floor): local floor rises are published to it, and Floor()
+	// returns whichever of the two is higher. Sharing is sound because
+	// both floors are monotone and every value either holds is the k-th
+	// best score of real kept documents somewhere in the fleet.
+	shared *GlobalFloor
 }
 
-func newTopK(k int) *topK {
-	t := &topK{k: k, h: make(docHeap, 0, k)}
+func newTopK(k int, shared *GlobalFloor) *topK {
+	t := &topK{k: k, h: make(docHeap, 0, k), shared: shared}
 	t.floor.Store(math.Float64bits(math.Inf(-1)))
 	return t
 }
 
 // Floor returns the current pruning floor: the weakest kept score once
-// the heap is full, -Inf until then. Candidates whose score upper
-// bound is strictly below the floor cannot enter the top-k; equality
-// must never prune, because an equal-scoring document with a smaller
-// id still displaces the weakest kept document.
+// the heap is full (or the shared fleet floor, when higher), -Inf
+// until then. Candidates whose score upper bound is strictly below the
+// floor cannot enter the top-k; equality must never prune, because an
+// equal-scoring document with a smaller id still displaces the weakest
+// kept document.
 func (t *topK) Floor() float64 {
-	return math.Float64frombits(t.floor.Load())
+	f := math.Float64frombits(t.floor.Load())
+	if t.shared != nil {
+		if g := t.shared.Load(); g > f {
+			return g
+		}
+	}
+	return f
 }
 
 // offer proposes a scored document. Ties are broken toward smaller
@@ -68,7 +81,7 @@ func (t *topK) offer(doc int, score float64, set match.Set) {
 	if len(t.h) < t.k {
 		heap.Push(&t.h, DocResult{Doc: doc, Score: score, Set: cloned})
 		if len(t.h) == t.k {
-			t.floor.Store(math.Float64bits(t.h[0].Score))
+			t.raiseFloor(t.h[0].Score)
 		}
 		return
 	}
@@ -76,7 +89,18 @@ func (t *topK) offer(doc int, score float64, set match.Set) {
 	if score > worst.Score || (score == worst.Score && doc < worst.Doc) {
 		t.h[0] = DocResult{Doc: doc, Score: score, Set: cloned}
 		heap.Fix(&t.h, 0)
-		t.floor.Store(math.Float64bits(t.h[0].Score))
+		t.raiseFloor(t.h[0].Score)
+	}
+}
+
+// raiseFloor publishes a new local floor — the k-th best kept score —
+// and, when the heap is coupled to a fleet, raises the shared floor to
+// match: k real documents on this member score at least f, so the
+// fleet's merged k-th best does too.
+func (t *topK) raiseFloor(f float64) {
+	t.floor.Store(math.Float64bits(f))
+	if t.shared != nil {
+		t.shared.Raise(f)
 	}
 }
 

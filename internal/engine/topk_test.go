@@ -20,7 +20,7 @@ func testSet(doc int) match.Set {
 // rejected, because a smaller document id still displaces the weakest
 // kept entry. Screening on equality would silently change tie-breaks.
 func TestTopKOfferEqualityNotScreened(t *testing.T) {
-	top := newTopK(2)
+	top := newTopK(2, nil)
 	top.offer(5, 1.0, testSet(5))
 	top.offer(9, 1.0, testSet(9))
 	if got := top.Floor(); got != 1.0 {
@@ -69,7 +69,7 @@ func TestTopKConcurrentOffersDeterministic(t *testing.T) {
 	want = want[:k]
 
 	for trial := 0; trial < 20; trial++ {
-		top := newTopK(k)
+		top := newTopK(k, nil)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			perm := rand.New(rand.NewSource(int64(trial*workers + w))).Perm(n)
@@ -110,7 +110,7 @@ func TestTopKConcurrentOffersDeterministic(t *testing.T) {
 // TestTopKFloorBeforeFull: the floor stays -Inf until k documents are
 // held, so nothing is screened while the heap can still absorb.
 func TestTopKFloorBeforeFull(t *testing.T) {
-	top := newTopK(3)
+	top := newTopK(3, nil)
 	top.offer(1, 5, testSet(1))
 	top.offer(2, 4, testSet(2))
 	if got := top.Floor(); !math.IsInf(got, -1) {
@@ -129,7 +129,7 @@ func TestTopKFloorBeforeFull(t *testing.T) {
 // up as ns/op and allocs/op jumps here.
 func BenchmarkTopKOfferContention(b *testing.B) {
 	const k, workers = 10, 8
-	top := newTopK(k)
+	top := newTopK(k, nil)
 	for d := 0; d < k; d++ {
 		top.offer(d, 100+float64(d), testSet(d))
 	}

@@ -157,6 +157,13 @@ func (e *Engine) searchUnion(qs *queryState, q Query, cds []*conceptData, minMat
 			bounding = false
 		}
 	}
+	if e.prune && !bounding {
+		// A pruning engine running this union exhaustively — the kernel
+		// has no disjunctive bound (e.g. the Weighted* scorefn families)
+		// or a concept lacks maxima. Silent degradation is an
+		// operational trap, so surface it in Stats().UnionUnpruned.
+		e.counters.unionUnpruned.Add(1)
+	}
 	if bounding {
 		for _, cu := range alive {
 			if cu.cd.blocks == nil {
@@ -165,7 +172,7 @@ func (e *Engine) searchUnion(qs *queryState, q Query, cds []*conceptData, minMat
 		}
 	}
 
-	top := newTopK(k)
+	top := newTopK(k, q.Floor)
 	var evaluated, pruned atomic.Int64
 	chunkCap := e.workers * e.queue / dispatchChunk
 	if chunkCap < 1 {
@@ -241,8 +248,12 @@ pivots:
 			}
 			bound = ub.bound(scratch, minMatch)
 			if ub.failed {
+				// The bound panicked mid-walk: the rest of this union
+				// runs exhaustively, another silent-degradation case
+				// worth a counter tick.
 				bounding = false
 				bound = math.Inf(1)
+				e.counters.unionUnpruned.Add(1)
 			}
 		}
 		res.Candidates++

@@ -1,0 +1,157 @@
+package index
+
+import (
+	"fmt"
+
+	"bestjoin/internal/match"
+)
+
+// Document-partitioned sharding: Partition splits one compacted index
+// into n shard indexes whose posting lists, concept metadata, and
+// concept block tables are each restricted to the shard's documents.
+// The partitioner is the substrate of the scatter-gather serving tier
+// (internal/shard): best-join scoring is document-local — a document's
+// match lists, and therefore its score and matchset, depend only on
+// that document's own postings — so doc-partitioned sharding is
+// lossless by construction, and a coordinator that rank-merges
+// per-shard top-k heaps reproduces the single-index answer exactly.
+//
+// Two invariants make that argument hold:
+//
+//   - Assignment is deterministic and total: document d lives in shard
+//     ShardOf(d, n) = d mod n, nowhere else. Round-robin keeps shards
+//     balanced under the common "ids roughly follow ingest order"
+//     distribution without needing corpus statistics.
+//   - Global document ids are preserved. A shard index keeps the whole
+//     corpus's id space (Docs() reports the global count) and its
+//     postings carry original ids, so shard-served results need no id
+//     translation and tie-breaks on document id mean the same thing on
+//     every shard.
+//
+// Registered concept metadata survives partitioning: doc-max summaries
+// are filtered per shard, and block tables are rebuilt from the
+// shard's documents (block boundaries move — a shard has ~1/n of each
+// block's documents — but block-max pruning is lossless, so boundaries
+// never change answers, only skip rates).
+
+// ShardOf returns the shard owning document doc under an n-way
+// partition: doc mod n, the deterministic round-robin assignment used
+// by Partition.
+func ShardOf(doc, n int) int { return doc % n }
+
+// Partition splits the index into n doc-partitioned shard indexes
+// (see the package comment above for the invariants). n = 1 returns
+// the receiver itself — Compact is read-only once serving, so sharing
+// is safe. The error covers only invalid n and corrupt in-memory
+// buffers; a Compact built by this package always partitions cleanly.
+func (c *Compact) Partition(n int) ([]*Compact, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("index: cannot partition into %d shards", n)
+	}
+	if n == 1 {
+		return []*Compact{c}, nil
+	}
+	shards := make([]*Compact, n)
+	for s := range shards {
+		shards[s] = &Compact{postings: make(map[string][]byte, len(c.postings)), docs: c.docs}
+	}
+	// Postings: decode each stem once, split by owner, re-encode the
+	// non-empty pieces. Posting order is (doc, pos) ascending and
+	// filtering preserves it, so the shard buffers are valid by
+	// construction.
+	split := make([][]Posting, n)
+	for stem, buf := range c.postings {
+		ps, err := DecodePostings(buf)
+		if err != nil {
+			return nil, fmt.Errorf("index: partition: postings for %q: %v", stem, err)
+		}
+		for s := range split {
+			split[s] = split[s][:0]
+		}
+		for _, p := range ps {
+			s := ShardOf(p.Doc, n)
+			split[s] = append(split[s], p)
+		}
+		for s, sps := range split {
+			if len(sps) > 0 {
+				shards[s].postings[stem] = EncodePostings(sps)
+			}
+		}
+	}
+	if err := c.partitionMeta(shards); err != nil {
+		return nil, err
+	}
+	if err := c.partitionBlocks(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// partitionMeta filters each registered doc-max summary per shard.
+func (c *Compact) partitionMeta(shards []*Compact) error {
+	n := len(shards)
+	for key, buf := range c.meta {
+		docs, maxSc, err := DecodeDocMax(buf)
+		if err != nil {
+			return fmt.Errorf("index: partition: concept meta %x: %v", key, err)
+		}
+		for s, shard := range shards {
+			var sd []int
+			var sm []float64
+			for i, d := range docs {
+				if ShardOf(d, n) == s {
+					sd = append(sd, d)
+					sm = append(sm, maxSc[i])
+				}
+			}
+			if enc := EncodeDocMax(sd, sm); enc != nil {
+				if shard.meta == nil {
+					shard.meta = make(map[uint64][]byte)
+				}
+				shard.meta[key] = enc
+			}
+		}
+	}
+	return nil
+}
+
+// partitionBlocks rebuilds each registered block table from the
+// shard's documents. The rebuilt tables use the default BlockSize:
+// the original partitioning is not recoverable from the encoded form,
+// and block boundaries only steer pruning, never results.
+func (c *Compact) partitionBlocks(shards []*Compact) error {
+	n := len(shards)
+	for key, buf := range c.blocks {
+		bt, err := DecodeBlocks(buf)
+		if err != nil || bt == nil {
+			return fmt.Errorf("index: partition: concept blocks %x: %v", key, err)
+		}
+		var docs []int
+		var lists []match.List
+		for i := range bt.Infos {
+			d, l, err := bt.DecodeBlock(i)
+			if err != nil {
+				return fmt.Errorf("index: partition: concept blocks %x block %d: %v", key, i, err)
+			}
+			docs = append(docs, d...)
+			lists = append(lists, l...)
+		}
+		for s, shard := range shards {
+			var sd []int
+			var sl []match.List
+			for i, d := range docs {
+				if ShardOf(d, n) == s {
+					sd = append(sd, d)
+					sl = append(sl, lists[i])
+				}
+			}
+			if enc := EncodeBlocks(sd, sl, 0); enc != nil {
+				if shard.blocks == nil {
+					shard.blocks = make(map[uint64][]byte)
+				}
+				shard.blocks[key] = enc
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+//go:build faultinject
+
+package shard
+
+// Chaos harness for the scatter-gather tier, compiled only with
+// -tags faultinject (`make chaos` runs it under -race). Kernel joins
+// panic at random on the child engines mid-scatter, and every outcome
+// is held to the fault-tolerance contract: no coordinator query ever
+// returns an error, a non-degraded answer is bitwise identical to the
+// fault-free baseline, and a degraded answer is a sound subset of the
+// healthy full ranking — documents may be dropped by the panicking
+// shard, never mis-scored — still in rank order after the merge.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/engine"
+	"bestjoin/internal/faultinject"
+	"bestjoin/internal/index"
+	"bestjoin/internal/scorefn"
+)
+
+func TestShardChaosKernelPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	compact := buildCompact(t, shardCorpus(rng))
+	jn := engine.MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	q := engine.Query{
+		Concepts: []index.Concept{
+			{"amber": 1.0, "basalt": 0.8},
+			{"cedar": 0.9},
+		},
+		Join: jn,
+		K:    8,
+	}
+
+	// Fault-free references from a single engine over the unsplit
+	// index: the top-k baseline and the full healthy ranking a
+	// degraded answer may soundly shrink to.
+	healthy := engine.New(compact, engine.Config{Workers: 2})
+	baseline, err := healthy.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullQ := q
+	fullQ.K = compact.Docs()
+	full, err := healthy.Search(context.Background(), fullQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			coord, err := New(compact, Config{Shards: shards, Engine: engine.Config{Workers: 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				faultinject.Activate(faultinject.Config{
+					Seed:  seed,
+					Rates: map[faultinject.Site]float64{faultinject.KernelJoin: 0.3},
+				})
+				for round := 0; round < 3; round++ {
+					res, err := coord.Search(context.Background(), q)
+					if err != nil {
+						t.Fatalf("seed %d round %d: injected panics must never error: %v", seed, round, err)
+					}
+					if res.Partial {
+						t.Fatalf("seed %d round %d: no deadline set, yet Partial: %+v", seed, round, res)
+					}
+					if res.Degraded {
+						assertChaosSubset(t, seed, round, res.Docs, full.Docs)
+					} else {
+						if !docsEqual(res.Docs, baseline.Docs) {
+							t.Fatalf("seed %d round %d: non-degraded answer differs from baseline:\ngot  %+v\nwant %+v",
+								seed, round, res.Docs, baseline.Docs)
+						}
+					}
+				}
+				faultinject.Deactivate()
+			}
+
+			// Injection off: the fleet must be fully healthy again.
+			res, err := coord.Search(context.Background(), q)
+			if err != nil || res.Degraded || res.Partial {
+				t.Fatalf("fleet unhealthy after chaos: %v %+v", err, res)
+			}
+			if !docsEqual(res.Docs, baseline.Docs) {
+				t.Fatalf("post-chaos answer differs from baseline: %+v", res.Docs)
+			}
+			st := coord.Stats()
+			if st.JoinPanics == 0 {
+				t.Fatal("no kernel panic reached any shard — rates or seeds too timid")
+			}
+			if st.DegradedResults == 0 {
+				t.Fatal("no shard query counted as degraded despite recovered panics")
+			}
+		})
+	}
+}
+
+// assertChaosSubset checks a degraded merged answer against the
+// healthy full ranking: every returned document carries its exact
+// healthy score and matchset, and the merge kept rank order.
+func assertChaosSubset(t *testing.T, seed int64, round int, got, full []engine.DocResult) {
+	t.Helper()
+	for i, d := range got {
+		found := false
+		for _, w := range full {
+			if w.Doc != d.Doc {
+				continue
+			}
+			if w.Score != d.Score || len(w.Set) != len(d.Set) {
+				t.Fatalf("seed %d round %d: degraded doc %d mis-scored: got %v/%v, healthy %v/%v",
+					seed, round, d.Doc, d.Score, d.Set, w.Score, w.Set)
+			}
+			for j := range d.Set {
+				if d.Set[j] != w.Set[j] {
+					t.Fatalf("seed %d round %d: degraded doc %d matchset %v, healthy %v",
+						seed, round, d.Doc, d.Set, w.Set)
+				}
+			}
+			found = true
+			break
+		}
+		if !found {
+			t.Fatalf("seed %d round %d: degraded doc %d score %v not in healthy ranking",
+				seed, round, d.Doc, d.Score)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if d.Score > prev.Score || (d.Score == prev.Score && d.Doc < prev.Doc) {
+				t.Fatalf("seed %d round %d: degraded merge out of rank order at %d: %+v", seed, round, i, got)
+			}
+		}
+	}
+}

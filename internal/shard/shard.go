@@ -1,0 +1,372 @@
+// Package shard is the scatter-gather serving tier: a Coordinator
+// implements engine.Searcher over N doc-partitioned child engines —
+// cluster-in-a-process, nailing the merge semantics any multi-process
+// scale-out would need before processes enter the picture.
+//
+// The paper's best-join scoring is document-local, so splitting the
+// corpus by document (index.Compact.Partition) is lossless by
+// construction; merging per-shard top-k heaps back into a global k is
+// the sorted-access half of Fagin's threshold aggregation, the same
+// framework the engine's WAND union already leans on. Three
+// mechanisms make the sharded answer bitwise identical to the single
+// engine's:
+//
+//   - Rank merge with the engine's exact ordering. Every shard
+//     returns its Docs sorted by (score descending, document id
+//     ascending); the coordinator k-way-merges those streams under
+//     the same comparator, so the merged top-k — order, scores,
+//     matchsets, ids — is what one engine over the unsplit index
+//     would return. Shards keep global document ids (the partitioner
+//     never renumbers), which is what makes the tie-break rule mean
+//     the same thing on every shard.
+//   - A shared pruning floor (engine.GlobalFloor via Query.Floor).
+//     Each shard publishes its local k-th-best kept score and prunes
+//     against the fleet-wide maximum, so block-max/WAND pruning still
+//     bites across the partition: a strong document found on one
+//     shard stops weak candidates everywhere. Soundness: a shard's
+//     k-th-best kept score is witnessed by k real documents, so the
+//     global k-th best is at least that high, and pruning stays
+//     strictly-below — equal-scoring documents survive for the
+//     merge's doc-id tie-break.
+//   - Pinned snapshots. A query pins every child's epoch up front
+//     (engine.SearchSnapshot), and rolling reloads flip the pinned
+//     vector atomically only after every child has swapped — so no
+//     query ever sees two index generations, even mid-roll.
+//
+// Admission control is per shard: every child keeps its own
+// MaxInFlight gate (engine.Config), so a coordinator query admits on
+// all N shards or fails with ErrOverloaded like any other query.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bestjoin/internal/engine"
+	"bestjoin/internal/index"
+)
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Shards is the number of doc-partitioned child engines; ≤ 0
+	// means 1.
+	Shards int
+	// Engine configures every child engine identically — worker
+	// count, caches, pruning, and the per-shard admission gate.
+	Engine engine.Config
+}
+
+// Coordinator scatter-gathers queries over N doc-partitioned child
+// engines. It implements engine.Searcher, so servers cannot tell it
+// from a single engine. Safe for concurrent use.
+type Coordinator struct {
+	children []*engine.Engine
+	gen      atomic.Pointer[generation]
+	// swapMu serializes rolling reloads; queries never take it.
+	swapMu sync.Mutex
+	// rollHook, when set (tests only), runs after each child swap
+	// during SwapIndex — the seam that widens the mid-roll window the
+	// rolling-reload tests probe.
+	rollHook func(shard int)
+
+	queries          atomic.Uint64
+	shardQueries     atomic.Uint64
+	mergedCandidates atomic.Uint64
+}
+
+// generation is one atomically-published index generation: the pinned
+// snapshot of every child, plus the coordinator's own epoch (one per
+// completed rolling reload). Queries load a generation once and use
+// its snapshots throughout, so a reload mid-query — or mid-roll —
+// can never mix epochs inside one answer.
+type generation struct {
+	snaps []engine.Snapshot
+	epoch uint64
+}
+
+// Coordinator implements the same Searcher contract as Engine.
+var _ engine.Searcher = (*Coordinator)(nil)
+
+// New partitions the index into cfg.Shards doc-partitioned pieces and
+// builds one child engine per piece. The error surface is
+// index.Compact.Partition's: invalid shard counts and corrupt
+// in-memory buffers.
+func New(idx *index.Compact, cfg Config) (*Coordinator, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	parts, err := idx.Partition(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{children: make([]*engine.Engine, n)}
+	snaps := make([]engine.Snapshot, n)
+	for i, p := range parts {
+		c.children[i] = engine.New(p, cfg.Engine)
+		snaps[i] = c.children[i].Snapshot()
+	}
+	c.gen.Store(&generation{snaps: snaps})
+	return c, nil
+}
+
+// Shards returns the number of child engines.
+func (c *Coordinator) Shards() int { return len(c.children) }
+
+// Search scatters the query to every shard under one pinned
+// generation and one shared pruning floor, then rank-merges the
+// per-shard top-k heaps into the global k. The merged answer is
+// bitwise identical to a single engine over the unsplit index (the
+// package comment gives the argument; the differential suite the
+// proof). Counts roll up: Candidates/Evaluated/Pruned/Failed are
+// summed and Partial/Degraded OR-ed across shards.
+func (c *Coordinator) Search(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	start := time.Now()
+	k := q.K
+	if k <= 0 {
+		k = engine.DefaultK
+	}
+	if q.Floor == nil {
+		// One floor for the whole scatter; a caller-supplied floor is
+		// honored so fleets of coordinators could share one too.
+		q.Floor = engine.NewGlobalFloor()
+	}
+	gen := c.gen.Load()
+	c.queries.Add(1)
+	c.shardQueries.Add(uint64(len(c.children)))
+
+	// Scatter. A shard that fails cancels the rest — there is no
+	// answer to assemble without it, so the others should stop
+	// burning CPU.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*engine.Result, len(c.children))
+	errs := make([]error, len(c.children))
+	var wg sync.WaitGroup
+	for i := range c.children {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.children[i].SearchSnapshot(sctx, q, gen.snaps[i])
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return c.merge(results, k, start), nil
+}
+
+// firstError picks the error to surface deterministically: the
+// lowest-indexed non-overload error when one exists (a validation
+// error is the same on every shard; an overload error on another
+// shard may just be fallout of this one's cancellation), else the
+// lowest-indexed error.
+func firstError(errs []error) error {
+	var overload error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, engine.ErrOverloaded) {
+			return err
+		}
+		if overload == nil {
+			overload = err
+		}
+	}
+	return overload
+}
+
+// merge rank-merges the per-shard results: a k-way merge over the
+// shards' already-sorted Docs under the engine's exact comparator —
+// score descending, document id ascending on ties — taking the first
+// k rows. Counts sum; flags OR.
+func (c *Coordinator) merge(results []*engine.Result, k int, start time.Time) *engine.Result {
+	merged := &engine.Result{Docs: make([]engine.DocResult, 0, k)}
+	heads := make([]int, len(results))
+	entering := 0
+	for _, r := range results {
+		merged.Candidates += r.Candidates
+		merged.Evaluated += r.Evaluated
+		merged.Pruned += r.Pruned
+		merged.Failed += r.Failed
+		merged.Partial = merged.Partial || r.Partial
+		merged.Degraded = merged.Degraded || r.Degraded
+		entering += len(r.Docs)
+	}
+	c.mergedCandidates.Add(uint64(entering))
+	for len(merged.Docs) < k {
+		best := -1
+		for s, r := range results {
+			if heads[s] == len(r.Docs) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			a, b := r.Docs[heads[s]], results[best].Docs[heads[best]]
+			if a.Score > b.Score || (a.Score == b.Score && a.Doc < b.Doc) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged.Docs = append(merged.Docs, results[best].Docs[heads[best]])
+		heads[best]++
+	}
+	merged.Elapsed = time.Since(start)
+	return merged
+}
+
+// SwapIndex hot-reloads the whole fleet with zero downtime: the new
+// index is partitioned, each child swaps one at a time (the rolling
+// part — a real deployment would pause between shards to watch
+// health), and only after every child is on the new index does the
+// coordinator atomically publish the new generation. Queries admitted
+// mid-roll keep using the old generation's pinned snapshots — child
+// SwapIndex never invalidates outstanding snapshots, and the caches
+// are epoch-keyed — so no query ever observes a mixed-epoch answer
+// and none fail. Rolls serialize; queries are never blocked.
+//
+// Partition errors are impossible for an index built or loaded by
+// internal/index (both validate eagerly), so like Compact.Postings
+// this path treats one as memory corruption and fails loudly.
+func (c *Coordinator) SwapIndex(idx *index.Compact) {
+	c.swapMu.Lock()
+	defer c.swapMu.Unlock()
+	parts, err := idx.Partition(len(c.children))
+	if err != nil {
+		panic(fmt.Sprintf("shard: re-partition for reload: %v", err))
+	}
+	for i, child := range c.children {
+		child.SwapIndex(parts[i])
+		if h := c.rollHook; h != nil {
+			h(i)
+		}
+	}
+	old := c.gen.Load()
+	snaps := make([]engine.Snapshot, len(c.children))
+	for i, child := range c.children {
+		snaps[i] = child.Snapshot()
+	}
+	c.gen.Store(&generation{snaps: snaps, epoch: old.epoch + 1})
+}
+
+// Health reports fleet readiness: the coordinator's generation epoch
+// plus one row per shard (each child's own reload epoch and
+// readiness). Docs is the global corpus size — every shard keeps the
+// global id space, so any child reports it.
+func (c *Coordinator) Health() engine.Health {
+	gen := c.gen.Load()
+	h := engine.Health{Ready: true, Epoch: gen.epoch}
+	for i, child := range c.children {
+		ch := child.Health()
+		h.Shards = append(h.Shards, engine.ShardHealth{Shard: i, Epoch: ch.Epoch, Docs: ch.Docs, Ready: ch.Ready})
+		h.Ready = h.Ready && ch.Ready
+		h.Docs = ch.Docs
+	}
+	return h
+}
+
+// Stats rolls the fleet up into one engine.Stats: child counters are
+// summed field by field (so DegradedResults, PartialResults, and
+// DeadlineHits count per-shard events — one coordinator query can
+// tick a counter up to N times), latency histograms are merged,
+// PrunedFraction is recomputed over the summed counts, and the
+// coordinator's own counters fill Queries, ShardQueries, and
+// MergedCandidates. Each child's unmodified Stats rides along in
+// Shards, in shard order.
+func (c *Coordinator) Stats() engine.Stats {
+	agg := engine.Stats{
+		Queries:          c.queries.Load(),
+		ShardQueries:     c.shardQueries.Load(),
+		MergedCandidates: c.mergedCandidates.Load(),
+	}
+	shards := make([]engine.Stats, len(c.children))
+	hists := make([]engine.LatencyHistogram, len(c.children))
+	for i, child := range c.children {
+		s := child.Stats()
+		shards[i] = s
+		hists[i] = s.QueryLatency
+		agg.DocsEvaluated += s.DocsEvaluated
+		agg.JoinsRun += s.JoinsRun
+		agg.PrunedDocs += s.PrunedDocs
+		agg.ConceptHits += s.ConceptHits
+		agg.ConceptMisses += s.ConceptMisses
+		agg.ListHits += s.ListHits
+		agg.ListMisses += s.ListMisses
+		agg.DeadlineHits += s.DeadlineHits
+		agg.PartialResults += s.PartialResults
+		agg.JoinPanics += s.JoinPanics
+		agg.DecodeFailures += s.DecodeFailures
+		agg.DegradedResults += s.DegradedResults
+		agg.Shed += s.Shed
+		agg.IndexReloads += s.IndexReloads
+		agg.InFlight += s.InFlight
+		agg.QueueDepth += s.QueueDepth
+		agg.CachedLists += s.CachedLists
+		agg.BlockDecodes += s.BlockDecodes
+		agg.BlocksSkipped += s.BlocksSkipped
+		agg.CacheBytes += s.CacheBytes
+		agg.UnionCandidates += s.UnionCandidates
+		agg.PivotSkips += s.PivotSkips
+		agg.UnionUnpruned += s.UnionUnpruned
+	}
+	if agg.PrunedDocs+agg.DocsEvaluated > 0 {
+		agg.PrunedFraction = float64(agg.PrunedDocs) / float64(agg.PrunedDocs+agg.DocsEvaluated)
+	}
+	agg.QueryLatency = mergeLatency(hists)
+	agg.Shards = shards
+	return agg
+}
+
+// mergeLatency folds per-shard latency histograms into one: bucket
+// counts sum by upper bound (0 — the overflow bucket — sorts last)
+// and the mean recomputes from the count-weighted per-shard means.
+func mergeLatency(hists []engine.LatencyHistogram) engine.LatencyHistogram {
+	counts := map[uint64]uint64{}
+	var out engine.LatencyHistogram
+	totalMicros := 0.0
+	for _, h := range hists {
+		out.Count += h.Count
+		totalMicros += h.MeanMicros * float64(h.Count)
+		for _, b := range h.Buckets {
+			counts[b.UpperMicros] += b.Count
+		}
+	}
+	if out.Count == 0 {
+		return out
+	}
+	out.MeanMicros = totalMicros / float64(out.Count)
+	uppers := make([]uint64, 0, len(counts))
+	for u := range counts {
+		uppers = append(uppers, u)
+	}
+	sort.Slice(uppers, func(i, j int) bool {
+		if uppers[i] == 0 || uppers[j] == 0 {
+			return uppers[j] == 0 // 0 is the unbounded bucket: last
+		}
+		return uppers[i] < uppers[j]
+	})
+	for _, u := range uppers {
+		out.Buckets = append(out.Buckets, engine.LatencyBucket{UpperMicros: u, Count: counts[u]})
+	}
+	return out
+}
+
+// Publish exposes the coordinator's rolled-up Stats as an expvar
+// variable; it shares the duplicate-name guard with Engine.Publish.
+func (c *Coordinator) Publish(name string) error {
+	return engine.PublishFunc(name, c.Stats)
+}

@@ -25,7 +25,9 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # control benchmark, and blocksskipped/op + blockdecodes/op from the
 # cold benchmark (the block-max skip layer's decode-avoidance rate),
 # and pivotskips/op + unioncandidates/op from the disjunctive union
-# benchmark (the WAND layer's skip rate).
+# benchmark (the WAND layer's skip rate), and shardqueries/op +
+# mergedcandidates/op from the sharded scatter-gather benchmark (the
+# fan-out cost and rank-merge width).
 # The cached BenchmarkEngine path doubles as the panic-recovery
 # overhead gauge — the recover() wrappers sit on every join, so any
 # regression shows up directly against the baseline (the budget is <1%).
@@ -33,7 +35,7 @@ bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = ""
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")             ns = $(i - 1)
             if ($i == "B/op")              bytes = $(i - 1)
@@ -45,6 +47,8 @@ bench_to_json() {
             if ($i == "blockdecodes/op")   bdec = $(i - 1)
             if ($i == "pivotskips/op")     pskip = $(i - 1)
             if ($i == "unioncandidates/op") ucand = $(i - 1)
+            if ($i == "shardqueries/op")    shq = $(i - 1)
+            if ($i == "mergedcandidates/op") mcand = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -57,6 +61,8 @@ bench_to_json() {
         if (bdec != "")   rec = rec sprintf(", \"blockdecodes_per_op\": %s", bdec)
         if (pskip != "")  rec = rec sprintf(", \"pivotskips_per_op\": %s", pskip)
         if (ucand != "")  rec = rec sprintf(", \"unioncandidates_per_op\": %s", ucand)
+        if (shq != "")    rec = rec sprintf(", \"shardqueries_per_op\": %s", shq)
+        if (mcand != "")  rec = rec sprintf(", \"mergedcandidates_per_op\": %s", mcand)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }

@@ -19,9 +19,12 @@ go test -race ./...
 # Chaos gate: the same engine tests plus the fault-injection harness,
 # with the injection sites armed by the faultinject build tag, still
 # under -race. Injected kernel panics, corrupt decodes, latency, and
-# cache-miss storms must never crash, race, or mis-score a document.
+# cache-miss storms must never crash, race, or mis-score a document —
+# on the single engine and through the sharded scatter-gather tier
+# (the plain -race run above already covers the shard differential;
+# this arms the injection sites on top).
 echo "== go test -race -tags faultinject (chaos) =="
-go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/
+go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/ ./internal/shard/
 
 # Allocation ceiling: the warm-cache query path must stay under a
 # fixed allocs/op budget (testing.AllocsPerRun inside the test). Run
@@ -42,7 +45,8 @@ fi
 # Coverage gate: the packages carrying the pruning machinery must not
 # silently lose test coverage. Floors are set a few points below the
 # measured values at the time each floor was recorded (engine 94.9%,
-# scorefn 91.8%, index 94.3%); raise them when coverage rises.
+# scorefn 91.8%, index 94.3%, shard 98.7%); raise them when coverage
+# rises.
 echo "== coverage floors =="
 check_cover() {
     pkg="$1"
@@ -64,6 +68,7 @@ check_cover() {
 check_cover ./internal/engine/  90.0
 check_cover ./internal/scorefn/ 87.0
 check_cover ./internal/index/   90.0
+check_cover ./internal/shard/   85.0
 
 # Optional: refresh BENCH_engine.json (slow; off by default so the
 # gate stays fast). Enable with CHECK_BENCH=1 make check.
