@@ -125,6 +125,74 @@ func BenchmarkEngineColdVsCached(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineCoalesced measures the cross-query coalescing layer
+// under its target workload: 8 goroutines issue the identical query
+// against a cold cache each iteration, so every block fetch races.
+// With coalescing on, one goroutine decodes each block and the rest
+// wait for its result — the per-iteration decode count stays at the
+// single-query baseline no matter how many queries run concurrently,
+// and the benchmark asserts that (with slack of 2 for the benign
+// window between the leader's cache publish and its flight removal,
+// where a late miss may lead a fresh flight). The nocoalesce twin
+// shows the duplicated decode work the layer removes. Pruning is off
+// in both so the decode count is a deterministic function of the
+// index rather than of scheduling-dependent heap state.
+func BenchmarkEngineCoalesced(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	const conc = 8
+
+	base := bestjoin.NewEngine(c, bestjoin.EngineConfig{CacheLists: 1 << 14, DisablePruning: true})
+	if _, err := base.Search(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	single := base.Stats().BlockDecodes
+	if single == 0 {
+		b.Fatal("baseline query decoded no blocks; coalescing benchmark is vacuous")
+	}
+
+	run := func(b *testing.B, cfg bestjoin.EngineConfig) bestjoin.EngineStats {
+		e := bestjoin.NewEngine(c, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ResetCache()
+			var wg sync.WaitGroup
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := e.Search(context.Background(), q); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		st := e.Stats()
+		b.ReportMetric(float64(st.BlockDecodes)/float64(b.N), "blockdecodes/op")
+		b.ReportMetric(float64(st.CoalescedDecodes)/float64(b.N), "coalesceddecodes/op")
+		b.ReportMetric(float64(st.DecodeWaits)/float64(b.N), "decodewaits/op")
+		return st
+	}
+
+	b.Run("coalesced", func(b *testing.B) {
+		st := run(b, bestjoin.EngineConfig{CacheLists: 1 << 14, DisablePruning: true})
+		if got := st.BlockDecodes / uint64(b.N); got > single+2 {
+			b.Fatalf("%d concurrent queries decoded %d blocks/op; single query needs %d — coalescing not collapsing shared decodes",
+				conc, got, single)
+		}
+	})
+	b.Run("nocoalesce", func(b *testing.B) {
+		st := run(b, bestjoin.EngineConfig{CacheLists: 1 << 14, DisablePruning: true, DisableCoalescing: true})
+		if st.CoalescedDecodes != 0 || st.DecodeWaits != 0 {
+			b.Fatalf("coalescing disabled but stats show %d coalesced / %d waits",
+				st.CoalescedDecodes, st.DecodeWaits)
+		}
+	})
+}
+
 // engineBenchPruningQuery is a query shaped for max-score pruning:
 // steep score spread inside each concept (1 / 0.5 / 0.25) so
 // candidate documents' score upper bounds vary widely and the top-k

@@ -90,6 +90,7 @@ func main() {
 		cacheB  = flag.Int64("cache-bytes", 0, "additionally bound the match-list cache to this many bytes (0 = entries only)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-query deadline")
 		noprune = flag.Bool("noprune", false, "disable lossless max-score pruning (baseline mode)")
+		nocoal  = flag.Bool("nocoalesce", false, "disable cross-query block-decode coalescing (baseline mode)")
 		mode    = flag.String("mode", "and", "default query mode: and (every concept must match) or or (ranked union)")
 		minm    = flag.Int("min-match", 0, "disjunctive threshold: require at least this many concepts to match (0 = mode default)")
 		drain   = flag.Duration("drain", 5*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
@@ -118,13 +119,14 @@ func main() {
 		log.Fatalf("proxserve: %v", err)
 	}
 	ecfg := bestjoin.EngineConfig{
-		Workers:        *workers,
-		CacheLists:     *cache,
-		CacheBytes:     *cacheB,
-		DisablePruning: *noprune,
-		MaxInFlight:    *inflight,
-		Overload:       overload,
-		Mode:           qmode,
+		Workers:           *workers,
+		CacheLists:        *cache,
+		CacheBytes:        *cacheB,
+		DisablePruning:    *noprune,
+		DisableCoalescing: *nocoal,
+		MaxInFlight:       *inflight,
+		Overload:          overload,
+		Mode:              qmode,
 	}
 	// The server is written against the Searcher contract, so a sharded
 	// fleet and a single engine are interchangeable from here on.

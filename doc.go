@@ -94,9 +94,16 @@
 // ModeOR (with an optional m-of-n EngineQuery.MinMatch threshold)
 // instead ranks the union of documents matching at least m concepts
 // through a block-max WAND pivot walk, pruned by a union score bound
-// that remains sound for the paper's product-form scorers. The
-// implementation lives in internal/engine; see cmd/proxserve for a
-// runnable server and examples/engine for a walkthrough.
+// that remains sound for the paper's product-form scorers. On the warm
+// path, block buffers use a batched group-varint encoding (decoding
+// four integers per control byte, with an automatic varint fallback
+// for values past uint32) and concurrent queries sharing a concept
+// coalesce their block decodes through a singleflight layer — one
+// decode per block no matter how many queries race, counted by
+// Stats().CoalescedDecodes and switchable off with
+// EngineConfig.DisableCoalescing. The implementation lives in
+// internal/engine; see cmd/proxserve for a runnable server and
+// examples/engine for a walkthrough.
 //
 // NewShardedEngine scales the same engine out inside one process: the
 // corpus is partitioned by document id across N child engines and a

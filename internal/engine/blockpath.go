@@ -290,15 +290,21 @@ func (e *Engine) fillBlockLists(qs *queryState, cds []*conceptData, jb docJob, f
 // fetchBlock returns one decoded block via the list cache (block-mode
 // entries are keyed by block index in the listKey doc field — a
 // concept is served by exactly one representation per epoch, so the
-// key spaces cannot collide). The fetched bit records that the block
-// was needed; candidate blocks with the bit still clear at query end
-// were pruned below decode.
+// key spaces cannot collide). Cache misses route through the flight
+// group (coalesce.go) so concurrent misses on the same block — within
+// one query's worker pool or across queries sharing a concept —
+// perform a single decode. The fetched bit records that the block was
+// needed; candidate blocks with the bit still clear at query end were
+// pruned below decode.
 func (e *Engine) fetchBlock(qs *queryState, cd *conceptData, blk int) (docs []int, lists []match.List, ok bool) {
 	key := listKey{epoch: qs.epoch, doc: blk, fp: cd.fp}
 	if ent, hit := e.lists.Get(key); hit && !faultinject.ForceMiss(faultinject.ListCacheMiss) {
 		e.counters.listHits.Add(1)
 		cd.fetched[blk/64].Or(1 << (blk % 64))
 		return ent.docs, ent.lists, true
+	}
+	if e.coalesce {
+		return e.fetchCoalesced(qs, cd, blk, key)
 	}
 	e.counters.listMisses.Add(1)
 	docs, lists, ok = e.decodeBlock(qs, cd, blk)

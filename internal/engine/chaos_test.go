@@ -237,6 +237,141 @@ func TestChaosConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestChaosCoalescedDecodes points the chaos harness at the decode
+// coalescing layer: batched block-served concepts, full-rate decode
+// latency to hold flights open while waiters pile up, and a burst of
+// identical concurrent queries. Every query must complete (the
+// deferred flight completion means no leader outcome can strand a
+// waiter), every returned document must carry a healthy score, and the
+// flight map must drain.
+func TestChaosCoalescedDecodes(t *testing.T) {
+	c := buildCompact(t, testCorpus(100, 53))
+	concepts := testConcepts()
+	for _, concept := range concepts {
+		if !c.AddConceptBlocksBatchSized(concept, 8) {
+			t.Fatal("batch layout not registered")
+		}
+	}
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	fullRanking := bruteForce(c, concepts, jn, c.Docs())
+	e := New(c, Config{Workers: 4})
+	faultinject.Activate(faultinject.Config{
+		Seed: 13,
+		Rates: map[faultinject.Site]float64{
+			faultinject.DecodeLatency: 1,
+			faultinject.ListCacheMiss: 1, // every fetch misses: flights form every round
+		},
+		Latency: 300 * time.Microsecond,
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8*4)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				res, err := e.Search(context.Background(),
+					Query{Concepts: concepts, Join: jn, K: 5})
+				if err != nil {
+					errs <- fmt.Errorf("round %d: %v", round, err)
+					return
+				}
+				for _, d := range res.Docs {
+					found := false
+					for _, w := range fullRanking {
+						if w.Doc == d.Doc && w.Score == d.Score {
+							found = true
+							break
+						}
+					}
+					if !found {
+						errs <- fmt.Errorf("round %d: doc %d score %v not in healthy ranking", round, d.Doc, d.Score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	faultinject.Deactivate()
+	for err := range errs {
+		t.Error(err)
+	}
+	e.flights.mu.Lock()
+	leaked := len(e.flights.m)
+	e.flights.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d flight entries leaked", leaked)
+	}
+	st := e.Stats()
+	if st.DecodeWaits < st.CoalescedDecodes {
+		t.Fatalf("CoalescedDecodes %d exceeds DecodeWaits %d", st.CoalescedDecodes, st.DecodeWaits)
+	}
+}
+
+// TestChaosCoalescedLeaderFailure injects decode panics at full rate:
+// every flight's leader fails, so every waiter must receive the shared
+// failure — degraded results, no errors, no deadlock, no waiter left
+// blocked — and the engine must be healthy again once injection stops.
+func TestChaosCoalescedLeaderFailure(t *testing.T) {
+	c := buildCompact(t, testCorpus(80, 59))
+	concepts := testConcepts()
+	for _, concept := range concepts {
+		if !c.AddConceptBlocksBatchSized(concept, 8) {
+			t.Fatal("batch layout not registered")
+		}
+	}
+	jn := MEDJoiner(scorefn.ExpMED{Alpha: 0.1})
+	e := New(c, Config{Workers: 4})
+	baseline, err := e.Search(context.Background(),
+		Query{Concepts: concepts, Join: jn, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetCache()
+	faultinject.Activate(faultinject.Config{
+		Seed: 17,
+		Rates: map[faultinject.Site]float64{
+			faultinject.ConceptDecode: 1,
+			faultinject.DecodeLatency: 1,
+		},
+		Latency: 200 * time.Microsecond,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Search(context.Background(),
+				Query{Concepts: concepts, Join: jn, K: 5})
+			if err != nil {
+				t.Errorf("failed flights must degrade, not error: %v", err)
+				return
+			}
+			if !res.Degraded {
+				t.Error("every decode failed yet the result is not degraded")
+			}
+		}()
+	}
+	wg.Wait()
+	faultinject.Deactivate()
+	e.flights.mu.Lock()
+	leaked := len(e.flights.m)
+	e.flights.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d flight entries leaked", leaked)
+	}
+	// Injection off: fully healthy again, bitwise back to baseline.
+	res, err := e.Search(context.Background(),
+		Query{Concepts: concepts, Join: jn, K: 5})
+	if err != nil || res.Degraded || res.Partial {
+		t.Fatalf("engine unhealthy after chaos: %v %+v", err, res)
+	}
+	assertIdentical(t, "post-chaos", res, baseline)
+}
+
 // appearsInSomeSubset reports whether one returned document carries
 // the exact healthy score and matchset it would have under at least
 // one non-empty subset of the query concepts.

@@ -73,8 +73,14 @@ func (e *Engine) joinWorkers(qs *queryState, factory KernelFactory, cds []*conce
 					filled := jb.mask == 0 && e.fillBlockLists(qs, cds, jb, fetch) ||
 						jb.mask != 0 && e.fillUnionLists(qs, cds, jb, fetch)
 					if !filled {
-						// Block decode failure: drop this document only.
-						qs.fail()
+						// Block decode failure: drop this document only. An
+						// unfilled job on an expired context is not a failure
+						// — a cancelled flight waiter returns false without
+						// any decode having gone wrong — so it counts as
+						// unevaluated (Partial), not dropped (Degraded).
+						if qs.ctx.Err() == nil {
+							qs.fail()
+						}
 						continue
 					}
 					if kern == nil { // last build panicked: retry per job

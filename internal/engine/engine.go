@@ -98,6 +98,12 @@ type Config struct {
 	// lead over the workers (and the memory pinned by assembled match
 	// lists); they never change results.
 	QueueDepth int
+	// DisableCoalescing turns off cross-query decode coalescing
+	// (coalesce.go); the zero Config coalesces. Coalescing never
+	// changes results — waiters receive exactly the bytes-identical
+	// decoded block the leader produced — so the switch exists for the
+	// differential harness and for measuring the coalescing win.
+	DisableCoalescing bool
 	// Mode is the default query mode for queries that leave Query.Mode
 	// unset: ModeAND (the zero value, conjunctive intersection) or
 	// ModeOR (ranked union). See QueryMode.
@@ -112,11 +118,13 @@ type Engine struct {
 	snap     atomic.Pointer[snapshot]
 	workers  int
 	prune    bool
+	coalesce bool
 	queue    int
 	mode     QueryMode
 	admit    admitter
 	lists    *lruCache[listKey, listEntry]
 	concepts *lruCache[conceptKey, conceptEntry]
+	flights  flightGroup
 	counters counters
 	latency  histogram
 }
@@ -197,11 +205,13 @@ func New(idx *index.Compact, cfg Config) *Engine {
 	e := &Engine{
 		workers:  cfg.Workers,
 		prune:    !cfg.DisablePruning,
+		coalesce: !cfg.DisableCoalescing,
 		queue:    cfg.QueueDepth,
 		mode:     cfg.Mode,
 		admit:    newAdmitter(cfg.MaxInFlight, cfg.Overload),
 		lists:    lists,
 		concepts: newLRU[conceptKey, conceptEntry](cfg.CacheConcepts),
+		flights:  flightGroup{m: make(map[listKey]*flightCall)},
 	}
 	e.snap.Store(&snapshot{idx: idx})
 	return e

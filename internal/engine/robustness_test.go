@@ -358,6 +358,31 @@ func TestCancelledContextAbandonsDecode(t *testing.T) {
 	}
 }
 
+// TestCorruptConceptMetaDegrades is the metadata twin of the corrupt
+// postings test: a concept whose registered doc-max summary bytes are
+// corrupt makes index.Compact.ConceptMeta panic, and the engine's
+// metadata lookup must contain that panic as a degraded query, not a
+// crash, counting it in DecodeFailures.
+func TestCorruptConceptMetaDegrades(t *testing.T) {
+	c := buildCompact(t, testCorpus(40, 39))
+	for _, cc := range testConcepts() {
+		c.AddConceptMeta(cc)
+	}
+	index.CorruptConceptMetaForTest(c, testConcepts()[0])
+	e := New(c, Config{Workers: 2})
+	res, err := e.Search(context.Background(),
+		Query{Concepts: testConcepts(), Join: MEDJoiner(scorefn.ExpMED{Alpha: 0.1}), K: 5})
+	if err != nil {
+		t.Fatalf("corrupt metadata must degrade, not error: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Degraded not set for corrupt concept metadata")
+	}
+	if st := e.Stats(); st.DecodeFailures == 0 {
+		t.Error("metadata decode failure not counted in Stats().DecodeFailures")
+	}
+}
+
 // TestDecodePanicOnCorruptIndexDegrades feeds the engine an index
 // whose postings bytes have been corrupted in memory so the decode
 // path panics, and asserts the query degrades to an empty sound

@@ -42,6 +42,12 @@ type counters struct {
 	// block-max bound let the query finish without ever decoding them.
 	blockDecodes  atomic.Uint64
 	blocksSkipped atomic.Uint64
+	// Decode coalescing (coalesce.go): coalescedDecodes counts block
+	// decodes avoided because a waiter was served by an in-flight
+	// leader's result; decodeWaits counts every wait on a flight,
+	// including waits ending in cancellation or a shared failure.
+	coalescedDecodes atomic.Uint64
+	decodeWaits      atomic.Uint64
 	// Disjunctive (ranked-union) path: unionCandidates counts confirmed
 	// pivots — documents verified to match at least MinMatch concepts —
 	// and pivotSkips the subset whose aggregate union bound fell
@@ -160,6 +166,14 @@ type Stats struct {
 	BlockDecodes  uint64
 	BlocksSkipped uint64
 	CacheBytes    int64
+	// Decode coalescing. CoalescedDecodes counts block decodes avoided
+	// because a concurrent query (or worker) already had the identical
+	// decode in flight and this one was served the leader's result;
+	// DecodeWaits counts the waits themselves, including those that
+	// ended in the waiter's cancellation or the leader's failure —
+	// DecodeWaits − CoalescedDecodes is the unlucky remainder.
+	CoalescedDecodes uint64
+	DecodeWaits      uint64
 	// Disjunctive (ranked-union) path. UnionCandidates counts confirmed
 	// WAND pivots — documents verified to match at least MinMatch
 	// concepts; PivotSkips counts the subset skipped because their
@@ -196,32 +210,34 @@ func (e *Engine) Stats() Stats {
 		fraction = float64(pruned) / float64(pruned+evaluated)
 	}
 	return Stats{
-		Queries:         e.counters.queries.Load(),
-		DocsEvaluated:   evaluated,
-		JoinsRun:        e.counters.joinsRun.Load(),
-		PrunedDocs:      pruned,
-		PrunedFraction:  fraction,
-		ConceptHits:     e.counters.conceptHits.Load(),
-		ConceptMisses:   e.counters.conceptMisses.Load(),
-		ListHits:        e.counters.listHits.Load(),
-		ListMisses:      e.counters.listMisses.Load(),
-		DeadlineHits:    e.counters.deadlineHits.Load(),
-		PartialResults:  e.counters.partials.Load(),
-		JoinPanics:      e.counters.joinPanics.Load(),
-		DecodeFailures:  e.counters.decodeFailures.Load(),
-		DegradedResults: e.counters.degraded.Load(),
-		Shed:            e.counters.shed.Load(),
-		IndexReloads:    e.counters.indexReloads.Load(),
-		InFlight:        e.admit.inFlight(),
-		QueueDepth:      int(e.counters.queueDepth.Load()),
-		CachedLists:     e.lists.Len(),
-		BlockDecodes:    e.counters.blockDecodes.Load(),
-		BlocksSkipped:   e.counters.blocksSkipped.Load(),
-		CacheBytes:      e.lists.Bytes(),
-		UnionCandidates: e.counters.unionCandidates.Load(),
-		PivotSkips:      e.counters.pivotSkips.Load(),
-		UnionUnpruned:   e.counters.unionUnpruned.Load(),
-		QueryLatency:    e.latency.snapshot(),
+		Queries:          e.counters.queries.Load(),
+		DocsEvaluated:    evaluated,
+		JoinsRun:         e.counters.joinsRun.Load(),
+		PrunedDocs:       pruned,
+		PrunedFraction:   fraction,
+		ConceptHits:      e.counters.conceptHits.Load(),
+		ConceptMisses:    e.counters.conceptMisses.Load(),
+		ListHits:         e.counters.listHits.Load(),
+		ListMisses:       e.counters.listMisses.Load(),
+		DeadlineHits:     e.counters.deadlineHits.Load(),
+		PartialResults:   e.counters.partials.Load(),
+		JoinPanics:       e.counters.joinPanics.Load(),
+		DecodeFailures:   e.counters.decodeFailures.Load(),
+		DegradedResults:  e.counters.degraded.Load(),
+		Shed:             e.counters.shed.Load(),
+		IndexReloads:     e.counters.indexReloads.Load(),
+		InFlight:         e.admit.inFlight(),
+		QueueDepth:       int(e.counters.queueDepth.Load()),
+		CachedLists:      e.lists.Len(),
+		BlockDecodes:     e.counters.blockDecodes.Load(),
+		BlocksSkipped:    e.counters.blocksSkipped.Load(),
+		CacheBytes:       e.lists.Bytes(),
+		CoalescedDecodes: e.counters.coalescedDecodes.Load(),
+		DecodeWaits:      e.counters.decodeWaits.Load(),
+		UnionCandidates:  e.counters.unionCandidates.Load(),
+		PivotSkips:       e.counters.pivotSkips.Load(),
+		UnionUnpruned:    e.counters.unionUnpruned.Load(),
+		QueryLatency:     e.latency.snapshot(),
 	}
 }
 

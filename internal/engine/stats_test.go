@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramObserveEdges pins the histogram's two clamp branches:
+// a negative duration (clock skew between the two reads around a
+// query) lands in the lowest bucket instead of indexing with a
+// negative bit length, and a duration past the last power-of-two
+// bucket lands in the overflow bucket instead of out of range.
+func TestHistogramObserveEdges(t *testing.T) {
+	var h histogram
+	h.observe(-time.Second)
+	h.observe(time.Microsecond)
+	h.observe(1 << 40 * time.Microsecond)
+	snap := h.snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("snapshot count %d, want 3", snap.Count)
+	}
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if last.UpperMicros != 0 {
+		t.Fatalf("huge observation missed the overflow bucket: %+v", snap.Buckets)
+	}
+	var total uint64
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("buckets hold %d observations, want 3", total)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/heap"
 	"math"
 	"math/rand"
 	"sort"
@@ -119,6 +120,22 @@ func TestTopKFloorBeforeFull(t *testing.T) {
 	top.offer(3, 0.001, testSet(3)) // tiny, but the heap is not full
 	if docs := top.results(); len(docs) != 3 {
 		t.Fatalf("offer dropped while heap had room: %+v", docs)
+	}
+}
+
+// TestDocHeapPopOrder pins docHeap's heap.Interface contract directly:
+// popping drains in (score asc, doc desc) order, so the root is always
+// the entry top-k would discard first.
+func TestDocHeapPopOrder(t *testing.T) {
+	h := docHeap{{Doc: 1, Score: 2}, {Doc: 7, Score: 1}, {Doc: 3, Score: 1}}
+	heap.Init(&h)
+	heap.Push(&h, DocResult{Doc: 5, Score: 3})
+	want := []DocResult{{Doc: 7, Score: 1}, {Doc: 3, Score: 1}, {Doc: 1, Score: 2}, {Doc: 5, Score: 3}}
+	for i, w := range want {
+		got := heap.Pop(&h).(DocResult)
+		if got.Doc != w.Doc || got.Score != w.Score {
+			t.Fatalf("pop %d: got (%d, %v), want (%d, %v)", i, got.Doc, got.Score, w.Doc, w.Score)
+		}
 	}
 }
 

@@ -1,0 +1,476 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"bestjoin/internal/match"
+)
+
+// Group-varint batched block codec: the same block-partitioned concept
+// posting layout as blocks.go, with every integer stream past the
+// header packed four values at a time behind length-prefixed control
+// bytes instead of per-integer varints. One control byte holds four
+// 2-bit fields, each the byte length minus one of the corresponding
+// value; the values follow little-endian in exactly that many bytes.
+// The decoder reads the control byte once and then copies four values
+// with unconditional 4-byte loads and masks — no per-byte continuation
+// branches — which is what makes the lazy per-block decode path
+// measurably cheaper than binary.Uvarint loops (the stream-vbyte /
+// group-varint layout from the batched-decode literature).
+//
+// Encoded layout (EncodeBlocksBatch):
+//
+//	varint(#palette) float64le × #palette      // identical to EncodeBlocks
+//	varint(#blocks)
+//	group-varint stream of 4·#blocks values:   // skip table
+//	        per block firstGap, span, payloadLen, maxIdx
+//	concatenated block payloads
+//
+// Block payload:
+//
+//	varint(#docs)
+//	group-varint stream of 2·#docs−1 values:   // directory
+//	        count₀, then per further document docDelta, count
+//	group-varint stream of 2·Σcount values:    // match area
+//	        per match posDelta, scoreIdx
+//
+// The directory and match area are separate group-varint streams so
+// candidate generation can decode just the document ids without
+// parsing match bytes, exactly like the varint layout. Semantics —
+// delta meanings, palette indirection, per-document position restart —
+// are identical to EncodeBlocks; a buffer decodes to the same
+// BlockTable either way, which is what TestDifferentialBatchVsVarint
+// pins.
+//
+// Group varint stores values in at most four bytes, so the batch form
+// only exists for concepts whose deltas, counts, payload lengths and
+// palette indexes all fit uint32. MaxDocID/MaxPosition are 2^40, so a
+// (pathological) corpus can exceed that; EncodeBlocksBatch then
+// reports ok=false and the caller keeps the varint form. Decoding is
+// bounded the PR 1 way, replicating every invariant of the varint
+// decoder: strictly ascending ids and positions, counts checked
+// against the bytes that must back them, payload accumulation that
+// cannot wrap, and the pruning-soundness check that each block's
+// recorded max score index equals the maximum actually present.
+
+// gvMask[l] keeps the low l bytes of an unconditional 4-byte load.
+var gvMask = [5]uint32{0, 0xff, 0xffff, 0xffffff, 0xffffffff}
+
+// byteLen32 is the group-varint byte length of v (1–4).
+func byteLen32(v uint32) int {
+	switch {
+	case v < 1<<8:
+		return 1
+	case v < 1<<16:
+		return 2
+	case v < 1<<24:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// appendGroup encodes one group of 1–4 values: the control byte (2-bit
+// length-minus-one fields, value i in bits 2i..2i+1), then each value
+// little-endian. A short tail group leaves its unused control bits
+// zero and contributes no bytes for them.
+func appendGroup(dst []byte, vals []uint32) []byte {
+	ctrl := byte(0)
+	at := len(dst)
+	dst = append(dst, 0)
+	for i, v := range vals {
+		n := byteLen32(v)
+		ctrl |= byte(n-1) << (2 * uint(i))
+		switch n {
+		case 1:
+			dst = append(dst, byte(v))
+		case 2:
+			dst = append(dst, byte(v), byte(v>>8))
+		case 3:
+			dst = append(dst, byte(v), byte(v>>8), byte(v>>16))
+		default:
+			dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	}
+	dst[at] = ctrl
+	return dst
+}
+
+// appendGroups encodes vals as consecutive groups of four (plus one
+// short tail group when len(vals) is not a multiple of four).
+func appendGroups(dst []byte, vals []uint32) []byte {
+	for len(vals) >= 4 {
+		dst = appendGroup(dst, vals[:4])
+		vals = vals[4:]
+	}
+	if len(vals) > 0 {
+		dst = appendGroup(dst, vals)
+	}
+	return dst
+}
+
+// decodeGroups decodes exactly len(out) group-varint values from b,
+// returning the unconsumed remainder; ok is false when b runs out.
+// Full groups with 17+ bytes in hand take the branch-free path: one
+// control-byte read, four unconditional 4-byte little-endian loads
+// masked to their declared lengths (the worst-case group is 1+16
+// bytes, so 17 guarantees every load stays in bounds).
+func decodeGroups(b []byte, out []uint32) (rest []byte, ok bool) {
+	i := 0
+	for len(out)-i >= 4 && len(b) >= 17 {
+		c := b[0]
+		p := b[1:]
+		l0 := int(c&3) + 1
+		l1 := int((c>>2)&3) + 1
+		l2 := int((c>>4)&3) + 1
+		l3 := int(c>>6) + 1
+		out[i] = binary.LittleEndian.Uint32(p) & gvMask[l0]
+		p = p[l0:]
+		out[i+1] = binary.LittleEndian.Uint32(p) & gvMask[l1]
+		p = p[l1:]
+		out[i+2] = binary.LittleEndian.Uint32(p) & gvMask[l2]
+		p = p[l2:]
+		out[i+3] = binary.LittleEndian.Uint32(p) & gvMask[l3]
+		b = b[1+l0+l1+l2+l3:]
+		i += 4
+	}
+	// Tail: the short final group, or full groups too close to the end
+	// of the buffer for unconditional loads.
+	for i < len(out) {
+		if len(b) == 0 {
+			return nil, false
+		}
+		c := b[0]
+		b = b[1:]
+		k := len(out) - i
+		if k > 4 {
+			k = 4
+		}
+		for s := 0; s < k; s++ {
+			l := int(c>>(2*uint(s))&3) + 1
+			if len(b) < l {
+				return nil, false
+			}
+			v := uint32(0)
+			for j := 0; j < l; j++ {
+				v |= uint32(b[j]) << (8 * uint(j))
+			}
+			out[i] = v
+			b = b[l:]
+			i++
+		}
+	}
+	return b, true
+}
+
+// fits32 reports whether a non-negative int is encodable in one
+// group-varint slot.
+func fits32(v int) bool { return uint64(v) <= math.MaxUint32 }
+
+// EncodeBlocksBatch packs a concept's corpus-wide match data into the
+// group-varint batched block layout; inputs follow the EncodeBlocks
+// contract. ok is false — and the buffer nil — when any delta, count,
+// payload length or palette index exceeds uint32, in which case the
+// caller must keep the varint form. The empty input encodes to
+// (nil, true).
+func EncodeBlocksBatch(docs []int, lists []match.List, blockSize int) (buf []byte, ok bool) {
+	if len(docs) == 0 {
+		return nil, true
+	}
+	if blockSize <= 0 {
+		blockSize = BlockSize
+	}
+	palette, scoreIdx := buildPalette(lists)
+	if !fits32(len(palette) - 1) {
+		return nil, false
+	}
+
+	nBlocks := (len(docs) + blockSize - 1) / blockSize
+	var payload []byte
+	skipVals := make([]uint32, 0, 4*nBlocks)
+	var dirVals, matchVals []uint32
+	prevLast := 0
+	for b := 0; b < len(docs); b += blockSize {
+		e := b + blockSize
+		if e > len(docs) {
+			e = len(docs)
+		}
+		dirVals = dirVals[:0]
+		matchVals = matchVals[:0]
+		maxIdx := 0
+		for i := b; i < e; i++ {
+			if i > b {
+				if !fits32(docs[i] - docs[i-1]) {
+					return nil, false
+				}
+				dirVals = append(dirVals, uint32(docs[i]-docs[i-1]))
+			}
+			if !fits32(len(lists[i])) {
+				return nil, false
+			}
+			dirVals = append(dirVals, uint32(len(lists[i])))
+			prev := 0
+			for j, m := range lists[i] {
+				pd := m.Loc
+				if j > 0 {
+					pd = m.Loc - prev
+				}
+				prev = m.Loc
+				if !fits32(pd) {
+					return nil, false
+				}
+				idx := scoreIdx[m.Score]
+				if idx > maxIdx {
+					maxIdx = idx
+				}
+				matchVals = append(matchVals, uint32(pd), uint32(idx))
+			}
+		}
+		start := len(payload)
+		payload = binary.AppendUvarint(payload, uint64(e-b))
+		payload = appendGroups(payload, dirVals)
+		payload = appendGroups(payload, matchVals)
+		gap := docs[b]
+		if b > 0 {
+			gap = docs[b] - prevLast
+		}
+		span := docs[e-1] - docs[b]
+		plen := len(payload) - start
+		if !fits32(gap) || !fits32(span) || !fits32(plen) {
+			return nil, false
+		}
+		skipVals = append(skipVals, uint32(gap), uint32(span), uint32(plen), uint32(maxIdx))
+		prevLast = docs[e-1]
+	}
+
+	buf = binary.AppendUvarint(nil, uint64(len(palette)))
+	for _, s := range palette {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	buf = binary.AppendUvarint(buf, uint64(nBlocks))
+	buf = appendGroups(buf, skipVals)
+	return append(buf, payload...), true
+}
+
+// buildPalette collects the distinct match scores of lists, ascending,
+// with a score → palette index map — the palette both encoders share.
+func buildPalette(lists []match.List) ([]float64, map[float64]int) {
+	seen := make(map[float64]struct{})
+	for _, l := range lists {
+		for _, m := range l {
+			seen[m.Score] = struct{}{}
+		}
+	}
+	palette := make([]float64, 0, len(seen))
+	for s := range seen {
+		palette = append(palette, s)
+	}
+	sort.Float64s(palette)
+	scoreIdx := make(map[float64]int, len(palette))
+	for i, s := range palette {
+		scoreIdx[s] = i
+	}
+	return palette, scoreIdx
+}
+
+// DecodeBlocksBatch unpacks the palette and skip table of an
+// EncodeBlocksBatch buffer, retaining the payload area for per-block
+// decoding — the batched counterpart of DecodeBlocks, with the same
+// hostile-bytes discipline. The returned table serves the same
+// DecodeDocs/DecodeBlock surface; only the byte layout behind it
+// differs.
+func DecodeBlocksBatch(b []byte) (*BlockTable, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	nPal, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt batch block palette header")
+	}
+	b = b[n:]
+	if nPal == 0 || nPal > uint64(len(b))/8 {
+		return nil, fmt.Errorf("index: batch block palette count %d exceeds buffer", nPal)
+	}
+	palette := make([]float64, nPal)
+	for i := range palette {
+		s := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("index: batch block palette score %d is not finite", i)
+		}
+		if i > 0 && s <= palette[i-1] {
+			return nil, fmt.Errorf("index: batch block palette not strictly ascending at %d", i)
+		}
+		palette[i] = s
+	}
+	nBlocks, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt batch block count")
+	}
+	b = b[n:]
+	// Each block costs at least 5 skip bytes (control byte plus four
+	// one-byte values) and a multi-byte payload; reject counts the
+	// buffer cannot hold so corrupt input cannot drive huge allocations.
+	if nBlocks == 0 || nBlocks > uint64(len(b))/5 {
+		return nil, fmt.Errorf("index: batch block count %d exceeds buffer", nBlocks)
+	}
+	skipVals := make([]uint32, 4*nBlocks)
+	b, ok := decodeGroups(b, skipVals)
+	if !ok {
+		return nil, fmt.Errorf("index: truncated batch block skip table")
+	}
+	infos := make([]BlockInfo, nBlocks)
+	var payloadTotal uint64
+	prevLast := 0
+	for i := range infos {
+		gap := uint64(skipVals[4*i])
+		span := uint64(skipVals[4*i+1])
+		plen := uint64(skipVals[4*i+2])
+		maxIdx := uint64(skipVals[4*i+3])
+		if i > 0 && gap == 0 {
+			return nil, fmt.Errorf("index: batch block %d overlaps its predecessor", i)
+		}
+		first := prevLast + int(gap)
+		last := first + int(span)
+		// Group-varint values are ≤ MaxUint32 < MaxDocID, but the
+		// accumulated range can still walk past the bound.
+		if first > MaxDocID || last > MaxDocID {
+			return nil, fmt.Errorf("index: batch block %d document range exceeds %d", i, int64(MaxDocID))
+		}
+		if maxIdx >= nPal {
+			return nil, fmt.Errorf("index: batch block %d max index %d out of palette range", i, maxIdx)
+		}
+		// Accumulate in uint64 and bound against the remaining buffer so
+		// hostile lengths cannot wrap the running offset.
+		if plen == 0 || plen > uint64(len(b)) || payloadTotal > uint64(len(b))-plen {
+			return nil, fmt.Errorf("index: batch block %d payload overruns buffer", i)
+		}
+		infos[i] = BlockInfo{
+			FirstDoc: first,
+			LastDoc:  last,
+			Off:      int(payloadTotal),
+			Len:      int(plen),
+			MaxIdx:   int(maxIdx),
+			MaxScore: palette[maxIdx],
+		}
+		payloadTotal += plen
+		prevLast = last
+	}
+	if payloadTotal != uint64(len(b)) {
+		return nil, fmt.Errorf("index: %d trailing batch block payload bytes", uint64(len(b))-payloadTotal)
+	}
+	return &BlockTable{Palette: palette, Infos: infos, payload: b, batch: true}, nil
+}
+
+// decodeDirBatch parses block i's group-varint directory; the batched
+// counterpart of decodeDir with identical checks and results.
+func (bt *BlockTable) decodeDirBatch(i int) (docs []int, nMatch []int, matchArea []byte, err error) {
+	info := bt.Infos[i]
+	b := bt.payload[info.Off : info.Off+info.Len]
+	nDocs, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, nil, fmt.Errorf("index: corrupt batch block %d doc count", i)
+	}
+	b = b[n:]
+	// The directory's 2·nDocs−1 values need at least one byte each
+	// beyond their control bytes, so nDocs beyond the payload length is
+	// unsatisfiable; the bound caps the allocation.
+	if nDocs == 0 || nDocs > uint64(len(b)) {
+		return nil, nil, nil, fmt.Errorf("index: batch block %d doc count %d exceeds payload", i, nDocs)
+	}
+	vals := make([]uint32, 2*nDocs-1)
+	b, ok := decodeGroups(b, vals)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("index: truncated batch block %d directory", i)
+	}
+	docs = make([]int, nDocs)
+	nMatch = make([]int, nDocs)
+	doc := info.FirstDoc
+	v := 0
+	for d := uint64(0); d < nDocs; d++ {
+		if d > 0 {
+			delta := vals[v]
+			v++
+			if delta == 0 {
+				return nil, nil, nil, fmt.Errorf("index: batch block %d doc ids not strictly ascending", i)
+			}
+			doc += int(delta)
+		}
+		if doc > info.LastDoc {
+			return nil, nil, nil, fmt.Errorf("index: batch block %d document %d outside its range", i, doc)
+		}
+		count := uint64(vals[v])
+		v++
+		// Every match costs at least 2 bytes in the match area.
+		if count == 0 || count > uint64(info.Len)/2 {
+			return nil, nil, nil, fmt.Errorf("index: batch block %d match count %d exceeds payload", i, count)
+		}
+		docs[d] = doc
+		nMatch[d] = int(count)
+	}
+	if docs[0] != info.FirstDoc || docs[len(docs)-1] != info.LastDoc {
+		return nil, nil, nil, fmt.Errorf("index: batch block %d document range disagrees with skip entry", i)
+	}
+	return docs, nMatch, b, nil
+}
+
+// decodeBlockBatch fully unpacks batch block i — the batched
+// counterpart of DecodeBlock's varint body, enforcing the same
+// invariants including the max-index soundness check.
+func (bt *BlockTable) decodeBlockBatch(i int) (docs []int, lists []match.List, err error) {
+	docs, nMatch, b, err := bt.decodeDirBatch(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, c := range nMatch {
+		total += c
+	}
+	if uint64(total) > uint64(len(b))/2 {
+		return nil, nil, fmt.Errorf("index: batch block %d match total %d exceeds payload", i, total)
+	}
+	vals := make([]uint32, 2*total)
+	b, ok := decodeGroups(b, vals)
+	if !ok {
+		return nil, nil, fmt.Errorf("index: truncated batch block %d match area", i)
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("index: %d trailing bytes in batch block %d", len(b), i)
+	}
+	flat := make(match.List, 0, total)
+	lists = make([]match.List, len(docs))
+	maxSeen := 0
+	v := 0
+	for d := range docs {
+		begin := len(flat)
+		pos := 0
+		for m := 0; m < nMatch[d]; m++ {
+			pd := vals[v]
+			idx := vals[v+1]
+			v += 2
+			if m > 0 && pd == 0 {
+				return nil, nil, fmt.Errorf("index: batch block %d positions not strictly ascending in doc %d", i, docs[d])
+			}
+			pos += int(pd)
+			if pos > MaxPosition {
+				return nil, nil, fmt.Errorf("index: batch block %d position %d exceeds %d", i, pos, int64(MaxPosition))
+			}
+			if idx >= uint32(len(bt.Palette)) {
+				return nil, nil, fmt.Errorf("index: batch block %d score index %d out of palette range", i, idx)
+			}
+			if int(idx) > maxSeen {
+				maxSeen = int(idx)
+			}
+			flat = append(flat, match.Match{Loc: pos, Score: bt.Palette[idx]})
+		}
+		lists[d] = flat[begin:len(flat):len(flat)]
+	}
+	if maxSeen != bt.Infos[i].MaxIdx {
+		return nil, nil, fmt.Errorf("index: batch block %d max index %d disagrees with content max %d",
+			i, bt.Infos[i].MaxIdx, maxSeen)
+	}
+	return docs, lists, nil
+}

@@ -86,6 +86,10 @@ type BlockTable struct {
 	Palette []float64 // distinct match scores, strictly ascending
 	Infos   []BlockInfo
 	payload []byte
+	// batch marks a table whose payloads use the group-varint batched
+	// layout (batchdecode.go); the decode entry points dispatch on it,
+	// so callers never care which codec backs a table.
+	batch bool
 }
 
 // NumBlocks returns the number of blocks in the table.
@@ -115,22 +119,7 @@ func EncodeBlocks(docs []int, lists []match.List, blockSize int) []byte {
 	if blockSize <= 0 {
 		blockSize = BlockSize
 	}
-	// Palette: distinct scores, ascending.
-	seen := make(map[float64]struct{})
-	for _, l := range lists {
-		for _, m := range l {
-			seen[m.Score] = struct{}{}
-		}
-	}
-	palette := make([]float64, 0, len(seen))
-	for s := range seen {
-		palette = append(palette, s)
-	}
-	sort.Float64s(palette)
-	scoreIdx := make(map[float64]int, len(palette))
-	for i, s := range palette {
-		scoreIdx[s] = i
-	}
+	palette, scoreIdx := buildPalette(lists)
 
 	nBlocks := (len(docs) + blockSize - 1) / blockSize
 	buf := binary.AppendUvarint(nil, uint64(len(palette)))
@@ -308,6 +297,9 @@ func (bt *BlockTable) DecodeDocs(i int) ([]int, error) {
 // decodeDir parses block i's directory, returning the document ids,
 // per-document match counts, and the unconsumed match area.
 func (bt *BlockTable) decodeDir(i int) (docs []int, nMatch []int, matchArea []byte, err error) {
+	if bt.batch {
+		return bt.decodeDirBatch(i)
+	}
 	info := bt.Infos[i]
 	b := bt.payload[info.Off : info.Off+info.Len]
 	nDocs, n := binary.Uvarint(b)
@@ -364,6 +356,9 @@ func (bt *BlockTable) decodeDir(i int) (docs []int, nMatch []int, matchArea []by
 // equals the maximum score index actually present — the check that
 // keeps block-max pruning sound against hostile bytes.
 func (bt *BlockTable) DecodeBlock(i int) (docs []int, lists []match.List, err error) {
+	if bt.batch {
+		return bt.decodeBlockBatch(i)
+	}
 	docs, nMatch, b, err := bt.decodeDir(i)
 	if err != nil {
 		return nil, nil, err
@@ -443,6 +438,22 @@ func (bt *BlockTable) Validate() error {
 // block-served query sees bitwise-identical match lists. The empty
 // concept (no corpus occurrences) builds to nil.
 func (c *Compact) BuildConceptBlocks(concept Concept) []byte {
+	docs, lists := c.conceptDocLists(concept)
+	return EncodeBlocks(docs, lists, 0)
+}
+
+// BuildConceptBlocksBatch is BuildConceptBlocks for the group-varint
+// batched layout (batchdecode.go). ok is false when some value exceeds
+// the uint32 the batch form can carry; the caller keeps the varint
+// form then.
+func (c *Compact) BuildConceptBlocksBatch(concept Concept) ([]byte, bool) {
+	docs, lists := c.conceptDocLists(concept)
+	return EncodeBlocksBatch(docs, lists, 0)
+}
+
+// conceptDocLists computes a concept's corpus-wide match data — the
+// best-member-word-score-wins merge both block encoders pack.
+func (c *Compact) conceptDocLists(concept Concept) ([]int, []match.List) {
 	best := map[int]map[int]float64{}
 	for word, score := range concept {
 		for _, p := range c.Postings(word) {
@@ -470,7 +481,7 @@ func (c *Compact) BuildConceptBlocks(concept Concept) []byte {
 		l.Sort()
 		lists[i] = l
 	}
-	return EncodeBlocks(docs, lists, 0)
+	return docs, lists
 }
 
 // AddConceptBlocks precomputes and registers a concept's
@@ -479,57 +490,80 @@ func (c *Compact) BuildConceptBlocks(concept Concept) []byte {
 // read-only and concurrent readers do not lock. Concepts with
 // non-finite weights or no corpus occurrences are skipped (nothing to
 // serve, and non-finite scores would poison every bound comparison).
+//
+// The buffer is stored in the group-varint batched layout
+// (batchdecode.go) whenever the concept's values fit it, falling back
+// to the per-integer varint layout otherwise; queries see identical
+// match lists either way.
 func (c *Compact) AddConceptBlocks(concept Concept) {
-	c.addConceptBlocks(concept, 0)
+	c.addConceptBlocks(concept, 0, true)
 }
 
 // AddConceptBlocksSized is AddConceptBlocks with an explicit block
-// size — a test and tuning hook; ≤ 0 means BlockSize.
+// size — a test and tuning hook; ≤ 0 means BlockSize. Unlike
+// AddConceptBlocks it always stores the varint layout, so tests that
+// poke varint buffers (and the corruption hooks in testhook.go) keep a
+// stable target.
 func (c *Compact) AddConceptBlocksSized(concept Concept, blockSize int) {
-	c.addConceptBlocks(concept, blockSize)
+	c.addConceptBlocks(concept, blockSize, false)
 }
 
-func (c *Compact) addConceptBlocks(concept Concept, blockSize int) {
+// AddConceptBlocksBatchSized registers the batched layout with an
+// explicit block size, reporting whether the batch form was used
+// (false means the values did not fit uint32 and the varint form was
+// stored instead).
+func (c *Compact) AddConceptBlocksBatchSized(concept Concept, blockSize int) bool {
+	return c.addConceptBlocks(concept, blockSize, true)
+}
+
+func (c *Compact) addConceptBlocks(concept Concept, blockSize int, preferBatch bool) bool {
 	for _, s := range concept {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
-			return
+			return false
 		}
 	}
-	best := c.BuildConceptBlocks(concept)
-	if blockSize > 0 {
-		// Rebuild with the explicit size: BuildConceptBlocks returned the
-		// default partitioning, so re-encode its decoded form.
-		bt, err := DecodeBlocks(best)
-		if err != nil || bt == nil {
-			return
-		}
-		var docs []int
-		var lists []match.List
-		for i := range bt.Infos {
-			d, l, err := bt.DecodeBlock(i)
-			if err != nil {
-				return
+	docs, lists := c.conceptDocLists(concept)
+	if len(docs) == 0 {
+		return false
+	}
+	key := ConceptKey(concept)
+	if preferBatch {
+		if buf, ok := EncodeBlocksBatch(docs, lists, blockSize); ok && buf != nil {
+			if c.batch == nil {
+				c.batch = make(map[uint64][]byte)
 			}
-			docs = append(docs, d...)
-			lists = append(lists, l...)
+			c.batch[key] = buf
+			delete(c.blocks, key)
+			return true
 		}
-		best = EncodeBlocks(docs, lists, blockSize)
 	}
-	if best == nil {
-		return
+	buf := EncodeBlocks(docs, lists, blockSize)
+	if buf == nil {
+		return false
 	}
 	if c.blocks == nil {
 		c.blocks = make(map[uint64][]byte)
 	}
-	c.blocks[ConceptKey(concept)] = best
+	c.blocks[key] = buf
+	delete(c.batch, key)
+	return false
 }
 
-// ConceptBlocks returns a concept's registered block table, or
+// ConceptBlocks returns a concept's registered block table — batched
+// or varint, whichever layout the concept was registered with — or
 // ok=false when the concept was never registered. Like
 // Compact.Postings, a decode failure indicates memory corruption
 // (LoadCompact validates every buffer eagerly) and fails loudly.
 func (c *Compact) ConceptBlocks(concept Concept) (*BlockTable, bool) {
-	b, ok := c.blocks[ConceptKey(concept)]
+	key := ConceptKey(concept)
+	if b, ok := c.batch[key]; ok {
+		bt, err := DecodeBlocksBatch(b)
+		if err != nil || bt == nil {
+			panic(fmt.Sprintf("index: corrupt batched concept blocks: %v", err))
+		}
+		return bt, true
+	}
+	b, ok := c.blocks[key]
 	if !ok {
 		return nil, false
 	}
@@ -540,5 +574,6 @@ func (c *Compact) ConceptBlocks(concept Concept) (*BlockTable, bool) {
 	return bt, true
 }
 
-// ConceptBlocksCount returns the number of registered block tables.
-func (c *Compact) ConceptBlocksCount() int { return len(c.blocks) }
+// ConceptBlocksCount returns the number of registered block tables
+// across both layouts.
+func (c *Compact) ConceptBlocksCount() int { return len(c.blocks) + len(c.batch) }

@@ -140,6 +140,7 @@ type Compact struct {
 	postings map[string][]byte
 	meta     map[uint64][]byte // ConceptKey → EncodeDocMax buffer
 	blocks   map[uint64][]byte // ConceptKey → EncodeBlocks buffer
+	batch    map[uint64][]byte // ConceptKey → EncodeBlocksBatch buffer
 	docs     int
 }
 

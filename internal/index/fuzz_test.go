@@ -211,6 +211,123 @@ func FuzzDecodeBlocks(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatch ensures the group-varint batched decode path never
+// panics on arbitrary bytes and upholds the same invariants as
+// FuzzDecodeBlocks — ascending disjoint block ranges, bounded ids and
+// positions, finite ascending palette, truthful block maxima — plus
+// the batch-specific contract: accepted content re-encodes through
+// EncodeBlocksBatch (always possible, since decoded values fit uint32
+// by construction) and decodes back identically.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	one, _ := EncodeBlocksBatch([]int{0}, []match.List{{{Loc: 0, Score: 1}}}, 0)
+	f.Add(one)
+	many, _ := EncodeBlocksBatch(
+		[]int{1, 2, 5, 9},
+		[]match.List{
+			{{Loc: 3, Score: 0.5}, {Loc: 7, Score: 1.0}},
+			{{Loc: 1, Score: 0.5}},
+			{{Loc: 2, Score: 1.0}},
+			{{Loc: 4, Score: -0.25}, {Loc: 5, Score: 0.5}},
+		}, 2)
+	f.Add(many)
+	// Crafted overflow: a palette count of MaxUint64 must be bounded
+	// before it can drive a huge allocation; same for the block count
+	// behind a minimal valid palette.
+	f.Add(binary.AppendUvarint(nil, math.MaxUint64))
+	giant := binary.AppendUvarint(nil, 1)
+	giant = binary.LittleEndian.AppendUint64(giant, math.Float64bits(1))
+	f.Add(binary.AppendUvarint(giant, math.MaxUint64))
+	// NaN palette bits: must be rejected, never compared against.
+	nan := binary.AppendUvarint(nil, 1)
+	f.Add(binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.NaN())))
+	// A control byte promising four 4-byte values before a truncated
+	// buffer: the group decoder's bounds check, not a slice panic, must
+	// reject it.
+	trunc := binary.AppendUvarint(nil, 1)
+	trunc = binary.LittleEndian.AppendUint64(trunc, math.Float64bits(1))
+	trunc = binary.AppendUvarint(trunc, 1)
+	f.Add(append(trunc, 0xff, 0x01))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bt, err := DecodeBlocksBatch(data)
+		if err != nil || bt == nil {
+			return
+		}
+		prevLast := -1
+		var docs []int
+		var lists []match.List
+		for i := range bt.Infos {
+			info := bt.Infos[i]
+			if info.FirstDoc <= prevLast || info.FirstDoc > info.LastDoc || info.LastDoc > MaxDocID {
+				t.Fatalf("block %d range invalid: %+v after last %d", i, info, prevLast)
+			}
+			prevLast = info.LastDoc
+			d, l, err := bt.DecodeBlock(i)
+			if err != nil {
+				continue // skip-table ok but payload hostile: rejected, fine
+			}
+			max := math.Inf(-1)
+			prevDoc := info.FirstDoc - 1
+			for j := range d {
+				if d[j] <= prevDoc || d[j] > info.LastDoc {
+					t.Fatalf("block %d doc %d out of order or range", i, d[j])
+				}
+				prevDoc = d[j]
+				prevPos := -1
+				for _, m := range l[j] {
+					if m.Loc <= prevPos || m.Loc > MaxPosition {
+						t.Fatalf("block %d doc %d positions invalid", i, d[j])
+					}
+					prevPos = m.Loc
+					if math.IsNaN(m.Score) || math.IsInf(m.Score, 0) {
+						t.Fatalf("non-finite score accepted")
+					}
+					if m.Score > max {
+						max = m.Score
+					}
+				}
+			}
+			if max != info.MaxScore {
+				t.Fatalf("block %d MaxScore %v disagrees with content max %v", i, info.MaxScore, max)
+			}
+			docs = append(docs, d...)
+			lists = append(lists, l...)
+		}
+		if bt.Validate() != nil {
+			return // some block rejected above: no round-trip contract
+		}
+		// Fully valid tables round-trip through the batch encoder when
+		// the re-blocked values still fit uint32 (regrouping under the
+		// default block size can widen a block's span past what the
+		// original partitioning needed — then the varint fallback owns
+		// the content and there is no batch round-trip contract).
+		enc, ok := EncodeBlocksBatch(docs, lists, BlockSize)
+		if !ok {
+			return
+		}
+		again, err := DecodeBlocksBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var docsAgain []int
+		for i := range again.Infos {
+			d, _, err := again.DecodeBlock(i)
+			if err != nil {
+				t.Fatalf("re-decode block %d: %v", i, err)
+			}
+			docsAgain = append(docsAgain, d...)
+		}
+		if len(docsAgain) != len(docs) {
+			t.Fatalf("round trip changed doc count: %d vs %d", len(docsAgain), len(docs))
+		}
+		for i := range docs {
+			if docs[i] != docsAgain[i] {
+				t.Fatalf("round trip changed doc %d", i)
+			}
+		}
+	})
+}
+
 // FuzzLoadCompact ensures index deserialization never panics, on
 // both the framed and the legacy layout.
 func FuzzLoadCompact(f *testing.F) {

@@ -176,6 +176,95 @@ func TestPartitionSplitsConceptBlocks(t *testing.T) {
 	}
 }
 
+// TestPartitionSplitsBatchedBlocks is the batched-layout twin of
+// TestPartitionSplitsConceptBlocks: a concept registered in the
+// group-varint batch form must survive the split with its layout
+// intact (each shard's buffer lands in the batch map, not the varint
+// one — shard deltas are a subset of the original's, so they fit) and
+// with exactly the original documents and match lists, shard-disjoint.
+func TestPartitionSplitsBatchedBlocks(t *testing.T) {
+	c, concepts := partitionCorpus(t)
+	batched := Concept{"lenovo": 1.0, "ibm": 0.5}
+	if !c.AddConceptBlocksBatchSized(batched, 2) {
+		t.Fatal("batch layout not registered")
+	}
+	concepts = append(concepts, batched)
+	const n = 3
+	shards, err := c.Partition(n)
+	if err != nil {
+		t.Fatalf("Partition(%d): %v", n, err)
+	}
+	key := ConceptKey(batched)
+	for s, shard := range shards {
+		if _, leaked := shard.blocks[key]; leaked {
+			t.Fatalf("shard %d: batched concept re-encoded as varint", s)
+		}
+	}
+	for _, cc := range concepts {
+		wantDocs, wantLists := decodeAllBlocks(t, c, cc)
+		gotLists := map[int]match.List{}
+		for s, shard := range shards {
+			docs, lists := decodeAllBlocks(t, shard, cc)
+			for i, d := range docs {
+				if ShardOf(d, n) != s {
+					t.Fatalf("shard %d blocks own doc %d", s, d)
+				}
+				gotLists[d] = lists[i]
+			}
+		}
+		if len(gotLists) != len(wantDocs) {
+			t.Fatalf("concept %v: shard blocks cover %d docs, want %d", cc, len(gotLists), len(wantDocs))
+		}
+		for i, d := range wantDocs {
+			if !reflect.DeepEqual(gotLists[d], wantLists[i]) {
+				t.Fatalf("concept %v doc %d: shard list %v, want %v", cc, d, gotLists[d], wantLists[i])
+			}
+		}
+	}
+}
+
+// TestBuildConceptBlocksBatchMatchesVarint pins the two standalone
+// builders against each other: both encode the same corpus-wide
+// best-member-score merge, so decoding their outputs must agree
+// document for document and match for match.
+func TestBuildConceptBlocksBatchMatchesVarint(t *testing.T) {
+	c, concepts := partitionCorpus(t)
+	for _, cc := range concepts {
+		vbuf := c.BuildConceptBlocks(cc)
+		bbuf, ok := c.BuildConceptBlocksBatch(cc)
+		if !ok {
+			t.Fatalf("concept %v: batch builder fell back on an ordinary corpus", cc)
+		}
+		vt, err := DecodeBlocks(vbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := DecodeBlocksBatch(bbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vt.Infos) != len(bt.Infos) {
+			t.Fatalf("concept %v: %d varint blocks vs %d batch blocks", cc, len(vt.Infos), len(bt.Infos))
+		}
+		for i := range vt.Infos {
+			vd, vl, err := vt.DecodeBlock(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd, bl, err := bt.DecodeBlock(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(vd, bd) || !reflect.DeepEqual(vl, bl) {
+				t.Fatalf("concept %v block %d: builders disagree", cc, i)
+			}
+		}
+	}
+	if buf, ok := c.BuildConceptBlocksBatch(Concept{"unseen-word": 1}); !ok || buf != nil {
+		t.Fatalf("empty concept: got (%v, %v), want (nil, true)", buf, ok)
+	}
+}
+
 func decodeAllBlocks(t *testing.T, c *Compact, cc Concept) ([]int, []match.List) {
 	t.Helper()
 	bt, ok := c.ConceptBlocks(cc)

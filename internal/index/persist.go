@@ -30,6 +30,10 @@ import (
 // varint(len(meta)) meta. Section 3, present only when
 // block-partitioned concept postings are registered (blocks.go), has
 // the same per-concept shape with EncodeBlocks buffers as values.
+// Section 4, present only when group-varint batched concept postings
+// are registered (batchdecode.go), repeats that shape with
+// EncodeBlocksBatch buffers; a reader predating section 4 rejects the
+// unknown id loudly instead of misparsing it.
 //
 // LoadCompact still accepts the pre-framing layout (the two payloads
 // concatenated with no magic, no checksums), so indexes marshaled
@@ -43,9 +47,10 @@ const (
 	frameMagic   = "BJIX"
 	frameVersion = 1
 
-	secPostings = 1 // posting payload: docs header + term table
-	secMeta     = 2 // optional concept max-score metadata
-	secBlocks   = 3 // optional block-partitioned concept postings
+	secPostings    = 1 // posting payload: docs header + term table
+	secMeta        = 2 // optional concept max-score metadata
+	secBlocks      = 3 // optional block-partitioned concept postings
+	secBlocksBatch = 4 // optional group-varint batched concept postings
 )
 
 // castagnoli is the CRC32-C polynomial table — the checksum flavor
@@ -63,14 +68,18 @@ var ErrCorrupt = errors.New("index: corrupt framed index")
 func (c *Compact) Marshal() []byte {
 	postings := c.marshalPostings()
 	meta := c.marshalMeta()
-	blocks := c.marshalBlocks()
-	buf := append(make([]byte, 0, len(postings)+len(meta)+len(blocks)+32), frameMagic...)
+	blocks := c.marshalConceptMap(c.blocks)
+	batch := c.marshalConceptMap(c.batch)
+	buf := append(make([]byte, 0, len(postings)+len(meta)+len(blocks)+len(batch)+32), frameMagic...)
 	buf = append(buf, frameVersion)
 	nsec := uint64(1)
 	if meta != nil {
 		nsec++
 	}
 	if blocks != nil {
+		nsec++
+	}
+	if batch != nil {
 		nsec++
 	}
 	buf = binary.AppendUvarint(buf, nsec)
@@ -80,6 +89,9 @@ func (c *Compact) Marshal() []byte {
 	}
 	if blocks != nil {
 		buf = appendSection(buf, secBlocks, blocks)
+	}
+	if batch != nil {
+		buf = appendSection(buf, secBlocksBatch, batch)
 	}
 	return buf
 }
@@ -132,23 +144,23 @@ func (c *Compact) marshalMeta() []byte {
 	return buf
 }
 
-// marshalBlocks builds the block-partitioned-postings payload
-// (section 3), nil when no concept blocks are registered. Same shape
-// as the metadata section: varint(#concepts), then per concept
-// (sorted by key for determinism) uint64le(key) varint(len) buffer.
-func (c *Compact) marshalBlocks() []byte {
-	if len(c.blocks) == 0 {
+// marshalConceptMap builds a per-concept payload (sections 3 and 4),
+// nil when the map is empty. Same shape as the metadata section:
+// varint(#concepts), then per concept (sorted by key for determinism)
+// uint64le(key) varint(len) buffer.
+func (c *Compact) marshalConceptMap(m map[uint64][]byte) []byte {
+	if len(m) == 0 {
 		return nil
 	}
-	keys := make([]uint64, 0, len(c.blocks))
-	for k := range c.blocks {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	buf := binary.AppendUvarint(nil, uint64(len(keys)))
 	for _, k := range keys {
 		buf = binary.LittleEndian.AppendUint64(buf, k)
-		b := c.blocks[k]
+		b := m[k]
 		buf = binary.AppendUvarint(buf, uint64(len(b)))
 		buf = append(buf, b...)
 	}
@@ -190,11 +202,11 @@ func loadFramed(b []byte) (*Compact, error) {
 	}
 	b = b[1:]
 	nsec, n := binary.Uvarint(b)
-	if n <= 0 || nsec == 0 || nsec > 3 {
+	if n <= 0 || nsec == 0 || nsec > 4 {
 		return nil, fmt.Errorf("%w: bad section count", ErrCorrupt)
 	}
 	b = b[n:]
-	var postings, meta, blocks []byte
+	var postings, meta, blocks, batch []byte
 	prevID := byte(0)
 	for i := uint64(0); i < nsec; i++ {
 		if len(b) == 0 {
@@ -202,7 +214,7 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		id := b[0]
 		b = b[1:]
-		if id <= prevID || id > secBlocks {
+		if id <= prevID || id > secBlocksBatch {
 			return nil, fmt.Errorf("%w: bad section id %d", ErrCorrupt, id)
 		}
 		prevID = id
@@ -228,6 +240,8 @@ func loadFramed(b []byte) (*Compact, error) {
 			meta = payload
 		case secBlocks:
 			blocks = payload
+		case secBlocksBatch:
+			batch = payload
 		}
 	}
 	if len(b) != 0 {
@@ -259,6 +273,15 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in blocks section", ErrCorrupt, len(rest))
+		}
+	}
+	if batch != nil {
+		rest, err := parseBlocksBatch(c, batch)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in batched-blocks section", ErrCorrupt, len(rest))
 		}
 	}
 	return c, nil
@@ -367,47 +390,70 @@ func parseMeta(c *Compact, b []byte) ([]byte, error) {
 	return b, nil
 }
 
-// parseBlocks decodes the block-partitioned-postings payload into c,
-// returning the unconsumed remainder. Every block of every concept is
-// fully decoded here — the same eager-validation stance as postings
-// and metadata, so ConceptBlocks can treat decode failure as memory
-// corruption.
+// parseBlocks decodes the block-partitioned-postings payload into
+// c.blocks, returning the unconsumed remainder. Every block of every
+// concept is fully decoded here — the same eager-validation stance as
+// postings and metadata, so ConceptBlocks can treat decode failure as
+// memory corruption.
 func parseBlocks(c *Compact, b []byte) ([]byte, error) {
+	m, rest, err := parseConceptBlockMap(b, DecodeBlocks)
+	if err != nil {
+		return nil, err
+	}
+	c.blocks = m
+	return rest, nil
+}
+
+// parseBlocksBatch is parseBlocks for the group-varint batched layout
+// (section 4), filling c.batch.
+func parseBlocksBatch(c *Compact, b []byte) ([]byte, error) {
+	m, rest, err := parseConceptBlockMap(b, DecodeBlocksBatch)
+	if err != nil {
+		return nil, err
+	}
+	c.batch = m
+	return rest, nil
+}
+
+// parseConceptBlockMap parses one per-concept block-table payload with
+// the given block decoder, eagerly validating every block of every
+// concept.
+func parseConceptBlockMap(b []byte, decode func([]byte) (*BlockTable, error)) (map[uint64][]byte, []byte, error) {
 	nBlk, n := binary.Uvarint(b)
 	if n <= 0 {
-		return nil, fmt.Errorf("index: corrupt concept-blocks count")
+		return nil, nil, fmt.Errorf("index: corrupt concept-blocks count")
 	}
 	b = b[n:]
 	// Each concept costs at least 9 bytes (8-byte key, length byte).
 	if nBlk > uint64(len(b))/9 {
-		return nil, fmt.Errorf("index: concept-blocks count %d exceeds buffer", nBlk)
+		return nil, nil, fmt.Errorf("index: concept-blocks count %d exceeds buffer", nBlk)
 	}
-	c.blocks = make(map[uint64][]byte, nBlk)
+	m := make(map[uint64][]byte, nBlk)
 	for i := uint64(0); i < nBlk; i++ {
 		if len(b) < 8 {
-			return nil, fmt.Errorf("index: truncated concept-blocks key %d", i)
+			return nil, nil, fmt.Errorf("index: truncated concept-blocks key %d", i)
 		}
 		key := binary.LittleEndian.Uint64(b)
 		b = b[8:]
 		blen, n := binary.Uvarint(b)
 		if n <= 0 || uint64(len(b[n:])) < blen {
-			return nil, fmt.Errorf("index: corrupt concept blocks %d", i)
+			return nil, nil, fmt.Errorf("index: corrupt concept blocks %d", i)
 		}
 		b = b[n:]
 		blk := make([]byte, blen)
 		copy(blk, b[:blen])
 		b = b[blen:]
-		bt, err := DecodeBlocks(blk)
+		bt, err := decode(blk)
 		if err != nil {
-			return nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
+			return nil, nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
 		}
 		if err := bt.Validate(); err != nil {
-			return nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
+			return nil, nil, fmt.Errorf("index: invalid concept blocks %d: %v", i, err)
 		}
 		if bt == nil {
 			continue // zero-length buffer: nothing to serve
 		}
-		c.blocks[key] = blk
+		m[key] = blk
 	}
-	return b, nil
+	return m, b, nil
 }

@@ -16,24 +16,49 @@ func CorruptPostingsForTest(c *Compact, word string) {
 	}
 }
 
-// CorruptConceptBlocksForTest replaces a concept's registered block
-// buffer with bytes DecodeBlocks rejects, so ConceptBlocks panics —
-// the in-memory corruption the engine's block-table lookup must
-// contain. Not for production use.
-func CorruptConceptBlocksForTest(c *Compact, concept Concept) {
-	c.blocks[ConceptKey(concept)] = []byte{
+// CorruptConceptMetaForTest overwrites a concept's registered doc-max
+// metadata with bytes DecodeDocMax rejects, so ConceptMeta panics:
+// the in-memory corruption the engine's metadata lookup must contain.
+// Not for production use.
+func CorruptConceptMetaForTest(c *Compact, concept Concept) {
+	c.meta[ConceptKey(concept)] = []byte{
 		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
 	}
+}
+
+// CorruptConceptBlocksForTest replaces a concept's registered block
+// buffer — batched or varint, whichever layout it was registered with
+// — with bytes both decoders reject, so ConceptBlocks panics: the
+// in-memory corruption the engine's block-table lookup must contain.
+// Not for production use.
+func CorruptConceptBlocksForTest(c *Compact, concept Concept) {
+	garbage := []byte{
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+	}
+	key := ConceptKey(concept)
+	if _, ok := c.batch[key]; ok {
+		c.batch[key] = garbage
+		return
+	}
+	c.blocks[key] = garbage
 }
 
 // CorruptConceptBlockPayloadForTest overwrites the payload area of a
 // concept's registered block buffer while leaving the palette and
 // skip table intact: ConceptBlocks still succeeds, but any per-block
 // directory or match-area decode fails. Exercises the engine's lazy
-// per-block failure paths. Not for production use.
+// per-block failure paths for whichever layout the concept was
+// registered with. Not for production use.
 func CorruptConceptBlockPayloadForTest(c *Compact, concept Concept) {
-	b := c.blocks[ConceptKey(concept)]
-	bt, err := DecodeBlocks(b)
+	key := ConceptKey(concept)
+	b, bt := c.blocks[key], (*BlockTable)(nil)
+	var err error
+	if bb, ok := c.batch[key]; ok {
+		b = bb
+		bt, err = DecodeBlocksBatch(bb)
+	} else {
+		bt, err = DecodeBlocks(b)
+	}
 	if err != nil || bt == nil {
 		panic("CorruptConceptBlockPayloadForTest: buffer must start valid")
 	}

@@ -121,15 +121,18 @@ func (k *WINKernel) Join() (best match.Set, score float64, ok bool) {
 		return nil, 0, false
 	}
 	fn := k.fn
-	full := 1<<q - 1
 	if cap(k.states) < 1<<q {
 		k.states = make([]winState, 1<<q)
 	} else {
 		k.states = k.states[:1<<q]
 		clear(k.states)
 	}
-	states := k.states
 	k.arena.reset()
+	if sep, isSep := fn.(scorefn.WINSeparable); isSep {
+		return k.joinKeyed(sep, q)
+	}
+	full := 1<<q - 1
+	states := k.states
 	var bestNode *winNode
 	bestScore := math.Inf(-1)
 
@@ -183,6 +186,74 @@ func (k *WINKernel) Join() (best match.Set, score float64, ok bool) {
 	if bestNode == nil {
 		return nil, 0, false
 	}
+	return k.emit(bestNode, q), bestScore, true
+}
+
+// joinKeyed is Join's fast path for separable scoring functions
+// (scorefn.WINSeparable): F(gsum, w) = Lift(gsum − α·w) with Lift
+// strictly increasing, so every F-vs-F comparison in the subset loop
+// reduces to comparing raw keys gsum − α·w. The loop below is the
+// generic loop with each fn.F call replaced by that key arithmetic —
+// no interface dispatch and no transcendental per subset; the single
+// winning key is lifted into a score once, at the end. The lifted
+// score is bit-identical to the generic path's (F computes Lift of the
+// same expression, per the WINSeparable contract), and the comparisons
+// are equivalent because Lift is strictly increasing.
+func (k *WINKernel) joinKeyed(sep scorefn.WINSeparable, q int) (best match.Set, score float64, ok bool) {
+	lists := k.lists
+	fn := k.fn
+	alpha := sep.KeySlope()
+	full := 1<<q - 1
+	states := k.states
+	var bestNode *winNode
+	bestKey := math.Inf(-1)
+
+	k.merger.Start(lists)
+	for {
+		ev, more := k.merger.Next(lists)
+		if !more {
+			break
+		}
+		j, m := ev.Term, ev.M
+		g := fn.G(j, m.Score)
+		l := m.Loc
+		bit := 1 << j
+		rest := full &^ bit
+		for s := rest; ; s = (s - 1) & rest {
+			st := &states[s|bit]
+			if s == 0 {
+				// F(g, 0) has key g − α·0 = g exactly.
+				if st.set == nil || st.gsum-alpha*float64(l-st.lmin) < g {
+					st.set = k.arena.alloc(j, m, nil)
+					st.gsum, st.lmin = g, l
+				}
+			} else if sub := &states[s]; sub.set != nil {
+				cand := sub.gsum + g
+				if st.set == nil || st.gsum-alpha*float64(l-st.lmin) < cand-alpha*float64(l-sub.lmin) {
+					st.set = k.arena.alloc(j, m, sub.set)
+					st.gsum, st.lmin = cand, sub.lmin
+				}
+			}
+			if s == 0 {
+				break
+			}
+		}
+		if fs := &states[full]; fs.set != nil {
+			if key := fs.gsum - alpha*float64(l-fs.lmin); bestNode == nil || key > bestKey {
+				bestNode, bestKey = fs.set, key
+			}
+		}
+	}
+
+	if bestNode == nil {
+		return nil, 0, false
+	}
+	return k.emit(bestNode, q), sep.Lift(bestKey), true
+}
+
+// emit materializes the winning chain into the kernel's reused output
+// buffer.
+func (k *WINKernel) emit(bestNode *winNode, q int) match.Set {
 	if cap(k.out) < q {
 		k.out = make(match.Set, q)
 	}
@@ -190,7 +261,7 @@ func (k *WINKernel) Join() (best match.Set, score float64, ok bool) {
 	for n := bestNode; n != nil; n = n.prev {
 		k.out[n.term] = n.m
 	}
-	return k.out, bestScore, true
+	return k.out
 }
 
 // WIN computes an overall best matchset under a WIN scoring function

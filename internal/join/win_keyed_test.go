@@ -1,0 +1,91 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestjoin/internal/randinst"
+	"bestjoin/internal/scorefn"
+)
+
+// genericOnly wraps a WIN so its method set carries G and F but not
+// KeySlope/Lift: the type assertion in Join fails and the kernel takes
+// the generic (interface-dispatched, F-per-comparison) path even when
+// the underlying function is separable. The differential below runs
+// both paths on identical instances.
+type genericOnly struct{ scorefn.WIN }
+
+// TestJoinKeyedMatchesGeneric pins the keyed fast path's claim: for a
+// WINSeparable scoring function, the keyed kernel returns bit-identical
+// scores — not approximately equal — and identical matchsets to the
+// generic kernel, across random instances of every shape the other
+// join differentials use (ties, empty lists, one to five terms).
+func TestJoinKeyedMatchesGeneric(t *testing.T) {
+	if _, is := scorefn.WIN(genericOnly{scorefn.ExpWIN{Alpha: 0.1}}).(scorefn.WINSeparable); is {
+		t.Fatal("genericOnly failed to hide the separable methods")
+	}
+	fns := map[string]scorefn.WIN{
+		"ExpWIN":    scorefn.ExpWIN{Alpha: 0.1},
+		"LinearWIN": scorefn.LinearWIN{Scale: 0.3},
+	}
+	rng := rand.New(rand.NewSource(811))
+	for name, fn := range fns {
+		if _, is := fn.(scorefn.WINSeparable); !is {
+			t.Fatalf("%s is expected to be separable", name)
+		}
+		keyed := NewWINKernel(fn)
+		generic := NewWINKernel(genericOnly{fn})
+		for _, cfg := range randConfigs() {
+			for trial := 0; trial < 150; trial++ {
+				lists := randinst.Lists(rng, cfg)
+				keyed.Reset(nil, lists)
+				ks, kScore, kOK := keyed.Join()
+				generic.Reset(nil, lists)
+				gs, gScore, gOK := generic.Join()
+				if kOK != gOK {
+					t.Fatalf("%s: keyed ok=%v generic ok=%v on %v", name, kOK, gOK, lists)
+				}
+				if !kOK {
+					continue
+				}
+				if kScore != gScore {
+					t.Fatalf("%s: keyed score %v (bits %x) != generic %v (bits %x)\nlists %v",
+						name, kScore, math.Float64bits(kScore), gScore, math.Float64bits(gScore), lists)
+				}
+				if len(ks) != len(gs) {
+					t.Fatalf("%s: matchset sizes differ: %v vs %v", name, ks, gs)
+				}
+				for j := range ks {
+					if ks[j] != gs[j] {
+						t.Fatalf("%s: matchsets differ at term %d: %v vs %v\nlists %v",
+							name, j, ks, gs, lists)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckWINRejectsLyingSeparable pins the contract checker: a type
+// claiming WINSeparable whose F does not equal Lift of the key
+// expression bit for bit must fail CheckWIN — that equality is what
+// the kernel's keyed path silently relies on.
+func TestCheckWINRejectsLyingSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if err := scorefn.CheckWIN(scorefn.ExpWIN{Alpha: 0.1}, 3, 200, rng); err != nil {
+		t.Fatalf("honest separable rejected: %v", err)
+	}
+	if err := scorefn.CheckWIN(lyingSep{scorefn.ExpWIN{Alpha: 0.1}}, 3, 200, rng); err == nil {
+		t.Fatal("separable form diverging from F passed CheckWIN")
+	}
+}
+
+// lyingSep claims the separable form but computes F through a
+// different expression shape, so the floating-point results disagree
+// in the last bits for some inputs.
+type lyingSep struct{ scorefn.ExpWIN }
+
+func (l lyingSep) F(gsum, window float64) float64 {
+	return math.Exp(gsum) * math.Exp(-l.Alpha*window)
+}

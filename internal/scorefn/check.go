@@ -41,6 +41,18 @@ func CheckWIN(fn WIN, terms int, n int, rng *rand.Rand) error {
 				return fmt.Errorf("scorefn: optimal substructure (y+δ) violated at x=%v y=%v x'=%v y'=%v δ=%v", a, w, b, v, delta)
 			}
 		}
+		// A function claiming WINSeparable must have F equal — to the
+		// bit, since the kernel's keyed path depends on it — to Lift of
+		// the key expression, with a non-negative slope.
+		if sep, ok := fn.(WINSeparable); ok {
+			slope := sep.KeySlope()
+			if slope < 0 {
+				return fmt.Errorf("scorefn: negative KeySlope %v", slope)
+			}
+			if got, want := sep.Lift(a-slope*w), fn.F(a, w); got != want {
+				return fmt.Errorf("scorefn: separable form diverges from F at x=%v y=%v: Lift=%v F=%v", a, w, got, want)
+			}
+		}
 	}
 	return nil
 }

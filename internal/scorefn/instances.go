@@ -19,6 +19,12 @@ func (e ExpWIN) G(_ int, score float64) float64 { return math.Log(score) }
 
 func (e ExpWIN) F(gsum, window float64) float64 { return math.Exp(gsum - e.Alpha*window) }
 
+// KeySlope and Lift expose the separable form F = exp(gsum − α·window)
+// (WINSeparable), letting the WIN kernel compare keys instead of
+// calling exp per subset.
+func (e ExpWIN) KeySlope() float64        { return e.Alpha }
+func (e ExpWIN) Lift(key float64) float64 { return math.Exp(key) }
+
 // LinearWIN is the WIN instance from the paper's TREC experiment
 // (footnote 9): g_j(x)=x/Scale, f(x,y)=x−y. The paper uses Scale=0.3,
 // the decrement of its WordNet-distance match scores.
@@ -29,6 +35,11 @@ type LinearWIN struct {
 func (l LinearWIN) G(_ int, score float64) float64 { return score / l.Scale }
 
 func (l LinearWIN) F(gsum, window float64) float64 { return gsum - window }
+
+// KeySlope and Lift expose the separable form F = gsum − 1·window with
+// the identity lift (WINSeparable).
+func (l LinearWIN) KeySlope() float64        { return 1 }
+func (l LinearWIN) Lift(key float64) float64 { return key }
 
 // ExpMED is the paper's Equation (3): the product of individual match
 // scores, each decayed exponentially with its distance to the median
@@ -157,6 +168,8 @@ var (
 	_ WIN          = ExpWIN{}
 	_ WIN          = LinearWIN{}
 	_ WIN          = WeightedWIN{}
+	_ WINSeparable = ExpWIN{}
+	_ WINSeparable = LinearWIN{}
 	_ MED          = ExpMED{}
 	_ MED          = LinearMED{}
 	_ MED          = WeightedMED{}

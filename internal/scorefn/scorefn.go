@@ -39,6 +39,33 @@ type WIN interface {
 	F(gsum float64, window float64) float64
 }
 
+// WINSeparable is an optional refinement of WIN for functions of the
+// separable form
+//
+//	F(gsum, window) = Lift(gsum − KeySlope()·window)
+//
+// with Lift strictly increasing. Both shipped WIN families have this
+// shape — ExpWIN lifts through exp, LinearWIN through the identity —
+// and it is exactly what lets the WIN join kernel run its inner subset
+// loop on raw keys (gsum − slope·window): strict monotonicity makes
+// every F-comparison equivalent to the key comparison, so the kernel
+// pays zero transcendental calls and zero interface dispatches per
+// subset, lifting only the single winning key into a score at the end.
+//
+// Contract: F(gsum, window) must compute Lift applied to the exact
+// expression gsum − KeySlope()·window (same operation shape, so the
+// floating-point result is bit-identical to what the kernel computes),
+// KeySlope must be non-negative, and Lift strictly increasing.
+// CheckWIN verifies the equality on randomized inputs when the
+// function under test implements this interface.
+type WINSeparable interface {
+	WIN
+	// KeySlope is the window coefficient α of the separable form.
+	KeySlope() float64
+	// Lift maps a key gsum − KeySlope()·window to the final score.
+	Lift(key float64) float64
+}
+
 // MED is a distance-from-median scoring function (Definition 5):
 //
 //	score(M,Q) = F( Σj ( Gj(score(mj)) − |loc(mj) − median(M)| ) )

@@ -319,6 +319,8 @@ func (c *Coordinator) Stats() engine.Stats {
 		agg.BlockDecodes += s.BlockDecodes
 		agg.BlocksSkipped += s.BlocksSkipped
 		agg.CacheBytes += s.CacheBytes
+		agg.CoalescedDecodes += s.CoalescedDecodes
+		agg.DecodeWaits += s.DecodeWaits
 		agg.UnionCandidates += s.UnionCandidates
 		agg.PivotSkips += s.PivotSkips
 		agg.UnionUnpruned += s.UnionUnpruned

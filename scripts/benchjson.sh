@@ -27,7 +27,10 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # and pivotskips/op + unioncandidates/op from the disjunctive union
 # benchmark (the WAND layer's skip rate), and shardqueries/op +
 # mergedcandidates/op from the sharded scatter-gather benchmark (the
-# fan-out cost and rank-merge width).
+# fan-out cost and rank-merge width), and coalesceddecodes/op +
+# decodewaits/op from the concurrent-query coalescing benchmark (how
+# many duplicate decodes the singleflight layer collapsed; zero on a
+# single-core host, where goroutines serialize).
 # The cached BenchmarkEngine path doubles as the panic-recovery
 # overhead gauge — the recover() wrappers sit on every join, so any
 # regression shows up directly against the baseline (the budget is <1%).
@@ -35,7 +38,7 @@ bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = codec = dwait = ""
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")             ns = $(i - 1)
             if ($i == "B/op")              bytes = $(i - 1)
@@ -49,6 +52,8 @@ bench_to_json() {
             if ($i == "unioncandidates/op") ucand = $(i - 1)
             if ($i == "shardqueries/op")    shq = $(i - 1)
             if ($i == "mergedcandidates/op") mcand = $(i - 1)
+            if ($i == "coalesceddecodes/op") codec = $(i - 1)
+            if ($i == "decodewaits/op")      dwait = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -63,6 +68,8 @@ bench_to_json() {
         if (ucand != "")  rec = rec sprintf(", \"unioncandidates_per_op\": %s", ucand)
         if (shq != "")    rec = rec sprintf(", \"shardqueries_per_op\": %s", shq)
         if (mcand != "")  rec = rec sprintf(", \"mergedcandidates_per_op\": %s", mcand)
+        if (codec != "")  rec = rec sprintf(", \"coalesceddecodes_per_op\": %s", codec)
+        if (dwait != "")  rec = rec sprintf(", \"decodewaits_per_op\": %s", dwait)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }
@@ -80,3 +87,29 @@ bench_to_json() {
 } > BENCH_engine.json
 
 echo "wrote BENCH_engine.json"
+
+# Warm-path regression gate: the cached BenchmarkEngineColdVsCached
+# run must stay within 1.25x of the saved baseline's ns/op (slack for
+# a noisy shared host; a real regression — e.g. losing the keyed join
+# kernel or the coalesced cache hit — is 1.5x or more). Informational
+# on manual runs; fatal under CHECK_BENCH=1 so scripts/check.sh turns
+# it into a CI failure.
+cached_ns() {
+    awk 'index($1, "BenchmarkEngineColdVsCached/cached") == 1 {
+        for (i = 2; i <= NF; i++) if ($i == "ns/op") { print $(i - 1); exit }
+    }' "$1"
+}
+if [ -f BENCH_engine.baseline.txt ]; then
+    cur="$(cached_ns "$RAW")"
+    base="$(cached_ns BENCH_engine.baseline.txt)"
+    if [ -n "$cur" ] && [ -n "$base" ]; then
+        if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c > b * 1.25) }'; then
+            echo "WARM-PATH REGRESSION: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x)"
+            if [ "${CHECK_BENCH:-}" = "1" ]; then
+                exit 1
+            fi
+        else
+            echo "warm path ok: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x)"
+        fi
+    fi
+fi

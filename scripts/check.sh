@@ -42,11 +42,12 @@ else
     echo "== govulncheck not installed; skipping =="
 fi
 
-# Coverage gate: the packages carrying the pruning machinery must not
-# silently lose test coverage. Floors are set a few points below the
-# measured values at the time each floor was recorded (engine 94.9%,
-# scorefn 91.8%, index 94.3%, shard 98.7%); raise them when coverage
-# rises.
+# Coverage gate: the packages carrying the pruning machinery and the
+# decode/coalescing hot path must not silently lose test coverage.
+# Floors are measured-minus-two at the time each floor was recorded
+# (engine 93.2%, scorefn 92.3%, index 93.3%, shard 98.7% — the index
+# figure includes the batched group-varint codec); raise them when
+# coverage rises.
 echo "== coverage floors =="
 check_cover() {
     pkg="$1"
@@ -65,10 +66,10 @@ check_cover() {
     fi
     echo "coverage: $pkg ${pct}% (floor ${floor}%)"
 }
-check_cover ./internal/engine/  90.0
-check_cover ./internal/scorefn/ 87.0
-check_cover ./internal/index/   90.0
-check_cover ./internal/shard/   85.0
+check_cover ./internal/engine/  91.2
+check_cover ./internal/scorefn/ 90.3
+check_cover ./internal/index/   91.3
+check_cover ./internal/shard/   96.7
 
 # Optional: refresh BENCH_engine.json (slow; off by default so the
 # gate stays fast). Enable with CHECK_BENCH=1 make check.
