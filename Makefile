@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is the gate every change must pass.
 
-.PHONY: check test cover bench bench-json fuzz chaos profile
+.PHONY: check test cover bench bench-json fuzz chaos smoke-remote profile
 
 check:
 	./scripts/check.sh
@@ -46,4 +46,11 @@ profile:
 # scripts/check.sh runs this too; the target exists for quick local
 # iteration on the fault-tolerance layer.
 chaos:
-	go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/
+	go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/ ./internal/shard/ ./internal/remote/
+
+# End-to-end smoke of the networked shard tier: builds proxserve,
+# starts two shard processes and a coordinator, and rolls the shards
+# under query load — zero failed queries tolerated. scripts/check.sh
+# runs this too; the target exists for quick local iteration.
+smoke-remote:
+	./scripts/smoke_remote.sh

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -515,4 +517,73 @@ func BenchmarkEngineSharded(b *testing.B) {
 			b.ReportMetric(float64(st.MergedCandidates-base.MergedCandidates)/float64(b.N), "mergedcandidates/op")
 		})
 	}
+}
+
+// BenchmarkEngineRemote measures the networked shard tier end to end:
+// the benchmark query against a 2-process remote fleet (real HTTP
+// servers in-process, JSON wire format, full client robustness stack)
+// versus the same query on a single engine. The query rides as a
+// KernelSpec — the serializable kernel name — so both paths provably
+// resolve the same joiner, and the remote answer is gated bitwise
+// before timing starts. hedged/op and retried/op land in
+// BENCH_engine.json via scripts/benchjson.sh: on a healthy loopback
+// fleet both should sit at ~0, so drift flags either a latency
+// regression (hedges) or transport flakiness (retries).
+func BenchmarkEngineRemote(b *testing.B) {
+	c := engineBenchIndex()
+	q := engineBenchQuery()
+	q.Join = nil
+	q.Spec = bestjoin.JoinSpec{Family: "win", Alpha: 0.1, Valid: true}
+	cfg := bestjoin.EngineConfig{CacheLists: 1 << 14}
+
+	single := bestjoin.NewEngine(c, cfg)
+	want, err := single.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	parts, err := c.Partition(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]string, len(parts))
+	for i, p := range parts {
+		mux := http.NewServeMux()
+		bestjoin.NewRemoteServer(bestjoin.NewEngine(p, cfg), bestjoin.RemoteServerConfig{}).Register(mux)
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		addrs[i] = ts.URL
+	}
+	fleet, err := bestjoin.NewRemoteFleet(addrs,
+		bestjoin.RemoteShardConfig{Timeout: time.Minute}, bestjoin.ShardedEngineConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := fleet.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(got.Docs) != len(want.Docs) {
+		b.Fatalf("remote returned %d docs, single %d", len(got.Docs), len(want.Docs))
+	}
+	for i := range got.Docs {
+		if got.Docs[i].Doc != want.Docs[i].Doc || got.Docs[i].Score != want.Docs[i].Score {
+			b.Fatalf("rank %d differs: remote (%d, %v) vs single (%d, %v)", i,
+				got.Docs[i].Doc, got.Docs[i].Score, want.Docs[i].Doc, want.Docs[i].Score)
+		}
+	}
+
+	base := fleet.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Search(context.Background(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := fleet.Stats()
+	b.ReportMetric(float64(st.Hedged-base.Hedged)/float64(b.N), "hedged/op")
+	b.ReportMetric(float64(st.Retried-base.Retried)/float64(b.N), "retried/op")
+	b.ReportMetric(float64(st.ShardQueries-base.ShardQueries)/float64(b.N), "shardqueries/op")
 }

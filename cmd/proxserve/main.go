@@ -42,6 +42,26 @@
 // rolls the fleet up (per-shard snapshots ride along), and reloads
 // roll shard by shard with zero downtime.
 //
+// The shard tier also runs across processes. A shard process serves
+// one doc-partition of the corpus and exposes the remote shard API:
+//
+//	proxserve -synth 2000 -serve-shard -shard-of 0/2 -http :7601
+//	proxserve -synth 2000 -serve-shard -shard-of 1/2 -http :7602
+//
+// and a coordinator process fans queries out to the fleet instead of
+// holding any index of its own:
+//
+//	proxserve -shards-at 127.0.0.1:7601,127.0.0.1:7602 -http :7600
+//
+// Remote shard calls get the full robustness stack: per-attempt
+// deadline budgets carved from the query deadline, bounded retries
+// with jittered exponential backoff, request hedging once an attempt
+// outlives the shard's observed latency quantile, and a per-shard
+// circuit breaker. With -quorum M the coordinator answers from any M
+// of N shards — a degraded but sound subset (flagged in the JSON body
+// and with an X-Degraded header) instead of an error — while M-1 or
+// fewer answering shards still fail the query.
+//
 // With -index the server loads a checksummed index file written by
 // -save (or CompactIndex.SaveFile) instead of indexing a corpus, and
 // SIGHUP hot-reloads that file: in-flight queries finish on the old
@@ -98,6 +118,11 @@ func main() {
 		httpad  = flag.String("http", "", "serve HTTP on this address instead of the stdin REPL")
 
 		shards   = flag.Int("shards", 1, "doc-partitioned shards behind a scatter-gather coordinator (1 = single engine)")
+		serveShard   = flag.Bool("serve-shard", false, "expose the remote shard API (/shardquery, /swapindex, /shardstats) so a -shards-at coordinator can drive this process")
+		shardOf      = flag.String("shard-of", "", "serve partition i of n of the built index, given as i/n (shard processes of a doc-partitioned fleet)")
+		shardsAt     = flag.String("shards-at", "", "comma-separated host:port list of remote shard processes to coordinate over (no local index is built)")
+		quorum       = flag.Int("quorum", 0, "minimum remote shards that must answer a query: 0 = all (strict), 1..N arms degraded partial answers")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Second, "per-attempt deadline budget for each remote shard call")
 		inflight = flag.Int("max-inflight", 64, "maximum concurrently admitted queries (0 = unlimited)")
 		shed     = flag.Bool("shed", false, "at the in-flight cap, shed queries immediately instead of queueing")
 		idxPath  = flag.String("index", "", "serve this saved index file instead of indexing a corpus (SIGHUP reloads it)")
@@ -106,9 +131,21 @@ func main() {
 	)
 	flag.Parse()
 
-	compact, err := buildIndex(flag.Args(), *synth, *idxPath, *savePath)
-	if err != nil {
-		log.Fatalf("proxserve: %v", err)
+	// A -shards-at coordinator holds no index of its own; every other
+	// mode builds (or loads) one, optionally cut down to its -shard-of
+	// partition.
+	var compact *bestjoin.CompactIndex
+	var err error
+	if *shardsAt == "" {
+		compact, err = buildIndex(flag.Args(), *synth, *idxPath, *savePath)
+		if err != nil {
+			log.Fatalf("proxserve: %v", err)
+		}
+		if *shardOf != "" {
+			if compact, err = cutPartition(compact, *shardOf); err != nil {
+				log.Fatalf("proxserve: %v", err)
+			}
+		}
 	}
 	overload := bestjoin.OverloadBlock
 	if *shed {
@@ -128,17 +165,27 @@ func main() {
 		Overload:          overload,
 		Mode:              qmode,
 	}
-	// The server is written against the Searcher contract, so a sharded
-	// fleet and a single engine are interchangeable from here on.
+	// The server is written against the Searcher contract, so a remote
+	// fleet, a sharded fleet, and a single engine are interchangeable
+	// from here on.
 	var eng bestjoin.Searcher
 	var publish func(string) error
-	if *shards > 1 {
+	switch {
+	case *shardsAt != "":
+		fleet, err := bestjoin.NewRemoteFleet(splitAddrs(*shardsAt),
+			bestjoin.RemoteShardConfig{Timeout: *shardTimeout},
+			bestjoin.ShardedEngineConfig{Quorum: *quorum})
+		if err != nil {
+			log.Fatalf("proxserve: %v", err)
+		}
+		eng, publish = fleet, fleet.Publish
+	case *shards > 1:
 		coord, err := bestjoin.NewShardedEngine(compact, *shards, ecfg)
 		if err != nil {
 			log.Fatalf("proxserve: %v", err)
 		}
 		eng, publish = coord, coord.Publish
-	} else {
+	default:
 		e := bestjoin.NewEngine(compact, ecfg)
 		eng, publish = e, e.Publish
 	}
@@ -154,27 +201,44 @@ func main() {
 		timeout:  *timeout,
 		mode:     qmode,
 		minMatch: *minm,
+		reload:   &reloadStatus{},
 	}
-	if *shards > 1 {
+	switch {
+	case *shardsAt != "":
+		fmt.Printf("coordinating %d remote shards at %s (quorum %d)\n",
+			len(splitAddrs(*shardsAt)), *shardsAt, *quorum)
+	case *shards > 1:
 		fmt.Printf("indexed %d documents (%d bytes compressed) across %d shards\n",
 			compact.Docs(), compact.Bytes(), *shards)
-	} else {
+	default:
 		fmt.Printf("indexed %d documents (%d bytes compressed)\n", compact.Docs(), compact.Bytes())
 	}
 
 	if *httpad != "" {
 		mux := newMux(srv, *pprofOn)
+		if *serveShard {
+			// Mount the remote shard API next to the human-facing routes;
+			// /healthz stays proxserve's own (same shape and status
+			// mapping the shard client expects).
+			bestjoin.NewRemoteServer(eng, bestjoin.RemoteServerConfig{}).RegisterShardOnly(mux)
+		}
 		if *idxPath != "" {
 			hup := make(chan os.Signal, 1)
 			signal.Notify(hup, syscall.SIGHUP)
+			shardOf := *shardOf
 			go watchReload(hup, func() error {
 				c, err := bestjoin.LoadCompactIndexFile(*idxPath)
 				if err != nil {
 					return err
 				}
+				if shardOf != "" {
+					if c, err = cutPartition(c, shardOf); err != nil {
+						return err
+					}
+				}
 				eng.SwapIndex(c)
 				return nil
-			})
+			}, srv.reload)
 		}
 		fmt.Printf("serving on %s (try /query?terms=lenovo,nba,partnership and /debug/vars)\n", *httpad)
 		if err := runServer(newHTTPServer(*httpad, mux), nil, *drain); err != nil {
@@ -212,16 +276,79 @@ func buildIndex(files []string, synth int, idxPath, savePath string) (*bestjoin.
 
 // watchReload applies reload for every signal on ch — the SIGHUP
 // hot-reload loop. A failed reload (missing, torn, or corrupt index
-// file) is logged and otherwise ignored: the server keeps serving the
-// index it already has, because a stale answer beats no answer.
-func watchReload(ch <-chan os.Signal, reload func() error) {
+// file) is logged and the server keeps serving the index it already
+// has, because a stale answer beats no answer; the failure is also
+// recorded on status (when given) so /healthz can surface it — a
+// fleet silently stuck on an old index is an outage in slow motion.
+// A later successful reload clears the record.
+func watchReload(ch <-chan os.Signal, reload func() error, status *reloadStatus) {
 	for range ch {
-		if err := reload(); err != nil {
+		err := reload()
+		if status != nil {
+			status.set(err)
+		}
+		if err != nil {
 			log.Printf("proxserve: reload failed, keeping current index: %v", err)
 			continue
 		}
 		log.Printf("proxserve: index reloaded")
 	}
+}
+
+// reloadStatus is the sticky record of the most recent hot reload's
+// outcome, read by /healthz.
+type reloadStatus struct {
+	mu      sync.Mutex
+	lastErr string
+	epoch   uint64 // reload attempts observed (diagnostic)
+}
+
+func (rs *reloadStatus) set(err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.epoch++
+	if err != nil {
+		rs.lastErr = err.Error()
+	} else {
+		rs.lastErr = ""
+	}
+}
+
+func (rs *reloadStatus) get() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.lastErr
+}
+
+// cutPartition resolves -shard-of: "i/n" doc-partitions the index
+// into n pieces and keeps piece i (global document ids survive, so a
+// fleet of such processes merges exactly like the in-process tier).
+func cutPartition(c *bestjoin.CompactIndex, spec string) (*bestjoin.CompactIndex, error) {
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return nil, fmt.Errorf("bad -shard-of %q (want i/n)", spec)
+	}
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil || n <= 0 || i < 0 || i >= n {
+		return nil, fmt.Errorf("bad -shard-of %q (want 0 ≤ i < n)", spec)
+	}
+	parts, err := c.Partition(n)
+	if err != nil {
+		return nil, err
+	}
+	return parts[i], nil
+}
+
+// splitAddrs parses the -shards-at list.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 // newMux builds proxserve's HTTP routing table explicitly rather than
@@ -275,6 +402,12 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 // unbounded body.
 func limitBody(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/swapindex" {
+			// The shard API ships whole index partitions here and bounds
+			// its own (much larger) bodies; the 1 MiB cap would break it.
+			h.ServeHTTP(w, r)
+			return
+		}
 		if r.ContentLength > maxBodyBytes {
 			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 			return
@@ -337,6 +470,10 @@ type server struct {
 	mode     bestjoin.QueryMode
 	minMatch int
 	done     drainRate
+	// reload records the SIGHUP hot-reload loop's last outcome for
+	// /healthz; nil (tests building a bare server) reads as "no reload
+	// has failed".
+	reload *reloadStatus
 }
 
 // parseMode maps the -mode flag (and the mode HTTP parameter) onto a
@@ -369,7 +506,7 @@ func (s *server) query(terms string, k int, mode bestjoin.QueryMode, minMatch in
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
 	defer cancel()
 	res, err := s.eng.Search(ctx, bestjoin.EngineQuery{
-		Concepts: concepts, Join: s.joiner(), K: k, Mode: mode, MinMatch: minMatch,
+		Concepts: concepts, Join: s.joiner(), Spec: s.spec(), K: k, Mode: mode, MinMatch: minMatch,
 	})
 	if err == nil {
 		s.done.note(time.Now())
@@ -461,6 +598,16 @@ func (s *server) joiner() bestjoin.Joiner {
 	}
 }
 
+// spec is joiner in declarative form — the serializable kernel name a
+// query carries so remote shards rebuild the identical kernel.
+func (s *server) spec() bestjoin.JoinSpec {
+	fam := s.fn
+	if fam != "win" && fam != "max" {
+		fam = "med"
+	}
+	return bestjoin.JoinSpec{Family: fam, Alpha: s.alpha, Valid: true}
+}
+
 func (s *server) repl(in *os.File, out *os.File) {
 	fmt.Fprintf(out, "enter comma-separated query terms (:stats for counters, :quit to exit)\n> ")
 	sc := bufio.NewScanner(in)
@@ -547,7 +694,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, res)
+	if res.Degraded {
+		// Header first: clients streaming the body (or not parsing it)
+		// still see that the answer is a sound subset, not the full one.
+		w.Header().Set("X-Degraded", "true")
+	}
+	writeJSON(w, queryResponse{EngineResult: res, Degraded: res.Degraded, Partial: res.Partial})
+}
+
+// queryResponse wraps the engine result with explicit lower-case
+// degraded/partial flags, so API clients need not know the engine's
+// field casing to notice an answer that is best-effort: degraded
+// means part of the work failed and was dropped (including quorum
+// answers missing failed shards — see FailedShards), partial means
+// the deadline cut evaluation short. Both answers remain sound
+// subsets of the healthy one.
+type queryResponse struct {
+	*bestjoin.EngineResult
+	Degraded bool `json:"degraded"`
+	Partial  bool `json:"partial"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -570,6 +735,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // balancers can use the endpoint unmodified.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.eng.Health()
+	if s.reload != nil && h.Err == "" {
+		// Surface the SIGHUP reload loop's last failure: a server stuck
+		// on a stale index stays Ready (it is still serving) but the
+		// reason is visible to whoever polls health.
+		h.Err = s.reload.get()
+	}
 	if !h.Ready {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)

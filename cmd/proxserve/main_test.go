@@ -320,13 +320,15 @@ func TestHandleQueryOverloaded(t *testing.T) {
 }
 
 // TestWatchReload pins the hot-reload loop: every signal triggers one
-// reload attempt, a failing reload does not stop the loop, and closing
-// the channel ends it.
+// reload attempt, a failing reload does not stop the loop but is
+// recorded on the status (and cleared by the next success), and
+// closing the channel ends it.
 func TestWatchReload(t *testing.T) {
 	ch := make(chan os.Signal)
 	attempted := make(chan int)
 	calls := 0
 	finished := make(chan struct{})
+	status := &reloadStatus{}
 	go func() {
 		defer close(finished)
 		watchReload(ch, func() error {
@@ -336,12 +338,22 @@ func TestWatchReload(t *testing.T) {
 				return fmt.Errorf("simulated corrupt index")
 			}
 			return nil
-		})
+		}, status)
 	}()
+	wantErr := []string{"", "simulated corrupt index", ""}
 	for i := 1; i <= 3; i++ {
 		ch <- syscall.SIGHUP
 		if got := <-attempted; got != i {
 			t.Fatalf("reload attempt %d recorded as %d", i, got)
+		}
+		// The loop records status after the reload func returns; the
+		// attempted receive above happens inside it, so poll briefly.
+		deadline := time.Now().Add(2 * time.Second)
+		for status.get() != wantErr[i-1] && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := status.get(); got != wantErr[i-1] {
+			t.Fatalf("after reload %d: lastErr %q, want %q", i, got, wantErr[i-1])
 		}
 	}
 	close(ch)

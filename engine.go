@@ -3,6 +3,7 @@ package bestjoin
 import (
 	"bestjoin/internal/engine"
 	"bestjoin/internal/index"
+	"bestjoin/internal/remote"
 	"bestjoin/internal/shard"
 )
 
@@ -161,6 +162,60 @@ type ShardedEngine = shard.Coordinator
 // them; cfg configures every child engine identically.
 func NewShardedEngine(idx *CompactIndex, shards int, cfg EngineConfig) (*ShardedEngine, error) {
 	return shard.New(idx, shard.Config{Shards: shards, Engine: cfg})
+}
+
+// ShardedEngineConfig carries the coordinator-level knobs of a
+// sharded or remote fleet: shard count, per-child engine config,
+// quorum degraded mode, and rolling-reload health gating.
+type ShardedEngineConfig = shard.Config
+
+// NewShardedEngineConfig builds a ShardedEngine with the full
+// coordinator config exposed — NewShardedEngine with the quorum and
+// roll-gating knobs available.
+func NewShardedEngineConfig(idx *CompactIndex, cfg ShardedEngineConfig) (*ShardedEngine, error) {
+	return shard.New(idx, cfg)
+}
+
+// JoinSpec names a stock kernel declaratively — scoring family,
+// decay rate, valid-matchset restriction — so a query can cross a
+// process boundary: the remote tier serializes the spec instead of
+// the Joiner closure and the serving side rebuilds an identical
+// kernel. Set it on EngineQuery.Spec alongside (or instead of) Join.
+type JoinSpec = engine.KernelSpec
+
+// RemoteShard is an HTTP client for one shard process; it slots into
+// a ShardedEngine as a child. See internal/remote for the robustness
+// stack: per-attempt deadline budgets, retries with jittered backoff,
+// latency-quantile hedging, and a circuit breaker.
+type RemoteShard = remote.Shard
+
+// RemoteShardConfig tunes a RemoteShard's robustness machinery.
+type RemoteShardConfig = remote.ShardConfig
+
+// NewRemoteShard builds a client for the shard process at base
+// ("host:port" or a URL).
+func NewRemoteShard(base string, cfg RemoteShardConfig) *RemoteShard {
+	return remote.NewShard(base, cfg)
+}
+
+// RemoteServer exposes a Searcher as a shard process's HTTP API
+// (/shardquery, /swapindex, /shardstats, /healthz).
+type RemoteServer = remote.Server
+
+// RemoteServerConfig bounds a RemoteServer's request surface.
+type RemoteServerConfig = remote.ServerConfig
+
+// NewRemoteServer wraps a searcher for serving as a shard process.
+func NewRemoteServer(s Searcher, cfg RemoteServerConfig) *RemoteServer {
+	return remote.NewServer(s, cfg)
+}
+
+// NewRemoteFleet composes a ShardedEngine over remote shard processes
+// at the given addresses: the networked scatter-gather tier, with the
+// same rank-merge (bitwise identical to a single engine when all
+// shards answer) plus quorum degraded mode via cfg.Quorum.
+func NewRemoteFleet(addrs []string, scfg RemoteShardConfig, cfg ShardedEngineConfig) (*ShardedEngine, error) {
+	return remote.NewFleet(addrs, scfg, cfg)
 }
 
 // JoinWIN builds a Joiner from a WIN scoring function.

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"fmt"
+	"math"
+
 	"bestjoin/internal/dedup"
 	"bestjoin/internal/faultinject"
 	"bestjoin/internal/join"
@@ -53,6 +56,58 @@ func ValidMEDJoiner(fn scorefn.MED) KernelFactory {
 // ValidMAXJoiner is MAXJoiner restricted to valid matchsets.
 func ValidMAXJoiner(fn scorefn.EfficientMAX) KernelFactory {
 	return func() join.Kernel { return dedup.Wrap(join.NewMAXKernel(fn)) }
+}
+
+// KernelSpec names one of the stock kernel factories declaratively:
+// a scoring family, its distance-decay rate, and the valid-matchset
+// restriction. A Join closure cannot cross a process boundary, but a
+// spec can — the remote shard tier serializes the spec and the serving
+// side rebuilds an equivalent factory with Factory. A Search whose
+// Query carries only a Spec (Join == nil) resolves it itself, so both
+// halves of a remote deployment construct bitwise-identical kernels
+// from the same three fields.
+type KernelSpec struct {
+	// Family is "win" (ExpWIN), "med" (ExpMED), or "max" (SumMAX) —
+	// the three families proxserve deploys.
+	Family string `json:"family"`
+	// Alpha is the family's distance-decay rate.
+	Alpha float64 `json:"alpha"`
+	// Valid restricts joins to valid matchsets (dedup-wrapped kernels,
+	// the paper's Section VI).
+	Valid bool `json:"valid,omitempty"`
+}
+
+// Zero reports whether the spec is unset.
+func (s KernelSpec) Zero() bool { return s == KernelSpec{} }
+
+// Factory resolves the spec into a kernel factory, or fails on an
+// unknown family or a non-finite alpha (hostile specs arrive over the
+// network; they must be rejected, not scored).
+func (s KernelSpec) Factory() (KernelFactory, error) {
+	if s.Alpha != s.Alpha || s.Alpha > math.MaxFloat64 || s.Alpha < -math.MaxFloat64 {
+		return nil, fmt.Errorf("engine: kernel spec alpha %v is not finite", s.Alpha)
+	}
+	switch s.Family {
+	case "win":
+		fn := scorefn.ExpWIN{Alpha: s.Alpha}
+		if s.Valid {
+			return ValidWINJoiner(fn), nil
+		}
+		return WINJoiner(fn), nil
+	case "med":
+		fn := scorefn.ExpMED{Alpha: s.Alpha}
+		if s.Valid {
+			return ValidMEDJoiner(fn), nil
+		}
+		return MEDJoiner(fn), nil
+	case "max":
+		fn := scorefn.SumMAX{Alpha: s.Alpha}
+		if s.Valid {
+			return ValidMAXJoiner(fn), nil
+		}
+		return MAXJoiner(fn), nil
+	}
+	return nil, fmt.Errorf("engine: unknown kernel family %q (want win, med, or max)", s.Family)
 }
 
 // buildKernel calls the query's factory, recovering a panicking

@@ -21,6 +21,14 @@ import (
 type Query struct {
 	Concepts []index.Concept
 	Join     KernelFactory
+	// Spec optionally names the query's kernel declaratively (family,
+	// alpha, valid-matchset restriction). Transports that cannot ship
+	// the Join closure — the remote shard tier — serialize Spec instead
+	// and the serving side resolves it; a local Search with Join == nil
+	// resolves Spec itself. When both are set, Join wins locally and
+	// Spec rides the wire, so one Query serves local and remote shards
+	// with identical kernels.
+	Spec KernelSpec
 	// K is the number of documents to return; ≤ 0 means DefaultK.
 	K int
 	// Mode selects conjunctive (ModeAND) or disjunctive (ModeOR)
@@ -80,6 +88,11 @@ type Result struct {
 	Evaluated  int
 	Pruned     int
 	Failed     int
+	// FailedShards counts shards whose answers are missing from a
+	// merged fleet Result — non-zero only when a coordinator running in
+	// quorum mode assembled a partial-fleet (degraded) answer. Always 0
+	// on a single engine and on a healthy fleet.
+	FailedShards int
 	// Elapsed is the wall-clock time the query took.
 	Elapsed time.Duration
 }
@@ -132,7 +145,17 @@ func (e *Engine) search(ctx context.Context, q Query, pinned *snapshot) (*Result
 		return nil, errors.New("engine: query has no concepts")
 	}
 	if q.Join == nil {
-		return nil, errors.New("engine: query has no kernel factory")
+		// A spec-only query (the shape that crosses a process boundary)
+		// resolves its kernel here, so remote shard servers never touch
+		// factories themselves.
+		if q.Spec.Zero() {
+			return nil, errors.New("engine: query has no kernel factory")
+		}
+		f, err := q.Spec.Factory()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = f
 	}
 	k := q.K
 	if k <= 0 {

@@ -47,6 +47,12 @@ type Health struct {
 	// Shards lists per-shard readiness, present only for sharded
 	// searchers.
 	Shards []ShardHealth `json:"shards,omitempty"`
+	// Err carries the last reload or rolling-swap error ("" when the
+	// last one succeeded): a coordinator whose health-gated roll
+	// stalled or aborted reports it here, and proxserve merges the
+	// SIGHUP reload loop's last failure in, so a health checker sees
+	// why a fleet is stuck without reading logs.
+	Err string `json:"last_error,omitempty"`
 }
 
 // ShardHealth is one shard's row in a sharded searcher's Health.

@@ -196,6 +196,23 @@ type Stats struct {
 	ShardQueries     uint64  `json:",omitempty"`
 	MergedCandidates uint64  `json:",omitempty"`
 	Shards           []Stats `json:",omitempty"`
+	// Remote shard tier (internal/remote). Hedged counts duplicate
+	// requests launched because a shard call outlived its hedging
+	// trigger (the shard's observed latency quantile); Retried counts
+	// re-attempts after a retryable transport failure; ShardTimeouts
+	// counts attempts cut by the per-attempt deadline budget;
+	// BreakerOpen counts searches rejected immediately because a
+	// shard's circuit breaker was open. All zero on local serving.
+	Hedged        uint64 `json:",omitempty"`
+	Retried       uint64 `json:",omitempty"`
+	ShardTimeouts uint64 `json:",omitempty"`
+	BreakerOpen   uint64 `json:",omitempty"`
+	// Quorum degraded mode (internal/shard). QuorumDegraded counts
+	// coordinator queries answered by a partial fleet — at least
+	// Config.Quorum shards responded, the rest were dropped from the
+	// merge; ShardFailures counts the dropped shard answers themselves.
+	QuorumDegraded uint64 `json:",omitempty"`
+	ShardFailures  uint64 `json:",omitempty"`
 }
 
 // Stats returns a consistent-enough snapshot of the engine's counters.

@@ -44,6 +44,19 @@ const (
 	// ConceptCacheMiss forces a concept-cache hit to be treated as a
 	// miss.
 	ConceptCacheMiss
+	// NetLatency fires in the remote shard server just before a query
+	// is handled; a firing sleeps, simulating a congested network or a
+	// GC-paused shard process.
+	NetLatency
+	// NetDrop fires at the same spot but aborts the connection without
+	// writing a response — the TCP reset / mid-flight crash case.
+	NetDrop
+	// NetStatus fires before handling and answers HTTP 500 instead —
+	// a crashing handler or a misconfigured proxy in front of a shard.
+	NetStatus
+	// NetCorrupt fires after a response is built and truncates its
+	// bytes, simulating a torn write or a corrupting middlebox.
+	NetCorrupt
 
 	numSites
 )
@@ -61,6 +74,14 @@ func (s Site) String() string {
 		return "list-cache-miss"
 	case ConceptCacheMiss:
 		return "concept-cache-miss"
+	case NetLatency:
+		return "net-latency"
+	case NetDrop:
+		return "net-conn-drop"
+	case NetStatus:
+		return "net-http-500"
+	case NetCorrupt:
+		return "net-corrupt-bytes"
 	}
 	return "unknown-site"
 }

@@ -32,6 +32,9 @@ func TestDisabledBuildIsInert(t *testing.T) {
 		if ForceMiss(s) {
 			t.Fatalf("site %v forced a miss in disabled build", s)
 		}
+		if Fires(s) {
+			t.Fatalf("site %v fires in disabled build", s)
+		}
 		if Fired(s) != 0 {
 			t.Fatalf("site %v reports firings in disabled build", s)
 		}

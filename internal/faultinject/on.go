@@ -100,3 +100,11 @@ func ForceMiss(s Site) bool {
 	_, fire := decide(s)
 	return fire
 }
+
+// Fires draws the site's next firing decision and reports it — the
+// general-purpose hook for sites whose fault the caller injects itself
+// (dropping a connection, corrupting response bytes).
+func Fires(s Site) bool {
+	_, fire := decide(s)
+	return fire
+}

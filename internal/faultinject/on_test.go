@@ -34,6 +34,24 @@ func TestRateOneAlwaysFires(t *testing.T) {
 	}
 }
 
+// TestFiresMatchesPlan pins the bare decision hook the network sites
+// use: rate 1 always fires and counts, an unconfigured site never does.
+func TestFiresMatchesPlan(t *testing.T) {
+	Activate(Config{Seed: 11, Rates: map[Site]float64{NetDrop: 1}})
+	defer Deactivate()
+	for i := 0; i < 50; i++ {
+		if !Fires(NetDrop) {
+			t.Fatalf("call %d: rate-1 site did not fire", i)
+		}
+		if Fires(NetStatus) {
+			t.Fatalf("call %d: unconfigured site fired", i)
+		}
+	}
+	if got := Fired(NetDrop); got != 50 {
+		t.Fatalf("Fired = %d, want 50", got)
+	}
+}
+
 func TestRateZeroNeverFires(t *testing.T) {
 	Activate(Config{Seed: 42, Rates: map[Site]float64{ListCacheMiss: 0}})
 	defer Deactivate()

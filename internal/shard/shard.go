@@ -1,7 +1,8 @@
 // Package shard is the scatter-gather serving tier: a Coordinator
-// implements engine.Searcher over N doc-partitioned child engines —
-// cluster-in-a-process, nailing the merge semantics any multi-process
-// scale-out would need before processes enter the picture.
+// implements engine.Searcher over N doc-partitioned children —
+// in-process child engines, or (via internal/remote) shard processes
+// across a network — nailing the merge semantics any multi-process
+// scale-out needs.
 //
 // The paper's best-join scoring is document-local, so splitting the
 // corpus by document (index.Compact.Partition) is lossless by
@@ -27,11 +28,27 @@
 //     k-th-best kept score is witnessed by k real documents, so the
 //     global k-th best is at least that high, and pruning stays
 //     strictly-below — equal-scoring documents survive for the
-//     merge's doc-id tie-break.
-//   - Pinned snapshots. A query pins every child's epoch up front
-//     (engine.SearchSnapshot), and rolling reloads flip the pinned
-//     vector atomically only after every child has swapped — so no
-//     query ever sees two index generations, even mid-roll.
+//     merge's doc-id tie-break. The floor is a perf channel only:
+//     remote children that cannot share it (each rebuilds a local
+//     floor from the wire snapshot) prune less but score identically.
+//   - Pinned answers. A query pins every child up front (Child.Pin:
+//     for local engines a pinned snapshot, for remote shards the
+//     client call), and rolling reloads flip the pinned vector
+//     atomically only after every child has swapped — so a query
+//     through local children never sees two index generations, even
+//     mid-roll. Remote children pin per process, a weaker guarantee:
+//     mid-roll, different shards may serve different epochs, which is
+//     still sound per document (doc-partitioning means each document
+//     is scored entirely by one shard) but is why Health refuses to
+//     report a mixed-epoch fleet as ready.
+//
+// Quorum degraded mode (Config.Quorum) trades completeness for
+// availability: when at least M of N shards answer, the coordinator
+// merges the survivors and flags the Result Degraded with
+// FailedShards set. The partial answer is a sound subset — every
+// returned document carries its true score and matchset (computed
+// wholly on its home shard), and the relative order matches the full
+// fleet's — it just may miss documents homed on the failed shards.
 //
 // Admission control is per shard: every child keeps its own
 // MaxInFlight gate (engine.Config), so a coordinator query admits on
@@ -51,24 +68,88 @@ import (
 	"bestjoin/internal/index"
 )
 
+// SearchFunc evaluates one query against one pinned shard.
+type SearchFunc func(ctx context.Context, q engine.Query) (*engine.Result, error)
+
+// Child is one shard under a Coordinator — a local engine
+// (localChild) or a remote shard process (internal/remote.Shard). The
+// contract mirrors engine.Searcher with two deviations: Pin returns a
+// search function bound to the child's current index generation (the
+// coordinator pins all children together and publishes the vector
+// atomically), and SwapIndex reports failure instead of being
+// infallible, because a swap over the network can lose.
+type Child interface {
+	// Pin binds a search function to the child's current index
+	// generation. Local children pin a snapshot; remote children
+	// cannot pin across processes and return their plain client call.
+	Pin() SearchFunc
+	// SwapIndex hot-reloads the child onto the given partition.
+	SwapIndex(idx *index.Compact) error
+	// Stats snapshots the child's counters (see engine.Searcher).
+	Stats() engine.Stats
+	// Health reports the child's readiness (see engine.Searcher).
+	Health() engine.Health
+}
+
+// localChild adapts an in-process engine to the Child contract.
+type localChild struct{ eng *engine.Engine }
+
+func (lc localChild) Pin() SearchFunc {
+	snap := lc.eng.Snapshot()
+	return func(ctx context.Context, q engine.Query) (*engine.Result, error) {
+		return lc.eng.SearchSnapshot(ctx, q, snap)
+	}
+}
+
+func (lc localChild) SwapIndex(idx *index.Compact) error {
+	lc.eng.SwapIndex(idx)
+	return nil
+}
+
+func (lc localChild) Stats() engine.Stats   { return lc.eng.Stats() }
+func (lc localChild) Health() engine.Health { return lc.eng.Health() }
+
 // Config sizes a Coordinator.
 type Config struct {
 	// Shards is the number of doc-partitioned child engines; ≤ 0
-	// means 1.
+	// means 1. Ignored by NewFromChildren (the children are given).
 	Shards int
 	// Engine configures every child engine identically — worker
 	// count, caches, pruning, and the per-shard admission gate.
+	// Ignored by NewFromChildren.
 	Engine engine.Config
+	// Quorum is the minimum number of shards that must answer for a
+	// query to succeed. 0 (the default) means all shards — any shard
+	// failure fails the query, the strict mode local fleets want.
+	// Setting 1 ≤ Quorum < Shards arms degraded mode: when at least
+	// Quorum shards answer, the survivors are merged into a sound
+	// partial answer flagged Degraded with FailedShards set.
+	Quorum int
+	// RollHealthTimeout bounds how long a rolling reload waits for
+	// each freshly-swapped child to report Ready before aborting the
+	// roll (generation not advanced; Health carries the error).
+	// 0 means 5s.
+	RollHealthTimeout time.Duration
+	// RollPoll is the health-poll interval during a rolling reload.
+	// 0 means 5ms.
+	RollPoll time.Duration
 }
 
-// Coordinator scatter-gathers queries over N doc-partitioned child
-// engines. It implements engine.Searcher, so servers cannot tell it
+// Coordinator scatter-gathers queries over N doc-partitioned
+// children. It implements engine.Searcher, so servers cannot tell it
 // from a single engine. Safe for concurrent use.
 type Coordinator struct {
-	children []*engine.Engine
+	children []Child
+	quorum   int
+	rollWait time.Duration
+	rollPoll time.Duration
 	gen      atomic.Pointer[generation]
 	// swapMu serializes rolling reloads; queries never take it.
 	swapMu sync.Mutex
+	// rollMu guards lastRollErr, the sticky record of the most recent
+	// rolling reload's outcome surfaced through Health.
+	rollMu      sync.Mutex
+	lastRollErr string
 	// rollHook, when set (tests only), runs after each child swap
 	// during SwapIndex — the seam that widens the mid-roll window the
 	// rolling-reload tests probe.
@@ -77,16 +158,24 @@ type Coordinator struct {
 	queries          atomic.Uint64
 	shardQueries     atomic.Uint64
 	mergedCandidates atomic.Uint64
+	quorumDegraded   atomic.Uint64
+	shardFailures    atomic.Uint64
 }
 
 // generation is one atomically-published index generation: the pinned
-// snapshot of every child, plus the coordinator's own epoch (one per
-// completed rolling reload). Queries load a generation once and use
-// its snapshots throughout, so a reload mid-query — or mid-roll —
-// can never mix epochs inside one answer.
+// search function of every child, each child's own epoch as observed
+// at pin time, plus the coordinator's epoch (one per completed
+// rolling reload). Queries load a generation once and use its pinned
+// functions throughout, so a reload mid-query — or mid-roll — can
+// never mix epochs inside one answer served by local children. The
+// recorded child epochs are Health's baseline: a child whose current
+// epoch differs from its pinned one is mid-roll (or rolled without
+// the coordinator, or restarted onto different content) and makes
+// the fleet not-ready.
 type generation struct {
-	snaps []engine.Snapshot
-	epoch uint64
+	search []SearchFunc
+	epochs []uint64
+	epoch  uint64
 }
 
 // Coordinator implements the same Searcher contract as Engine.
@@ -105,26 +194,67 @@ func New(idx *index.Compact, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{children: make([]*engine.Engine, n)}
-	snaps := make([]engine.Snapshot, n)
+	children := make([]Child, n)
 	for i, p := range parts {
-		c.children[i] = engine.New(p, cfg.Engine)
-		snaps[i] = c.children[i].Snapshot()
+		children[i] = localChild{eng: engine.New(p, cfg.Engine)}
 	}
-	c.gen.Store(&generation{snaps: snaps})
+	return NewFromChildren(children, cfg)
+}
+
+// NewFromChildren builds a Coordinator over pre-built children —
+// the constructor the remote tier uses to compose a fleet of shard
+// processes under the unchanged scatter-gather. cfg.Shards and
+// cfg.Engine are ignored (the children already exist); cfg.Quorum
+// must be 0 (strict: all shards) or in [1, len(children)].
+func NewFromChildren(children []Child, cfg Config) (*Coordinator, error) {
+	if len(children) == 0 {
+		return nil, errors.New("shard: no children")
+	}
+	q := cfg.Quorum
+	if q == 0 {
+		q = len(children)
+	}
+	if q < 0 || q > len(children) {
+		return nil, fmt.Errorf("shard: quorum %d out of range [1, %d]", cfg.Quorum, len(children))
+	}
+	wait := cfg.RollHealthTimeout
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	poll := cfg.RollPoll
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	c := &Coordinator{children: children, quorum: q, rollWait: wait, rollPoll: poll}
+	fns, epochs := pinAll(children)
+	c.gen.Store(&generation{search: fns, epochs: epochs})
 	return c, nil
 }
 
-// Shards returns the number of child engines.
+// pinAll pins every child at its current generation, recording the
+// child epochs the pin observed.
+func pinAll(children []Child) ([]SearchFunc, []uint64) {
+	fns := make([]SearchFunc, len(children))
+	epochs := make([]uint64, len(children))
+	for i, ch := range children {
+		fns[i] = ch.Pin()
+		epochs[i] = ch.Health().Epoch
+	}
+	return fns, epochs
+}
+
+// Shards returns the number of children.
 func (c *Coordinator) Shards() int { return len(c.children) }
 
 // Search scatters the query to every shard under one pinned
 // generation and one shared pruning floor, then rank-merges the
-// per-shard top-k heaps into the global k. The merged answer is
-// bitwise identical to a single engine over the unsplit index (the
-// package comment gives the argument; the differential suite the
-// proof). Counts roll up: Candidates/Evaluated/Pruned/Failed are
-// summed and Partial/Degraded OR-ed across shards.
+// per-shard top-k heaps into the global k. With a full fleet the
+// merged answer is bitwise identical to a single engine over the
+// unsplit index (the package comment gives the argument; the
+// differential suite the proof). Counts roll up:
+// Candidates/Evaluated/Pruned/Failed are summed and Partial/Degraded
+// OR-ed across shards. In quorum mode a partial fleet still answers:
+// the survivors merge into a sound subset flagged Degraded.
 func (c *Coordinator) Search(ctx context.Context, q engine.Query) (*engine.Result, error) {
 	start := time.Now()
 	k := q.K
@@ -137,32 +267,48 @@ func (c *Coordinator) Search(ctx context.Context, q engine.Query) (*engine.Resul
 		q.Floor = engine.NewGlobalFloor()
 	}
 	gen := c.gen.Load()
+	n := len(c.children)
 	c.queries.Add(1)
-	c.shardQueries.Add(uint64(len(c.children)))
+	c.shardQueries.Add(uint64(n))
 
-	// Scatter. A shard that fails cancels the rest — there is no
-	// answer to assemble without it, so the others should stop
-	// burning CPU.
+	// Scatter. A shard failure cancels the rest only once it makes
+	// quorum unreachable — before that the fleet keeps working toward
+	// a degraded answer (with Quorum = N, the default, the first
+	// failure cancels immediately, the strict historical behavior).
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]*engine.Result, len(c.children))
-	errs := make([]error, len(c.children))
+	results := make([]*engine.Result, n)
+	errs := make([]error, n)
+	var failed atomic.Int64
 	var wg sync.WaitGroup
-	for i := range c.children {
+	for i := range gen.search {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.children[i].SearchSnapshot(sctx, q, gen.snaps[i])
-			if errs[i] != nil {
+			results[i], errs[i] = gen.search[i](sctx, q)
+			if errs[i] != nil && int(failed.Add(1)) > n-c.quorum {
 				cancel()
 			}
 		}(i)
 	}
 	wg.Wait()
-	if err := firstError(errs); err != nil {
-		return nil, err
+	ok := 0
+	for i := range errs {
+		if errs[i] == nil && results[i] != nil {
+			ok++
+		}
 	}
-	return c.merge(results, k, start), nil
+	if ok < c.quorum || ok == 0 {
+		return nil, firstError(errs)
+	}
+	res := c.merge(results, k, start)
+	if ok < n {
+		res.Degraded = true
+		res.FailedShards = n - ok
+		c.quorumDegraded.Add(1)
+		c.shardFailures.Add(uint64(n - ok))
+	}
+	return res, nil
 }
 
 // firstError picks the error to surface deterministically: the
@@ -189,12 +335,16 @@ func firstError(errs []error) error {
 // merge rank-merges the per-shard results: a k-way merge over the
 // shards' already-sorted Docs under the engine's exact comparator —
 // score descending, document id ascending on ties — taking the first
-// k rows. Counts sum; flags OR.
+// k rows. Counts sum; flags OR. Nil entries (shards dropped by quorum
+// mode) are skipped.
 func (c *Coordinator) merge(results []*engine.Result, k int, start time.Time) *engine.Result {
 	merged := &engine.Result{Docs: make([]engine.DocResult, 0, k)}
 	heads := make([]int, len(results))
 	entering := 0
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
 		merged.Candidates += r.Candidates
 		merged.Evaluated += r.Evaluated
 		merged.Pruned += r.Pruned
@@ -207,7 +357,7 @@ func (c *Coordinator) merge(results []*engine.Result, k int, start time.Time) *e
 	for len(merged.Docs) < k {
 		best := -1
 		for s, r := range results {
-			if heads[s] == len(r.Docs) {
+			if r == nil || heads[s] == len(r.Docs) {
 				continue
 			}
 			if best < 0 {
@@ -230,14 +380,17 @@ func (c *Coordinator) merge(results []*engine.Result, k int, start time.Time) *e
 }
 
 // SwapIndex hot-reloads the whole fleet with zero downtime: the new
-// index is partitioned, each child swaps one at a time (the rolling
-// part — a real deployment would pause between shards to watch
-// health), and only after every child is on the new index does the
-// coordinator atomically publish the new generation. Queries admitted
-// mid-roll keep using the old generation's pinned snapshots — child
-// SwapIndex never invalidates outstanding snapshots, and the caches
-// are epoch-keyed — so no query ever observes a mixed-epoch answer
-// and none fail. Rolls serialize; queries are never blocked.
+// index is partitioned, each child swaps one at a time, and the roll
+// pauses after each swap until that child reports Ready again (the
+// health gate — bounded by Config.RollHealthTimeout). Only after
+// every child is on the new index and healthy does the coordinator
+// atomically publish the new generation; an unhealthy or failing
+// child aborts the roll instead, leaving the generation unflipped and
+// the failure visible through Health. Queries admitted mid-roll keep
+// using the old generation's pinned searches — child SwapIndex never
+// invalidates outstanding snapshots, and the caches are epoch-keyed —
+// so through local children no query ever observes a mixed-epoch
+// answer and none fail. Rolls serialize; queries are never blocked.
 //
 // Partition errors are impossible for an index built or loaded by
 // internal/index (both validate eagerly), so like Compact.Postings
@@ -250,31 +403,83 @@ func (c *Coordinator) SwapIndex(idx *index.Compact) {
 		panic(fmt.Sprintf("shard: re-partition for reload: %v", err))
 	}
 	for i, child := range c.children {
-		child.SwapIndex(parts[i])
+		if err := child.SwapIndex(parts[i]); err != nil {
+			c.setRollErr(fmt.Errorf("shard %d swap failed: %w", i, err))
+			return
+		}
 		if h := c.rollHook; h != nil {
 			h(i)
 		}
+		if err := c.awaitHealthy(i, child); err != nil {
+			c.setRollErr(err)
+			return
+		}
 	}
+	c.setRollErr(nil)
 	old := c.gen.Load()
-	snaps := make([]engine.Snapshot, len(c.children))
-	for i, child := range c.children {
-		snaps[i] = child.Snapshot()
+	fns, epochs := pinAll(c.children)
+	c.gen.Store(&generation{search: fns, epochs: epochs, epoch: old.epoch + 1})
+}
+
+// awaitHealthy polls one freshly-swapped child until it reports Ready
+// or the roll-health timeout elapses — the pause-on-unhealthy gate
+// that keeps a rolling reload from marching past a shard that came
+// back broken.
+func (c *Coordinator) awaitHealthy(i int, child Child) error {
+	deadline := time.Now().Add(c.rollWait)
+	for {
+		if child.Health().Ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard %d not ready %v after swap; roll aborted", i, c.rollWait)
+		}
+		time.Sleep(c.rollPoll)
 	}
-	c.gen.Store(&generation{snaps: snaps, epoch: old.epoch + 1})
+}
+
+// setRollErr records the outcome of the most recent rolling reload
+// (nil clears it); Health surfaces the record.
+func (c *Coordinator) setRollErr(err error) {
+	c.rollMu.Lock()
+	defer c.rollMu.Unlock()
+	if err == nil {
+		c.lastRollErr = ""
+	} else {
+		c.lastRollErr = err.Error()
+	}
+}
+
+// rollErr returns the last rolling reload's recorded failure, or "".
+func (c *Coordinator) rollErr() string {
+	c.rollMu.Lock()
+	defer c.rollMu.Unlock()
+	return c.lastRollErr
 }
 
 // Health reports fleet readiness: the coordinator's generation epoch
 // plus one row per shard (each child's own reload epoch and
 // readiness). Docs is the global corpus size — every shard keeps the
-// global id space, so any child reports it.
+// global id space, so any child reports it. A fleet is mixed-epoch —
+// and never reported Ready — when any child's current epoch differs
+// from the epoch the published generation pinned it at: that is a
+// roll in progress, a roll stuck half-done, or a shard that moved
+// under the coordinator, and remote children cannot pin across
+// processes, so such a fleet could merge answers from two index
+// generations. Err carries the last rolling reload's failure, if
+// any; a recorded failure does not by itself clear Ready — a fleet
+// stuck on the old generation is stale but still serving.
 func (c *Coordinator) Health() engine.Health {
 	gen := c.gen.Load()
-	h := engine.Health{Ready: true, Epoch: gen.epoch}
+	h := engine.Health{Ready: true, Epoch: gen.epoch, Err: c.rollErr()}
 	for i, child := range c.children {
 		ch := child.Health()
 		h.Shards = append(h.Shards, engine.ShardHealth{Shard: i, Epoch: ch.Epoch, Docs: ch.Docs, Ready: ch.Ready})
 		h.Ready = h.Ready && ch.Ready
 		h.Docs = ch.Docs
+		if i < len(gen.epochs) && ch.Epoch != gen.epochs[i] {
+			h.Ready = false
+		}
 	}
 	return h
 }
@@ -284,14 +489,18 @@ func (c *Coordinator) Health() engine.Health {
 // DeadlineHits count per-shard events — one coordinator query can
 // tick a counter up to N times), latency histograms are merged,
 // PrunedFraction is recomputed over the summed counts, and the
-// coordinator's own counters fill Queries, ShardQueries, and
-// MergedCandidates. Each child's unmodified Stats rides along in
-// Shards, in shard order.
+// coordinator's own counters fill Queries, ShardQueries,
+// MergedCandidates, QuorumDegraded, and ShardFailures. Remote
+// children contribute their client-side robustness counters (Hedged,
+// Retried, ShardTimeouts, BreakerOpen) to the rollup. Each child's
+// unmodified Stats rides along in Shards, in shard order.
 func (c *Coordinator) Stats() engine.Stats {
 	agg := engine.Stats{
 		Queries:          c.queries.Load(),
 		ShardQueries:     c.shardQueries.Load(),
 		MergedCandidates: c.mergedCandidates.Load(),
+		QuorumDegraded:   c.quorumDegraded.Load(),
+		ShardFailures:    c.shardFailures.Load(),
 	}
 	shards := make([]engine.Stats, len(c.children))
 	hists := make([]engine.LatencyHistogram, len(c.children))
@@ -324,6 +533,12 @@ func (c *Coordinator) Stats() engine.Stats {
 		agg.UnionCandidates += s.UnionCandidates
 		agg.PivotSkips += s.PivotSkips
 		agg.UnionUnpruned += s.UnionUnpruned
+		agg.Hedged += s.Hedged
+		agg.Retried += s.Retried
+		agg.ShardTimeouts += s.ShardTimeouts
+		agg.BreakerOpen += s.BreakerOpen
+		agg.QuorumDegraded += s.QuorumDegraded
+		agg.ShardFailures += s.ShardFailures
 	}
 	if agg.PrunedDocs+agg.DocsEvaluated > 0 {
 		agg.PrunedFraction = float64(agg.PrunedDocs) / float64(agg.PrunedDocs+agg.DocsEvaluated)

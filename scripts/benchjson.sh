@@ -30,7 +30,10 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # fan-out cost and rank-merge width), and coalesceddecodes/op +
 # decodewaits/op from the concurrent-query coalescing benchmark (how
 # many duplicate decodes the singleflight layer collapsed; zero on a
-# single-core host, where goroutines serialize).
+# single-core host, where goroutines serialize), and hedged/op +
+# retried/op from the remote fleet benchmark (speculative and repeated
+# shard attempts: ~0 on a healthy loopback fleet, so drift flags a
+# latency regression or transport flakiness).
 # The cached BenchmarkEngine path doubles as the panic-recovery
 # overhead gauge — the recover() wrappers sit on every join, so any
 # regression shows up directly against the baseline (the budget is <1%).
@@ -38,7 +41,7 @@ bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = codec = dwait = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = codec = dwait = hedged = retried = ""
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")             ns = $(i - 1)
             if ($i == "B/op")              bytes = $(i - 1)
@@ -54,6 +57,8 @@ bench_to_json() {
             if ($i == "mergedcandidates/op") mcand = $(i - 1)
             if ($i == "coalesceddecodes/op") codec = $(i - 1)
             if ($i == "decodewaits/op")      dwait = $(i - 1)
+            if ($i == "hedged/op")           hedged = $(i - 1)
+            if ($i == "retried/op")          retried = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -70,6 +75,8 @@ bench_to_json() {
         if (mcand != "")  rec = rec sprintf(", \"mergedcandidates_per_op\": %s", mcand)
         if (codec != "")  rec = rec sprintf(", \"coalesceddecodes_per_op\": %s", codec)
         if (dwait != "")  rec = rec sprintf(", \"decodewaits_per_op\": %s", dwait)
+        if (hedged != "")  rec = rec sprintf(", \"hedged_per_op\": %s", hedged)
+        if (retried != "") rec = rec sprintf(", \"retried_per_op\": %s", retried)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }

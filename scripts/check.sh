@@ -22,9 +22,11 @@ go test -race ./...
 # cache-miss storms must never crash, race, or mis-score a document —
 # on the single engine and through the sharded scatter-gather tier
 # (the plain -race run above already covers the shard differential;
-# this arms the injection sites on top).
+# this arms the injection sites on top). The remote package adds the
+# network fault sites: latency, dropped connections, 500s, and
+# truncated response bytes against a real HTTP fleet.
 echo "== go test -race -tags faultinject (chaos) =="
-go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/ ./internal/shard/
+go test -race -tags faultinject ./internal/faultinject/ ./internal/engine/ ./internal/shard/ ./internal/remote/
 
 # Allocation ceiling: the warm-cache query path must stay under a
 # fixed allocs/op budget (testing.AllocsPerRun inside the test). Run
@@ -70,6 +72,13 @@ check_cover ./internal/engine/  91.2
 check_cover ./internal/scorefn/ 90.3
 check_cover ./internal/index/   91.3
 check_cover ./internal/shard/   96.7
+check_cover ./internal/remote/  80.6
+
+# End-to-end smoke of the networked shard tier: two real shard
+# processes and a coordinator, queried through a rolling restart with
+# zero tolerated failures (skips itself when curl/wget are missing).
+echo "== remote fleet smoke =="
+./scripts/smoke_remote.sh
 
 # Optional: refresh BENCH_engine.json (slow; off by default so the
 # gate stays fast). Enable with CHECK_BENCH=1 make check.
