@@ -31,6 +31,7 @@ fuzz:
 	go test -run=Fuzz -fuzz=FuzzLoadFile -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzDecodeBlocks -fuzztime=30s ./internal/index/
 	go test -run=Fuzz -fuzz=FuzzDecodeBatch -fuzztime=30s ./internal/index/
+	go test -run=Fuzz -fuzz=FuzzDecodePairs -fuzztime=30s ./internal/index/
 
 # CPU and heap profiles of the cold/cached engine benchmark, for
 # digging into the block-max skip layer with `go tool pprof cpu.prof`

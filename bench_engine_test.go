@@ -154,6 +154,17 @@ func BenchmarkEngineCoalesced(b *testing.B) {
 	}
 
 	run := func(b *testing.B, cfg bestjoin.EngineConfig) bestjoin.EngineStats {
+		// Coalescing only fires when goroutines actually overlap inside
+		// the decode window; on a single-core host the 8 query
+		// goroutines serialize and every fetch finds the leader's
+		// result already cached, reporting coalesceddecodes/op = 0 on
+		// both arms. Pin GOMAXPROCS above 1 so the arms genuinely race.
+		// This must happen inside the sub-benchmark: the test runner
+		// resets GOMAXPROCS to the -cpu value before each b.Run arm.
+		if prev := runtime.GOMAXPROCS(0); prev < 4 {
+			runtime.GOMAXPROCS(4)
+			defer runtime.GOMAXPROCS(prev)
+		}
 		e := bestjoin.NewEngine(c, cfg)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -184,6 +195,9 @@ func BenchmarkEngineCoalesced(b *testing.B) {
 		if got := st.BlockDecodes / uint64(b.N); got > single+2 {
 			b.Fatalf("%d concurrent queries decoded %d blocks/op; single query needs %d — coalescing not collapsing shared decodes",
 				conc, got, single)
+		}
+		if st.CoalescedDecodes == 0 {
+			b.Fatalf("coalesced arm shared no decodes across %d concurrent queries; the arm is not exercising the layer", conc)
 		}
 	})
 	b.Run("nocoalesce", func(b *testing.B) {

@@ -34,6 +34,14 @@
 // drain rate (bounded to 1–30 seconds), so clients back off roughly
 // as long as the queue actually needs to clear.
 //
+// At startup the server precomputes auxiliary pair lists for the
+// heaviest (longest-posting) stems under the served kernel: two-term
+// queries over those pairs are answered straight off a precomputed
+// list with zero joins, and wider queries use the lists to tighten
+// pruning bounds — answers stay bitwise identical either way. The
+// -pair-budget flag caps the bytes spent on lists and -nopairs turns
+// the tier off entirely (baseline mode).
+//
 // With -shards N the corpus is partitioned by document id across N
 // child engines behind a scatter-gather coordinator: every query fans
 // out to all shards under one shared pruning floor and the per-shard
@@ -128,6 +136,9 @@ func main() {
 		idxPath  = flag.String("index", "", "serve this saved index file instead of indexing a corpus (SIGHUP reloads it)")
 		savePath = flag.String("save", "", "after indexing, save the checksummed index to this path")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof (debug only)")
+
+		nopairs    = flag.Bool("nopairs", false, "disable the auxiliary pair-index tier: no pair lists are built and the engine never serves from them (baseline mode)")
+		pairBudget = flag.Int("pair-budget", 4<<20, "storage budget in bytes for precomputed pair lists, spent on the costliest concept pairs first (0 or less = unlimited)")
 	)
 	flag.Parse()
 
@@ -146,6 +157,9 @@ func main() {
 				log.Fatalf("proxserve: %v", err)
 			}
 		}
+		if !*nopairs {
+			buildPairs(compact, bestjoin.BuiltinLexicon(), *fn, *alpha, *pairBudget)
+		}
 	}
 	overload := bestjoin.OverloadBlock
 	if *shed {
@@ -161,6 +175,7 @@ func main() {
 		CacheBytes:        *cacheB,
 		DisablePruning:    *noprune,
 		DisableCoalescing: *nocoal,
+		DisablePairIndex:  *nopairs,
 		MaxInFlight:       *inflight,
 		Overload:          overload,
 		Mode:              qmode,
@@ -235,6 +250,12 @@ func main() {
 					if c, err = cutPartition(c, shardOf); err != nil {
 						return err
 					}
+				}
+				if !*nopairs {
+					// The saved file may predate the pair tier (or carry
+					// pairs for another kernel); rebuild so the hot-reloaded
+					// index serves pairs like the original did.
+					buildPairs(c, srv.lex, *fn, *alpha, *pairBudget)
 				}
 				eng.SwapIndex(c)
 				return nil
@@ -505,8 +526,14 @@ func (s *server) query(terms string, k int, mode bestjoin.QueryMode, minMatch in
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
 	defer cancel()
+	// Spec only, no Join closure: the engine resolves the identical
+	// kernel from the declarative spec (the remote tier's bitwise-
+	// proven path), and a spec-described query is what makes it
+	// eligible for the pair-index serve — a Join closure would win
+	// over Spec locally, so the engine could not trust the stored
+	// pair scores to match it.
 	res, err := s.eng.Search(ctx, bestjoin.EngineQuery{
-		Concepts: concepts, Join: s.joiner(), Spec: s.spec(), K: k, Mode: mode, MinMatch: minMatch,
+		Concepts: concepts, Spec: s.spec(), K: k, Mode: mode, MinMatch: minMatch,
 	})
 	if err == nil {
 		s.done.note(time.Now())
@@ -580,32 +607,59 @@ func (s *server) retryAfter() int {
 // concept expands one query term through the lexical graph: the term
 // itself at score 1 plus its graph neighborhood at 1 − 0.3·distance.
 func (s *server) concept(term string) bestjoin.Concept {
-	c := index.ConceptFromGraph(s.lex.Neighborhood(term, 3), lexicon.ScorePerEdge)
+	return expandConcept(s.lex, term)
+}
+
+// expandConcept is the term → concept expansion shared by the query
+// path and the offline pair build: both must derive bit-identical
+// concepts for a pair list built at startup to be found at query time.
+func expandConcept(lex *bestjoin.Lexicon, term string) bestjoin.Concept {
+	c := index.ConceptFromGraph(lex.Neighborhood(term, 3), lexicon.ScorePerEdge)
 	if len(c) == 0 {
 		c = bestjoin.Concept{term: 1}
 	}
 	return c
 }
 
-func (s *server) joiner() bestjoin.Joiner {
-	switch s.fn {
-	case "win":
-		return bestjoin.JoinValidWIN(bestjoin.ExpWIN{Alpha: s.alpha})
-	case "max":
-		return bestjoin.JoinValidMAX(bestjoin.SumMAX{Alpha: s.alpha})
-	default:
-		return bestjoin.JoinValidMED(bestjoin.ExpMED{Alpha: s.alpha})
+// pairConceptCount bounds how many of the corpus's heaviest stems the
+// startup pair build considers; the -pair-budget byte cap then selects
+// among their O(n²) pairs costliest-first.
+const pairConceptCount = 24
+
+// buildPairs precomputes auxiliary pair lists over the corpus's
+// heaviest stems, each expanded into a concept exactly as the query
+// path expands terms, under the served kernel spec — so the two-term
+// queries the kernel path handles worst (common-word pairs) are the
+// ones answered from precomputed lists. Build failures only cost the
+// speedup (the kernel path answers everything), so they log and serve.
+func buildPairs(c *bestjoin.CompactIndex, lex *bestjoin.Lexicon, fn string, alpha float64, budget int) {
+	concepts := make([]bestjoin.Concept, 0, pairConceptCount)
+	for _, stem := range c.HeavyStems(pairConceptCount) {
+		concepts = append(concepts, expandConcept(lex, stem))
 	}
+	n, err := bestjoin.BuildPairIndex(c, concepts, specFor(fn, alpha), budget)
+	if err != nil {
+		log.Printf("proxserve: pair-index build failed (serving without pairs): %v", err)
+		return
+	}
+	fmt.Printf("precomputed %d concept-pair lists over the %d heaviest stems\n", n, len(concepts))
 }
 
-// spec is joiner in declarative form — the serializable kernel name a
-// query carries so remote shards rebuild the identical kernel.
+// spec is the -fn/-alpha kernel in declarative form — the
+// serializable kernel name a query carries so local engines, remote
+// shards, and the pair index all resolve the identical kernel.
 func (s *server) spec() bestjoin.JoinSpec {
-	fam := s.fn
-	if fam != "win" && fam != "max" {
-		fam = "med"
+	return specFor(s.fn, s.alpha)
+}
+
+// specFor normalizes the -fn flag into the declarative kernel spec;
+// the pair build uses the same mapping so its lists carry the exact
+// fingerprint production queries present.
+func specFor(fn string, alpha float64) bestjoin.JoinSpec {
+	if fn != "win" && fn != "max" {
+		fn = "med"
 	}
-	return bestjoin.JoinSpec{Family: fam, Alpha: s.alpha, Valid: true}
+	return bestjoin.JoinSpec{Family: fn, Alpha: alpha, Valid: true}
 }
 
 func (s *server) repl(in *os.File, out *os.File) {

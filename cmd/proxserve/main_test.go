@@ -768,3 +768,53 @@ func TestHandleStatsUnionNote(t *testing.T) {
 		t.Fatalf("/stats missing the union-unpruned note: %s", rec.Body)
 	}
 }
+
+// TestQueryPairServed pins the server-to-engine pair-index contract:
+// a two-term query must reach the engine as a Spec-only query (a Join
+// closure would win over Spec locally and suppress the pair path), so
+// that when the queried pair was precomputed by buildPairs the engine
+// serves it off the pair list — and the answer matches a pair-disabled
+// server bitwise.
+func TestQueryPairServed(t *testing.T) {
+	ix := bestjoin.NewIndex()
+	for d, body := range synthCorpus(200) {
+		ix.AddText(d, body)
+	}
+	compact := ix.Compact()
+	lex := bestjoin.BuiltinLexicon()
+	buildPairs(compact, lex, "med", 0.1, 0)
+	mk := func(nopairs bool) *server {
+		return &server{
+			eng: bestjoin.NewEngine(compact, bestjoin.EngineConfig{
+				Workers: 2, DisablePairIndex: nopairs,
+			}),
+			lex: lex, fn: "med", alpha: 0.1, k: 3, timeout: 5 * time.Second,
+		}
+	}
+	s, base := mk(false), mk(true)
+	// quartz and ribbon are filler vocabulary — in nearly every synth
+	// doc, so their pair is among the heaviest and always selected.
+	got, err := s.query("quartz,ribbon", 3, s.mode, s.minMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.query("quartz,ribbon", 3, base.mode, base.minMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.eng.Stats(); st.PairServed != 1 {
+		t.Fatalf("two-term query was not pair-served: %+v", st)
+	}
+	if st := base.eng.Stats(); st.PairServed != 0 {
+		t.Fatal("pair-disabled server served off the pair list")
+	}
+	if len(got.Docs) != len(want.Docs) {
+		t.Fatalf("pair-served %d docs, kernel %d", len(got.Docs), len(want.Docs))
+	}
+	for i := range got.Docs {
+		if got.Docs[i].Doc != want.Docs[i].Doc || got.Docs[i].Score != want.Docs[i].Score {
+			t.Fatalf("rank %d: pair-served (%d, %v) vs kernel (%d, %v)", i,
+				got.Docs[i].Doc, got.Docs[i].Score, want.Docs[i].Doc, want.Docs[i].Score)
+		}
+	}
+}

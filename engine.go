@@ -183,6 +183,20 @@ func NewShardedEngineConfig(idx *CompactIndex, cfg ShardedEngineConfig) (*Sharde
 // kernel. Set it on EngineQuery.Spec alongside (or instead of) Join.
 type JoinSpec = engine.KernelSpec
 
+// BuildPairIndex precomputes auxiliary pair lists on the index for a
+// kernel spec: every unordered pair of the given concepts is costed
+// by the product of its posting byte lengths (the frequent-pair model
+// of Veretennikov's additional indexes) and registered in descending
+// cost order until budgetBytes of encoded lists are stored (≤ 0 means
+// unlimited). A two-term conjunctive query carrying that spec is then
+// answered straight off the precomputed list, and wider queries use
+// the lists to tighten pruning bounds; answers are bitwise identical
+// either way. Call at build time, before the index serves queries.
+// Returns the number of pairs registered.
+func BuildPairIndex(idx *CompactIndex, concepts []Concept, spec JoinSpec, budgetBytes int) (int, error) {
+	return engine.BuildPairIndex(idx, concepts, spec, budgetBytes)
+}
+
 // RemoteShard is an HTTP client for one shard process; it slots into
 // a ShardedEngine as a child. See internal/remote for the robustness
 // stack: per-attempt deadline budgets, retries with jittered backoff,

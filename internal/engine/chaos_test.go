@@ -479,3 +479,92 @@ func TestChaosDifferentialUnion(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPairPath holds the auxiliary pair tier to the same
+// contract: with the pair list corrupted — at the list level
+// (ConceptPairs panics) and at the payload level (the skip table
+// reads clean but every block decode fails mid-serve) — and kernel
+// faults injected on the fallback path, queries must never error,
+// non-degraded answers must stay bitwise identical to the
+// pair-disabled fault-free baseline, and the tier must account the
+// corruption as decode failures rather than ever serving off it.
+func TestChaosPairPath(t *testing.T) {
+	spec := KernelSpec{Family: "win", Alpha: 0.1, Valid: true}
+	concepts := testConcepts()
+	q := Query{Concepts: concepts[:2], Spec: spec, K: 8}
+
+	build := func() *index.Compact {
+		c := buildCompact(t, testCorpus(120, 47))
+		if n, err := BuildPairIndex(c, concepts, spec, 0); err != nil || n == 0 {
+			t.Fatalf("BuildPairIndex: n=%d err=%v", n, err)
+		}
+		return c
+	}
+
+	healthy := build()
+	base := New(healthy, Config{DisablePairIndex: true})
+	want, err := base.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(healthy, Config{DisablePairIndex: true, DisablePruning: true}).
+		Search(context.Background(), Query{Concepts: concepts[:2], Spec: spec, K: healthy.Docs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []struct {
+		name string
+		f    func(*index.Compact)
+	}{
+		{"list", func(c *index.Compact) {
+			index.CorruptConceptPairsForTest(c, concepts[0], concepts[1], spec.Fingerprint())
+		}},
+		{"payload", func(c *index.Compact) {
+			index.CorruptConceptPairPayloadForTest(c, concepts[0], concepts[1], spec.Fingerprint())
+		}},
+	}
+	for _, corrupt := range corruptions {
+		t.Run(corrupt.name, func(t *testing.T) {
+			c := build()
+			corrupt.f(c)
+			e := New(c, Config{Workers: 2})
+			faultinject.Activate(faultinject.Config{
+				Rates: map[faultinject.Site]float64{
+					faultinject.KernelJoin:    0.2,
+					faultinject.ConceptDecode: 0.2,
+				},
+				Seed: 1,
+			})
+			for round := 0; round < 6; round++ {
+				res, err := e.Search(context.Background(), q)
+				if err != nil {
+					t.Fatalf("round %d: corrupt pair list must never error: %v", round, err)
+				}
+				assertResultInvariants(t, fmt.Sprintf("%s round %d", corrupt.name, round), res)
+				if res.Degraded {
+					assertSoundSubset(t, corrupt.name, res.Docs, full.Docs)
+				} else {
+					assertSameDocs(t, fmt.Sprintf("%s round %d", corrupt.name, round), res.Docs, want.Docs)
+				}
+			}
+			faultinject.Deactivate()
+
+			// Injection off (the corruption stays): the kernel fallback
+			// must serve the exact baseline, and the tier must have
+			// recorded the corruption without ever serving off it.
+			res, err := e.Search(context.Background(), q)
+			if err != nil || res.Degraded || res.Partial {
+				t.Fatalf("engine unhealthy after chaos: %v %+v", err, res)
+			}
+			assertSameDocs(t, "post-chaos", res.Docs, want.Docs)
+			st := e.Stats()
+			if st.DecodeFailures == 0 {
+				t.Fatal("corrupt pair list never recorded a decode failure")
+			}
+			if st.PairServed != 0 {
+				t.Fatalf("corrupt pair list was served %d times", st.PairServed)
+			}
+		})
+	}
+}

@@ -108,6 +108,12 @@ type Config struct {
 	// unset: ModeAND (the zero value, conjunctive intersection) or
 	// ModeOR (ranked union). See QueryMode.
 	Mode QueryMode
+	// DisablePairIndex turns off the auxiliary pair-index planner stage
+	// (pairpath.go); the zero Config uses registered pair lists. Pair
+	// serving is exact — the lists store the same kernel's scores — so
+	// the switch exists for the differential harness and for measuring
+	// the pair-index win.
+	DisablePairIndex bool
 }
 
 // Engine answers top-k queries over one compacted index. It is safe
@@ -118,6 +124,7 @@ type Engine struct {
 	snap     atomic.Pointer[snapshot]
 	workers  int
 	prune    bool
+	pairs    bool
 	coalesce bool
 	queue    int
 	mode     QueryMode
@@ -205,6 +212,7 @@ func New(idx *index.Compact, cfg Config) *Engine {
 	e := &Engine{
 		workers:  cfg.Workers,
 		prune:    !cfg.DisablePruning,
+		pairs:    !cfg.DisablePairIndex,
 		coalesce: !cfg.DisableCoalescing,
 		queue:    cfg.QueueDepth,
 		mode:     cfg.Mode,

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"bestjoin/internal/dedup"
@@ -79,6 +81,26 @@ type KernelSpec struct {
 
 // Zero reports whether the spec is unset.
 func (s KernelSpec) Zero() bool { return s == KernelSpec{} }
+
+// Fingerprint hashes the spec to the stable 64-bit identity under
+// which pair lists (index.PairKey.Spec) are registered and looked up.
+// The index layer treats the value as opaque; only equality matters —
+// a pair list answers exactly the spec that built it, so any field
+// change must change the fingerprint.
+func (s KernelSpec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s.Family))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(s.Alpha))
+	h.Write(b[:])
+	if s.Valid {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
 
 // Factory resolves the spec into a kernel factory, or fails on an
 // unknown family or a non-finite alpha (hostile specs arrive over the

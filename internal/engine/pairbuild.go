@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"bestjoin/internal/index"
+	"bestjoin/internal/match"
+)
+
+// BuildPairIndex selects and registers auxiliary pair lists for a
+// kernel spec, under a storage budget. Candidate pairs are every
+// unordered two-concept combination of concepts; each is costed by
+// the product of its concepts' compressed posting bytes — the classic
+// frequency × length model: the pairs whose posting products are
+// largest are exactly the common-word queries the kernel path handles
+// worst, and (by the same product) the ones whose intersections are
+// large enough to be worth precomputing. Pairs are taken in
+// descending cost order until budgetBytes of encoded pair lists have
+// been stored (≤ 0 means unlimited).
+//
+// The lists are built by running the spec's own kernel over every
+// document in each pair's intersection, so a pair-served query
+// returns bitwise-identical scores. Call at build time, before the
+// index starts serving. Returns the number of pairs registered.
+func BuildPairIndex(idx *index.Compact, concepts []index.Concept, spec KernelSpec, budgetBytes int) (added int, err error) {
+	factory, err := spec.Factory()
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		// A kernel that panics during an offline build aborts it; the
+		// pairs registered before the panic are each internally complete
+		// and stay.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: pair-index build panicked: %v", r)
+		}
+	}()
+	fp := spec.Fingerprint()
+	kern := factory()
+	join := func(lists match.Lists) (match.Set, float64, bool) {
+		kern.Reset(nil, lists)
+		return kern.Join()
+	}
+
+	type cand struct {
+		a, b int
+		cost int
+	}
+	var cands []cand
+	for i := 0; i < len(concepts); i++ {
+		ci := idx.ConceptPostingBytes(concepts[i])
+		if ci == 0 {
+			continue
+		}
+		for j := i + 1; j < len(concepts); j++ {
+			cj := idx.ConceptPostingBytes(concepts[j])
+			if cj == 0 {
+				continue
+			}
+			cands = append(cands, cand{a: i, b: j, cost: ci * cj})
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x].cost != cands[y].cost {
+			return cands[x].cost > cands[y].cost
+		}
+		if cands[x].a != cands[y].a {
+			return cands[x].a < cands[y].a
+		}
+		return cands[x].b < cands[y].b
+	})
+	spent := 0
+	for _, cd := range cands {
+		if budgetBytes > 0 && spent >= budgetBytes {
+			break
+		}
+		n, ok := idx.AddConceptPairs(concepts[cd.a], concepts[cd.b], fp, join)
+		if ok {
+			added++
+			spent += n
+		}
+	}
+	return added, nil
+}

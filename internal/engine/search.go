@@ -144,6 +144,14 @@ func (e *Engine) search(ctx context.Context, q Query, pinned *snapshot) (*Result
 	if len(q.Concepts) == 0 {
 		return nil, errors.New("engine: query has no concepts")
 	}
+	// A spec-only query is eligible for the auxiliary pair-index stage
+	// (pairpath.go): pair lists are keyed by the spec's fingerprint, so
+	// an opaque Join closure can never match one. Captured before the
+	// spec is resolved into q.Join below.
+	pairFP := uint64(0)
+	if e.pairs && q.Join == nil && !q.Spec.Zero() {
+		pairFP = q.Spec.Fingerprint()
+	}
 	if q.Join == nil {
 		// A spec-only query (the shape that crosses a process boundary)
 		// resolves its kernel here, so remote shard servers never touch
@@ -203,6 +211,16 @@ func (e *Engine) search(ctx context.Context, q Query, pinned *snapshot) (*Result
 	}
 	qs := &queryState{ctx: ctx, idx: snap.idx, epoch: snap.epoch}
 
+	// Pair-served fast path: a two-term conjunctive spec query whose
+	// pair list is registered skips concept resolution, candidate
+	// intersection, and the worker pool entirely — the list already
+	// holds every (doc, score, witness) the kernel path would compute.
+	if pairFP != 0 && !union && len(q.Concepts) == 2 {
+		if res, ok := e.servePair(qs, q, pairFP, k, start); ok {
+			return res, nil
+		}
+	}
+
 	// Candidate generation: resolve each concept (cache-assisted) and
 	// intersect by a cursor walk. Flat concepts materialize their
 	// corpus-wide doc-set; block-served concepts never do — the walk
@@ -244,8 +262,18 @@ func (e *Engine) search(ctx context.Context, q Query, pinned *snapshot) (*Result
 	nc := len(cds)
 	var bounds []float64
 	var order []int // candidate indices in dispatch order; nil = as-is
+	// pairOrig holds the pre-tightening bounds when registered pair
+	// lists lowered any of them (pairpath.go), so the dispatch screen
+	// below can attribute the prunes only the pair bound caused.
+	var pairOrig []float64
 	if e.prune && perListMax != nil {
-		bounds, order = e.planPruning(q.Join, candidates, perListMax, nc)
+		bounds = e.planBounds(q.Join, candidates, perListMax, nc)
+		if bounds != nil {
+			if pairFP != 0 && nc > 2 {
+				pairOrig = e.tightenPairBounds(qs, q, pairFP, candidates, perListMax, bounds)
+			}
+			order = boundOrder(bounds)
+		}
 	}
 
 	// Worker pool: candidates flow through one shared channel in
@@ -319,6 +347,12 @@ dispatch:
 			if bound < flushFloor {
 				pruned.Add(1)
 				e.counters.prunedDocs.Add(1)
+				if pairOrig != nil && pairOrig[i] >= flushFloor {
+					// The per-list bound alone would have let this
+					// document through to a join: the prune is the pair
+					// index's win.
+					e.counters.pairBoundPrunes.Add(1)
+				}
 				continue
 			}
 		}
@@ -344,7 +378,11 @@ dispatch:
 		if !assembled {
 			continue
 		}
-		jobsBacking = append(jobsBacking, docJob{doc: doc, bound: bound, lists: lists})
+		orig := bound
+		if pairOrig != nil && order != nil {
+			orig = pairOrig[i]
+		}
+		jobsBacking = append(jobsBacking, docJob{doc: doc, bound: bound, orig: orig, lists: lists})
 		if pending++; pending == dispatchChunk {
 			if !ship() {
 				break dispatch
@@ -386,27 +424,37 @@ func (e *Engine) finish(qs *queryState, res *Result, start time.Time) *Result {
 	return res
 }
 
-// planPruning probes the query's kernel for score upper bounds and
-// computes the bound-descending dispatch order. Any panic — in the
-// factory or in a bound evaluation — is recovered and disables
-// pruning for this query: running unpruned is always sound.
-func (e *Engine) planPruning(f KernelFactory, candidates []int, perListMax []float64, nc int) (bounds []float64, order []int) {
+// planBounds probes the query's kernel for score upper bounds and
+// computes every candidate's cap from its per-list maxima. Any panic
+// — in the factory or in a bound evaluation — is recovered and
+// disables pruning for this query: running unpruned is always sound.
+// (Bound computation and ordering are split so the pair-index stage
+// can tighten bounds in between.)
+func (e *Engine) planBounds(f KernelFactory, candidates []int, perListMax []float64, nc int) (bounds []float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.counters.joinPanics.Add(1)
-			bounds, order = nil, nil
+			bounds = nil
 		}
 	}()
 	ub, ok := f().(join.UpperBounded)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	bounds = make([]float64, len(candidates))
-	order = make([]int, len(candidates))
 	for i := range candidates {
 		bounds[i] = ub.ScoreUpperBound(perListMax[i*nc : (i+1)*nc])
+	}
+	return bounds
+}
+
+// boundOrder computes the bound-descending dispatch order (ties keep
+// ascending document order, so dispatch stays deterministic).
+func boundOrder(bounds []float64) []int {
+	order := make([]int, len(bounds))
+	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return bounds[order[a]] > bounds[order[b]] })
-	return bounds, order
+	return order
 }

@@ -61,6 +61,14 @@ type counters struct {
 	// maxima, or a bound panicked mid-walk. Still correct, silently
 	// slower; the counter makes the degradation visible.
 	unionUnpruned atomic.Uint64
+	// Auxiliary pair indexes (pairpath.go): pairHits counts pair-list
+	// lookups that found a registered list; pairServed counts two-term
+	// queries answered entirely off a pair list (no kernel joins);
+	// pairBoundPrunes counts candidates pruned only because a pair
+	// list tightened their score upper bound below the floor.
+	pairHits        atomic.Uint64
+	pairServed      atomic.Uint64
+	pairBoundPrunes atomic.Uint64
 }
 
 // histBuckets is the number of latency buckets: bucket i counts
@@ -186,7 +194,17 @@ type Stats struct {
 	// results, silently degraded latency. A non-zero value usually
 	// means the deployed scoring family has no UnionBounded hook.
 	UnionUnpruned uint64
-	QueryLatency  LatencyHistogram
+	// Auxiliary pair indexes (pairpath.go). PairHits counts pair-list
+	// lookups that found a registered list; PairServed counts two-term
+	// conjunctive queries answered entirely off a precomputed pair list
+	// (zero kernel joins); PairBoundPrunes counts candidates of wider
+	// queries pruned only because a pair list tightened their upper
+	// bound below the top-k floor (the per-list-maxima bound alone
+	// would have let them through to a join).
+	PairHits        uint64
+	PairServed      uint64
+	PairBoundPrunes uint64
+	QueryLatency    LatencyHistogram
 	// Sharded serving (internal/shard). ShardQueries counts child
 	// engine searches issued by a coordinator (N per coordinator
 	// query); MergedCandidates counts per-shard result rows entering
@@ -254,6 +272,9 @@ func (e *Engine) Stats() Stats {
 		UnionCandidates:  e.counters.unionCandidates.Load(),
 		PivotSkips:       e.counters.pivotSkips.Load(),
 		UnionUnpruned:    e.counters.unionUnpruned.Load(),
+		PairHits:         e.counters.pairHits.Load(),
+		PairServed:       e.counters.pairServed.Load(),
+		PairBoundPrunes:  e.counters.pairBoundPrunes.Load(),
 		QueryLatency:     e.latency.snapshot(),
 	}
 }

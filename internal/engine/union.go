@@ -294,7 +294,7 @@ pivots:
 			lists[s] = l
 		}
 		if ok {
-			chunk = append(chunk, docJob{doc: d, bound: bound, mask: mask, lists: lists})
+			chunk = append(chunk, docJob{doc: d, bound: bound, orig: bound, mask: mask, lists: lists})
 			if len(chunk) == dispatchChunk && !ship() {
 				break pivots
 			}

@@ -138,9 +138,10 @@ func DecodePostings(b []byte) ([]Posting, error) {
 // top-k pruning.
 type Compact struct {
 	postings map[string][]byte
-	meta     map[uint64][]byte // ConceptKey → EncodeDocMax buffer
-	blocks   map[uint64][]byte // ConceptKey → EncodeBlocks buffer
-	batch    map[uint64][]byte // ConceptKey → EncodeBlocksBatch buffer
+	meta     map[uint64][]byte  // ConceptKey → EncodeDocMax buffer
+	blocks   map[uint64][]byte  // ConceptKey → EncodeBlocks buffer
+	batch    map[uint64][]byte  // ConceptKey → EncodeBlocksBatch buffer
+	pairs    map[PairKey][]byte // PairKey → EncodePairs buffer
 	docs     int
 }
 

@@ -388,3 +388,91 @@ func FuzzLoadFile(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodePairs drives arbitrary bytes through the pair-posting
+// decoder: it must never panic, every accepted skip table must carry
+// ascending disjoint bounded block ranges, every accepted block must
+// hold ascending in-range documents with finite scores and bounded
+// witness locations and a truthful block max, and fully valid tables
+// must round-trip through the encoder.
+func FuzzDecodePairs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePairs([]PairEntry{
+		{Doc: 0, OK: true, Score: 1, W0: match.Match{Loc: 0, Score: 1}, W1: match.Match{Loc: 1, Score: 0.5}},
+	}, 0))
+	f.Add(EncodePairs(testPairEntries(), 3))
+	f.Add(EncodePairs(testPairEntries(), 128))
+	// Crafted overflow: a block count of MaxUint64 must be bounded
+	// before it can drive a huge allocation.
+	f.Add(binary.AppendUvarint(nil, math.MaxUint64))
+	// NaN block max: must be rejected, never compared against.
+	nan := binary.AppendUvarint(nil, 1)
+	nan = binary.AppendUvarint(nan, 1)
+	nan = binary.AppendUvarint(nan, 0)
+	nan = binary.AppendUvarint(nan, 1)
+	f.Add(binary.LittleEndian.AppendUint64(nan, math.Float64bits(math.NaN())))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := DecodePairs(data)
+		if err != nil || pt == nil {
+			return
+		}
+		prevLast := -1
+		var entries []PairEntry
+		for i := range pt.Infos {
+			info := pt.Infos[i]
+			if info.FirstDoc <= prevLast || info.FirstDoc > info.LastDoc || info.LastDoc > MaxDocID {
+				t.Fatalf("block %d range invalid: %+v after last %d", i, info, prevLast)
+			}
+			prevLast = info.LastDoc
+			es, err := pt.DecodeBlock(i)
+			if err != nil {
+				continue // skip-table ok but payload hostile: rejected, fine
+			}
+			max := math.Inf(-1)
+			prevDoc := info.FirstDoc - 1
+			for _, ent := range es {
+				if ent.Doc <= prevDoc || ent.Doc > info.LastDoc {
+					t.Fatalf("block %d doc %d out of order or range", i, ent.Doc)
+				}
+				prevDoc = ent.Doc
+				if !ent.OK {
+					continue
+				}
+				if math.IsNaN(ent.Score) || math.IsInf(ent.Score, 0) {
+					t.Fatalf("non-finite pair score accepted")
+				}
+				for _, w := range []match.Match{ent.W0, ent.W1} {
+					if w.Loc < 0 || w.Loc > MaxPosition || math.IsNaN(w.Score) || math.IsInf(w.Score, 0) {
+						t.Fatalf("block %d witness %+v invalid", i, w)
+					}
+				}
+				if ent.Score > max {
+					max = ent.Score
+				}
+			}
+			if max != info.MaxScore {
+				t.Fatalf("block %d MaxScore %v disagrees with content max %v", i, info.MaxScore, max)
+			}
+			entries = append(entries, es...)
+		}
+		if pt.Validate() != nil {
+			return // some block rejected above: no round-trip contract
+		}
+		// Fully valid tables must round-trip through the encoder.
+		again, err := DecodePairs(EncodePairs(entries, BlockSize))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var out []PairEntry
+		for i := range again.Infos {
+			es, err := again.DecodeBlock(i)
+			if err != nil {
+				t.Fatalf("re-decode block %d: %v", i, err)
+			}
+			out = append(out, es...)
+		}
+		if !entriesEqual(out, entries) {
+			t.Fatalf("round trip changed pair entries")
+		}
+	})
+}

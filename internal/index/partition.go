@@ -84,7 +84,48 @@ func (c *Compact) Partition(n int) ([]*Compact, error) {
 	if err := c.partitionBlocks(shards); err != nil {
 		return nil, err
 	}
+	if err := c.partitionPairs(shards); err != nil {
+		return nil, err
+	}
 	return shards, nil
+}
+
+// partitionPairs filters each registered pair list per shard. Entries
+// are value copies, so a shard's scores and witnesses are bitwise
+// identical to the original's — the property the shard tier's
+// bitwise-identity differential relies on.
+func (c *Compact) partitionPairs(shards []*Compact) error {
+	n := len(shards)
+	for key, buf := range c.pairs {
+		pt, err := DecodePairs(buf)
+		if err != nil || pt == nil {
+			return fmt.Errorf("index: partition: concept pairs %x/%x: %v", key.Lo, key.Hi, err)
+		}
+		var entries []PairEntry
+		for i := range pt.Infos {
+			es, err := pt.DecodeBlock(i)
+			if err != nil {
+				return fmt.Errorf("index: partition: concept pairs %x/%x block %d: %v", key.Lo, key.Hi, i, err)
+			}
+			entries = append(entries, es...)
+		}
+		var se []PairEntry
+		for s, shard := range shards {
+			se = se[:0]
+			for _, e := range entries {
+				if ShardOf(e.Doc, n) == s {
+					se = append(se, e)
+				}
+			}
+			if enc := EncodePairs(se, 0); enc != nil {
+				if shard.pairs == nil {
+					shard.pairs = make(map[PairKey][]byte)
+				}
+				shard.pairs[key] = enc
+			}
+		}
+	}
+	return nil
 }
 
 // partitionMeta filters each registered doc-max summary per shard.

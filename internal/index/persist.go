@@ -33,7 +33,12 @@ import (
 // Section 4, present only when group-varint batched concept postings
 // are registered (batchdecode.go), repeats that shape with
 // EncodeBlocksBatch buffers; a reader predating section 4 rejects the
-// unknown id loudly instead of misparsing it.
+// unknown id loudly instead of misparsing it. Section 5, present only
+// when precomputed pair lists are registered (pairs.go), holds
+// varint(#pairs), then per pair (sorted by key) uint64le(lo)
+// uint64le(hi) uint64le(spec) varint(len) EncodePairs buffer. Indexes
+// written before a given section existed simply omit it and keep
+// loading — the corresponding feature is absent, never misread.
 //
 // LoadCompact still accepts the pre-framing layout (the two payloads
 // concatenated with no magic, no checksums), so indexes marshaled
@@ -51,6 +56,7 @@ const (
 	secMeta        = 2 // optional concept max-score metadata
 	secBlocks      = 3 // optional block-partitioned concept postings
 	secBlocksBatch = 4 // optional group-varint batched concept postings
+	secPairs       = 5 // optional precomputed concept-pair postings
 )
 
 // castagnoli is the CRC32-C polynomial table — the checksum flavor
@@ -70,7 +76,8 @@ func (c *Compact) Marshal() []byte {
 	meta := c.marshalMeta()
 	blocks := c.marshalConceptMap(c.blocks)
 	batch := c.marshalConceptMap(c.batch)
-	buf := append(make([]byte, 0, len(postings)+len(meta)+len(blocks)+len(batch)+32), frameMagic...)
+	pairs := c.marshalPairs()
+	buf := append(make([]byte, 0, len(postings)+len(meta)+len(blocks)+len(batch)+len(pairs)+32), frameMagic...)
 	buf = append(buf, frameVersion)
 	nsec := uint64(1)
 	if meta != nil {
@@ -80,6 +87,9 @@ func (c *Compact) Marshal() []byte {
 		nsec++
 	}
 	if batch != nil {
+		nsec++
+	}
+	if pairs != nil {
 		nsec++
 	}
 	buf = binary.AppendUvarint(buf, nsec)
@@ -92,6 +102,9 @@ func (c *Compact) Marshal() []byte {
 	}
 	if batch != nil {
 		buf = appendSection(buf, secBlocksBatch, batch)
+	}
+	if pairs != nil {
+		buf = appendSection(buf, secPairs, pairs)
 	}
 	return buf
 }
@@ -167,6 +180,40 @@ func (c *Compact) marshalConceptMap(m map[uint64][]byte) []byte {
 	return buf
 }
 
+// marshalPairs builds the pair-list payload (section 5), nil when no
+// pairs are registered. Per pair (sorted by key for determinism): the
+// three key words little-endian, then the length-prefixed EncodePairs
+// buffer.
+func (c *Compact) marshalPairs() []byte {
+	if len(c.pairs) == 0 {
+		return nil
+	}
+	keys := make([]PairKey, 0, len(c.pairs))
+	for k := range c.pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Spec < b.Spec
+	})
+	buf := binary.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k.Lo)
+		buf = binary.LittleEndian.AppendUint64(buf, k.Hi)
+		buf = binary.LittleEndian.AppendUint64(buf, k.Spec)
+		p := c.pairs[k]
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
 // marshalLegacy emits the pre-framing layout: the two payloads
 // concatenated bare. Kept (unexported) so tests can pin that
 // LoadCompact still reads indexes marshaled before the framing change.
@@ -202,11 +249,11 @@ func loadFramed(b []byte) (*Compact, error) {
 	}
 	b = b[1:]
 	nsec, n := binary.Uvarint(b)
-	if n <= 0 || nsec == 0 || nsec > 4 {
+	if n <= 0 || nsec == 0 || nsec > 5 {
 		return nil, fmt.Errorf("%w: bad section count", ErrCorrupt)
 	}
 	b = b[n:]
-	var postings, meta, blocks, batch []byte
+	var postings, meta, blocks, batch, pairs []byte
 	prevID := byte(0)
 	for i := uint64(0); i < nsec; i++ {
 		if len(b) == 0 {
@@ -214,7 +261,7 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		id := b[0]
 		b = b[1:]
-		if id <= prevID || id > secBlocksBatch {
+		if id <= prevID || id > secPairs {
 			return nil, fmt.Errorf("%w: bad section id %d", ErrCorrupt, id)
 		}
 		prevID = id
@@ -242,6 +289,8 @@ func loadFramed(b []byte) (*Compact, error) {
 			blocks = payload
 		case secBlocksBatch:
 			batch = payload
+		case secPairs:
+			pairs = payload
 		}
 	}
 	if len(b) != 0 {
@@ -282,6 +331,15 @@ func loadFramed(b []byte) (*Compact, error) {
 		}
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes in batched-blocks section", ErrCorrupt, len(rest))
+		}
+	}
+	if pairs != nil {
+		rest, err := parsePairs(c, pairs)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes in pairs section", ErrCorrupt, len(rest))
 		}
 	}
 	return c, nil
@@ -413,6 +471,58 @@ func parseBlocksBatch(c *Compact, b []byte) ([]byte, error) {
 	}
 	c.batch = m
 	return rest, nil
+}
+
+// parsePairs decodes the pair-list payload into c.pairs, returning
+// the unconsumed remainder. Every block of every pair list is fully
+// decoded here — the same eager-validation stance as postings — so
+// ConceptPairs can treat decode failure as memory corruption.
+func parsePairs(c *Compact, b []byte) ([]byte, error) {
+	nPairs, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: corrupt pair-list count")
+	}
+	b = b[n:]
+	// Each pair costs at least 25 bytes (three 8-byte key words, one
+	// length byte).
+	if nPairs > uint64(len(b))/25 {
+		return nil, fmt.Errorf("index: pair-list count %d exceeds buffer", nPairs)
+	}
+	c.pairs = make(map[PairKey][]byte, nPairs)
+	for i := uint64(0); i < nPairs; i++ {
+		if len(b) < 24 {
+			return nil, fmt.Errorf("index: truncated pair-list key %d", i)
+		}
+		key := PairKey{
+			Lo:   binary.LittleEndian.Uint64(b),
+			Hi:   binary.LittleEndian.Uint64(b[8:]),
+			Spec: binary.LittleEndian.Uint64(b[16:]),
+		}
+		b = b[24:]
+		if key.Lo > key.Hi {
+			return nil, fmt.Errorf("index: pair-list key %d not in canonical order", i)
+		}
+		plen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < plen {
+			return nil, fmt.Errorf("index: corrupt pair list %d", i)
+		}
+		b = b[n:]
+		buf := make([]byte, plen)
+		copy(buf, b[:plen])
+		b = b[plen:]
+		pt, err := DecodePairs(buf)
+		if err != nil {
+			return nil, fmt.Errorf("index: invalid pair list %d: %v", i, err)
+		}
+		if err := pt.Validate(); err != nil {
+			return nil, fmt.Errorf("index: invalid pair list %d: %v", i, err)
+		}
+		if pt == nil {
+			continue // zero-length buffer: nothing to serve
+		}
+		c.pairs[key] = buf
+	}
+	return b, nil
 }
 
 // parseConceptBlockMap parses one per-concept block-table payload with

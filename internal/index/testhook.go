@@ -43,6 +43,34 @@ func CorruptConceptBlocksForTest(c *Compact, concept Concept) {
 	c.blocks[key] = garbage
 }
 
+// CorruptConceptPairsForTest overwrites a registered pair list with
+// bytes DecodePairs rejects, so ConceptPairs panics: the in-memory
+// corruption the engine's pair lookup must contain by falling back to
+// the kernel path. Not for production use.
+func CorruptConceptPairsForTest(c *Compact, a, b Concept, spec uint64) {
+	c.pairs[MakePairKey(ConceptKey(a), ConceptKey(b), spec)] = []byte{
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+	}
+}
+
+// CorruptConceptPairPayloadForTest overwrites the payload area of a
+// registered pair list while leaving the skip table intact:
+// ConceptPairs still succeeds, but per-block decodes fail — the
+// mid-serve failure path, which must abandon the pair serve and fall
+// back to the kernel path. Not for production use.
+func CorruptConceptPairPayloadForTest(c *Compact, a, b Concept, spec uint64) {
+	key := MakePairKey(ConceptKey(a), ConceptKey(b), spec)
+	buf := c.pairs[key]
+	pt, err := DecodePairs(buf)
+	if err != nil || pt == nil {
+		panic("CorruptConceptPairPayloadForTest: buffer must start valid")
+	}
+	last := pt.Infos[len(pt.Infos)-1]
+	for i := len(buf) - (last.Off + last.Len); i < len(buf); i++ {
+		buf[i] = 0xff
+	}
+}
+
 // CorruptConceptBlockPayloadForTest overwrites the payload area of a
 // concept's registered block buffer while leaving the palette and
 // skip table intact: ConceptBlocks still succeeds, but any per-block

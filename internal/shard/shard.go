@@ -533,6 +533,9 @@ func (c *Coordinator) Stats() engine.Stats {
 		agg.UnionCandidates += s.UnionCandidates
 		agg.PivotSkips += s.PivotSkips
 		agg.UnionUnpruned += s.UnionUnpruned
+		agg.PairHits += s.PairHits
+		agg.PairServed += s.PairServed
+		agg.PairBoundPrunes += s.PairBoundPrunes
 		agg.Hedged += s.Hedged
 		agg.Retried += s.Retried
 		agg.ShardTimeouts += s.ShardTimeouts

@@ -1,9 +1,14 @@
 #!/bin/sh
 # Run the engine benchmarks with -benchmem and write BENCH_engine.json:
-# one record per benchmark with ns/op, B/op, and allocs/op. When
+# one record per benchmark with ns/op, B/op, and allocs/op. Benchmarks
+# run with -count=3 and every metric is reduced to its per-benchmark
+# median before JSON emission and before the regression gate, so one
+# noisy run on a shared host cannot fake (or mask) a regression. When
 # BENCH_engine.baseline.txt exists (raw `go test -bench` output saved
 # before a performance change), its numbers are embedded as "baseline"
-# so the JSON carries the before/after comparison in one file.
+# so the JSON carries the before/after comparison in one file; the
+# medianizer is generic over run count, so a single-run baseline file
+# still parses.
 #
 # Usage: scripts/benchjson.sh [benchtime]   (default 100x; the
 # admission-control benchmark needs enough iterations to saturate its
@@ -13,11 +18,58 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-100x}"
+COUNT="${BENCH_COUNT:-3}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+MED="$(mktemp)"
+MEDBASE="$(mktemp)"
+trap 'rm -f "$RAW" "$MED" "$MEDBASE"' EXIT
 
-echo "== go test -bench=BenchmarkEngine -benchmem (benchtime=$BENCHTIME) =="
-go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+echo "== go test -bench=BenchmarkEngine -benchmem (benchtime=$BENCHTIME, count=$COUNT) =="
+go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$RAW"
+
+# Reduce repeated benchmark lines to one line per benchmark carrying
+# the per-metric median, preserving the value/unit pair layout of
+# `go test -bench` output so the JSON parser and the regression gate
+# read medianized files exactly like raw ones. Works for any -count,
+# including a count=1 baseline file (median of one value is itself).
+medianize() {
+    awk '
+    function median(name, u,    k, i, j, tmp, cnt) {
+        cnt = runs[name]
+        for (i = 1; i <= cnt; i++) sortbuf[i] = vals[name, u, i] + 0
+        for (i = 2; i <= cnt; i++) {          # insertion sort: cnt is tiny
+            tmp = sortbuf[i]
+            for (j = i - 1; j >= 1 && sortbuf[j] > tmp; j--) sortbuf[j + 1] = sortbuf[j]
+            sortbuf[j + 1] = tmp
+        }
+        if (cnt % 2) return sortbuf[(cnt + 1) / 2]
+        return (sortbuf[cnt / 2] + sortbuf[cnt / 2 + 1]) / 2
+    }
+    /^Benchmark/ && $2 ~ /^[0-9]+$/ {
+        name = $1
+        if (!(name in runs)) order[++n] = name
+        runs[name]++
+        u = 0
+        for (i = 3; i + 1 <= NF; i += 2) {
+            u++
+            unit[name, u] = $(i + 1)
+            vals[name, u, runs[name]] = $i
+        }
+        nunits[name] = u
+    }
+    END {
+        for (k = 1; k <= n; k++) {
+            name = order[k]
+            line = name " 1"
+            for (u = 1; u <= nunits[name]; u++)
+                line = line sprintf(" %g %s", median(name, u), unit[name, u])
+            print line
+        }
+    }
+    ' "$1"
+}
+
+medianize "$RAW" > "$MED"
 
 # Parse `BenchmarkName  N  X ns/op  Y B/op  Z allocs/op` lines to JSON.
 # Custom b.ReportMetric units ride along when present: pruneddocs/op
@@ -29,11 +81,13 @@ go test -run='^$' -bench='BenchmarkEngine' -benchmem -benchtime="$BENCHTIME" . |
 # mergedcandidates/op from the sharded scatter-gather benchmark (the
 # fan-out cost and rank-merge width), and coalesceddecodes/op +
 # decodewaits/op from the concurrent-query coalescing benchmark (how
-# many duplicate decodes the singleflight layer collapsed; zero on a
-# single-core host, where goroutines serialize), and hedged/op +
-# retried/op from the remote fleet benchmark (speculative and repeated
-# shard attempts: ~0 on a healthy loopback fleet, so drift flags a
-# latency regression or transport flakiness).
+# many duplicate decodes the singleflight layer collapsed), and
+# hedged/op + retried/op from the remote fleet benchmark (speculative
+# and repeated shard attempts: ~0 on a healthy loopback fleet, so
+# drift flags a latency regression or transport flakiness), and
+# pairhits/op + pairboundprunes/op from the pair-index benchmark (the
+# auxiliary pair tier's list hits and the candidates its tightened
+# bounds retired).
 # The cached BenchmarkEngine path doubles as the panic-recovery
 # overhead gauge — the recover() wrappers sit on every join, so any
 # regression shows up directly against the baseline (the budget is <1%).
@@ -41,7 +95,7 @@ bench_to_json() {
     awk '
     /^Benchmark/ {
         name = $1
-        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = codec = dwait = hedged = retried = ""
+        ns = bytes = allocs = pruned = joins = shed = bskip = bdec = pskip = ucand = shq = mcand = codec = dwait = hedged = retried = phits = pprunes = ""
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op")             ns = $(i - 1)
             if ($i == "B/op")              bytes = $(i - 1)
@@ -59,6 +113,8 @@ bench_to_json() {
             if ($i == "decodewaits/op")      dwait = $(i - 1)
             if ($i == "hedged/op")           hedged = $(i - 1)
             if ($i == "retried/op")          retried = $(i - 1)
+            if ($i == "pairhits/op")         phits = $(i - 1)
+            if ($i == "pairboundprunes/op")  pprunes = $(i - 1)
         }
         if (ns == "") next
         if (out != "") out = out ","
@@ -77,6 +133,8 @@ bench_to_json() {
         if (dwait != "")  rec = rec sprintf(", \"decodewaits_per_op\": %s", dwait)
         if (hedged != "")  rec = rec sprintf(", \"hedged_per_op\": %s", hedged)
         if (retried != "") rec = rec sprintf(", \"retried_per_op\": %s", retried)
+        if (phits != "")   rec = rec sprintf(", \"pairhits_per_op\": %s", phits)
+        if (pprunes != "") rec = rec sprintf(", \"pairboundprunes_per_op\": %s", pprunes)
         out = out rec "}"
     }
     END { printf "[%s\n  ]", out }
@@ -85,10 +143,11 @@ bench_to_json() {
 
 {
     printf '{\n  "benchmarks": '
-    bench_to_json "$RAW"
+    bench_to_json "$MED"
     if [ -f BENCH_engine.baseline.txt ]; then
+        medianize BENCH_engine.baseline.txt > "$MEDBASE"
         printf ',\n  "baseline": '
-        bench_to_json BENCH_engine.baseline.txt
+        bench_to_json "$MEDBASE"
     fi
     printf '\n}\n'
 } > BENCH_engine.json
@@ -96,27 +155,29 @@ bench_to_json() {
 echo "wrote BENCH_engine.json"
 
 # Warm-path regression gate: the cached BenchmarkEngineColdVsCached
-# run must stay within 1.25x of the saved baseline's ns/op (slack for
-# a noisy shared host; a real regression — e.g. losing the keyed join
-# kernel or the coalesced cache hit — is 1.5x or more). Informational
-# on manual runs; fatal under CHECK_BENCH=1 so scripts/check.sh turns
-# it into a CI failure.
+# run must stay within 1.25x of the saved baseline's ns/op. Both sides
+# are medians (count=3 current vs whatever count the baseline holds),
+# so a single outlier run cannot trip or hide the gate; the 1.25x
+# slack absorbs what noise survives the median on a shared host — a
+# real regression (e.g. losing the keyed join kernel or the coalesced
+# cache hit) is 1.5x or more. Informational on manual runs; fatal
+# under CHECK_BENCH=1 so scripts/check.sh turns it into a CI failure.
 cached_ns() {
     awk 'index($1, "BenchmarkEngineColdVsCached/cached") == 1 {
         for (i = 2; i <= NF; i++) if ($i == "ns/op") { print $(i - 1); exit }
     }' "$1"
 }
 if [ -f BENCH_engine.baseline.txt ]; then
-    cur="$(cached_ns "$RAW")"
-    base="$(cached_ns BENCH_engine.baseline.txt)"
+    cur="$(cached_ns "$MED")"
+    base="$(cached_ns "$MEDBASE")"
     if [ -n "$cur" ] && [ -n "$base" ]; then
         if awk -v c="$cur" -v b="$base" 'BEGIN { exit !(c > b * 1.25) }'; then
-            echo "WARM-PATH REGRESSION: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x)"
+            echo "WARM-PATH REGRESSION: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x, medians)"
             if [ "${CHECK_BENCH:-}" = "1" ]; then
                 exit 1
             fi
         else
-            echo "warm path ok: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x)"
+            echo "warm path ok: cached query $cur ns/op vs baseline $base ns/op (limit 1.25x, medians)"
         fi
     fi
 fi
